@@ -1,0 +1,76 @@
+"""Ablation — the split-threshold tradeoff (DESIGN.md §4.4).
+
+The paper picks 50 000 files as the scale at which an ACG gets cut in
+two.  The threshold trades update locality against search fan-out:
+
+* **too large** — partitions grow, every inline update pays for a bigger
+  index (the Figure 2(a) effect);
+* **too small** — the namespace shatters into many partitions, so every
+  *search* touches more of them and placement loses causality (more
+  cross-partition edges cut).
+
+This sweep replays the same compile workload under thresholds from 50 to
+3200 and reports partitions created, mean update cost and mean search
+cost (simulated).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import STANDARD_INDICES
+from repro.cluster import PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.indexstructures import IndexKind
+from repro.metrics.reporting import format_duration, render_table
+from repro.workloads.apps import THRIFT_SPEC, CompileApplication, scaled_spec
+from repro.workloads.replay import replay_trace
+
+THRESHOLDS = (50, 200, 800, 3200)
+
+
+def run_threshold(threshold: int):
+    service = PropellerService(
+        num_index_nodes=4,
+        policy=PartitioningPolicy(split_threshold=threshold,
+                                  cluster_target=min(threshold, 100)))
+    client = service.make_client()
+    for name, kind, attrs in STANDARD_INDICES:
+        client.create_index(name, kind, attrs)
+    app = CompileApplication(scaled_spec(THRIFT_SPEC, 0.5))
+    span = service.clock.span()
+    stats = replay_trace(service, client, app.trace(), app.path_of)
+    service.master.poll_heartbeats()   # trigger any splits
+    update_time = span.elapsed() / max(1, stats.index_updates)
+    searches = []
+    for _ in range(5):
+        span = service.clock.span()
+        client.search("size>1k")
+        searches.append(span.elapsed())
+    search_time = sum(searches) / len(searches)
+    return service.acg_count(), update_time, search_time
+
+
+def test_ablation_split_threshold(benchmark, record_result):
+    rows = []
+    results = {}
+    for threshold in THRESHOLDS:
+        partitions, update_time, search_time = run_threshold(threshold)
+        results[threshold] = (partitions, update_time, search_time)
+        rows.append([threshold, partitions, format_duration(update_time),
+                     format_duration(search_time)])
+    table = render_table(
+        ["split threshold", "partitions", "per-update (sim)",
+         "per-search (sim)"],
+        rows,
+        title="Ablation — split-threshold sweep on the Thrift build "
+              "(paper default: 50 000 files)")
+    record_result("ablation_split_threshold", table)
+
+    # Smaller thresholds shatter the namespace into more partitions...
+    partition_counts = [results[t][0] for t in THRESHOLDS]
+    assert partition_counts[0] > partition_counts[-1]
+    # ...which costs searches (more fan-out work per query).
+    assert results[THRESHOLDS[0]][2] > results[THRESHOLDS[-1]][2] * 0.9
+
+    benchmark(lambda: run_threshold(800))

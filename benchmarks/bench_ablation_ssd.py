@@ -1,0 +1,63 @@
+"""Ablation — does ACG partitioning still matter on SSDs?
+
+The paper's testbed is all 7 200-RPM disks, where the dominant cost is
+the seek, which small hot partitions avoid.  An obvious question for a
+2014 reviewer: how much of Propeller's win survives on flash?  This
+ablation reruns the Figure 2 sensitivity kernel on the HDD model vs the
+SSD model.  Expected shape: the partition-size and inter-partition
+effects persist (they are cache/workset effects too) but compress by
+roughly the random-access cost ratio of the devices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_fig02_partition_sensitivity import (
+    PartitionedIndexer,
+    run_inter_partition,
+)
+from repro.metrics.reporting import render_table
+from repro.sim.disk import HDDModel, SSDModel
+from repro.workloads.tracegen import partition_files, random_update_requests
+
+N_UPDATES = 5_000
+
+
+def run_with_model(model, total_files: int, group_size: int) -> float:
+    files = list(range(total_files))
+    groups = partition_files(files, group_size)
+    indexer = PartitionedIndexer(groups)
+    indexer.disk.model = model
+    stream = random_update_requests(files, N_UPDATES, seed=11)
+    start = indexer.clock.now()
+    for fid in stream:
+        indexer.update(fid)
+    return indexer.clock.now() - start
+
+
+def test_ablation_hdd_vs_ssd(benchmark, record_result):
+    group_sizes = (1000, 8000)
+    rows = []
+    results = {}
+    for name, model in (("HDD (7200rpm)", HDDModel()), ("SSD", SSDModel())):
+        times = [run_with_model(model, 32_000, g) for g in group_sizes]
+        results[name] = times
+        ratio = times[1] / times[0]
+        rows.append([name] + [f"{t:.2f}" for t in times] + [f"{ratio:.2f}x"])
+    table = render_table(
+        ["device", "1000/group (s)", "8000/group (s)", "size penalty"],
+        rows,
+        title=f"Ablation — Figure 2(a) kernel on HDD vs SSD "
+              f"({N_UPDATES} updates, 32k files)")
+    record_result("ablation_ssd", table)
+
+    hdd_times, ssd_times = results["HDD (7200rpm)"], results["SSD"]
+    # Absolute costs collapse on flash...
+    assert ssd_times[0] < hdd_times[0] / 10
+    # ...but the partition-size penalty is still there (workset effect),
+    assert ssd_times[1] > 1.5 * ssd_times[0]
+    # ...while the HDD pays the larger relative penalty (seek-bound).
+    assert hdd_times[1] / hdd_times[0] >= 0.9 * (ssd_times[1] / ssd_times[0])
+
+    benchmark(lambda: run_with_model(SSDModel(), 8_000, 1000))

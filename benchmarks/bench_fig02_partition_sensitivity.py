@@ -1,0 +1,170 @@
+"""Figure 2 — sensitivity of inline indexing to partition size and
+inter-partition access.
+
+Paper setup (Section III): a program issues 50 000 writes that trigger
+inline indexing; each partition maintains three file indices on HDDs — a
+B+tree, a hash table and a (serialized) K-D tree.
+
+(a) the same number of files split into equal groups of 1 000–8 000:
+    larger groups ⇒ slower updates (deeper trees, bigger serialized
+    KD-tree rewrites, colder caches);
+(b) the same updates confined to 1–32 groups of a fixed size: touching
+    more partitions ⇒ slower (cache thrash + head seeks between
+    partition files; log-scale effect).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.indexstructures import BPlusTree, ExtendibleHashIndex, KDTreeIndex
+from repro.metrics.reporting import render_table
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskDevice
+from repro.sim.memory import PAGE_SIZE, PageCache
+from repro.workloads.tracegen import (
+    grouped_update_requests,
+    partition_files,
+    random_update_requests,
+)
+
+N_UPDATES = 50_000
+KD_BYTES_PER_FILE = 48      # serialized K-D tree record size
+KD_CHUNK_BYTES = 64 * 1024  # I/O unit for the serialized KD-tree file
+KD_CACHE_CHUNKS = 16        # chunks of KD-tree files the page cache holds
+CACHE_BYTES = 1024**2       # page cache for B+tree/hash pages
+
+
+class PartitionedIndexer:
+    """One partition = three indices + a serialized KD-tree file on disk.
+
+    The prototype's inode index is a *serialized* K-D tree (Section V.E):
+    an inline update rewrites the partition's KD file, chunk by chunk,
+    through a small page cache.  A partition's chunk count grows with its
+    size, so updates to big partitions do more I/O (Figure 2a); updates
+    confined to few partitions keep those chunks cache-hot (Figure 2b).
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]]) -> None:
+        self.clock = SimClock()
+        self.disk = DiskDevice(self.clock)
+        self.cache = PageCache(self.disk, CACHE_BYTES)
+        self.kd_cache = PageCache(self.disk, KD_CACHE_CHUNKS * PAGE_SIZE)
+        self.group_of: Dict[int, int] = {}
+        self.kd_chunks: Dict[int, int] = {}
+        self.btrees: Dict[int, BPlusTree] = {}
+        self.hashes: Dict[int, ExtendibleHashIndex] = {}
+        for gid, files in enumerate(groups):
+            nbytes = len(files) * KD_BYTES_PER_FILE
+            self.kd_chunks[gid] = max(1, -(-nbytes // KD_CHUNK_BYTES))
+            self.btrees[gid] = BPlusTree(order=64, page_hook=self._hook(f"bt{gid}"))
+            self.hashes[gid] = ExtendibleHashIndex(bucket_capacity=32,
+                                                   page_hook=self._hook(f"ha{gid}"))
+            for fid in files:
+                self.group_of[fid] = gid
+                self.btrees[gid].insert(fid % 1_000_000, fid)
+                self.hashes[gid].insert(fid, fid)
+
+    def _hook(self, namespace: str):
+        cache = self.cache
+
+        def touch(node_id: int, write: bool) -> None:
+            cache.touch(namespace, node_id, write=write)
+
+        return touch
+
+    def update(self, fid: int) -> None:
+        gid = self.group_of[fid]
+        # B+tree and hash updates touch their pages through the cache.
+        self.btrees[gid].remove(fid % 1_000_000, fid)
+        self.btrees[gid].insert(fid % 1_000_000, fid)
+        self.hashes[gid].remove(fid, fid)
+        self.hashes[gid].insert(fid, fid)
+        # Serialized KD-tree rewrite: touch every chunk of the partition's
+        # KD file; misses pay random disk I/O.
+        for chunk in range(self.kd_chunks[gid]):
+            self.kd_cache.touch(f"kd{gid}", chunk, write=True)
+
+
+def run_partition_size(total_files: int, group_size: int, n_updates: int) -> float:
+    files = list(range(total_files))
+    groups = partition_files(files, group_size)
+    indexer = PartitionedIndexer(groups)
+    stream = random_update_requests(files, n_updates, seed=7)
+    start = indexer.clock.now()
+    for fid in stream:
+        indexer.update(fid)
+    return indexer.clock.now() - start
+
+
+def run_inter_partition(group_size: int, touched: int, n_updates: int,
+                        n_groups: int = 32) -> float:
+    files = list(range(group_size * n_groups))
+    groups = partition_files(files, group_size)
+    indexer = PartitionedIndexer(groups)
+    stream = grouped_update_requests(groups, n_updates, touched_groups=touched,
+                                     seed=7)
+    start = indexer.clock.now()
+    for fid in stream:
+        indexer.update(fid)
+    return indexer.clock.now() - start
+
+
+def test_fig02a_partition_size(benchmark, record_result):
+    n_updates = N_UPDATES // 5   # scaled run; REPRO_FULL uses the paper's 50k
+    from benchmarks.conftest import full_scale
+    if full_scale():
+        n_updates = N_UPDATES
+    group_sizes = (1000, 2000, 4000, 8000)
+    totals = (50_000, 100_000, 200_000) if full_scale() else (50_000, 100_000)
+    rows = []
+    results: Dict[int, List[float]] = {}
+    for total in totals:
+        times = [run_partition_size(total, g, n_updates) for g in group_sizes]
+        results[total] = times
+        rows.append([f"{total} files"] + [f"{t:.1f}" for t in times])
+    table = render_table(
+        ["dataset"] + [f"{g}/group (s)" for g in group_sizes], rows,
+        title=f"Figure 2(a) — {n_updates} random updates, execution time vs "
+              "partition size (simulated seconds)")
+    record_result("fig02a_partition_size", table)
+
+    for total in totals:
+        times = results[total]
+        # Monotone: bigger partitions are slower.
+        assert all(a < b for a, b in zip(times, times[1:])), times
+        # And the effect is substantial (paper: ~5x from 1k to 8k).
+        assert times[-1] / times[0] > 2.0
+
+    benchmark(lambda: run_partition_size(8_000, 1000, 2_000))
+
+
+def test_fig02b_inter_partition_access(benchmark, record_result):
+    n_updates = N_UPDATES // 5
+    from benchmarks.conftest import full_scale
+    if full_scale():
+        n_updates = N_UPDATES
+    touched_levels = (1, 2, 4, 8, 16, 32)
+    group_sizes = (1000, 2000, 4000, 8000) if full_scale() else (1000, 2000)
+    rows = []
+    results: Dict[int, List[float]] = {}
+    for group_size in group_sizes:
+        times = [run_inter_partition(group_size, touched, n_updates)
+                 for touched in touched_levels]
+        results[group_size] = times
+        rows.append([f"{group_size}-file groups"] + [f"{t:.1f}" for t in times])
+    table = render_table(
+        ["group size"] + [f"{t} parts (s)" for t in touched_levels], rows,
+        title=f"Figure 2(b) — {n_updates} updates spread over 1..32 partitions "
+              "(simulated seconds, cf. paper's log-scale plot)")
+    record_result("fig02b_inter_partition", table)
+
+    for group_size in group_sizes:
+        times = results[group_size]
+        # More partitions touched ⇒ slower, by a large factor.
+        assert times[0] < times[-1]
+        assert times[-1] / times[0] > 3.0, times
+
+    benchmark(lambda: run_inter_partition(1000, 32, 2_000))

@@ -1,0 +1,144 @@
+"""Figure 8 — file-indexing times on scaled datasets, Propeller vs MySQL.
+
+Paper setup: 1–16 processes each issue 10 000 update requests; in
+Propeller every process stays within one 1 000-file group, in MySQL the
+same files hit the single global table.  Findings to reproduce:
+
+* Propeller is 30–60× faster;
+* Propeller's time is the same on the 50M-file and 100M-file datasets
+  (cost depends only on the group, never the dataset);
+* MySQL degrades ≈2× when the dataset doubles (deeper global B+tree,
+  colder buffer pool).
+
+Scale substitution: datasets are built at 1:1000 of the paper's (50k and
+100k files) with the MySQL buffer pool shrunk by the same factor (2 MB
+for 2 GB), preserving the index-bytes : buffer-bytes ratio that drives
+the effect.  REPRO_FULL=1 raises the dataset tenfold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from benchmarks.common import build_minisql, build_propeller
+from benchmarks.conftest import full_scale
+from repro.metrics.reporting import render_table
+
+GROUP_SIZE = 1000
+UPDATES_PER_PROCESS = 10_000
+PROCESS_COUNTS = (1, 2, 4, 8, 16)
+SCALE = 1000  # dataset scaled 1:SCALE vs the paper
+
+
+def propeller_run(service, client, paths, n_processes: int, n_updates: int) -> float:
+    # Each process updates files within one group (the paper's setup).
+    groups = [paths[i * GROUP_SIZE:(i + 1) * GROUP_SIZE]
+              for i in range(n_processes)]
+    clock = service.clock
+
+    def run_process(group):
+        import random
+        import zlib
+        rng = random.Random(zlib.crc32(group[0].encode()) & 0xFFFF)
+        for k in range(n_updates):
+            client.index_path(group[rng.randrange(len(group))], pid=2)
+        client.flush_updates()
+
+    span = clock.span()
+    # Processes run concurrently; each has its own group and the Index
+    # Node work overlaps (the paper's threads), so charge the slowest.
+    clock.parallel([lambda g=g: run_process(g) for g in groups])
+    service.commit_all()
+    return span.elapsed()
+
+
+def minisql_run(db, machine, paths, n_processes: int, n_updates: int) -> float:
+    groups = [paths[i * GROUP_SIZE:(i + 1) * GROUP_SIZE]
+              for i in range(n_processes)]
+
+    by_path = {db.store.attrs(f)["path"]: f for f in db.store.file_ids()}
+
+    def update_one(path, k):
+        # Re-index the file under (almost) its old keys: the update hits
+        # the leaves that hold this file's entries.  In a bigger table
+        # those entries are diluted across more leaves, so the same
+        # update stream has a larger disk working set — the paper's
+        # dataset-size degradation, reproduced rather than encoded.
+        file_id = by_path[path]
+        attrs = db.store.attrs(file_id)
+        db.insert_file(file_id,
+                       {"size": attrs["size"] + (k & 1),
+                        "mtime": attrs["mtime"]},
+                       path=path)
+
+    def run_process(group):
+        import random
+        import zlib
+        rng = random.Random(zlib.crc32(group[0].encode()) & 0xFFFF)
+        for k in range(n_updates):
+            update_one(group[rng.randrange(len(group))], k)
+        db.flush()
+
+    # Warm-up pass: the paper measures a running server, not a cold one.
+    for group in groups:
+        for path in group:
+            update_one(path, 0)
+    db.flush()
+    span = machine.clock.span()
+    machine.clock.parallel([lambda g=g: run_process(g) for g in groups])
+    return span.elapsed()
+
+
+def test_fig08_indexing_scale(benchmark, record_result):
+    datasets = (50_000, 100_000) if full_scale() else (20_000, 40_000)
+    n_updates = UPDATES_PER_PROCESS if full_scale() else 1_500
+    processes = PROCESS_COUNTS if full_scale() else (1, 4, 16)
+
+    rows = []
+    results = {}
+    for total in datasets:
+        # One deployment per dataset, reused across process counts (the
+        # updates are idempotent upserts of the same files).
+        service, client, prop_paths = build_propeller(
+            num_index_nodes=1, total_files=total, group_size=GROUP_SIZE,
+            single_node=True)
+        # Pool sized so the global tree's upper levels fit at the small
+        # scale but outgrow it at the large one — the analog of the 2 GB
+        # pool covering 50M rows' internal levels but not 100M's.
+        db, machine, sql_paths = build_minisql(
+            total_files=total, buffer_pool_bytes=2 * 1024**2, btree_order=8)
+        prop = [propeller_run(service, client, prop_paths, p, n_updates)
+                for p in processes]
+        sql = [minisql_run(db, machine, sql_paths, p, n_updates)
+               for p in processes]
+        results[total] = (prop, sql)
+        rows.append([f"Propeller {total // 1000}k files"] + [f"{t:.2f}" for t in prop])
+        rows.append([f"MiniSQL   {total // 1000}k files"] + [f"{t:.2f}" for t in sql])
+    table = render_table(
+        ["system / dataset"] + [f"{p} proc (s)" for p in processes], rows,
+        title=f"Figure 8 — indexing time for {n_updates} updates/process "
+              "(simulated seconds; datasets scaled down with the MiniSQL "
+              "buffer pool scaled to match)")
+    record_result("fig08_indexing_scale", table)
+
+    small, large = datasets
+    prop_small, sql_small = results[small]
+    prop_large, sql_large = results[large]
+    for i in range(len(processes)):
+        # Propeller beats MiniSQL by a wide margin (paper: 30-60x).
+        assert sql_small[i] / prop_small[i] > 10.0
+        # Propeller is dataset-size-invariant (within 25%).
+        assert abs(prop_large[i] - prop_small[i]) / prop_small[i] < 0.25
+        # MiniSQL never gets cheaper as the dataset doubles.  (The paper's
+        # full ~2x degradation needs paper-scale index:pool ratios — at
+        # 1:1000 the per-update miss rate is already saturated, so only a
+        # mild slope survives; see EXPERIMENTS.md.)
+        assert sql_large[i] >= 0.98 * sql_small[i]
+    assert sum(sql_large) > sum(sql_small)
+
+    service, client, paths = build_propeller(
+        num_index_nodes=1, total_files=5_000, group_size=GROUP_SIZE,
+        single_node=True)
+    benchmark(lambda: propeller_run(service, client, paths, 1, 500))

@@ -1,0 +1,94 @@
+"""Table VI — PostMark raw-I/O results across file systems.
+
+Paper: PostMark creates 50 000 files under 200 subdirectories on each of
+Ext4, Btrfs, PTFS (pass-through FUSE), NTFS-3g, ZFS-fuse and Propeller.
+Findings to reproduce:
+
+* native file systems are fastest (Ext4 ≫ everything FUSE-based);
+* Propeller costs ≈2.4× the pass-through FUSE baseline because it runs
+  inline indexing on the I/O path;
+* Propeller remains comparable to the other *functional* FUSE file
+  systems (NTFS-3g, ZFS-fuse).
+
+The non-Propeller rows use cost profiles calibrated to the published
+numbers; the Propeller row is PTFS's profile plus our actual
+inline-indexing path (route RPC + WAL + cache on a single-node service),
+so the 2.4× ratio is measured, not encoded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import build_propeller
+from benchmarks.conftest import full_scale
+from repro.fs.passthrough import PROFILES, ProfiledFS
+from repro.fs.vfs import VirtualFileSystem
+from repro.metrics.reporting import render_table
+from repro.sim.clock import SimClock
+from repro.workloads.postmark import PostMarkConfig, run_postmark
+
+PAPER_RATES = {"ext4": 16747, "btrfs": 5582, "ptfs": 6289,
+               "ntfs-3g": 2392, "zfs-fuse": 2093, "propeller": 2644}
+
+
+def run_plain(profile: str, config: PostMarkConfig):
+    vfs = VirtualFileSystem(SimClock())
+    return run_postmark(ProfiledFS(vfs, PROFILES[profile]), config)
+
+
+def run_propeller(config: PostMarkConfig):
+    service, client, _ = build_propeller(num_index_nodes=1, single_node=True)
+    client.batch_size = 1  # inline: every change is indexed immediately
+
+    def index_hook(path, inode):
+        if service.vfs.exists(path):
+            client.index_path(path, pid=1)
+        else:
+            client.delete_path_index(inode.ino)
+
+    pfs = ProfiledFS(service.vfs, PROFILES["ptfs"], index_hook=index_hook)
+    return run_postmark(pfs, config)
+
+
+def test_table6_postmark(benchmark, record_result):
+    if full_scale():
+        config = PostMarkConfig(files=50_000, subdirs=200, transactions=20_000)
+    else:
+        config = PostMarkConfig(files=8_000, subdirs=200, transactions=3_000)
+    reports = {name: run_plain(name, config)
+               for name in ("ext4", "btrfs", "ptfs", "ntfs-3g", "zfs-fuse")}
+    reports["propeller"] = run_propeller(config)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name,
+            f"{report.files_created_per_second:.0f}",
+            f"{PAPER_RATES[name]}",
+            f"{report.read_throughput / 1024:.0f} KB/s",
+            f"{report.write_throughput / 1024**2:.1f} MB/s",
+            f"{report.total_seconds:.1f}",
+        ])
+    table = render_table(
+        ["file system", "creates/s (measured)", "creates/s (paper)",
+         "read tput", "write tput", "total (sim s)"],
+        rows,
+        title=f"Table VI — PostMark ({config.files} files, "
+              f"{config.subdirs} subdirs, {config.transactions} transactions)")
+    record_result("table6_postmark", table)
+
+    rates = {name: r.files_created_per_second for name, r in reports.items()}
+    # Native beats FUSE; PTFS beats functional FUSE file systems.
+    assert rates["ext4"] > rates["btrfs"]
+    assert rates["ext4"] > rates["ptfs"] > rates["ntfs-3g"] > rates["zfs-fuse"]
+    # Propeller's inline indexing costs ~2.4x over PTFS (paper: 2.37x);
+    # accept 1.5-5x as the same shape.
+    slowdown = reports["ptfs"].total_seconds and \
+        (rates["ptfs"] / rates["propeller"])
+    assert 1.5 < slowdown < 5.0, slowdown
+    # ...while staying in the same league as NTFS-3g / ZFS-fuse.
+    assert rates["propeller"] > 0.5 * rates["ntfs-3g"]
+
+    small = PostMarkConfig(files=500, subdirs=20, transactions=100)
+    benchmark(lambda: run_plain("ext4", small))

@@ -1,0 +1,67 @@
+"""Shared builders for the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.baselines.sqldb import MiniSQL
+from repro.cluster import PropellerClient, PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.indexstructures import IndexKind
+from repro.sim.clock import SimClock
+from repro.sim.machine import Machine, MachineSpec
+from repro.workloads.datasets import populate_namespace
+
+STANDARD_INDICES = [
+    ("by_size", IndexKind.BTREE, ["size"]),
+    ("by_mtime", IndexKind.BTREE, ["mtime"]),
+    ("by_kw", IndexKind.HASH, ["keyword"]),
+]
+
+
+def build_propeller(num_index_nodes: int = 1, total_files: int = 0,
+                    group_size: int = 1000, ram_bytes: int = 4 * 1024**3,
+                    single_node: bool = False, seed: int = 0,
+                    ) -> Tuple[PropellerService, PropellerClient, List[str]]:
+    """A Propeller deployment with the standard indices, optionally
+    pre-loaded with a generated namespace grouped into ``group_size``
+    partitions (the paper's 1000-file groups)."""
+    service = PropellerService(
+        num_index_nodes=num_index_nodes,
+        spec=MachineSpec(ram_bytes=ram_bytes),
+        policy=PartitioningPolicy(split_threshold=group_size * 50,
+                                  cluster_target=group_size),
+        single_node=single_node,
+    )
+    client = service.make_client(batch_size=128)
+    for name, kind, attrs in STANDARD_INDICES:
+        client.create_index(name, kind, attrs)
+    paths: List[str] = []
+    if total_files:
+        paths = populate_namespace(service.vfs, total_files, seed=seed)
+        client.index_paths(paths, pid=1)
+        client.flush_updates()
+        service.commit_all()
+    return service, client, paths
+
+
+def build_minisql(total_files: int = 0, buffer_pool_bytes: int = 2 * 1024**3,
+                  seed: int = 0, btree_order: int = 64,
+                  indexed_attrs=("size", "mtime"),
+                  ) -> Tuple[MiniSQL, "Machine", List[str]]:
+    """A MiniSQL instance pre-loaded with the same generated namespace."""
+    from repro.fs.vfs import VirtualFileSystem
+
+    machine = Machine(SimClock())
+    db = MiniSQL(machine, buffer_pool_bytes=buffer_pool_bytes,
+                 btree_order=btree_order, indexed_attrs=indexed_attrs)
+    paths: List[str] = []
+    if total_files:
+        vfs = VirtualFileSystem(machine.clock)
+        paths = populate_namespace(vfs, total_files, seed=seed)
+        for path in paths:
+            inode = vfs.stat(path)
+            db.insert_file(inode.ino, {"size": inode.size, "mtime": inode.mtime},
+                           path=path)
+        db.flush()
+    return db, machine, paths

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one table or figure from the paper and writes its
+rendered output under ``benchmarks/results/`` (also echoed to stdout with
+``-s``).  Wall-clock timings from pytest-benchmark cover the hot path of
+each experiment; the experiment tables themselves report *simulated*
+seconds from the cost model, which is what EXPERIMENTS.md quotes.
+
+Set ``REPRO_FULL=1`` to run paper-scale datasets (slower); the default
+scales are chosen to finish the whole suite in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def write_result(name: str, content: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+    print(f"\n{content}\n")
+
+
+@pytest.fixture
+def record_result():
+    return write_result

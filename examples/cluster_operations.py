@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Operating a Propeller cluster: stats, rebalancing, failure, failover.
+
+The previous examples show the *search* side; this one shows the
+operator's side of Section IV — the Master Node coordinating background
+maintenance: observing load, splitting and migrating ACGs, checkpointing
+to shared storage, and recovering from an Index Node loss.
+"""
+
+from repro import IndexKind, PropellerService
+from repro.core import PartitioningPolicy
+
+
+def show_loads(service, label):
+    loads = {n: service.master.partitions.node_load(n)
+             for n in service.master.index_nodes}
+    print(f"{label:<28} " + "  ".join(f"{n}={v}" for n, v in loads.items()))
+
+
+def main() -> None:
+    service = PropellerService(
+        num_index_nodes=4,
+        policy=PartitioningPolicy(split_threshold=120, cluster_target=40))
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+
+    # Three applications write their file sets (distinct processes →
+    # distinct ACGs, co-located by causality).
+    vfs.mkdir("/work")
+    for app, n_files in enumerate((90, 90, 150)):   # app2 outgrows the limit
+        pid = 100 + app
+        vfs.mkdir(f"/work/app{app}", parents=True)
+        for i in range(n_files):
+            path = f"/work/app{app}/out{i:03d}.dat"
+            vfs.write_file(path, 1000 + i, pid=pid)
+            client.index_path(path, pid=pid)
+        client.process_finished(pid)
+    client.flush_updates()
+    service.commit_all()
+    show_loads(service, "after ingest:")
+
+    # Background maintenance: heartbeats trigger splits of oversized ACGs.
+    service.master.poll_heartbeats()
+    print(f"splits performed: {len(service.master.splits)}")
+    show_loads(service, "after splits:")
+
+    # Operator-driven rebalancing.
+    moves = service.master.rebalance(tolerance=0.2)
+    print(f"rebalance moved {moves} partition(s)")
+    show_loads(service, "after rebalance:")
+
+    # EXPLAIN: which access path will each ACG use?
+    sample = list(client.explain("size>1050").items())[:2]
+    for acg_id, plans in sample:
+        print(f"explain size>1050 @ ACG {acg_id}: {plans[0]}")
+
+    # Durability: checkpoint everything to the shared file system, then
+    # lose a node and fail its partitions over.
+    service._checkpoint_all()
+    victim = max(service.master.index_nodes,
+                 key=service.master.partitions.node_load)
+    before = client.search("size>0")
+    service.fail_node(victim)
+    moved = service.failover(victim)
+    print(f"node {victim} failed; {moved} partition(s) adopted by survivors")
+    after = client.search("size>0")
+    assert after == before, "failover must preserve results"
+    show_loads(service, "after failover:")
+
+    # Structured health snapshot.
+    stats = service.stats()
+    print(f"stats: {stats['indexed_files']} files in {stats['partitions']} "
+          f"partitions, {stats['network_messages']} RPC messages, "
+          f"{stats['splits']} splits")
+
+
+if __name__ == "__main__":
+    main()

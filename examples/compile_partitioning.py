@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Access-causality partitioning of a real build workload, end to end.
+
+Walks the paper's Section III pipeline on the Thrift compile model:
+
+1. generate the build's open/close trace and extract causality,
+2. assemble the Access-Causality Graph and find its connected components
+   (Figure 7's two disjoint sub-graphs),
+3. bisect the largest component METIS-style into balanced halves with a
+   minimal cut (Table II),
+4. replay the same build against a live Propeller cluster and show the
+   Master Node arriving at the same co-location: each compile lands in
+   few partitions, so its index updates never fan out.
+"""
+
+from repro import IndexKind, PropellerService
+from repro.core import AccessCausalityGraph, PartitioningPolicy, bisect, causal_pairs
+from repro.core.partitioner import partition_components
+from repro.workloads.apps import THRIFT_SPEC, CompileApplication
+
+
+def main() -> None:
+    # 1-2. Trace -> ACG -> components.
+    app = CompileApplication(THRIFT_SPEC)
+    graph = app.build_acg()
+    components = graph.connected_components()
+    print(f"Thrift build ACG: {graph.vertex_count} files, "
+          f"{graph.edge_count} edges, total weight {graph.total_weight}")
+    print(f"connected components: {[len(c) for c in components]} "
+          "(independent build targets — zero inter-component accesses)")
+
+    # 3. Balanced minimal cut of the largest component.
+    adjacency = graph.subgraph(components[0]).undirected_adjacency()
+    result = bisect(adjacency)
+    print(f"bisection of largest component: sides "
+          f"{len(result.side_a)}/{len(result.side_b)}, cut "
+          f"{result.cut_weight} edges-weight "
+          f"({100 * result.cut_fraction:.2f}% of total)")
+
+    # Policy layer: whole-graph partitioning with clustering + splitting.
+    partitions = partition_components(
+        graph, PartitioningPolicy(split_threshold=300, cluster_target=50))
+    print(f"policy partitions (threshold 300): "
+          f"{sorted(len(p) for p in partitions)}")
+
+    # 4. The live system reaches the same locality on its own (small
+    # split threshold so background splits are visible at this scale).
+    service = PropellerService(
+        num_index_nodes=4,
+        policy=PartitioningPolicy(split_threshold=300, cluster_target=50))
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+    for d in ("src", "include", "build", "bin"):
+        vfs.mkdir(f"/src/thrift/{d}", parents=True)
+
+    # Replay the build trace against the live service: reads open files,
+    # writes append and trigger inline indexing, ACGs flush per process.
+    from repro.workloads.replay import replay_trace
+
+    stats = replay_trace(service, client, app.trace(), app.path_of)
+    print(f"replayed {stats.events} events from {stats.processes} processes "
+          f"({stats.files_created} files, {stats.index_updates} index updates)")
+    service.master.poll_heartbeats()
+
+    # How spread out did one compile's updates end up?
+    object_partitions = set()
+    for unit in range(20):
+        path = app.path_of(app.object_ids[unit])
+        ino = vfs.stat(path).ino
+        object_partitions.add(service.master.partitions.partition_of(ino))
+    print(f"first 20 compile outputs live in {len(object_partitions)} "
+          f"partition(s) out of {service.acg_count()} total — index "
+          "updates stay partition-local.")
+    got = client.search("size>0")
+    assert len(got) == vfs.namespace.file_count
+    print("cluster search returns every indexed file: OK")
+
+
+if __name__ == "__main__":
+    main()

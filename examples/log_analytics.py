@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Log analytics: real-time indexing under a heavy ingest stream.
+
+The paper's motivating workload (Section I): log-analytics pipelines index
+large volumes of logs in real time, then data scientists issue a handful
+of ad-hoc queries.  File-search results must be strongly consistent with
+the files — an analytics job reading a stale result set silently loses
+data.
+
+This example ingests a simulated log stream (rotating services writing
+segments), queries Propeller and a crawling search engine side by side,
+and shows that only Propeller's answers are complete at every instant.
+"""
+
+import random
+
+from repro import IndexKind, PropellerService
+from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
+from repro.metrics.recall import recall
+from repro.sim.events import EventLoop
+
+SERVICES = ("auth", "billing", "search", "ingest")
+SEGMENTS_PER_TICK = 5
+TICKS = 40
+QUERY = "size>8m & mtime<1h"
+
+
+def main() -> None:
+    service = PropellerService(num_index_nodes=4)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    client.create_index("by_kw", IndexKind.HASH, ["keyword"])
+
+    vfs, clock = service.vfs, service.clock
+    loop = EventLoop(clock)
+    crawler = CrawlerSearchEngine(
+        vfs, loop,
+        CrawlerConfig(reindex_rate_fps=20.0, pass_trigger_dirty=64,
+                      type_filter=lambda p, i: True))  # logs are a known type
+
+    for svc in SERVICES:
+        vfs.mkdir(f"/logs/{svc}", parents=True)
+
+    rng = random.Random(0)
+    segment = 0
+    worst_crawler_recall = 1.0
+    for tick in range(TICKS):
+        # Ingest: each service rotates segments; a few are big.
+        for _ in range(SEGMENTS_PER_TICK):
+            svc = SERVICES[segment % len(SERVICES)]
+            size = 16 * 1024**2 if rng.random() < 0.25 else 256 * 1024
+            path = f"/logs/{svc}/segment-{segment:05d}.log"
+            vfs.write_file(path, size, pid=10 + segment % 4)
+            client.index_path(path, pid=10 + segment % 4)
+            segment += 1
+        loop.run_until(clock.now() + 5.0)
+
+        # Ad-hoc query: "which big segments landed in the last hour?"
+        truth = [p for p, i in vfs.namespace.files()
+                 if i.size > 8 * 1024**2 and i.mtime > clock.now() - 3600]
+        propeller_answer = client.search(QUERY)
+        crawler_answer = crawler.query(QUERY)
+        propeller_recall = recall(propeller_answer, truth)
+        crawler_recall = recall(crawler_answer, truth)
+        worst_crawler_recall = min(worst_crawler_recall, crawler_recall)
+        assert propeller_recall == 1.0, "Propeller must never miss a segment"
+        if tick % 8 == 0:
+            print(f"t={clock.now():7.1f}s segments={segment:4d} "
+                  f"propeller recall=100% crawler recall="
+                  f"{100 * crawler_recall:5.1f}%")
+
+    print(f"\ningested {segment} segments; Propeller recall stayed 100%;")
+    print(f"the crawling engine's recall dropped to "
+          f"{100 * worst_crawler_recall:.1f}% at its worst (it indexes "
+          "asynchronously).")
+    # Route the analytics job by the search result instead of scanning:
+    work_list = client.search(QUERY)
+    print(f"analytics job input reduced to {len(work_list)} of "
+          f"{vfs.namespace.file_count} files.")
+
+
+if __name__ == "__main__":
+    main()

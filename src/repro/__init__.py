@@ -1,0 +1,50 @@
+"""repro — a full reproduction of *Propeller: A Scalable Real-Time
+File-Search Service in Distributed Systems* (Xu, Jiang, Tian, Huang;
+ICDCS 2014).
+
+Quickstart::
+
+    from repro import PropellerService, IndexKind
+
+    service = PropellerService(num_index_nodes=4)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+
+    service.vfs.mkdir("/data")
+    service.vfs.write_file("/data/big.bin", 64 * 1024**2, pid=1)
+    client.index_path("/data/big.bin", pid=1)
+    client.flush_updates()
+
+    print(client.search("size>16m"))       # -> ['/data/big.bin']
+
+Subpackages:
+
+* :mod:`repro.core` — Access-Causality Graphs and partitioning (the
+  paper's contribution);
+* :mod:`repro.cluster` — Master Node / Index Nodes / client / service;
+* :mod:`repro.indexstructures` — B+tree, extendible hash, K-D tree;
+* :mod:`repro.query` — query language, planner, executor;
+* :mod:`repro.fs` — virtual file system + access interception;
+* :mod:`repro.sim` — the discrete-event cost-model substrate;
+* :mod:`repro.baselines` — MiniSQL (MySQL analog), crawler (Spotlight
+  analog), brute force;
+* :mod:`repro.workloads` / :mod:`repro.metrics` — generators and
+  measurement for every table and figure in the paper.
+"""
+
+from repro.cluster import PropellerClient, PropellerService
+from repro.core import AccessCausalityGraph, PartitioningPolicy
+from repro.indexstructures import IndexKind
+from repro.query import parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PropellerClient",
+    "PropellerService",
+    "AccessCausalityGraph",
+    "PartitioningPolicy",
+    "IndexKind",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Brute-force file search — Table V's baseline row.
+
+Walks the live namespace evaluating the predicate on every inode, like a
+``find`` over the whole tree.  Always 100% recall (it reads ground truth)
+and always slow: it pays a stat for every file — a random disk access when
+the dentry/inode caches are cold, a much cheaper cached lookup when warm —
+which is exactly the cold/warm Real-time split in Table V.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fs.vfs import VirtualFileSystem
+from repro.query.ast import Predicate, matches
+from repro.query.executor import tokenize_path
+from repro.query.parser import parse_query
+from repro.sim.memory import PageCache
+
+_STAT_CPU_S = 2e-6  # getattr syscall + predicate evaluation
+
+
+class BruteForceSearcher:
+    """Full-scan search over a VFS with page-cache-aware stat costs."""
+
+    def __init__(self, vfs: VirtualFileSystem, page_cache: Optional[PageCache] = None) -> None:
+        self.vfs = vfs
+        self.page_cache = page_cache
+
+    def query(self, text: str) -> List[str]:
+        """Scan for files matching the query text; returns sorted paths."""
+        return self.query_predicate(parse_query(text))
+
+    def query_predicate(self, predicate: Predicate) -> List[str]:
+        """Scan for files matching a pre-parsed predicate."""
+        now = self.vfs.clock.now()
+        results: List[str] = []
+        for path, inode in self.vfs.namespace.files():
+            if self.page_cache is not None:
+                # Inodes pack ~32 per metadata block.
+                self.page_cache.touch("inodes", inode.ino // 32)
+            self.vfs.clock.charge(_STAT_CPU_S)
+            attrs = {"size": inode.size, "mtime": inode.mtime,
+                     "ctime": inode.ctime, "uid": inode.uid}
+            attrs.update(inode.attributes)
+            if matches(predicate, attrs, tokenize_path(path), now):
+                results.append(path)
+        return sorted(results)
+
+
+def brute_force_search(vfs: VirtualFileSystem, text: str,
+                       page_cache: Optional[PageCache] = None) -> List[str]:
+    """One-shot helper: scan ``vfs`` for files matching ``text``."""
+    return BruteForceSearcher(vfs, page_cache=page_cache).query(text)

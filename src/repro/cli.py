@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro demo       [--nodes N] [--files M]         run a live cluster demo
+    repro query      QUERY [--files M] [--nodes N]   build a namespace, search it
+    repro partition  (--trace FILE | --app NAME[:SCALE]) [--k K]
+                                                      ACG stats + partitioning
+    repro results    [--dir PATH]                     show regenerated tables
+
+``main(argv)`` returns a process exit code and prints to stdout, so the
+CLI is unit-testable without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro import IndexKind, PropellerService
+from repro.core.metis import k_way_partition
+from repro.core.traceio import acg_from_trace
+from repro.metrics.reporting import format_duration, render_table
+from repro.workloads.datasets import populate_namespace
+
+
+def _build_service(nodes: int, files: int):
+    service = PropellerService(num_index_nodes=nodes)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    client.create_index("by_mtime", IndexKind.BTREE, ["mtime"])
+    client.create_index("by_kw", IndexKind.HASH, ["keyword"])
+    paths = populate_namespace(service.vfs, files, seed=1)
+    client.index_paths(paths, pid=1)
+    client.flush_updates()
+    service.commit_all()
+    return service, client
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: build a cluster, index a namespace, run sample queries."""
+    service, client = _build_service(args.nodes, args.files)
+    print(f"cluster: 1 master + {args.nodes} index node(s); "
+          f"{service.total_indexed_files()} files in {service.acg_count()} ACGs")
+    for query in ("size>16m", "keyword:firefox", "size>1m & mtime<1day"):
+        span = service.clock.span()
+        results = client.search(query)
+        print(f"  {query:<24} -> {len(results):5d} files "
+              f"in {format_duration(span.elapsed())} (simulated)")
+    loads = [(n, service.master.partitions.node_load(n))
+             for n in service.master.index_nodes]
+    print("node loads: " + ", ".join(f"{n}={load}" for n, load in loads))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: search a generated namespace and print matches."""
+    service, client = _build_service(args.nodes, args.files)
+    span = service.clock.span()
+    try:
+        results = client.search(args.query)
+    except Exception as exc:  # surface parse errors as CLI errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in results[: args.limit]:
+        print(path)
+    suppressed = len(results) - min(len(results), args.limit)
+    if suppressed > 0:
+        print(f"... and {suppressed} more")
+    print(f"# {len(results)} matches in {format_duration(span.elapsed())} "
+          "(simulated)")
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """``repro partition``: build an ACG and print its k-way partition."""
+    if args.trace:
+        with open(args.trace) as fh:
+            graph = acg_from_trace(fh)
+        source = args.trace
+    else:
+        from repro.workloads.apps import (
+            GIT_SPEC, LINUX_SPEC, THRIFT_SPEC, CompileApplication, scaled_spec)
+
+        name, _, scale_s = args.app.partition(":")
+        specs = {"thrift": THRIFT_SPEC, "git": GIT_SPEC, "linux": LINUX_SPEC}
+        if name not in specs:
+            print(f"error: unknown app {name!r} (choose from {sorted(specs)})",
+                  file=sys.stderr)
+            return 2
+        spec = specs[name]
+        if scale_s:
+            spec = scaled_spec(spec, float(scale_s))
+        graph = CompileApplication(spec).build_acg()
+        source = args.app
+    components = graph.connected_components()
+    print(f"ACG from {source}: {graph.vertex_count} files, "
+          f"{graph.edge_count} edges, weight {graph.total_weight}, "
+          f"{len(components)} component(s)")
+    adjacency = graph.subgraph(components[0]).undirected_adjacency()
+    parts = k_way_partition(adjacency, args.k)
+    cut = sum(w for u, v, w in graph.edges()
+              if _part_of(u, parts) != _part_of(v, parts))
+    rows = [[i, len(p)] for i, p in enumerate(parts)]
+    print(render_table(["partition", "files"], rows,
+                       title=f"{args.k}-way partition of largest component"))
+    total = graph.total_weight or 1
+    print(f"cut weight: {cut} ({100 * cut / total:.2f}% of total)")
+    return 0
+
+
+def _part_of(vertex: int, parts: List[set]) -> Optional[int]:
+    for i, part in enumerate(parts):
+        if vertex in part:
+            return i
+    return None
+
+
+def cmd_trace_gen(args: argparse.Namespace) -> int:
+    """Generate a synthetic compile trace in the interchange format."""
+    from repro.core.traceio import dump_trace
+    from repro.workloads.apps import (
+        GIT_SPEC, LINUX_SPEC, THRIFT_SPEC, CompileApplication, scaled_spec)
+
+    name, _, scale_s = args.app.partition(":")
+    specs = {"thrift": THRIFT_SPEC, "git": GIT_SPEC, "linux": LINUX_SPEC}
+    if name not in specs:
+        print(f"error: unknown app {name!r} (choose from {sorted(specs)})",
+              file=sys.stderr)
+        return 2
+    spec = specs[name]
+    if scale_s:
+        spec = scaled_spec(spec, float(scale_s))
+    app = CompileApplication(spec)
+    with open(args.output, "w") as fh:
+        count = dump_trace(app.trace(), fh)
+    print(f"wrote {count} events ({spec.vertex_count} files) to {args.output}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Show which index access paths a query would use."""
+    service, client = _build_service(args.nodes, args.files)
+    try:
+        plans = client.explain(args.query)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for acg_id, descriptions in sorted(plans.items()):
+        for description in descriptions:
+            print(f"ACG {acg_id}: {description}")
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """``repro results``: print the regenerated paper tables."""
+    directory = pathlib.Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: no results directory at {directory} "
+              "(run `pytest benchmarks/ --benchmark-only` first)",
+              file=sys.stderr)
+        return 2
+    files = sorted(directory.glob("*.txt"))
+    if not files:
+        print("no result files found", file=sys.stderr)
+        return 2
+    for path in files:
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Propeller (ICDCS'14) reproduction — demo CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a live cluster demo")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--files", type=int, default=2000)
+    demo.set_defaults(func=cmd_demo)
+
+    query = sub.add_parser("query", help="search a generated namespace")
+    query.add_argument("query")
+    query.add_argument("--files", type=int, default=2000)
+    query.add_argument("--nodes", type=int, default=4)
+    query.add_argument("--limit", type=int, default=20)
+    query.set_defaults(func=cmd_query)
+
+    partition = sub.add_parser("partition", help="partition an ACG")
+    source = partition.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help="trace file (see core.traceio)")
+    source.add_argument("--app", help="thrift | git | linux[:scale]")
+    partition.add_argument("--k", type=int, default=2)
+    partition.set_defaults(func=cmd_partition)
+
+    trace_gen = sub.add_parser("trace-gen",
+                               help="emit a synthetic compile trace file")
+    trace_gen.add_argument("--app", required=True,
+                           help="thrift | git | linux[:scale]")
+    trace_gen.add_argument("--output", "-o", required=True)
+    trace_gen.set_defaults(func=cmd_trace_gen)
+
+    explain = sub.add_parser("explain", help="show a query's access paths")
+    explain.add_argument("query")
+    explain.add_argument("--files", type=int, default=2000)
+    explain.add_argument("--nodes", type=int, default=2)
+    explain.set_defaults(func=cmd_explain)
+
+    results = sub.add_parser("results", help="print regenerated tables")
+    results.add_argument("--dir", default="benchmarks/results")
+    results.set_defaults(func=cmd_results)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,333 @@
+"""Propeller client.
+
+Lives on each client machine (Figure 5): the File Access Management module
+(an observer of the shared VFS) builds the per-client ACG in RAM; the File
+Query Engine turns query strings — API form or query-directory form — into
+predicate ASTs and fans search requests out to the Index Nodes the Master
+names, in parallel; file-indexing requests go out in batches (the paper's
+evaluation uses a batch size of 128) after a routing round-trip to the
+Master.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.messages import IndexUpdate, RouteEntry, SearchResult
+from repro.fs.interceptor import FileAccessManager
+from repro.fs.namespace import Inode
+from repro.fs.vfs import VirtualFileSystem
+from repro.indexstructures.base import IndexKind
+from repro.query.ast import Predicate
+from repro.query.parser import parse_query, parse_query_directory
+from repro.query.planner import IndexSpec
+from repro.sim.rpc import RpcNetwork
+
+DEFAULT_BATCH_SIZE = 128
+
+_INODE_ATTRS = ("size", "mtime", "ctime", "uid")
+
+
+class PropellerClient:
+    """One client's view of the Propeller service."""
+
+    def __init__(self, vfs: VirtualFileSystem, rpc: RpcNetwork,
+                 master: str = "master", batch_size: int = DEFAULT_BATCH_SIZE,
+                 pid_filter: Optional[Set[int]] = None,
+                 local: bool = False,
+                 pump: Optional[Callable[[], None]] = None) -> None:
+        self.vfs = vfs
+        self.rpc = rpc
+        self.master = master
+        self.batch_size = batch_size
+        self.local = local
+        # Background timers (cache commits, heartbeats, checkpoints) fire
+        # when virtual time advances (service.advance / pump) — never
+        # inside a request, because background I/O runs concurrently with
+        # foreground requests on real deployments and must not inflate a
+        # measured request's latency on the single simulation clock.
+        self._pump = pump if pump is not None else (lambda: None)
+        self.access_manager = FileAccessManager(
+            on_create=self._on_create,
+            on_unlink=self._on_unlink,
+            on_rename=self._on_rename,
+            pid_filter=pid_filter,
+        )
+        vfs.add_observer(self.access_manager)
+        self._pending: List[Tuple[int, IndexUpdate]] = []  # (hint, update)
+        self.searches_issued = 0
+        self.updates_sent = 0
+        # Namespace integration: listing "/scope/?query" on the VFS runs
+        # the search through this client's File Query Engine.
+        vfs.set_query_handler(self.search_directory)
+
+    # -- namespace-change callbacks (from File Access Management) ----------------
+
+    def _on_create(self, path: str, inode: Inode) -> None:
+        # Creation alone does not index a file — applications choose when
+        # to index (Section IV's workflow) — but deletion must clean up,
+        # which is why only _on_unlink talks to the Master here.
+        return None
+
+    def _on_unlink(self, path: str, inode: Inode) -> None:
+        # Cancel any still-batched updates for this file: flushing an
+        # upsert *after* the delete would resurrect a dead file.
+        self._pending = [(h, u) for h, u in self._pending
+                         if u.file_id != inode.ino]
+        route: Optional[RouteEntry] = self.rpc.call(
+            self.master, "file_deleted", inode.ino, local=self.local)
+        if route is not None and route.node:
+            # The index entry must go too, or searches would return a
+            # path that no longer exists.
+            self.rpc.call(route.node, "index_update", route.acg_id,
+                          [IndexUpdate.delete(inode.ino)], local=self.local)
+
+    def _on_rename(self, old_path: str, new_path: str, inode: Inode) -> None:
+        """A rename keeps the inode but changes the path — and therefore
+        the keyword index entries — so re-index under the new path if the
+        file was indexed (or queued) before."""
+        was_pending = any(u.file_id == inode.ino for _, u in self._pending)
+        self._pending = [(h, u) for h, u in self._pending
+                         if u.file_id != inode.ino]
+        if was_pending or self._is_indexed(inode.ino):
+            attrs: Dict[str, Any] = {name: getattr(inode, name)
+                                     for name in _INODE_ATTRS}
+            attrs.update(inode.attributes)
+            self._pending.append((-1, IndexUpdate.upsert(inode.ino, attrs,
+                                                         path=new_path)))
+            if len(self._pending) >= self.batch_size:
+                self.flush_updates()
+
+    def _is_indexed(self, file_id: int) -> bool:
+        """Does the Master's file→ACG map know this file?  (Read-only —
+        unlike route_updates, this never creates a mapping.)"""
+        return self.rpc.call(self.master, "lookup_file", file_id,
+                             local=self.local) is not None
+
+    def _update_for(self, path: str, pid: int = 0) -> Tuple[IndexUpdate, Optional[int]]:
+        inode = self.vfs.stat(path)
+        attrs: Dict[str, Any] = {name: getattr(inode, name) for name in _INODE_ATTRS}
+        attrs.update(inode.attributes)
+        hint = self.access_manager.last_file(pid, exclude=inode.ino)
+        return IndexUpdate.upsert(inode.ino, attrs, path=path), hint
+
+    def index_path(self, path: str, pid: int = 0) -> None:
+        """Queue one file for (re)indexing; sent when the batch fills."""
+        update, hint = self._update_for(path, pid=pid)
+        self._pending.append((hint if hint is not None else -1, update))
+        if len(self._pending) >= self.batch_size:
+            self.flush_updates()
+
+    def index_paths(self, paths: Sequence[str], pid: int = 0) -> None:
+        """Queue several files for (re)indexing."""
+        for path in paths:
+            self.index_path(path, pid=pid)
+
+    def delete_path_index(self, file_id: int) -> None:
+        """Queue removal of one file id from the indices."""
+        self._pending.append((-1, IndexUpdate.delete(file_id)))
+        if len(self._pending) >= self.batch_size:
+            self.flush_updates()
+
+    def flush_updates(self) -> int:
+        """Route the queued batch through the Master, then send each
+        Index Node its share (the paper's batched indexing path)."""
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, []
+        file_ids = [u.file_id for _, u in pending]
+        hints = {u.file_id: h for h, u in pending if h != -1}
+        request_bytes = sum(u.wire_bytes() for _, u in pending)
+        routes: List[RouteEntry] = self.rpc.call(
+            self.master, "route_updates", file_ids, hints,
+            local=self.local, request_bytes=8 * len(file_ids))
+        route_by_file = {r.file_id: r for r in routes}
+        by_target: Dict[Tuple[str, int], List[IndexUpdate]] = {}
+        for _, update in pending:
+            route = route_by_file[update.file_id]
+            by_target.setdefault((route.node, route.acg_id), []).append(update)
+        for (node, acg_id), updates in by_target.items():
+            self.rpc.call(node, "index_update", acg_id, updates,
+                          local=self.local,
+                          request_bytes=sum(u.wire_bytes() for u in updates))
+            self.updates_sent += len(updates)
+        return len(pending)
+
+    # -- ACG flush ----------------------------------------------------------------------
+
+    def process_finished(self, pid: int) -> None:
+        """A traced process exited: drop its open history and flush the
+        accumulated ACG to the Index Nodes (weakly consistent)."""
+        self.access_manager.process_finished(pid)
+        self.flush_acg()
+
+    def flush_acg(self) -> int:
+        """Push the client-side ACG to the Index Nodes that own each edge."""
+        acg = self.access_manager.drain()
+        if acg.vertex_count == 0:
+            return 0
+        vertices = sorted(acg.vertices())
+        # Producers place consumers: hint each edge target with its source.
+        hints: Dict[int, int] = {}
+        for u, v, _ in acg.edges():
+            hints.setdefault(v, u)
+        routes: List[RouteEntry] = self.rpc.call(
+            self.master, "route_updates", vertices, hints,
+            local=self.local, request_bytes=8 * len(vertices))
+        route_by_file = {r.file_id: r for r in routes}
+        grouped: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+        for u, v, w in acg.edges():
+            route = route_by_file[u]
+            grouped.setdefault((route.node, route.acg_id), []).append((u, v, w))
+        for file_id in vertices:
+            route = route_by_file[file_id]
+            grouped.setdefault((route.node, route.acg_id), []).append((file_id, -1, 0))
+        for (node, acg_id), records in grouped.items():
+            self.rpc.call(node, "flush_acg", acg_id, records,
+                          local=self.local, request_bytes=12 * len(records))
+        return acg.edge_count
+
+    # -- index DDL ---------------------------------------------------------------------------
+
+    def create_index(self, name: str, kind: IndexKind, attrs: Sequence[str]) -> IndexSpec:
+        """Create a user-defined index with a globally unique name."""
+        spec = IndexSpec(name=name, kind=kind, attrs=tuple(attrs))
+        self.rpc.call(self.master, "create_index", spec, local=self.local)
+        return spec
+
+    # -- search API -----------------------------------------------------------------------------
+
+    def search(self, query: str, index_name: Optional[str] = None,
+               sort_by: Optional[str] = None, descending: bool = False,
+               limit: Optional[int] = None) -> List[str]:
+        """Run an API-form query; returns matching file paths.
+
+        Default order is lexicographic by path.  ``sort_by`` orders by an
+        attribute instead (files missing it sort last), ``descending``
+        flips the order, and ``limit`` truncates — the result-shaping
+        analytics pipelines need ("the 10 biggest segments of the hour").
+        """
+        results = self._search_raw(parse_query(query), index_name)
+        if sort_by is None:
+            paths = sorted({p for r in results for p in r.paths})
+            return paths[:limit] if limit is not None else paths
+        # Attribute ordering needs values: gather (path, key) pairs from
+        # the per-node answers' id->attrs via a second aggregation pass.
+        keyed: Dict[str, Any] = {}
+        for result in results:
+            for path in result.paths:
+                keyed.setdefault(path, None)
+        values = self._attribute_values(results, sort_by)
+        ordered = sorted(
+            keyed,
+            key=lambda p: ((values.get(p) is None),
+                           values.get(p) if values.get(p) is not None else 0,
+                           p),
+            reverse=descending,
+        )
+        return ordered[:limit] if limit is not None else ordered
+
+    def _attribute_values(self, results: Sequence[SearchResult],
+                          attr: str) -> Dict[str, Any]:
+        """Fetch the sort attribute for each result path via stat on the
+        shared VFS (paths are live files; their inodes carry the value)."""
+        values: Dict[str, Any] = {}
+        for result in results:
+            for path in result.paths:
+                try:
+                    inode = self.vfs.stat(path)
+                except Exception:
+                    continue
+                if attr in ("size", "mtime", "ctime", "uid"):
+                    values[path] = getattr(inode, attr)
+                else:
+                    values[path] = inode.attributes.get(attr)
+        return values
+
+    def search_directory(self, query_path: str) -> List[str]:
+        """Run a dynamic query-directory, e.g. ``/data/?size>1m``.
+
+        The scope prefix restricts results to paths under it.
+        """
+        scope, predicate = parse_query_directory(query_path)
+        paths = self._search(predicate, None)
+        if scope == "/":
+            return paths
+        prefix = scope.rstrip("/") + "/"
+        return [p for p in paths if p.startswith(prefix) or p == scope]
+
+    def select(self, query: str, attributes: Sequence[str],
+               index_name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Search with a projection: returns one row per match with the
+        requested attributes (plus ``path``), the shape analytics
+        pipelines consume directly instead of re-statting every result.
+
+        Missing attributes come back as None.  Rows are ordered by path.
+        """
+        results = self._search_raw(parse_query(query), index_name)
+        rows: List[Dict[str, Any]] = []
+        for path in sorted({p for r in results for p in r.paths}):
+            try:
+                inode = self.vfs.stat(path)
+            except Exception:
+                continue  # raced with an unlink
+            row: Dict[str, Any] = {"path": path}
+            for attr in attributes:
+                if attr in ("size", "mtime", "ctime", "uid"):
+                    row[attr] = getattr(inode, attr)
+                else:
+                    row[attr] = inode.attributes.get(attr)
+            rows.append(row)
+        return rows
+
+    def explain(self, query: str,
+                index_name: Optional[str] = None) -> Dict[int, List[str]]:
+        """EXPLAIN a query: ACG id → the access paths its Index Node
+        would use.  Nothing is executed or committed."""
+        predicate = parse_query(query)
+        routing: Dict[str, List[int]] = self.rpc.call(
+            self.master, "route_search", index_name, local=self.local)
+        names = [index_name] if index_name else None
+        out: Dict[int, List[str]] = {}
+        for node, acg_ids in sorted(routing.items()):
+            for acg_id, descriptions in self.rpc.call(
+                    node, "explain", acg_ids, predicate, names,
+                    local=self.local):
+                out[acg_id] = descriptions
+        return out
+
+    def search_ids(self, query: str, index_name: Optional[str] = None) -> Set[int]:
+        """Like :meth:`search` but returns file ids."""
+        results = self._search_raw(parse_query(query), index_name)
+        ids: Set[int] = set()
+        for result in results:
+            ids |= result.file_ids
+        return ids
+
+    def _search(self, predicate: Predicate, index_name: Optional[str]) -> List[str]:
+        results = self._search_raw(predicate, index_name)
+        paths: Set[str] = set()
+        for result in results:
+            paths.update(result.paths)
+        return sorted(paths)
+
+    def _search_raw(self, predicate: Predicate,
+                    index_name: Optional[str]) -> List[SearchResult]:
+        # Any pending updates of ours must be visible to our own search.
+        self.flush_updates()
+        self.searches_issued += 1
+        routing: Dict[str, List[int]] = self.rpc.call(
+            self.master, "route_search", index_name, local=self.local)
+        if not routing:
+            return []
+        names = [index_name] if index_name else None
+        clock = self.vfs.clock
+        # Index Nodes serve their share in parallel (Figure 6); network
+        # fan-out overlaps too, which rpc.multicall and clock.parallel model.
+        nodes = sorted(routing)
+        per_node = clock.parallel([
+            (lambda n=node: self.rpc.call(n, "search", routing[n], predicate, names,
+                                          local=self.local))
+            for node in nodes
+        ])
+        return [result for batch in per_node for result in batch]

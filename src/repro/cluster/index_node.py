@@ -1,0 +1,451 @@
+"""Index Node.
+
+Hosts the partitioned file indices: for every ACG assigned to it, an
+:class:`AcgReplica` bundles the ACG itself, the attribute store (ground
+truth for residual filtering) and one instance of each user-defined index.
+Updates take the WAL → cache → commit path; searches force a commit of the
+queried ACGs first, so results are always consistent with acknowledged
+updates.  Background duties: committing timed-out cache buckets,
+heart-beating the Master Node, and computing/executing ACG splits on
+instruction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.cache import DEFAULT_TIMEOUT_S, IndexCache
+from repro.cluster.messages import Heartbeat, IndexUpdate, SearchResult, UpdateOp
+from repro.cluster.wal import WriteAheadLog
+from repro.core.acg import AccessCausalityGraph
+from repro.core.partitioner import PartitioningPolicy, split_partition
+from repro.errors import ClusterError, UnknownAcg
+from repro.indexstructures.base import Index, IndexKind, make_index
+from repro.query.ast import Predicate
+from repro.query.executor import AttributeStore, execute, execute_plans, tokenize_path
+from repro.query.planner import (
+    KEYWORD_ATTR,
+    IndexSpec,
+    Plan,
+    plan_query,
+    plan_query_set,
+)
+from repro.sim.machine import Machine
+from repro.sim.rpc import RpcEndpoint
+
+# CPU cost constants (order-of-magnitude figures for 2014-era Xeons).
+_CACHE_ADD_OPS = 2_000          # hash insert into the in-memory cache
+_COMMIT_UPDATE_OPS = 8_000      # apply one update to one index
+_EXAMINE_OPS = 500              # residual-filter one candidate
+
+
+class AcgReplica:
+    """Everything one Index Node keeps for one ACG."""
+
+    def __init__(self, acg_id: int, machine: Machine) -> None:
+        self.acg_id = acg_id
+        self.machine = machine
+        self.graph = AccessCausalityGraph()
+        self.store = AttributeStore()
+        self.indexes: Dict[str, Index] = {}
+        self.specs: Dict[str, IndexSpec] = {}
+
+    # On-disk footprint multiplier: the attribute store plus roughly one
+    # serialized structure per index (B+tree, hash, serialized KD-tree).
+    _INDEX_BYTES_FACTOR = 4
+
+    def resident_bytes(self) -> int:
+        """Bytes this ACG's indices occupy when loaded into RAM.
+
+        The prototype stores each group's indices serialized (notably the
+        KD-tree) and loads them whole to serve a query — this is the unit
+        of the residency/eviction model in :class:`IndexNode`.
+        """
+        return 4096 + self._INDEX_BYTES_FACTOR * self.store.estimated_bytes()
+
+    def ensure_index(self, spec: IndexSpec) -> Index:
+        """Instantiate the index for ``spec`` on first use."""
+        index = self.indexes.get(spec.name)
+        if index is None:
+            kwargs = {}
+            if spec.kind is IndexKind.KDTREE:
+                kwargs["dimensions"] = len(spec.attrs)
+            index = make_index(spec.kind, **kwargs)
+            self.indexes[spec.name] = index
+            self.specs[spec.name] = spec
+        return index
+
+    # -- applying committed updates ------------------------------------------
+
+    def _index_key(self, spec: IndexSpec, attrs: Dict[str, Any]) -> Optional[Any]:
+        if spec.kind is IndexKind.KDTREE:
+            values = [attrs.get(a) for a in spec.attrs]
+            # A K-D index covers only files where every attribute is
+            # present *and numeric*; others are served by the residual
+            # filter path.
+            if any(v is None or isinstance(v, (str, bytes)) for v in values):
+                return None
+            try:
+                return tuple(float(v) for v in values)
+            except (TypeError, ValueError):
+                return None
+        value = attrs.get(spec.attrs[0])
+        return value
+
+    def _deindex(self, file_id: int) -> None:
+        old_attrs = self.store.attrs(file_id)
+        old_keywords = self.store.keywords(file_id)
+        for name, spec in self.specs.items():
+            index = self.indexes[name]
+            if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
+                for token in old_keywords:
+                    index.remove(token, file_id)
+                continue
+            key = self._index_key(spec, old_attrs)
+            if key is not None:
+                index.remove(key, file_id)
+
+    def apply(self, update: IndexUpdate) -> None:
+        """Apply one committed update to the store and every index."""
+        self.machine.compute(_COMMIT_UPDATE_OPS * max(1, len(self.specs)))
+        if update.op is UpdateOp.DELETE:
+            self._deindex(update.file_id)
+            self.store.drop(update.file_id)
+            self.graph.remove_file(update.file_id)
+            return
+        self._deindex(update.file_id)
+        self.store.put(update.file_id, update.attr_dict, path=update.path)
+        attrs = self.store.attrs(update.file_id)
+        for name, spec in self.specs.items():
+            index = self.indexes[name]
+            if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
+                for token in self.store.keywords(update.file_id):
+                    index.insert(token, update.file_id)
+                continue
+            key = self._index_key(spec, attrs)
+            if key is not None:
+                index.insert(key, update.file_id)
+
+    @property
+    def file_count(self) -> int:
+        """Files this replica currently indexes."""
+        return len(self.store)
+
+
+class IndexNode:
+    """One Propeller Index Node."""
+
+    def __init__(self, name: str, machine: Machine,
+                 cache_timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.name = name
+        self.machine = machine
+        # Log appends are absorbed by the drive's write-back cache (the
+        # testbed's Barracuda has 32 MB of it), so they pay bandwidth but
+        # not a head seek even when interleaved with index I/O.  A
+        # dedicated DiskDevice keeps the log's sequential stream separate
+        # from the index pages' random stream on the shared clock.
+        from repro.sim.disk import DiskDevice
+
+        self._log_device = DiskDevice(machine.clock, machine.disk.model)
+        self.wal = WriteAheadLog(self._log_device)
+        # Checkpoint/adoption I/O goes to *shared storage* (Figure 5), a
+        # different set of spindles than the node's local index disk — so
+        # it gets its own device and never steals the local head.
+        self._shared_device = DiskDevice(machine.clock, machine.disk.model)
+        # Residency model: an ACG's serialized indices are loaded whole
+        # (one seek + a sequential transfer) the first time they are
+        # touched and stay in RAM until evicted LRU when the node's share
+        # of indices outgrows its memory.  This is the page-fault
+        # behaviour behind Table IV's super-linear scaling knee.
+        self._resident: "OrderedDict[int, int]" = OrderedDict()
+        self._resident_bytes = 0
+        # Shared storage (attached by the service): indices and ACGs are
+        # checkpointed here as regular files, and failover restores from
+        # here (Section IV).
+        self.shared_vfs = None
+        self.cache = IndexCache(self._commit_updates, timeout_s=cache_timeout_s)
+        self.replicas: Dict[int, AcgReplica] = {}
+        self._global_specs: Dict[str, IndexSpec] = {}
+        self.endpoint = RpcEndpoint(name)
+        for method, handler in [
+            ("index_update", self.handle_index_update),
+            ("search", self.handle_search),
+            ("flush_acg", self.handle_flush_acg),
+            ("create_index", self.handle_create_index),
+            ("compute_split", self.handle_compute_split),
+            ("extract_partition", self.handle_extract_partition),
+            ("install_partition", self.handle_install_partition),
+            ("drop_partition", self.handle_drop_partition),
+            ("heartbeat", self.make_heartbeat),
+            ("adopt_acg", self.handle_adopt_acg),
+            ("explain", self.handle_explain),
+        ]:
+            self.endpoint.register(method, handler)
+
+    # -- replica management -----------------------------------------------------
+
+    def replica(self, acg_id: int, create: bool = False) -> AcgReplica:
+        """Fetch (or lazily create) this node's replica of one ACG."""
+        replica = self.replicas.get(acg_id)
+        if replica is None:
+            if not create:
+                raise UnknownAcg(f"{self.name} does not host ACG {acg_id}")
+            replica = AcgReplica(acg_id, self.machine)
+            for spec in self._global_specs.values():
+                replica.ensure_index(spec)
+            self.replicas[acg_id] = replica
+        return replica
+
+    # -- residency ---------------------------------------------------------
+
+    def _ensure_resident(self, acg_id: int) -> None:
+        """Load an ACG's serialized indices into RAM if they are not
+        there (one seek plus a sequential transfer), evicting LRU ACGs
+        when the node's memory budget is exceeded."""
+        replica = self.replicas.get(acg_id)
+        if replica is None:
+            return
+        nbytes = replica.resident_bytes()
+        if acg_id in self._resident:
+            self._resident_bytes += nbytes - self._resident[acg_id]
+            self._resident[acg_id] = nbytes
+            self._resident.move_to_end(acg_id)
+            self.machine.clock.charge(1e-6)
+            return
+        self.machine.disk.reset_head()
+        self.machine.disk.read((acg_id % 4096) << 24, nbytes)
+        self._resident[acg_id] = nbytes
+        self._resident_bytes += nbytes
+        while (self._resident_bytes > self.machine.spec.ram_bytes
+               and len(self._resident) > 1):
+            victim, vbytes = self._resident.popitem(last=False)
+            self._resident_bytes -= vbytes
+
+    def is_resident(self, acg_id: int) -> bool:
+        """Whether an ACG's indices are currently loaded in RAM."""
+        return acg_id in self._resident
+
+    def drop_resident(self) -> None:
+        """Cold-start: forget every loaded ACG (cf. dropping page caches)."""
+        self._resident.clear()
+        self._resident_bytes = 0
+
+    def handle_create_index(self, spec: IndexSpec) -> None:
+        """Register a user-defined index; existing replicas backfill."""
+        self._global_specs[spec.name] = spec
+        for replica in self.replicas.values():
+            index = replica.ensure_index(spec)
+            for file_id in replica.store.file_ids():
+                attrs = replica.store.attrs(file_id)
+                if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
+                    for token in replica.store.keywords(file_id):
+                        index.insert(token, file_id)
+                    continue
+                key = replica._index_key(spec, attrs)
+                if key is not None:
+                    index.insert(key, file_id)
+
+    # -- update path --------------------------------------------------------------
+
+    def handle_index_update(self, acg_id: int, updates: Sequence[IndexUpdate]) -> int:
+        """WAL + cache; returns number of updates acknowledged."""
+        replica = self.replica(acg_id, create=True)
+        now = self.machine.clock.now()
+        for update in updates:
+            self.wal.append((acg_id, update.file_id, update.op.value,
+                             update.path, update.attrs))
+            self.machine.compute(_CACHE_ADD_OPS)
+            self.cache.add(acg_id, update, now)
+        return len(updates)
+
+    def _commit_updates(self, acg_id: int, updates: List[IndexUpdate]) -> None:
+        replica = self.replica(acg_id, create=True)
+        self._ensure_resident(acg_id)
+        for update in updates:
+            replica.apply(update)
+
+    def tick(self) -> int:
+        """Commit timed-out cache buckets (called by the event loop)."""
+        committed = self.cache.commit_due(self.machine.clock.now())
+        if committed and not len(self.cache):
+            self.wal.truncate()
+        return committed
+
+    # -- search path ------------------------------------------------------------------
+
+    def handle_search(self, acg_ids: Sequence[int], predicate: Predicate,
+                      index_names: Optional[Sequence[str]] = None) -> List[SearchResult]:
+        """Search the given ACGs; commits their pending updates first."""
+        now = self.machine.clock.now()
+        results: List[SearchResult] = []
+        for acg_id in acg_ids:
+            if acg_id not in self.replicas:
+                continue
+            self.cache.commit_for_search(acg_id)
+            self._ensure_resident(acg_id)
+            replica = self.replicas[acg_id]
+            specs = [replica.specs[n] for n in (index_names or replica.specs)
+                     if n in replica.specs]
+            plans = plan_query_set(predicate, specs, now)
+            self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
+            file_ids = execute_plans(plans, predicate, replica.indexes,
+                                     replica.store, now)
+            self.machine.compute(_EXAMINE_OPS * len(file_ids))
+            paths = tuple(sorted(
+                p for p in (replica.store.attrs(f).get("path") for f in file_ids)
+                if p is not None))
+            results.append(SearchResult(node=self.name, acg_id=acg_id,
+                                        file_ids=frozenset(file_ids), paths=paths))
+        return results
+
+    def handle_explain(self, acg_ids: Sequence[int], predicate: Predicate,
+                       index_names: Optional[Sequence[str]] = None
+                       ) -> List[Tuple[int, List[str]]]:
+        """EXPLAIN: the access path(s) each ACG would use for a query,
+        without executing it (and without forcing cache commits)."""
+        now = self.machine.clock.now()
+        out: List[Tuple[int, List[str]]] = []
+        for acg_id in acg_ids:
+            if acg_id not in self.replicas:
+                continue
+            replica = self.replicas[acg_id]
+            specs = [replica.specs[n] for n in (index_names or replica.specs)
+                     if n in replica.specs]
+            plans = plan_query_set(predicate, specs, now)
+            out.append((acg_id, [plan.describe() for plan in plans]))
+        return out
+
+    # -- ACG maintenance -------------------------------------------------------------------
+
+    def handle_flush_acg(self, acg_id: int, records: Sequence[Tuple[int, int, int]]) -> None:
+        """Merge a client-flushed ACG fragment (weak consistency — no WAL)."""
+        replica = self.replica(acg_id, create=True)
+        replica.graph.merge(AccessCausalityGraph.from_records(list(records)))
+        self.machine.compute(_CACHE_ADD_OPS * max(1, len(records)))
+
+    def handle_compute_split(self, acg_id: int,
+                             policy: PartitioningPolicy) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Run the background balanced-minimal-cut split for one ACG."""
+        self.cache.commit_for_search(acg_id)
+        replica = self.replica(acg_id)
+        files = set(replica.store.file_ids())
+        halves = split_partition(replica.graph, files, policy)
+        if len(halves) == 1:
+            halves = [halves[0], set()]
+        # METIS-style split cost: roughly linear in edges.
+        self.machine.compute(50 * max(1, replica.graph.edge_count))
+        return tuple(sorted(halves[0])), tuple(sorted(halves[1]))
+
+    def handle_extract_partition(self, acg_id: int, file_ids: Sequence[int]) -> Dict[str, Any]:
+        """Package the state of ``file_ids`` for migration to another node."""
+        self.cache.commit_for_search(acg_id)
+        replica = self.replica(acg_id)
+        moving = set(file_ids)
+        payload = {
+            "acg_records": replica.graph.subgraph(moving).to_records(),
+            "files": [
+                (f, dict(replica.store.attrs(f)), replica.store.attrs(f).get("path"))
+                for f in sorted(moving)
+            ],
+        }
+        # Removing the moved files from local state is part of migration
+        # (apply(delete) also drops the ACG vertex).
+        for file_id in sorted(moving):
+            replica.apply(IndexUpdate.delete(file_id))
+        return payload
+
+    def handle_install_partition(self, acg_id: int, payload: Dict[str, Any]) -> int:
+        """Install a migrated partition as a replica on this node."""
+        replica = self.replica(acg_id, create=True)
+        replica.graph.merge(AccessCausalityGraph.from_records(payload["acg_records"]))
+        for file_id, attrs, path in payload["files"]:
+            attrs = dict(attrs)
+            attrs.pop("path", None)
+            replica.apply(IndexUpdate.upsert(file_id, attrs, path=path))
+        return len(payload["files"])
+
+    def handle_drop_partition(self, acg_id: int) -> None:
+        """Forget a migrated-away ACG entirely."""
+        self.replicas.pop(acg_id, None)
+        if acg_id in self._resident:
+            self._resident_bytes -= self._resident.pop(acg_id)
+
+    # -- liveness -----------------------------------------------------------------------------
+
+    def make_heartbeat(self) -> Heartbeat:
+        """Build the liveness/status report sent to the Master."""
+        return Heartbeat(
+            node=self.name,
+            timestamp=self.machine.clock.now(),
+            acg_sizes=tuple(sorted((acg_id, replica.file_count)
+                                   for acg_id, replica in self.replicas.items())),
+            free_bytes=self.machine.spec.ram_bytes,
+        )
+
+    # -- shared-storage persistence ----------------------------------------------------------
+
+    def checkpoint_to_shared(self) -> int:
+        """Write every hosted ACG's checkpoint to the shared file system.
+
+        Returns how many ACGs were persisted; a no-op when no shared
+        storage is attached (unit-test configurations).
+        """
+        if self.shared_vfs is None:
+            return 0
+        from repro.cluster.persistence import checkpoint_replica
+
+        self.cache.commit_all()
+        count = 0
+        for replica in self.replicas.values():
+            checkpoint_replica(self.shared_vfs, self.name, replica)
+            # The serialized write costs one sequential transfer on the
+            # shared-storage device (not the local index disk).
+            self._shared_device.reset_head()
+            self._shared_device.append(replica.resident_bytes())
+            count += 1
+        return count
+
+    def handle_adopt_acg(self, checkpoint_path: str) -> int:
+        """Failover: install an ACG from another node's shared checkpoint.
+
+        Returns the number of files adopted.
+        """
+        if self.shared_vfs is None:
+            raise ClusterError(f"{self.name} has no shared storage attached")
+        from repro.cluster.persistence import read_checkpoint
+
+        payload = read_checkpoint(self.shared_vfs, checkpoint_path)
+        acg_id = payload["acg_id"]
+        for spec in payload["specs"]:
+            if spec.name not in self._global_specs:
+                self._global_specs[spec.name] = spec
+        replica = self.replica(acg_id, create=True)
+        for spec in payload["specs"]:
+            replica.ensure_index(spec)
+        replica.graph.merge(AccessCausalityGraph.from_records(payload["acg_records"]))
+        for file_id, attrs, path in payload["files"]:
+            replica.apply(IndexUpdate.upsert(file_id, attrs, path=path))
+        # Loading the checkpoint is one sequential read from shared storage.
+        self._shared_device.reset_head()
+        self._shared_device.read((acg_id % 4096) << 24, replica.resident_bytes())
+        return len(payload["files"])
+
+    # -- crash recovery ----------------------------------------------------------------------
+
+    def recover_from_wal(self) -> int:
+        """Rebuild the pending cache from the WAL after a simulated crash.
+
+        Replayed updates go straight through commit (they were already
+        acknowledged); returns how many records were recovered.
+        """
+        recovered = 0
+        for record in self.wal.replay():
+            acg_id, file_id, op_value, path, attrs = record
+            update = IndexUpdate(file_id=file_id, op=UpdateOp(op_value),
+                                 attrs=tuple(attrs), path=path)
+            self._commit_updates(acg_id, [update])
+            recovered += 1
+        self.wal.truncate()
+        return recovered

@@ -1,0 +1,404 @@
+"""Master Node.
+
+The central index-metadata and coordination server (Section IV): it holds
+the file→ACG mapping and ACG locations, routes client requests, assigns
+new ACGs to the least-loaded Index Node, tracks heartbeats, periodically
+checkpoints its metadata to shared storage, and coordinates background
+splits and migrations.  It never serves file I/O or index contents itself,
+which is why the paper argues one Master scales to hundreds of Index
+Nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.messages import Heartbeat, RouteEntry
+from repro.core.partition_manager import PartitionManager
+from repro.core.partitioner import PartitioningPolicy
+from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
+from repro.query.planner import IndexSpec
+from repro.sim.machine import Machine
+from repro.sim.rpc import RpcEndpoint, RpcNetwork
+
+_ROUTE_LOOKUP_OPS = 1_500   # one hash probe into the file→ACG map
+_CHECKPOINT_BYTES_PER_FILE = 24
+
+
+@dataclass
+class SplitDecision:
+    """Record of one coordinated split (kept for observability/tests)."""
+
+    acg_id: int
+    new_acg_id: int
+    source_node: str
+    target_node: str
+    moved_files: int
+
+
+class MasterNode:
+    """Propeller's metadata and coordination server."""
+
+    def __init__(self, machine: Machine, rpc: RpcNetwork,
+                 policy: PartitioningPolicy = PartitioningPolicy()) -> None:
+        self.machine = machine
+        self.rpc = rpc
+        self.policy = policy
+        self.partitions = PartitionManager()
+        from repro.sim.disk import DiskDevice
+
+        self._shared_device = DiskDevice(machine.clock, machine.disk.model)
+        self.index_nodes: List[str] = []
+        self.index_specs: Dict[str, IndexSpec] = {}
+        self.heartbeats: Dict[str, Heartbeat] = {}
+        self.splits: List[SplitDecision] = []
+        self.checkpoints_written = 0
+        self.endpoint = RpcEndpoint("master")
+        for method, handler in [
+            ("register_index_node", self.register_index_node),
+            ("create_index", self.create_index),
+            ("route_updates", self.route_updates),
+            ("route_search", self.route_search),
+            ("file_created", self.file_created),
+            ("file_deleted", self.file_deleted),
+            ("lookup_file", self.lookup_file),
+            ("report_heartbeat", self.report_heartbeat),
+        ]:
+            self.endpoint.register(method, handler)
+        rpc.add_endpoint(self.endpoint)
+
+    # -- cluster membership -----------------------------------------------------
+
+    def register_index_node(self, name: str) -> None:
+        """Add an Index Node to the cluster membership."""
+        if name in self.index_nodes:
+            raise ClusterError(f"index node already registered: {name}")
+        self.index_nodes.append(name)
+
+    def _require_nodes(self) -> None:
+        if not self.index_nodes:
+            raise UnknownIndexNode("no index nodes registered")
+
+    # -- index DDL ----------------------------------------------------------------
+
+    def create_index(self, spec: IndexSpec) -> None:
+        """Register a globally-named index and propagate to every IN."""
+        if spec.name in self.index_specs:
+            raise ClusterError(f"index name already exists: {spec.name}")
+        self.index_specs[spec.name] = spec
+        for node in self.index_nodes:
+            self.rpc.call(node, "create_index", spec)
+
+    # -- routing --------------------------------------------------------------------
+
+    def _assign_new_file(self, file_id: int, hint_file: Optional[int]) -> int:
+        """Place a new file: with its causal producer when known (that is
+        the ACG locality rule), else into the smallest open partition,
+        else into a brand-new partition on the least-loaded node."""
+        self._require_nodes()
+        if hint_file is not None:
+            hinted = self.partitions.partition_of(hint_file)
+            if hinted is not None:
+                # Causality is the partitioning criterion: always co-locate
+                # with the producer.  The background split (maybe_split)
+                # bounds partition growth afterwards.
+                self.partitions.add_file(hinted, file_id)
+                return hinted
+        open_partitions = [p for p in self.partitions.partitions()
+                           if p.size < self.policy.cluster_target]
+        if open_partitions:
+            smallest = min(open_partitions, key=lambda p: p.size)
+            self.partitions.add_file(smallest.partition_id, file_id)
+            return smallest.partition_id
+        node = self.partitions.least_loaded(self.index_nodes)
+        partition = self.partitions.new_partition(files=[file_id], node=node)
+        return partition.partition_id
+
+    def route_updates(self, file_ids: Sequence[int],
+                      hints: Optional[Dict[int, int]] = None) -> List[RouteEntry]:
+        """Answer: for each file, which ACG on which Index Node.
+
+        Unknown files get assigned (the paper: MN allocates metadata for
+        the new ACG and places it on the least-loaded IN).
+        """
+        hints = hints or {}
+        entries: List[RouteEntry] = []
+        for file_id in file_ids:
+            self.machine.compute(_ROUTE_LOOKUP_OPS)
+            acg_id = self.partitions.partition_of(file_id)
+            if acg_id is None:
+                acg_id = self._assign_new_file(file_id, hints.get(file_id))
+            partition = self.partitions.get(acg_id)
+            if partition.node is None:
+                partition.node = self.partitions.least_loaded(self.index_nodes)
+            entries.append(RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node))
+        return entries
+
+    def route_search(self, index_name: Optional[str] = None) -> Dict[str, List[int]]:
+        """node → ACG ids to search (every ACG that can carry the index)."""
+        if index_name is not None and index_name not in self.index_specs:
+            from repro.errors import UnknownIndexName
+
+            raise UnknownIndexName(index_name)
+        routing: Dict[str, List[int]] = {}
+        for partition in self.partitions.partitions():
+            if partition.node is None or not partition.files:
+                continue
+            self.machine.compute(_ROUTE_LOOKUP_OPS)
+            routing.setdefault(partition.node, []).append(partition.partition_id)
+        return routing
+
+    # -- namespace change notifications ------------------------------------------------
+
+    def file_created(self, file_id: int, hint_file: Optional[int] = None) -> RouteEntry:
+        """Place a newly created file (assigning an ACG if unknown)."""
+        self.machine.compute(_ROUTE_LOOKUP_OPS)
+        acg_id = self.partitions.partition_of(file_id)
+        if acg_id is None:
+            acg_id = self._assign_new_file(file_id, hint_file)
+        partition = self.partitions.get(acg_id)
+        if partition.node is None:
+            partition.node = self.partitions.least_loaded(self.index_nodes)
+        return RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node)
+
+    def lookup_file(self, file_id: int) -> Optional[int]:
+        """Read-only file→ACG lookup (None when the file is unindexed).
+
+        Unlike :meth:`route_updates`, this never assigns anything."""
+        self.machine.compute(_ROUTE_LOOKUP_OPS)
+        return self.partitions.partition_of(file_id)
+
+    def file_deleted(self, file_id: int) -> Optional[RouteEntry]:
+        """Forget a deleted file; returns where it used to live."""
+        self.machine.compute(_ROUTE_LOOKUP_OPS)
+        acg_id = self.partitions.partition_of(file_id)
+        if acg_id is None:
+            return None
+        node = self.partitions.get(acg_id).node
+        self.partitions.remove_file(file_id)
+        return RouteEntry(file_id=file_id, acg_id=acg_id, node=node or "")
+
+    # -- heartbeats and background maintenance ---------------------------------------------
+
+    def report_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Record one Index Node's heartbeat."""
+        self.heartbeats[heartbeat.node] = heartbeat
+
+    def poll_heartbeats(self) -> None:
+        """Pull a heartbeat from every Index Node, then act on oversized
+        ACGs (the split trigger).  Nodes whose RPC fails are recorded as
+        silent — :meth:`detect_failed_nodes` turns silence into failure."""
+        from repro.errors import NodeDown
+
+        for node in list(self.index_nodes):
+            try:
+                heartbeat = self.rpc.call(node, "heartbeat")
+            except NodeDown:
+                continue
+            self.report_heartbeat(heartbeat)
+        self.maybe_split()
+
+    def detect_failed_nodes(self, timeout_s: float = 15.0) -> List[str]:
+        """Index Nodes whose last heartbeat is older than ``timeout_s``
+        (or that never reported one since registering)."""
+        now = self.machine.clock.now()
+        failed = []
+        for node in self.index_nodes:
+            heartbeat = self.heartbeats.get(node)
+            if heartbeat is None or now - heartbeat.timestamp > timeout_s:
+                failed.append(node)
+        return failed
+
+    def failover(self, failed_node: str) -> int:
+        """Reassign a dead node's ACGs to survivors from shared storage.
+
+        Each of the failed node's partitions is adopted by the currently
+        least-loaded survivor, restoring from the checkpoint the dead
+        node wrote to the shared file system.  Updates acknowledged after
+        the last checkpoint are lost (they live in the dead node's local
+        WAL) — the paper's consistency guarantee covers searches against
+        live nodes, not durability across permanent node loss.
+
+        Returns the number of partitions moved.
+        """
+        from repro.cluster.persistence import replica_path
+
+        if failed_node not in self.index_nodes:
+            raise UnknownIndexNode(failed_node)
+        survivors = [n for n in self.index_nodes if n != failed_node]
+        if not survivors:
+            raise ClusterError("no surviving index nodes to fail over to")
+        self.index_nodes.remove(failed_node)
+        self.heartbeats.pop(failed_node, None)
+        moved = 0
+        for partition in self.partitions.partitions():
+            if partition.node != failed_node:
+                continue
+            target = self.partitions.least_loaded(survivors)
+            path = replica_path(failed_node, partition.partition_id)
+            try:
+                self.rpc.call(target, "adopt_acg", path)
+            except FileSystemError:
+                # The victim never checkpointed this ACG: its data is
+                # gone with the node.  Leave the partition unplaced so
+                # future updates re-create it instead of crashing the
+                # whole failover.
+                partition.node = None
+                continue
+            partition.node = target
+            moved += 1
+        return moved
+
+    def maybe_split(self) -> List[SplitDecision]:
+        """Split every partition that outgrew the policy threshold.
+
+        A partition whose owner is currently unreachable is skipped — the
+        split re-triggers on a later round (or after failover).
+        """
+        from repro.errors import NodeDown
+
+        decisions = []
+        for partition in list(self.partitions.partitions()):
+            if partition.size > self.policy.split_threshold and partition.node:
+                try:
+                    decisions.append(self._split_partition(partition.partition_id))
+                except NodeDown:
+                    continue
+        return decisions
+
+    def _split_partition(self, acg_id: int) -> SplitDecision:
+        partition = self.partitions.get(acg_id)
+        source = partition.node
+        assert source is not None
+        halves = self.rpc.call(source, "compute_split", acg_id, self.policy)
+        stay, move = set(halves[0]), set(halves[1])
+        # The IN's ACG may lag the MN's file map (weak ACG consistency);
+        # reconcile against the authoritative mapping.
+        known = set(partition.files)
+        stay &= known
+        move &= known
+        for orphan in sorted(known - stay - move):
+            (stay if len(stay) <= len(move) else move).add(orphan)
+        target = self.partitions.least_loaded(
+            [n for n in self.index_nodes if n != source] or self.index_nodes)
+        new_partition = self.partitions.split(acg_id, [stay, move], new_node=target)[1]
+        payload = self.rpc.call(source, "extract_partition", acg_id, tuple(sorted(move)))
+        moved = self.rpc.call(target, "install_partition",
+                              new_partition.partition_id, payload)
+        decision = SplitDecision(acg_id=acg_id, new_acg_id=new_partition.partition_id,
+                                 source_node=source, target_node=target,
+                                 moved_files=moved)
+        self.splits.append(decision)
+        return decision
+
+    # -- load balancing and merging -------------------------------------------------------------
+    #
+    # Section IV: Index Nodes optimize "the organizations of file indices
+    # (splitting large indices, merging small ones, or migrate
+    # indices/ACGs to other IndexNodes) under the instructions from
+    # MasterNode".  Splits are handled above; these two cover the rest.
+
+    def migrate_partition(self, acg_id: int, target: str) -> int:
+        """Move one ACG to another Index Node; returns files moved."""
+        partition = self.partitions.get(acg_id)
+        source = partition.node
+        if source is None:
+            raise ClusterError(f"partition {acg_id} is not placed yet")
+        if target not in self.index_nodes:
+            raise UnknownIndexNode(target)
+        if source == target:
+            return 0
+        payload = self.rpc.call(source, "extract_partition", acg_id,
+                                tuple(sorted(partition.files)))
+        moved = self.rpc.call(target, "install_partition", acg_id, payload)
+        self.rpc.call(source, "drop_partition", acg_id)
+        partition.node = target
+        return moved
+
+    def rebalance(self, tolerance: float = 0.25) -> int:
+        """Move partitions until no node exceeds the mean load by more
+        than ``tolerance``; returns how many partitions moved.
+
+        Greedy: repeatedly take the smallest partition off the most
+        loaded node and give it to the least loaded one, while that
+        actually reduces imbalance.
+        """
+        if len(self.index_nodes) < 2:
+            return 0
+        moves = 0
+        while True:
+            loads = {n: self.partitions.node_load(n) for n in self.index_nodes}
+            mean = sum(loads.values()) / len(loads)
+            heavy = max(loads, key=lambda n: loads[n])
+            light = min(loads, key=lambda n: loads[n])
+            if mean == 0 or loads[heavy] <= mean * (1 + tolerance):
+                return moves
+            candidates = [p for p in self.partitions.partitions()
+                          if p.node == heavy and p.files]
+            if not candidates:
+                return moves
+            victim = min(candidates, key=lambda p: p.size)
+            # Moving must not just swap the imbalance around.
+            if loads[light] + victim.size >= loads[heavy]:
+                return moves
+            self.migrate_partition(victim.partition_id, light)
+            moves += 1
+
+    def merge_partitions(self, keep_id: int, absorb_id: int) -> int:
+        """Fold one ACG into another (anti-fragmentation); returns files
+        absorbed.  The surviving partition keeps its node; the absorbed
+        one's contents migrate there and its id disappears."""
+        if keep_id == absorb_id:
+            raise ClusterError("cannot merge a partition with itself")
+        keep = self.partitions.get(keep_id)
+        absorb = self.partitions.get(absorb_id)
+        if keep.node is None or absorb.node is None:
+            raise ClusterError("both partitions must be placed before merging")
+        payload = self.rpc.call(absorb.node, "extract_partition", absorb_id,
+                                tuple(sorted(absorb.files)))
+        moved = self.rpc.call(keep.node, "install_partition", keep_id, payload)
+        self.rpc.call(absorb.node, "drop_partition", absorb_id)
+        for file_id in list(absorb.files):
+            self.partitions.add_file(keep_id, file_id)
+        self.partitions.drop_partition(absorb_id)
+        return moved
+
+    def merge_small_partitions(self, min_size: Optional[int] = None) -> int:
+        """Merge undersized partitions pairwise until none (or one) is
+        left below ``min_size`` (default: half the clustering target).
+        Returns the number of merges performed."""
+        threshold = min_size if min_size is not None else self.policy.cluster_target // 2
+        merges = 0
+        while True:
+            small = sorted((p for p in self.partitions.partitions()
+                            if p.files and p.size < threshold and p.node),
+                           key=lambda p: p.size)
+            if len(small) < 2:
+                return merges
+            keep, absorb = small[0], small[1]
+            self.merge_partitions(keep.partition_id, absorb.partition_id)
+            merges += 1
+
+    # -- checkpointing ------------------------------------------------------------------------
+
+    def checkpoint(self) -> List[Tuple[int, Optional[str], Tuple[int, ...]]]:
+        """Flush index metadata to shared storage (crash protection)."""
+        records = self.partitions.to_records()
+        nbytes = sum(_CHECKPOINT_BYTES_PER_FILE * (len(r[2]) + 1) for r in records)
+        # Metadata checkpoints land on shared storage, not the local disk.
+        self._shared_device.append(max(512, nbytes))
+        self.checkpoints_written += 1
+        return records
+
+    @classmethod
+    def restore(cls, machine: Machine, rpc: RpcNetwork,
+                records: List[Tuple[int, Optional[str], Tuple[int, ...]]],
+                index_nodes: Sequence[str],
+                policy: PartitioningPolicy = PartitioningPolicy()) -> "MasterNode":
+        """Rebuild a Master Node from its last checkpoint."""
+        master = cls(machine, rpc, policy=policy)
+        master.partitions = PartitionManager.from_records(records)
+        for node in index_nodes:
+            master.register_index_node(node)
+        return master

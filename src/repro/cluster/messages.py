@@ -1,0 +1,77 @@
+"""Typed messages exchanged between Propeller components."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+
+class UpdateOp(enum.Enum):
+    """Whether an update (re)indexes or forgets a file."""
+    UPSERT = "upsert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class IndexUpdate:
+    """One file-indexing request: (re)index or forget one file.
+
+    ``attrs`` carries whatever fields the caller wants indexed — inode
+    metadata and/or user-defined attributes; ``path`` feeds the keyword
+    index.  Serialized size is estimated for network/WAL cost accounting.
+    """
+
+    file_id: int
+    op: UpdateOp = UpdateOp.UPSERT
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+    path: Optional[str] = None
+
+    @staticmethod
+    def upsert(file_id: int, attrs: Dict[str, Any], path: Optional[str] = None) -> "IndexUpdate":
+        """Build an upsert update from an attribute dict."""
+        return IndexUpdate(file_id=file_id, op=UpdateOp.UPSERT,
+                           attrs=tuple(sorted(attrs.items())), path=path)
+
+    @staticmethod
+    def delete(file_id: int) -> "IndexUpdate":
+        """Build a delete update for one file id."""
+        return IndexUpdate(file_id=file_id, op=UpdateOp.DELETE)
+
+    @property
+    def attr_dict(self) -> Dict[str, Any]:
+        """The attributes as a plain dict."""
+        return dict(self.attrs)
+
+    def wire_bytes(self) -> int:
+        """Approximate serialized size for cost models."""
+        return 24 + 16 * len(self.attrs) + (len(self.path) if self.path else 0)
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """Master Node's answer for one file: which ACG on which Index Node."""
+
+    file_id: int
+    acg_id: int
+    node: str
+
+
+@dataclass
+class SearchResult:
+    """One Index Node's (partial) answer to a search."""
+
+    node: str
+    acg_id: int
+    file_ids: FrozenSet[int] = frozenset()
+    paths: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Index Node → Master Node liveness + ACG status report."""
+
+    node: str
+    timestamp: float
+    acg_sizes: Tuple[Tuple[int, int], ...] = ()   # (acg_id, file count)
+    free_bytes: int = 0

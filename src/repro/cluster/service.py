@@ -1,0 +1,167 @@
+"""Service façade: wires a whole Propeller deployment together.
+
+One call builds the paper's testbed in simulation: a Master Node machine,
+``num_index_nodes`` Index Node machines behind a simulated gigabit switch,
+the periodic background work (cache-timeout commits, heartbeats, Master
+metadata checkpoints), and clients mounting the shared VFS.  Single-node
+mode co-locates the Master and one Index Node on the same machine with
+loopback RPC — the configuration used for the MySQL and Spotlight
+comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cluster.client import PropellerClient
+from repro.cluster.index_node import IndexNode
+from repro.cluster.master import MasterNode
+from repro.core.partitioner import PartitioningPolicy
+from repro.fs.vfs import VirtualFileSystem
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop, PeriodicTask
+from repro.sim.machine import Cluster, MachineSpec
+from repro.sim.rpc import RpcNetwork
+
+HEARTBEAT_PERIOD_S = 5.0
+CHECKPOINT_PERIOD_S = 30.0
+
+
+class PropellerService:
+    """A running Propeller deployment (simulated)."""
+
+    def __init__(self, num_index_nodes: int = 1,
+                 spec: Optional[MachineSpec] = None,
+                 policy: Optional[PartitioningPolicy] = None,
+                 cache_timeout_s: float = 5.0,
+                 single_node: bool = False) -> None:
+        if num_index_nodes < 1:
+            raise ValueError("need at least one index node")
+        self.policy = policy if policy is not None else PartitioningPolicy()
+        self.single_node = single_node and num_index_nodes == 1
+        index_node_names = [f"in{i}" for i in range(1, num_index_nodes + 1)]
+        machine_names = index_node_names if self.single_node else (["mn"] + index_node_names)
+        self.cluster = Cluster(machine_names, spec=spec)
+        self.clock: SimClock = self.cluster.clock
+        self.loop = EventLoop(self.clock)
+        self.rpc = RpcNetwork(self.cluster.network)
+        master_machine = self.cluster["in1"] if self.single_node else self.cluster["mn"]
+        self.master = MasterNode(master_machine, self.rpc, policy=self.policy)
+        self.index_nodes: Dict[str, IndexNode] = {}
+        for name in index_node_names:
+            node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
+            self.rpc.add_endpoint(node.endpoint)
+            self.master.register_index_node(name)
+            self.index_nodes[name] = node
+        self.vfs = VirtualFileSystem(self.clock)
+        for node in self.index_nodes.values():
+            node.shared_vfs = self.vfs
+        self._clients: List[PropellerClient] = []
+        self._tasks = [
+            PeriodicTask(self.loop, cache_timeout_s / 2, self._tick_caches),
+            PeriodicTask(self.loop, HEARTBEAT_PERIOD_S, self.master.poll_heartbeats),
+            PeriodicTask(self.loop, CHECKPOINT_PERIOD_S, self._checkpoint_all),
+        ]
+
+    # -- background machinery -------------------------------------------------
+
+    def _tick_caches(self) -> None:
+        for node in self.index_nodes.values():
+            node.tick()
+
+    def _checkpoint_all(self) -> None:
+        """Periodic durability: Master metadata plus every node's ACGs
+        go to the shared file system."""
+        self.master.checkpoint()
+        for node in self.index_nodes.values():
+            if node.endpoint.up:
+                node.checkpoint_to_shared()
+
+    def fail_node(self, name: str) -> None:
+        """Kill one Index Node (fault injection); its ACGs stay on shared
+        storage until :meth:`failover` reassigns them."""
+        self.index_nodes[name].endpoint.fail()
+
+    def failover(self, name: str) -> int:
+        """Checkpoint-based failover of a dead node's partitions."""
+        return self.master.failover(name)
+
+    def pump(self) -> None:
+        """Let background timers that are due fire (no time advance)."""
+        self.loop.run_due()
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time, firing background work along the way."""
+        self.loop.run_until(self.clock.now() + seconds)
+
+    # -- clients -------------------------------------------------------------------
+
+    def make_client(self, pid_filter: Optional[Set[int]] = None,
+                    batch_size: int = 128) -> PropellerClient:
+        """Attach a new client to the shared VFS and cluster."""
+        client = PropellerClient(
+            self.vfs, self.rpc,
+            batch_size=batch_size,
+            pid_filter=pid_filter,
+            local=self.single_node,
+            pump=self.pump,
+        )
+        self._clients.append(client)
+        return client
+
+    # -- convenience -----------------------------------------------------------------
+
+    def total_indexed_files(self) -> int:
+        """Files indexed on *live* nodes (a failed node's stale replicas
+        do not count — after failover their data lives elsewhere)."""
+        return sum(replica.file_count
+                   for node in self.index_nodes.values()
+                   if node.endpoint.up
+                   for replica in node.replicas.values())
+
+    def acg_count(self) -> int:
+        """Number of partitions (ACGs) the Master tracks."""
+        return len(self.master.partitions)
+
+    def drop_caches(self) -> None:
+        """Cold-start every machine (before 'cold query' measurements)."""
+        self.cluster.drop_caches()
+        for node in self.index_nodes.values():
+            node.drop_resident()
+
+    def commit_all(self) -> None:
+        """Flush every client batch and every Index Node cache."""
+        for client in self._clients:
+            client.flush_updates()
+        for node in self.index_nodes.values():
+            node.cache.commit_all()
+
+    def stats(self) -> Dict[str, object]:
+        """A structured snapshot of the whole deployment's health:
+        partition layout, per-node cache/WAL/disk counters, and network
+        traffic.  Used by operators (and the CLI) to see where load
+        lands."""
+        nodes = {}
+        for name, node in self.index_nodes.items():
+            nodes[name] = {
+                "acgs": len(node.replicas),
+                "files": sum(r.file_count for r in node.replicas.values()),
+                "resident_bytes": node._resident_bytes,
+                "cache_pending": len(node.cache),
+                "cache_timeout_commits": node.cache.stats.timeout_commits,
+                "cache_search_commits": node.cache.stats.search_commits,
+                "wal_bytes": len(node.wal),
+                "disk_reads": node.machine.disk.stats.reads,
+                "disk_writes": node.machine.disk.stats.writes,
+                "up": node.endpoint.up,
+            }
+        return {
+            "virtual_time_s": self.clock.now(),
+            "partitions": len(self.master.partitions),
+            "indexed_files": self.total_indexed_files(),
+            "splits": len(self.master.splits),
+            "checkpoints": self.master.checkpoints_written,
+            "network_messages": self.cluster.network.stats.messages,
+            "network_bytes": self.cluster.network.stats.bytes_sent,
+            "nodes": nodes,
+        }

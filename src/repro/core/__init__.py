@@ -1,0 +1,40 @@
+"""Propeller's primary contribution: access-causality index partitioning.
+
+Two files fA and fB are *access-causal* (fA → fB) when one process opened
+fA for reading or writing at t0 and then opened fB for writing at t1 > t0 —
+fA is a content producer of fB (Section III).  The
+:class:`AccessCausalityGraph` accumulates these relations with edge weights
+equal to co-access counts; the :mod:`partitioner` turns connected
+components into index partitions, clustering small components and splitting
+oversized ones with the from-scratch METIS-style multilevel bisector in
+:mod:`metis` (spectral baseline in :mod:`spectral`).
+"""
+
+from repro.core.acg import AccessCausalityGraph
+from repro.core.metis import BisectionResult, bisect, k_way_partition
+from repro.core.partition_manager import Partition, PartitionManager
+from repro.core.partitioner import PartitioningPolicy, partition_components
+from repro.core.spectral import spectral_bisect
+from repro.core.streaming import StreamingPartitioner, streaming_partition
+from repro.core.trace import AccessEvent, TraceRecorder, causal_pairs
+from repro.core.traceio import acg_from_trace, dump_trace, load_trace
+
+__all__ = [
+    "AccessCausalityGraph",
+    "BisectionResult",
+    "bisect",
+    "k_way_partition",
+    "Partition",
+    "PartitionManager",
+    "PartitioningPolicy",
+    "partition_components",
+    "spectral_bisect",
+    "StreamingPartitioner",
+    "streaming_partition",
+    "AccessEvent",
+    "TraceRecorder",
+    "causal_pairs",
+    "acg_from_trace",
+    "dump_trace",
+    "load_trace",
+]

@@ -1,0 +1,101 @@
+"""Partitioning policy: ACG components → index partitions.
+
+Section III: Propeller partitions files by the connected components of the
+ACG; small components from the same application are clustered into one
+partition to prevent index fragmentation; a component that grows past a
+threshold (the paper uses 50 000 files) is cut in two balanced halves with
+minimal cut weight by the multilevel bisector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.acg import AccessCausalityGraph
+from repro.core.metis import bisect
+
+
+@dataclass(frozen=True)
+class PartitioningPolicy:
+    """Tunables for ACG partitioning.
+
+    ``split_threshold`` — component/partition size above which a split is
+    triggered (paper: 50 000 files).
+    ``cluster_target`` — small components are packed together until a
+    partition reaches about this many files.
+    ``balance_tolerance`` — allowed imbalance for a split (0.05 = 55/45).
+    """
+
+    split_threshold: int = 50_000
+    cluster_target: int = 1_000
+    balance_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.split_threshold < 2:
+            raise ValueError("split_threshold must be >= 2")
+        if self.cluster_target < 1:
+            raise ValueError("cluster_target must be >= 1")
+
+
+AppOf = Optional[Callable[[int], object]]
+
+
+def partition_components(graph: AccessCausalityGraph,
+                         policy: PartitioningPolicy = PartitioningPolicy(),
+                         app_of: AppOf = None) -> List[Set[int]]:
+    """Turn an ACG into index partitions.
+
+    Components above ``split_threshold`` are recursively bisected; small
+    components are greedily packed into partitions of about
+    ``cluster_target`` files.  When ``app_of`` is given (file id → app
+    label), only components of the same application are packed together —
+    the paper's anti-fragmentation rule.
+    """
+    partitions: List[Set[int]] = []
+    packers: Dict[object, Set[int]] = {}
+    for component in graph.connected_components():
+        if len(component) > policy.split_threshold:
+            partitions.extend(_split_recursive(graph, component, policy))
+        elif len(component) >= policy.cluster_target:
+            partitions.append(component)
+        else:
+            label = app_of(next(iter(component))) if app_of else None
+            bucket = packers.setdefault(label, set())
+            bucket.update(component)
+            if len(bucket) >= policy.cluster_target:
+                partitions.append(bucket)
+                packers[label] = set()
+    partitions.extend(bucket for bucket in packers.values() if bucket)
+    return partitions
+
+
+def _split_recursive(graph: AccessCausalityGraph, component: Set[int],
+                     policy: PartitioningPolicy) -> List[Set[int]]:
+    if len(component) <= policy.split_threshold:
+        return [component]
+    adjacency = graph.subgraph(component).undirected_adjacency()
+    result = bisect(adjacency, balance_tolerance=policy.balance_tolerance)
+    halves = []
+    for side in (result.side_a, result.side_b):
+        if not side:
+            continue
+        halves.extend(_split_recursive(graph, side, policy))
+    return halves
+
+
+def split_partition(graph: AccessCausalityGraph, files: Set[int],
+                    policy: PartitioningPolicy = PartitioningPolicy()) -> List[Set[int]]:
+    """One split step: bisect an oversized partition into two balanced,
+    minimal-cut halves (what an Index Node runs in the background)."""
+    if len(files) < 2:
+        return [set(files)]
+    adjacency = graph.subgraph(files).undirected_adjacency()
+    # Files the ACG never saw still belong to the partition; spread them
+    # over both halves to preserve balance.
+    orphans = sorted(f for f in files if f not in adjacency)
+    result = bisect(adjacency, balance_tolerance=policy.balance_tolerance)
+    side_a, side_b = set(result.side_a), set(result.side_b)
+    for i, orphan in enumerate(orphans):
+        (side_a if (len(side_a) <= len(side_b)) else side_b).add(orphan)
+    return [side for side in (side_a, side_b) if side]

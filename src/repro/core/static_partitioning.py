@@ -1,0 +1,71 @@
+"""Static partitioning schemes — the alternatives Section III rejects.
+
+Existing file-search systems partition by *static* attributes:
+
+* **namespace-based** (Spyglass [30], GIGA+ [38]) — files grouped by
+  directory subtree;
+* **hash-based** (what SQL/NoSQL sharding does to a path key) — files
+  spread by a hash of the path.
+
+Both are blind to file-access patterns, so one application's accesses
+fan out across partitions (Figure 3's Firefox example).  They are
+implemented here as first-class library functions so ablations and
+downstream comparisons can use the real thing rather than ad-hoc copies.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Sequence, Tuple
+
+
+def namespace_partition(paths: Sequence[str], depth: int = 1,
+                        group_size: int = 0) -> Dict[str, int]:
+    """Partition by the first ``depth`` path components.
+
+    Directories bigger than ``group_size`` (when positive) are split
+    round-robin into numbered sub-partitions — the GIGA+ move for giant
+    fan-out directories.  Returns path → partition id.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1: {depth}")
+    prefixes: Dict[str, int] = {}
+    counts: Dict[Tuple[int, int], int] = {}
+    mapping: Dict[str, int] = {}
+    next_id = 0
+    for path in paths:
+        parts = [p for p in path.split("/") if p]
+        prefix = "/" + "/".join(parts[:depth])
+        if prefix not in prefixes:
+            prefixes[prefix] = next_id
+            next_id += 1
+        base = prefixes[prefix]
+        if group_size > 0:
+            seen = counts.get((base, 0), 0)
+            counts[(base, 0)] = seen + 1
+            mapping[path] = base * 1_000_000 + seen // group_size
+        else:
+            mapping[path] = base
+    return mapping
+
+
+def hash_partition(paths: Sequence[str], num_partitions: int) -> Dict[str, int]:
+    """Partition by a stable hash of the full path (sharding by key)."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1: {num_partitions}")
+    return {path: zlib.crc32(path.encode("utf-8")) % num_partitions
+            for path in paths}
+
+
+def partitions_touched(mapping: Dict[str, int], accesses: Sequence[str]) -> int:
+    """How many distinct partitions an access stream crosses — the
+    quantity Figure 2(b) shows dominating inline-indexing cost."""
+    return len({mapping[path] for path in accesses if path in mapping})
+
+
+def partition_sizes(mapping: Dict[str, int]) -> List[int]:
+    """Partition sizes, descending (for balance inspection)."""
+    counts: Dict[int, int] = {}
+    for partition in mapping.values():
+        counts[partition] = counts.get(partition, 0) + 1
+    return sorted(counts.values(), reverse=True)

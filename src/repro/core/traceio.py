@@ -1,0 +1,93 @@
+"""Trace file import/export.
+
+The paper builds ACGs from traces of real applications (Git, Thrift, the
+Linux kernel build) captured by the FUSE client.  This module defines a
+plain-text interchange format so users can feed *their own* captured
+traces (e.g. converted from ``strace -f -e trace=open,openat`` output)
+into the library:
+
+    # comment lines start with '#'
+    <pid> <mode> <file_id> <t_open>
+
+where ``mode`` is ``r``, ``w`` or ``rw``.  One event per line, whitespace
+separated.  A second form accepts paths instead of numeric ids, mapping
+them to stable ids on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, TextIO, Tuple, Union
+
+from repro.core.acg import AccessCausalityGraph
+from repro.core.trace import AccessEvent, causal_pairs
+from repro.errors import ReproError
+
+
+class TraceFormatError(ReproError):
+    """A trace line failed to parse."""
+
+
+_MODES = {"r": (True, False), "w": (False, True), "rw": (True, True)}
+
+
+def format_event(event: AccessEvent) -> str:
+    """One event in the interchange format."""
+    mode = "rw" if (event.read and event.write) else ("w" if event.write else "r")
+    return f"{event.pid} {mode} {event.file_id} {event.t_open:.6f}"
+
+
+def dump_trace(events: Iterable[AccessEvent], out: TextIO) -> int:
+    """Write events to a text stream; returns the count."""
+    count = 0
+    out.write("# repro trace v1: pid mode file_id t_open\n")
+    for event in events:
+        out.write(format_event(event) + "\n")
+        count += 1
+    return count
+
+
+def parse_trace(lines: Iterable[str]) -> Iterator[AccessEvent]:
+    """Parse interchange-format lines into events (lazily).
+
+    File fields may be numeric ids or paths; paths get stable ids in
+    first-seen order.
+    """
+    path_ids: Dict[str, int] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise TraceFormatError(
+                f"line {lineno}: expected 4 fields, got {len(parts)}: {line!r}")
+        pid_s, mode, file_field, t_s = parts
+        if mode not in _MODES:
+            raise TraceFormatError(f"line {lineno}: bad mode {mode!r}")
+        read, write = _MODES[mode]
+        try:
+            pid = int(pid_s)
+            t_open = float(t_s)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from None
+        if file_field.lstrip("-").isdigit():
+            file_id = int(file_field)
+        else:
+            file_id = path_ids.setdefault(file_field, len(path_ids) + 1)
+        yield AccessEvent(pid=pid, file_id=file_id, read=read, write=write,
+                          t_open=t_open)
+
+
+def load_trace(source: Union[TextIO, Iterable[str]]) -> List[AccessEvent]:
+    """Parse a whole trace into a list."""
+    return list(parse_trace(source))
+
+
+def acg_from_trace(source: Union[TextIO, Iterable[str]]) -> AccessCausalityGraph:
+    """Parse a trace and build its Access-Causality Graph in one step."""
+    events = load_trace(source)
+    graph = AccessCausalityGraph()
+    for event in events:
+        graph.add_file(event.file_id)
+    graph.add_pairs(causal_pairs(events))
+    return graph

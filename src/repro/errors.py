@@ -1,0 +1,79 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Each layer raises a subclass of :class:`ReproError` so callers can catch
+library failures without accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FileSystemError(ReproError):
+    """Base class for virtual-file-system failures."""
+
+
+class FileNotFound(FileSystemError):
+    """A path does not resolve to an inode."""
+
+
+class FileExists(FileSystemError):
+    """Create was asked to make a path that already exists."""
+
+class NotADirectory(FileSystemError):
+    """A directory operation hit a regular file."""
+
+
+class IsADirectory(FileSystemError):
+    """A file operation hit a directory."""
+
+
+class BadFileDescriptor(FileSystemError):
+    """An I/O call used a closed or unknown file handle."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure failures (named with a trailing
+    underscore to avoid shadowing the builtin)."""
+
+
+class KeyNotFound(IndexError_):
+    """Lookup or delete of a key that is not in the index."""
+
+
+class DuplicateKey(IndexError_):
+    """Insert of a key that already exists in a unique index."""
+
+
+class QueryError(ReproError):
+    """A file-search query failed to parse or plan."""
+
+
+class ClusterError(ReproError):
+    """Base class for Propeller-cluster failures."""
+
+
+class UnknownAcg(ClusterError):
+    """A request referenced an ACG id the Master Node does not know."""
+
+
+class UnknownIndexNode(ClusterError):
+    """A request referenced an Index Node that is not registered."""
+
+
+class UnknownIndexName(ClusterError):
+    """A search referenced a user-defined index name that was never created."""
+
+
+class NodeDown(ClusterError):
+    """An RPC was sent to a node that is marked failed."""
+
+
+class WalCorruption(ClusterError):
+    """The write-ahead log failed checksum validation during replay."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation substrate."""

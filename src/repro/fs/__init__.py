@@ -1,0 +1,33 @@
+"""Virtual file system substrate.
+
+Propeller's client is a FUSE file system whose File Access Management
+module intercepts every open and close (Section IV).  We have no FUSE, so
+this subpackage provides an in-process equivalent: a hierarchical namespace
+of inodes (:mod:`namespace`), a POSIX-flavoured call surface
+(:class:`VirtualFileSystem`), an observer API from which the
+File Access Management interceptor (:mod:`interceptor`) and the
+inotify-style notification queue (:mod:`notification`) are built, and the
+pass-through / profiled layers used by the PostMark comparison
+(:mod:`passthrough`).
+"""
+
+from repro.fs.interceptor import FileAccessManager
+from repro.fs.namespace import FileKind, Inode, Namespace
+from repro.fs.notification import FsEvent, FsEventKind, NotificationQueue
+from repro.fs.passthrough import FSProfile, PROFILES, ProfiledFS
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+
+__all__ = [
+    "FileAccessManager",
+    "FileKind",
+    "Inode",
+    "Namespace",
+    "FsEvent",
+    "FsEventKind",
+    "NotificationQueue",
+    "FSProfile",
+    "PROFILES",
+    "ProfiledFS",
+    "OpenMode",
+    "VirtualFileSystem",
+]

@@ -1,0 +1,25 @@
+"""Index structures used by Propeller Index Nodes.
+
+The paper's prototype supports three index categories per ACG — B-tree,
+hash table and K-D tree (Section IV).  All three are implemented here from
+scratch as multimaps (a file attribute value can be shared by many files).
+
+Each structure accepts an optional ``page_hook(node_id, write)`` callback
+invoked once per internal node/bucket touched; the cluster layer wires this
+to the simulated page cache so that *index size directly determines I/O
+cost* — the mechanism behind Figure 2(a).
+"""
+
+from repro.indexstructures.base import Index, IndexKind, make_index
+from repro.indexstructures.btree import BPlusTree
+from repro.indexstructures.hashindex import ExtendibleHashIndex
+from repro.indexstructures.kdtree import KDTreeIndex
+
+__all__ = [
+    "Index",
+    "IndexKind",
+    "make_index",
+    "BPlusTree",
+    "ExtendibleHashIndex",
+    "KDTreeIndex",
+]

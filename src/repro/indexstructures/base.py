@@ -1,0 +1,72 @@
+"""Common index interface.
+
+Every index is a *multimap*: one key maps to a set of values (file ids).
+Keys must be mutually comparable within one index (ints, floats, strings,
+or — for the K-D tree — fixed-length numeric tuples).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+PageHook = Optional[Callable[[int, bool], None]]
+
+
+class IndexKind(enum.Enum):
+    """The three index categories the prototype supports (Section IV)."""
+
+    BTREE = "btree"
+    HASH = "hash"
+    KDTREE = "kdtree"
+
+
+class Index(ABC):
+    """Abstract multimap index.
+
+    Concrete classes: :class:`~repro.indexstructures.btree.BPlusTree`,
+    :class:`~repro.indexstructures.hashindex.ExtendibleHashIndex`,
+    :class:`~repro.indexstructures.kdtree.KDTreeIndex`.
+    """
+
+    kind: IndexKind
+
+    @abstractmethod
+    def insert(self, key: Any, value: Any) -> None:
+        """Add one (key, value) pair.  Duplicate pairs are idempotent."""
+
+    @abstractmethod
+    def remove(self, key: Any, value: Any = None) -> int:
+        """Remove one value under ``key`` (or all values if ``value`` is
+        None).  Returns the number of pairs removed; 0 if absent."""
+
+    @abstractmethod
+    def get(self, key: Any) -> List[Any]:
+        """All values stored under exactly ``key`` ([] if absent)."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate every (key, value) pair in structure order."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of (key, value) pairs stored."""
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.get(key))
+
+
+def make_index(kind: IndexKind, page_hook: PageHook = None, **kwargs: Any) -> Index:
+    """Factory used by Index Nodes when a user creates a named index."""
+    from repro.indexstructures.btree import BPlusTree
+    from repro.indexstructures.hashindex import ExtendibleHashIndex
+    from repro.indexstructures.kdtree import KDTreeIndex
+
+    if kind is IndexKind.BTREE:
+        return BPlusTree(page_hook=page_hook, **kwargs)
+    if kind is IndexKind.HASH:
+        return ExtendibleHashIndex(page_hook=page_hook, **kwargs)
+    if kind is IndexKind.KDTREE:
+        return KDTreeIndex(page_hook=page_hook, **kwargs)
+    raise ValueError(f"unknown index kind: {kind!r}")

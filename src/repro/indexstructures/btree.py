@@ -1,0 +1,437 @@
+"""B+tree multimap.
+
+Classic B+tree: values live only in leaves, leaves form a sorted linked
+list for range scans, internal nodes hold separator keys.  Deletion
+rebalances by borrowing from a sibling or merging, so the height invariant
+holds under any workload — hypothesis tests in
+``tests/indexstructures/test_btree.py`` check this against an oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.indexstructures.base import Index, IndexKind, PageHook
+
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("node_id", "keys")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.keys: List[Any] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.values: List[List[Any]] = []
+        self.next: Optional[_Leaf] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.children: List[_Node] = []
+
+
+class BPlusTree(Index):
+    """A B+tree multimap with leaf-chained range scans.
+
+    ``order`` is the maximum number of keys per node; nodes split above it
+    and rebalance below ``order // 2``.
+    """
+
+    kind = IndexKind.BTREE
+
+    def __init__(self, order: int = DEFAULT_ORDER, page_hook: PageHook = None) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3: {order}")
+        self.order = order
+        self._page_hook = page_hook
+        self._ids = itertools.count()
+        self._root: _Node = _Leaf(next(self._ids))
+        self._size = 0
+        self._height = 1
+
+    # -- cost accounting -------------------------------------------------
+
+    def _touch(self, node: _Node, write: bool = False) -> None:
+        if self._page_hook is not None:
+            self._page_hook(node.node_id, write)
+
+    # -- properties ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (1 for a single-leaf tree)."""
+        return self._height
+
+    # -- search ----------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            self._touch(node)
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        self._touch(node)
+        return node  # type: ignore[return-value]
+
+    def get(self, key: Any) -> List[Any]:
+        """All values stored under exactly ``key`` ([] if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs with low <= key <= high in key order.
+
+        ``None`` bounds are open-ended; ``include_*`` toggles strictness.
+        """
+        if low is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(low)
+            if include_low:
+                idx = bisect.bisect_left(leaf.keys, low)
+            else:
+                idx = bisect.bisect_right(leaf.keys, low)
+        while leaf is not None:
+            self._touch(leaf)
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                for value in leaf.values[idx]:
+                    yield key, value
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Every (key, value) pair in ascending key order."""
+        return self.range()
+
+    def min_key(self) -> Any:
+        """Smallest key, or None when empty."""
+        leaf = self._leftmost_leaf()
+        return leaf.keys[0] if leaf.keys else None
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            self._touch(node)
+            node = node.children[0]
+        return node  # type: ignore[return-value]
+
+    # -- insert ----------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add one (key, value) pair; duplicate pairs are idempotent."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal(next(self._ids))
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._touch(new_root, write=True)
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> Optional[Tuple[Any, _Node]]:
+        if isinstance(node, _Leaf):
+            return self._insert_leaf(node, key, value)
+        self._touch(node)
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        self._touch(node, write=True)
+        if len(node.keys) <= self.order:
+            return None
+        return self._split_internal(node)
+
+    def _insert_leaf(self, leaf: _Leaf, key: Any, value: Any) -> Optional[Tuple[Any, _Node]]:
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            if value not in leaf.values[idx]:
+                leaf.values[idx].append(value)
+                self._size += 1
+            self._touch(leaf, write=True)
+            return None
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, [value])
+        self._size += 1
+        self._touch(leaf, write=True)
+        if len(leaf.keys) <= self.order:
+            return None
+        return self._split_leaf(leaf)
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Node]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf(next(self._ids))
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        self._touch(right, write=True)
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal(next(self._ids))
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._touch(right, write=True)
+        return sep, right
+
+    # -- delete ----------------------------------------------------------
+
+    def remove(self, key: Any, value: Any = None) -> int:
+        """Remove one value under ``key`` (or all); returns pairs removed."""
+        removed = self._remove(self._root, key, value)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+        self._size -= removed
+        return removed
+
+    def _min_keys(self) -> int:
+        return self.order // 2
+
+    def _remove(self, node: _Node, key: Any, value: Any) -> int:
+        if isinstance(node, _Leaf):
+            return self._remove_from_leaf(node, key, value)
+        self._touch(node)
+        idx = bisect.bisect_right(node.keys, key)
+        child = node.children[idx]
+        removed = self._remove(child, key, value)
+        if removed and self._underflow(child):
+            self._rebalance(node, idx)
+        return removed
+
+    def _remove_from_leaf(self, leaf: _Leaf, key: Any, value: Any) -> int:
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return 0
+        if value is None:
+            removed = len(leaf.values[idx])
+        else:
+            if value not in leaf.values[idx]:
+                return 0
+            leaf.values[idx].remove(value)
+            removed = 1
+        if value is None or not leaf.values[idx]:
+            del leaf.keys[idx]
+            del leaf.values[idx]
+        self._touch(leaf, write=True)
+        return removed
+
+    def _underflow(self, node: _Node) -> bool:
+        if node is self._root:
+            return False
+        if isinstance(node, _Leaf):
+            return len(node.keys) < self._min_keys()
+        return len(node.children) < self._min_keys() + 1
+
+    def _rebalance(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        if left is not None and self._can_lend(left):
+            self._borrow_from_left(parent, idx)
+        elif right is not None and self._can_lend(right):
+            self._borrow_from_right(parent, idx)
+        elif left is not None:
+            self._merge(parent, idx - 1)
+        elif right is not None:
+            self._merge(parent, idx)
+        self._touch(parent, write=True)
+
+    def _can_lend(self, node: _Node) -> bool:
+        if isinstance(node, _Leaf):
+            return len(node.keys) > self._min_keys()
+        return len(node.children) > self._min_keys() + 1
+
+    def _borrow_from_left(self, parent: _Internal, idx: int) -> None:
+        left, child = parent.children[idx - 1], parent.children[idx]
+        if isinstance(child, _Leaf):
+            assert isinstance(left, _Leaf)
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            assert isinstance(left, _Internal) and isinstance(child, _Internal)
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        self._touch(left, write=True)
+        self._touch(child, write=True)
+
+    def _borrow_from_right(self, parent: _Internal, idx: int) -> None:
+        child, right = parent.children[idx], parent.children[idx + 1]
+        if isinstance(child, _Leaf):
+            assert isinstance(right, _Leaf)
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            assert isinstance(right, _Internal) and isinstance(child, _Internal)
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        self._touch(right, write=True)
+        self._touch(child, write=True)
+
+    def _merge(self, parent: _Internal, idx: int) -> None:
+        """Merge children[idx+1] into children[idx]."""
+        left, right = parent.children[idx], parent.children[idx + 1]
+        if isinstance(left, _Leaf):
+            assert isinstance(right, _Leaf)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            assert isinstance(left, _Internal) and isinstance(right, _Internal)
+            left.keys.append(parent.keys[idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[idx]
+        del parent.children[idx + 1]
+        self._touch(left, write=True)
+
+    # -- bulk loading -----------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pairs, order: int = DEFAULT_ORDER,
+                  page_hook: PageHook = None) -> "BPlusTree":
+        """Build a tree from (key, value) pairs in one bottom-up pass.
+
+        Much faster than repeated inserts for restore/adoption paths
+        (sorted leaf runs are packed ~full, then internal levels built on
+        top).  Input need not be sorted or unique; duplicate (key, value)
+        pairs collapse.
+        """
+        tree = cls(order=order, page_hook=page_hook)
+        grouped: dict = {}
+        for key, value in pairs:
+            bucket = grouped.setdefault(key, [])
+            if value not in bucket:
+                bucket.append(value)
+        if not grouped:
+            return tree
+        sorted_keys = sorted(grouped)
+        fill = max(2, (order * 2) // 3)  # pack leaves ~2/3 full
+        min_keys = order // 2
+        leaves: List[_Leaf] = []
+        for i in range(0, len(sorted_keys), fill):
+            leaf = _Leaf(next(tree._ids))
+            leaf.keys = sorted_keys[i:i + fill]
+            leaf.values = [grouped[k] for k in leaf.keys]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        # The last leaf may be under-full: even it out with its neighbor
+        # so the min-fill invariant holds for later deletes.
+        if len(leaves) > 1 and len(leaves[-1].keys) < min_keys:
+            prev, last = leaves[-2], leaves[-1]
+            merged_keys = prev.keys + last.keys
+            merged_values = prev.values + last.values
+            if len(merged_keys) <= order:
+                # Fold the runt into its neighbor entirely.
+                prev.keys, prev.values = merged_keys, merged_values
+                prev.next = last.next
+                leaves.pop()
+            else:
+                half = len(merged_keys) // 2
+                prev.keys, last.keys = merged_keys[:half], merged_keys[half:]
+                prev.values, last.values = merged_values[:half], merged_values[half:]
+        tree._size = sum(len(v) for v in grouped.values())
+        level: List[_Node] = list(leaves)
+        height = 1
+        min_children = min_keys + 1
+        while len(level) > 1:
+            parents: List[_Internal] = []
+            for i in range(0, len(level), fill + 1):
+                node = _Internal(next(tree._ids))
+                node.children = level[i:i + fill + 1]
+                node.keys = [tree._leftmost_key_of(c) for c in node.children[1:]]
+                parents.append(node)
+            # Even out an under-full last parent the same way.
+            if len(parents) > 1 and len(parents[-1].children) < min_children:
+                prev, last = parents[-2], parents[-1]
+                merged = prev.children + last.children
+                if len(merged) <= order + 1:
+                    prev.children = merged
+                    prev.keys = [tree._leftmost_key_of(c) for c in merged[1:]]
+                    parents.pop()
+                else:
+                    half = len(merged) // 2
+                    prev.children, last.children = merged[:half], merged[half:]
+                    prev.keys = [tree._leftmost_key_of(c) for c in prev.children[1:]]
+                    last.keys = [tree._leftmost_key_of(c) for c in last.children[1:]]
+            level = list(parents)
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    def _leftmost_key_of(self, node: _Node) -> Any:
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    # -- validation (used by tests) ---------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        self._check_node(self._root, depth=1, is_root=True)
+        # Leaf chain must be sorted and cover all keys.
+        keys = [k for k, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+
+    def _check_node(self, node: _Node, depth: int, is_root: bool) -> int:
+        assert node.keys == sorted(node.keys), "node keys out of order"
+        if isinstance(node, _Leaf):
+            assert depth == self._height, "leaf at wrong depth"
+            if not is_root:
+                assert len(node.keys) >= self._min_keys(), "leaf underflow"
+            assert len(node.keys) == len(node.values)
+            return depth
+        assert isinstance(node, _Internal)
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.children) >= self._min_keys() + 1, "internal underflow"
+        else:
+            assert len(node.children) >= 2, "root internal with one child"
+        depths = {self._check_node(c, depth + 1, False) for c in node.children}
+        assert len(depths) == 1, "uneven leaf depth"
+        return depths.pop()

@@ -1,0 +1,177 @@
+"""Paged (on-disk-friendly) K-D tree — the paper's stated future work.
+
+Section V.E: "the inode attribute index in the Propeller prototyping
+process is implemented in a serialized KD-tree... Propeller has to load
+the entire KD-tree in RAM, which accounts for most of its latency...
+With a specialized design of the on-disk structure of KD-tree... it is
+possible to substantially reduce the IOs so that the query latency of
+Propeller can be dramatically improved further."
+
+This module is that design: a static, bulk-loaded K-D tree whose nodes
+are packed into pages along DFS order, so every subtree is page-local.
+A range query then touches only the pages on its traversal frontier —
+for selective queries, a tiny fraction of the tree — instead of paging
+the whole serialized blob in.  The ablation bench
+(``bench_ablation_paged_kdtree.py``) quantifies the cold-query win.
+
+The structure is read-optimized and immutable; Propeller's update path
+keeps using the dynamic :class:`~repro.indexstructures.kdtree.KDTreeIndex`
+and rebuilds the paged form at commit/serialization points (the standard
+read-optimized-store pattern).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.indexstructures.base import PageHook
+
+DEFAULT_NODES_PER_PAGE = 128
+
+
+class _StaticNode:
+    __slots__ = ("point", "values", "axis", "left", "right", "page")
+
+    def __init__(self, point: Tuple[float, ...], values: List[Any], axis: int) -> None:
+        self.point = point
+        self.values = values
+        self.axis = axis
+        self.left: Optional["_StaticNode"] = None
+        self.right: Optional["_StaticNode"] = None
+        self.page = 0
+
+
+class PagedKDTree:
+    """Immutable K-D tree with DFS-blocked page layout.
+
+    Build with :meth:`bulk_load`; query with :meth:`range` / :meth:`get`.
+    ``page_hook(page_id, write)`` fires once per *page* entered during a
+    traversal (not per node), which is what an on-disk layout costs.
+    """
+
+    def __init__(self, dimensions: int,
+                 nodes_per_page: int = DEFAULT_NODES_PER_PAGE,
+                 page_hook: PageHook = None) -> None:
+        if dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1: {dimensions}")
+        if nodes_per_page < 1:
+            raise ValueError(f"nodes_per_page must be >= 1: {nodes_per_page}")
+        self.dimensions = dimensions
+        self.nodes_per_page = nodes_per_page
+        self._page_hook = page_hook
+        self._root: Optional[_StaticNode] = None
+        self._size = 0
+        self._node_count = 0
+        self.page_count = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, dimensions: int,
+                  pairs: Sequence[Tuple[Sequence[float], Any]],
+                  nodes_per_page: int = DEFAULT_NODES_PER_PAGE,
+                  page_hook: PageHook = None) -> "PagedKDTree":
+        """Build a balanced tree by medians and assign DFS-blocked pages."""
+        tree = cls(dimensions, nodes_per_page=nodes_per_page,
+                   page_hook=page_hook)
+        grouped: dict = {}
+        for key, value in pairs:
+            point = tuple(float(x) for x in key)
+            if len(point) != dimensions:
+                raise TypeError(
+                    f"point {key!r} does not have {dimensions} dimensions")
+            grouped.setdefault(point, []).append(value)
+        tree._root = tree._build(sorted(grouped.items()), 0)
+        tree._size = sum(len(v) for v in grouped.values())
+        tree._node_count = len(grouped)
+        # DFS page assignment: consecutive DFS ranks share a page, so a
+        # subtree of k nodes spans ~k/nodes_per_page pages.
+        counter = 0
+        stack = [tree._root] if tree._root else []
+        while stack:
+            node = stack.pop()
+            node.page = counter // nodes_per_page
+            counter += 1
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+        tree.page_count = -(-counter // nodes_per_page) if counter else 0
+        return tree
+
+    def _build(self, items: List[Tuple[Tuple[float, ...], List[Any]]],
+               axis: int) -> Optional[_StaticNode]:
+        if not items:
+            return None
+        items = sorted(items, key=lambda kv: kv[0][axis])
+        mid = len(items) // 2
+        point, values = items[mid]
+        node = _StaticNode(point, list(values), axis)
+        next_axis = (axis + 1) % self.dimensions
+        node.left = self._build(items[:mid], next_axis)
+        node.right = self._build(items[mid + 1:], next_axis)
+        return node
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Number of distinct points (tree nodes)."""
+        return self._node_count
+
+    def _touch(self, page: int) -> None:
+        if self._page_hook is not None:
+            self._page_hook(page, False)
+
+    def range(self, lows: Sequence[Optional[float]],
+              highs: Sequence[Optional[float]]) -> Iterator[Tuple[Tuple[float, ...], Any]]:
+        """Orthogonal range query touching only the visited pages."""
+        if len(lows) != self.dimensions or len(highs) != self.dimensions:
+            raise TypeError("range bounds must match tree dimensionality")
+        lo = tuple(-math.inf if v is None else float(v) for v in lows)
+        hi = tuple(math.inf if v is None else float(v) for v in highs)
+        stack = [self._root]
+        last_page = -1
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.page != last_page:
+                self._touch(node.page)
+                last_page = node.page
+            axis, coord = node.axis, node.point[node.axis]
+            if coord >= lo[axis] and node.left is not None:
+                stack.append(node.left)
+            if coord <= hi[axis] and node.right is not None:
+                stack.append(node.right)
+            if all(lo[i] <= node.point[i] <= hi[i] for i in range(self.dimensions)):
+                for value in node.values:
+                    yield node.point, value
+
+    def get(self, key: Sequence[float]) -> List[Any]:
+        """Exact-point lookup."""
+        point = tuple(float(x) for x in key)
+        if len(point) != self.dimensions:
+            raise TypeError(f"key must have {self.dimensions} dimensions")
+        node = self._root
+        last_page = -1
+        while node is not None:
+            if node.page != last_page:
+                self._touch(node.page)
+                last_page = node.page
+            if node.point == point:
+                return list(node.values)
+            if point[node.axis] < node.point[node.axis]:
+                node = node.left
+            else:
+                node = node.right
+        return []
+
+    def items(self) -> Iterator[Tuple[Tuple[float, ...], Any]]:
+        """Every (point, value) pair (touches every page)."""
+        yield from self.range((None,) * self.dimensions,
+                              (None,) * self.dimensions)

@@ -1,0 +1,129 @@
+"""Binary framing shared by index serialization and the write-ahead log.
+
+Values are tagged, length-prefixed little-endian records.  Supported value
+types are the ones file indices actually store: ints, floats, strings,
+bytes, None, and flat tuples of those.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, List, Tuple
+
+from repro.indexstructures.base import Index, IndexKind, make_index
+
+_TAG_INT = 0
+_TAG_FLOAT = 1
+_TAG_STR = 2
+_TAG_BYTES = 3
+_TAG_NONE = 4
+_TAG_TUPLE = 5
+
+
+def dump_value(value: Any) -> bytes:
+    """Encode one value as a tagged binary record."""
+    if value is None:
+        return struct.pack("<B", _TAG_NONE)
+    if isinstance(value, bool):
+        # Store bools as ints; they round-trip as 0/1 which is what
+        # attribute predicates compare against.
+        return struct.pack("<Bq", _TAG_INT, int(value))
+    if isinstance(value, int):
+        return struct.pack("<Bq", _TAG_INT, value)
+    if isinstance(value, float):
+        return struct.pack("<Bd", _TAG_FLOAT, value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return struct.pack("<BI", _TAG_STR, len(raw)) + raw
+    if isinstance(value, bytes):
+        return struct.pack("<BI", _TAG_BYTES, len(value)) + value
+    if isinstance(value, tuple):
+        parts = [struct.pack("<BI", _TAG_TUPLE, len(value))]
+        parts.extend(dump_value(item) for item in value)
+        return b"".join(parts)
+    raise TypeError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def load_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one record at ``offset``; return (value, next_offset)."""
+    (tag,) = struct.unpack_from("<B", data, offset)
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_INT:
+        (v,) = struct.unpack_from("<q", data, offset)
+        return v, offset + 8
+    if tag == _TAG_FLOAT:
+        (v,) = struct.unpack_from("<d", data, offset)
+        return v, offset + 8
+    if tag == _TAG_STR:
+        (n,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return data[offset:offset + n].decode("utf-8"), offset + n
+    if tag == _TAG_BYTES:
+        (n,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return bytes(data[offset:offset + n]), offset + n
+    if tag == _TAG_TUPLE:
+        (n,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        items: List[Any] = []
+        for _ in range(n):
+            item, offset = load_value(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise ValueError(f"unknown value tag: {tag}")
+
+
+def dump_record(fields: Tuple[Any, ...]) -> bytes:
+    """Encode a record (tuple of values) with a length prefix."""
+    body = dump_value(fields)
+    return struct.pack("<I", len(body)) + body
+
+
+def iter_records(data: bytes) -> Iterator[Tuple[Any, ...]]:
+    """Decode back-to-back :func:`dump_record` frames."""
+    offset = 0
+    while offset < len(data):
+        (n,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        value, end = load_value(data, offset)
+        if end != offset + n:
+            raise ValueError("record length mismatch")
+        offset = end
+        yield value
+
+
+def dump_index(index: Index) -> bytes:
+    """Serialize any index to its generic on-disk form (kind + pairs)."""
+    header = dump_value(index.kind.value)
+    extra: Tuple[Any, ...] = ()
+    if index.kind is IndexKind.KDTREE:
+        extra = (index.dimensions,)  # type: ignore[attr-defined]
+    chunks = [struct.pack("<I", len(header)), header, dump_value(extra)]
+    pairs = list(index.items())
+    chunks.append(struct.pack("<Q", len(pairs)))
+    for key, value in pairs:
+        chunks.append(dump_value(key if not isinstance(key, tuple) else tuple(key)))
+        chunks.append(dump_value(value))
+    return b"".join(chunks)
+
+
+def load_index(data: bytes, page_hook=None) -> Index:
+    """Rebuild an index from :func:`dump_index` output."""
+    (hlen,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    kind_value, offset = load_value(data, offset)
+    extra, offset = load_value(data, offset)
+    kind = IndexKind(kind_value)
+    kwargs = {}
+    if kind is IndexKind.KDTREE and extra:
+        kwargs["dimensions"] = extra[0]
+    index = make_index(kind, page_hook=page_hook, **kwargs)
+    (count,) = struct.unpack_from("<Q", data, offset)
+    offset += 8
+    for _ in range(count):
+        key, offset = load_value(data, offset)
+        value, offset = load_value(data, offset)
+        index.insert(key, value)
+    return index

@@ -1,0 +1,16 @@
+"""Measurement utilities: recall/precision, latency statistics, and the
+fixed-width table/series renderers all benchmarks share."""
+
+from repro.metrics.recall import precision, recall
+from repro.metrics.reporting import format_duration, render_series, render_table
+from repro.metrics.stats import LatencyCollector, TimeSeries
+
+__all__ = [
+    "precision",
+    "recall",
+    "format_duration",
+    "render_series",
+    "render_table",
+    "LatencyCollector",
+    "TimeSeries",
+]

@@ -1,0 +1,27 @@
+"""Search-quality metrics.
+
+The paper's accuracy metric is *recall*: the fraction of relevant files
+that the search returned (Section II, citing the standard definition).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Set, TypeVar
+
+T = TypeVar("T")
+
+
+def recall(returned: Collection[T], relevant: Collection[T]) -> float:
+    """|returned ∩ relevant| / |relevant|; 1.0 when nothing is relevant."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    return len(set(returned) & relevant_set) / len(relevant_set)
+
+
+def precision(returned: Collection[T], relevant: Collection[T]) -> float:
+    """|returned ∩ relevant| / |returned|; 1.0 when nothing was returned."""
+    returned_set = set(returned)
+    if not returned_set:
+        return 1.0
+    return len(returned_set & set(relevant)) / len(returned_set)

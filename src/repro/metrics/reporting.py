@@ -1,0 +1,57 @@
+"""Fixed-width rendering for benchmark output.
+
+Every bench prints the same rows/series the paper's tables and figures
+report, through these helpers, so EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """A plain fixed-width table (no external deps)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple],
+                  x_label: str = "t", y_label: str = "value") -> str:
+    """A figure's data series as aligned columns."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def format_duration(seconds: float) -> str:
+    """Human-scale duration: µs/ms/s as appropriate."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.6f}"
+    return str(cell)

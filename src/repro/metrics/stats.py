@@ -1,0 +1,96 @@
+"""Latency collection and time-series recording."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+class LatencyCollector:
+    """Accumulates per-request latencies; answers summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def add(self, seconds: float) -> None:
+        """Record one sample."""
+        self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of all recorded samples."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self._samples)
+
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100]: {p}")
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.name or 'latency'}: n={len(self)} "
+                f"mean={self.mean():.6f}s p50={self.percentile(50):.6f}s "
+                f"p99={self.percentile(99):.6f}s max={self.maximum():.6f}s")
+
+
+class TimeSeries:
+    """(timestamp, value) pairs, e.g. recall over execution time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._points: List[Tuple[float, float]] = []
+
+    def add(self, t: float, value: float) -> None:
+        """Record one sample."""
+        self._points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """A copy of all (timestamp, value) points."""
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        """Just the values, in insertion order."""
+        return [v for _, v in self._points]
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0
+
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        values = self.values()
+        return min(values) if values else 0.0
+
+    def final(self) -> float:
+        """The last recorded value (0.0 when empty)."""
+        return self._points[-1][1] if self._points else 0.0

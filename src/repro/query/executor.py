@@ -1,0 +1,113 @@
+"""Plan execution against one ACG's indices.
+
+The executor runs on an Index Node: it walks the chosen access path to get
+candidate file ids, then applies the full predicate as a residual filter
+against the ACG's attribute store.  Results are therefore always exact —
+an over-approximate index never yields false positives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set
+
+from repro.errors import QueryError, UnknownIndexName
+from repro.indexstructures.base import Index
+from repro.query.ast import Predicate, matches
+from repro.query.planner import Plan
+
+_TOKEN_SPLIT = re.compile(r"[^a-z0-9]+")
+
+
+def tokenize_path(path: str) -> FrozenSet[str]:
+    """Keywords of a path: lower-cased alphanumeric runs, plus stem splits.
+
+    ``/home/john/.mozilla/prefs.js`` → {home, john, mozilla, prefs, js}.
+    This mirrors the paper's MySQL schema, which extracts keywords from
+    the full file path.
+    """
+    return frozenset(t for t in _TOKEN_SPLIT.split(path.lower()) if t)
+
+
+class AttributeStore:
+    """Per-ACG ground truth: file id → attributes + path keywords."""
+
+    def __init__(self) -> None:
+        self._attrs: Dict[int, Dict[str, Any]] = {}
+        self._keywords: Dict[int, FrozenSet[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._attrs
+
+    def put(self, file_id: int, attrs: Mapping[str, Any], path: Optional[str] = None) -> None:
+        """Insert/refresh one file's attributes (and path keywords)."""
+        entry = self._attrs.setdefault(file_id, {})
+        entry.update(attrs)
+        if path is not None:
+            entry["path"] = path
+            self._keywords[file_id] = tokenize_path(path)
+
+    def drop(self, file_id: int) -> None:
+        """Forget one file entirely."""
+        self._attrs.pop(file_id, None)
+        self._keywords.pop(file_id, None)
+
+    def attrs(self, file_id: int) -> Dict[str, Any]:
+        """The file's attribute dict ({} if unknown)."""
+        return self._attrs.get(file_id, {})
+
+    def keywords(self, file_id: int) -> FrozenSet[str]:
+        """The file's path keywords (empty set if unknown)."""
+        return self._keywords.get(file_id, frozenset())
+
+    def file_ids(self) -> Iterator[int]:
+        """Iterate every known file id."""
+        return iter(self._attrs)
+
+    def estimated_bytes(self) -> int:
+        """Rough serialized size, used by the page-cache cost model."""
+        return sum(64 + 16 * len(a) for a in self._attrs.values())
+
+
+def _candidates(plan: Plan, indexes: Mapping[str, Index],
+                store: AttributeStore) -> Iterable[int]:
+    if plan.access == "scan":
+        return list(store.file_ids())
+    if plan.index_name is None or plan.index_name not in indexes:
+        raise UnknownIndexName(str(plan.index_name))
+    index = indexes[plan.index_name]
+    if plan.access in ("hash_eq", "keyword"):
+        return index.get(plan.key)
+    if plan.access == "btree_range":
+        return [value for _, value in index.range(  # type: ignore[attr-defined]
+            plan.low, plan.high,
+            include_low=plan.include_low, include_high=plan.include_high)]
+    if plan.access == "kdtree_range":
+        return [value for _, value in index.range(plan.lows, plan.highs)]  # type: ignore[attr-defined]
+    raise QueryError(f"unknown access path: {plan.access!r}")
+
+
+def execute(plan: Plan, predicate: Predicate, indexes: Mapping[str, Index],
+            store: AttributeStore, now: float) -> Set[int]:
+    """Run one plan; return the exact set of matching file ids."""
+    result: Set[int] = set()
+    for file_id in _candidates(plan, indexes, store):
+        if file_id in result or file_id not in store:
+            continue
+        if matches(predicate, store.attrs(file_id), store.keywords(file_id), now):
+            result.add(file_id)
+    return result
+
+
+def execute_plans(plans: Iterable[Plan], predicate: Predicate,
+                  indexes: Mapping[str, Index], store: AttributeStore,
+                  now: float) -> Set[int]:
+    """Union of several plans (disjunctive queries), still exact: every
+    candidate is re-checked against the full predicate."""
+    result: Set[int] = set()
+    for plan in plans:
+        result |= execute(plan, predicate, indexes, store, now)
+    return result

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates Propeller on a 9-node Linux cluster with 7 200-RPM hard
+drives and a gigabit switch.  This subpackage replaces that testbed with a
+cost-model simulation: a virtual clock (:class:`SimClock`), device models
+that charge virtual time for seeks, transfers, page faults and network hops,
+and a tiny synchronous RPC layer.  Benchmarks report *simulated seconds*,
+which reproduce the shapes of the paper's results (who wins, by what factor,
+where crossovers fall) without the authors' hardware.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskDevice, HDDModel, SSDModel
+from repro.sim.events import EventLoop, PeriodicTask
+from repro.sim.machine import Cluster, Machine, MachineSpec
+from repro.sim.memory import PageCache
+from repro.sim.network import NetworkModel
+from repro.sim.rpc import RpcEndpoint, RpcNetwork
+
+__all__ = [
+    "SimClock",
+    "DiskDevice",
+    "HDDModel",
+    "SSDModel",
+    "EventLoop",
+    "PeriodicTask",
+    "Cluster",
+    "Machine",
+    "MachineSpec",
+    "PageCache",
+    "NetworkModel",
+    "RpcEndpoint",
+    "RpcNetwork",
+]

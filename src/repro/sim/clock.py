@@ -1,0 +1,90 @@
+"""Virtual time.
+
+All simulated components share one :class:`SimClock`.  Work is expressed by
+*charging* durations to the clock; queries of :meth:`SimClock.now` give the
+virtual timestamp used for mtimes, timeouts and latency measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically increasing virtual clock measured in seconds.
+
+    The clock supports nested *spans*: a span records the virtual time that
+    elapsed while it was open, which is how benchmarks measure per-request
+    latency without wall-clock noise.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self._now
+
+    def charge(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` of simulated work.
+
+        Negative charges are rejected: virtual time never runs backwards.
+        """
+        if seconds < 0:
+            raise SimulationError(f"cannot charge negative time: {seconds}")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump the clock forward to ``timestamp`` (e.g. idle until a timer).
+
+        Jumping backwards is rejected.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = timestamp
+
+    def span(self) -> "ClockSpan":
+        """Open a measurement span; ``span.elapsed()`` gives time since open."""
+        return ClockSpan(self)
+
+    def parallel(self, thunks) -> list:
+        """Run thunks as logically concurrent work.
+
+        Each thunk executes (so its side effects — cache state, results —
+        happen), its individually-charged virtual time is measured, and
+        the clock finally lands at ``start + max(durations)``: concurrent
+        servers overlap, so the caller waits only for the slowest.  This
+        models the paper's parallel fan-out of search requests to Index
+        Nodes.  Returns the thunk results in order.
+        """
+        start = self._now
+        results = []
+        longest = 0.0
+        for thunk in thunks:
+            self._now = start
+            results.append(thunk())
+            longest = max(longest, self._now - start)
+        self._now = start + longest
+        return results
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+class ClockSpan:
+    """Measures virtual time elapsed since the span was created."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+
+    @property
+    def start(self) -> float:
+        """The virtual time at which the span was opened."""
+        return self._start
+
+    def elapsed(self) -> float:
+        """Virtual seconds since the span was opened."""
+        return self._clock.now() - self._start

@@ -1,0 +1,113 @@
+"""Storage device cost models.
+
+The paper's testbed used Seagate Barracuda ST31000524AS drives (7 200 RPM,
+32 MB cache).  :class:`HDDModel` charges the classic three-component cost —
+seek + rotational latency + transfer — with a sequential-access discount:
+back-to-back requests at adjacent offsets skip the seek and rotation, which
+is exactly the locality effect Propeller's small partitions exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class HDDModel:
+    """Cost constants for a 7 200-RPM SATA hard drive.
+
+    Defaults approximate the paper's Seagate Barracuda: ~8.5 ms average
+    seek, 4.16 ms average rotational latency (half a revolution at 7 200
+    RPM), and ~125 MB/s sequential bandwidth.
+    """
+
+    avg_seek_s: float = 0.0085
+    avg_rotation_s: float = 0.00416
+    bandwidth_bytes_per_s: float = 125e6
+
+    def random_access_cost(self, nbytes: int) -> float:
+        """Cost of one random read/write of ``nbytes``."""
+        return self.avg_seek_s + self.avg_rotation_s + nbytes / self.bandwidth_bytes_per_s
+
+    def sequential_access_cost(self, nbytes: int) -> float:
+        """Cost of a transfer that continues the previous request."""
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class SSDModel:
+    """Cost constants for a SATA SSD (used by ablations, not the paper)."""
+
+    read_latency_s: float = 0.0001
+    write_latency_s: float = 0.0002
+    bandwidth_bytes_per_s: float = 500e6
+
+    def random_access_cost(self, nbytes: int) -> float:
+        """Seconds for one random access of ``nbytes``."""
+        return self.read_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def sequential_access_cost(self, nbytes: int) -> float:
+        """Seconds for a transfer continuing the previous request."""
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class DiskStats:
+    """Counters accumulated by a :class:`DiskDevice`."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    busy_seconds: float = 0.0
+
+
+class DiskDevice:
+    """A disk attached to a machine; charges I/O costs to the shared clock.
+
+    Sequentiality is detected from byte offsets: a request whose offset
+    equals the previous request's end continues the stream and pays only
+    transfer cost.  Everything else pays a full seek + rotation.
+    """
+
+    def __init__(self, clock: SimClock, model=None) -> None:
+        self.clock = clock
+        self.model = model if model is not None else HDDModel()
+        self.stats = DiskStats()
+        self._next_sequential_offset: int | None = None
+
+    def _charge(self, offset: int, nbytes: int) -> None:
+        if offset == self._next_sequential_offset:
+            cost = self.model.sequential_access_cost(nbytes)
+        else:
+            cost = self.model.random_access_cost(nbytes)
+            self.stats.seeks += 1
+        self._next_sequential_offset = offset + nbytes
+        self.stats.busy_seconds += cost
+        self.clock.charge(cost)
+
+    def read(self, offset: int, nbytes: int) -> None:
+        """Charge the cost of reading ``nbytes`` at ``offset``."""
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self._charge(offset, nbytes)
+
+    def write(self, offset: int, nbytes: int) -> None:
+        """Charge the cost of writing ``nbytes`` at ``offset``."""
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self._charge(offset, nbytes)
+
+    def append(self, nbytes: int) -> None:
+        """Charge a log-style append: sequential after the first write."""
+        offset = self._next_sequential_offset
+        if offset is None:
+            offset = 0
+        self.write(offset, nbytes)
+
+    def reset_head(self) -> None:
+        """Forget sequential state (e.g. another process moved the arm)."""
+        self._next_sequential_offset = None

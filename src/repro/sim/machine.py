@@ -1,0 +1,93 @@
+"""Simulated machines and clusters.
+
+A :class:`Machine` bundles the per-node resources the paper's testbed had:
+a CPU (fixed rate for charging computation), one HDD, and a page cache whose
+capacity reflects the node's RAM (4–16 GB on the testbed).  A
+:class:`Cluster` shares one clock and one network across machines — the
+simulation is *logically* concurrent but advances a single virtual clock;
+benchmark harnesses account for overlap explicitly where the paper's
+operations are parallel (fan-out search, per-process indexing streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskDevice, HDDModel
+from repro.sim.memory import PageCache
+from repro.sim.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description of one node.
+
+    Defaults mirror the paper's Index Nodes: quad-core Xeon X3440, 4 GB of
+    RAM usable as page cache, one 7 200-RPM drive.
+    """
+
+    name: str = "node"
+    cpu_ops_per_s: float = 2.53e9
+    ram_bytes: int = 4 * 1024**3
+    disk_model: HDDModel = HDDModel()
+
+
+class Machine:
+    """One simulated node: CPU + disk + page cache on a shared clock."""
+
+    def __init__(self, clock: SimClock, spec: MachineSpec | None = None) -> None:
+        self.clock = clock
+        self.spec = spec if spec is not None else MachineSpec()
+        self.disk = DiskDevice(clock, self.spec.disk_model)
+        self.page_cache = PageCache(self.disk, self.spec.ram_bytes)
+
+    @property
+    def name(self) -> str:
+        """The machine's node name."""
+        return self.spec.name
+
+    def compute(self, ops: float) -> None:
+        """Charge ``ops`` units of CPU work at the machine's clock rate."""
+        self.clock.charge(ops / self.spec.cpu_ops_per_s)
+
+    def drop_caches(self) -> None:
+        """Cold-start this node (used before 'cold query' measurements)."""
+        self.page_cache.drop_all()
+        self.disk.reset_head()
+
+    def __repr__(self) -> str:
+        return f"Machine({self.name!r})"
+
+
+class Cluster:
+    """A set of machines behind one switch, sharing a virtual clock."""
+
+    def __init__(self, node_names: list, spec: MachineSpec | None = None,
+                 network: NetworkModel | None = None, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.network = network if network is not None else NetworkModel(self.clock)
+        base = spec if spec is not None else MachineSpec()
+        self.machines = {
+            name: Machine(self.clock, MachineSpec(
+                name=name,
+                cpu_ops_per_s=base.cpu_ops_per_s,
+                ram_bytes=base.ram_bytes,
+                disk_model=base.disk_model,
+            ))
+            for name in node_names
+        }
+
+    def __getitem__(self, name: str) -> Machine:
+        return self.machines[name]
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self):
+        return iter(self.machines.values())
+
+    def drop_caches(self) -> None:
+        """Cold-start every machine in the cluster."""
+        for machine in self:
+            machine.drop_caches()

@@ -1,0 +1,110 @@
+"""Simulated synchronous RPC.
+
+Propeller's client talks to the Master Node and Index Nodes over RPC.  The
+simulation keeps calls synchronous (the paper's request path is
+request/response) and charges: request message + handler work (whatever the
+handler itself charges) + response message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import ClusterError, NodeDown
+from repro.sim.network import NetworkModel
+
+Handler = Callable[..., Any]
+
+# Rough serialized size of an RPC envelope plus a typical small payload.
+_DEFAULT_MSG_BYTES = 256
+
+
+class RpcEndpoint:
+    """A named set of RPC handlers living on one machine."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._handlers: Dict[str, Handler] = {}
+        self.up = True
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Bind a handler to a method name (once)."""
+        if method in self._handlers:
+            raise ClusterError(f"{self.name}: handler already registered: {method}")
+        self._handlers[method] = handler
+
+    def dispatch(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run a handler directly (no network charge); raises if down."""
+        if not self.up:
+            raise NodeDown(f"{self.name} is down")
+        try:
+            handler = self._handlers[method]
+        except KeyError:
+            raise ClusterError(f"{self.name}: no handler for {method!r}") from None
+        return handler(*args, **kwargs)
+
+    def fail(self) -> None:
+        """Mark the node failed; subsequent calls raise :class:`NodeDown`."""
+        self.up = False
+
+    def recover(self) -> None:
+        """Bring a failed node back up."""
+        self.up = True
+
+
+class RpcNetwork:
+    """Routes calls between endpoints over a :class:`NetworkModel`.
+
+    ``local=True`` marks calls that never cross the wire (single-node mode,
+    used for the MySQL and Spotlight comparisons).
+    """
+
+    def __init__(self, network: NetworkModel) -> None:
+        self.network = network
+        self._endpoints: Dict[str, RpcEndpoint] = {}
+
+    def add_endpoint(self, endpoint: RpcEndpoint) -> None:
+        """Attach a node's endpoint to the network."""
+        if endpoint.name in self._endpoints:
+            raise ClusterError(f"duplicate endpoint: {endpoint.name}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> RpcEndpoint:
+        """Look up an endpoint by name or raise :class:`ClusterError`."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise ClusterError(f"unknown endpoint: {name}") from None
+
+    def call(self, target: str, method: str, *args: Any,
+             local: bool = False, request_bytes: int = _DEFAULT_MSG_BYTES,
+             response_bytes: int = _DEFAULT_MSG_BYTES, **kwargs: Any) -> Any:
+        """Synchronous RPC: charge request, run handler, charge response."""
+        endpoint = self.endpoint(target)
+        if local:
+            self.network.send_local(request_bytes)
+        else:
+            self.network.send(request_bytes)
+        result = endpoint.dispatch(method, *args, **kwargs)
+        if local:
+            self.network.send_local(response_bytes)
+        else:
+            self.network.send(response_bytes)
+        return result
+
+    def multicall(self, targets: list, method: str, *args: Any,
+                  request_bytes: int = _DEFAULT_MSG_BYTES, **kwargs: Any) -> list:
+        """Parallel fan-out: all requests go out together, handlers run,
+        and the caller waits for the slowest reply.
+
+        Network legs overlap (one ``fanout`` charge each way); handler work
+        is charged by the handlers themselves — the caller should measure
+        and overlap it if it models parallel servers (see
+        ``cluster.service``).
+        """
+        if not targets:
+            return []
+        self.network.fanout([request_bytes] * len(targets))
+        results = [self.endpoint(t).dispatch(method, *args, **kwargs) for t in targets]
+        self.network.fanout([_DEFAULT_MSG_BYTES] * len(targets))
+        return results

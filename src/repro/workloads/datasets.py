@@ -1,0 +1,110 @@
+"""Namespace (dataset) builders.
+
+The paper builds evaluation namespaces by duplicating well-known
+application/OS trees with a scaling factor (Section V.B) — big-fanout
+directories included, since those defeat namespace-based partitioning.
+These builders do the same against our VFS: each template describes one
+application's on-disk tree shape; :func:`populate_namespace` cycles
+templates with a duplication suffix until the requested file count.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fs.vfs import VirtualFileSystem
+
+
+@dataclass(frozen=True)
+class AppTemplate:
+    """Shape of one application's install tree.
+
+    ``fanout`` files per directory and ``dirs`` directories; file sizes
+    are log-uniform in [min_size, max_size] with ``big_file_fraction`` of
+    files boosted into the multi-MB range (so size-range queries like the
+    paper's ``size > 16MB`` have non-trivial answers).
+    """
+
+    name: str
+    dirs: int
+    fanout: int
+    extensions: Tuple[str, ...]
+    min_size: int = 128
+    max_size: int = 512 * 1024
+    big_file_fraction: float = 0.02
+    big_min_size: int = 4 * 1024**2
+    big_max_size: int = 128 * 1024**2
+
+    @property
+    def files(self) -> int:
+        """Files one instance of this template creates."""
+        return self.dirs * self.fanout
+
+
+APP_TEMPLATES: Dict[str, AppTemplate] = {
+    "firefox": AppTemplate("firefox", dirs=40, fanout=25,
+                           extensions=("js", "so", "html", "png", "dat")),
+    "openoffice": AppTemplate("openoffice", dirs=60, fanout=30,
+                              extensions=("xml", "so", "odt", "ttf", "dat")),
+    "linux-src": AppTemplate("linux-src", dirs=120, fanout=40,
+                             extensions=("c", "h", "S", "txt", "o"),
+                             max_size=64 * 1024, big_file_fraction=0.005),
+    # Analytics-style big-fanout directory (Section III: enormous numbers
+    # of files in one directory).
+    "logs": AppTemplate("logs", dirs=4, fanout=600,
+                        extensions=("log",), min_size=1024,
+                        max_size=8 * 1024**2, big_file_fraction=0.05),
+}
+
+
+def populate_app_tree(vfs: VirtualFileSystem, root: str, template: AppTemplate,
+                      seed: int = 0, pid: int = -1, uid: int = 0) -> List[str]:
+    """Materialize one template instance under ``root``; returns paths."""
+    # Stable across processes (builtin str hashing is randomized, which
+    # would make "the same dataset" differ from run to run).
+    rng = random.Random(seed ^ zlib.crc32(template.name.encode("utf-8")))
+    vfs.mkdir(root, parents=True, uid=uid)
+    paths: List[str] = []
+    for d in range(template.dirs):
+        dir_path = f"{root}/d{d:04d}"
+        vfs.mkdir(dir_path, uid=uid)
+        for f in range(template.fanout):
+            ext = template.extensions[f % len(template.extensions)]
+            path = f"{dir_path}/{template.name}{f:05d}.{ext}"
+            if rng.random() < template.big_file_fraction:
+                size = rng.randint(template.big_min_size, template.big_max_size)
+            else:
+                # Log-uniform: most files small, a long tail.
+                lo, hi = template.min_size, template.max_size
+                size = int(lo * (hi / lo) ** rng.random())
+            vfs.write_file(path, size, pid=pid, uid=uid)
+            paths.append(path)
+    return paths
+
+
+def populate_namespace(vfs: VirtualFileSystem, total_files: int,
+                       templates: Optional[Sequence[AppTemplate]] = None,
+                       seed: int = 0, pid: int = -1) -> List[str]:
+    """Duplicate templates with a scaling suffix until ``total_files``.
+
+    This is the paper's dataset construction: representative application
+    trees copied with a scaling factor.  Returns all file paths created.
+    """
+    chosen = list(templates) if templates is not None else list(APP_TEMPLATES.values())
+    paths: List[str] = []
+    copy = 0
+    while len(paths) < total_files:
+        template = chosen[copy % len(chosen)]
+        root = f"/data/copy{copy:04d}/{template.name}"
+        created = populate_app_tree(vfs, root, template, seed=seed + copy, pid=pid)
+        remaining = total_files - len(paths)
+        if len(created) > remaining:
+            for path in created[remaining:]:
+                vfs.unlink(path, pid=pid)
+            created = created[:remaining]
+        paths.extend(created)
+        copy += 1
+    return paths

@@ -1,0 +1,120 @@
+"""Impressions-style statistical namespace generation.
+
+The paper cites Agrawal et al.'s *Impressions* (FAST'09) for generating
+realistic file-system images.  This module grows a namespace from the
+published metadata statistics rather than fixed templates:
+
+* file sizes — lognormal body with a Pareto tail (most files are a few
+  KB, a few are huge);
+* directory shape — geometric subdirectory counts, depth-dependent file
+  counts, plus the occasional giant fan-out directory that big-data
+  datasets exhibit (Section III);
+* extensions — drawn from an empirical popularity distribution.
+
+Use it when template duplication (``populate_namespace``) is too uniform
+— e.g. for Table V's "user laptop snapshot" flavor of dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fs.vfs import VirtualFileSystem
+
+# Empirical-ish extension popularity (mass ~desktop/OS image).
+EXTENSION_WEIGHTS: List[Tuple[str, float]] = [
+    ("txt", 0.08), ("h", 0.07), ("c", 0.06), ("py", 0.04), ("js", 0.05),
+    ("html", 0.06), ("xml", 0.05), ("png", 0.07), ("jpg", 0.08),
+    ("gif", 0.02), ("pdf", 0.03), ("doc", 0.02), ("mp3", 0.03),
+    ("so", 0.09), ("o", 0.08), ("log", 0.05), ("dat", 0.06), ("bin", 0.06),
+]
+
+
+@dataclass(frozen=True)
+class ImpressionsConfig:
+    """Distribution parameters (defaults approximate the FAST'09 study
+    at desktop scale)."""
+
+    total_files: int = 10_000
+    # Lognormal body of the size distribution (bytes).
+    size_mu: float = 8.5          # median ≈ 4.9 KB
+    size_sigma: float = 2.3
+    # Pareto tail: fraction of files drawn from the heavy tail.
+    tail_fraction: float = 0.015
+    tail_alpha: float = 1.05
+    tail_min_bytes: int = 8 * 1024**2
+    # Directory shape.
+    mean_subdirs: float = 3.0
+    mean_files_per_dir: float = 12.0
+    max_depth: int = 8
+    # Probability a directory is a giant fan-out directory.
+    fanout_dir_probability: float = 0.01
+    fanout_dir_files: int = 500
+    seed: int = 0
+
+
+def _sample_size(rng: random.Random, config: ImpressionsConfig) -> int:
+    if rng.random() < config.tail_fraction:
+        # Pareto tail.
+        u = max(rng.random(), 1e-12)
+        return int(config.tail_min_bytes * u ** (-1.0 / config.tail_alpha))
+    return max(1, int(rng.lognormvariate(config.size_mu, config.size_sigma)))
+
+
+def _sample_extension(rng: random.Random) -> str:
+    total = sum(w for _, w in EXTENSION_WEIGHTS)
+    pick = rng.random() * total
+    for ext, weight in EXTENSION_WEIGHTS:
+        pick -= weight
+        if pick <= 0:
+            return ext
+    return EXTENSION_WEIGHTS[-1][0]
+
+
+def generate_impressions(vfs: VirtualFileSystem, root: str = "/impressions",
+                         config: ImpressionsConfig = ImpressionsConfig(),
+                         pid: int = -1) -> List[str]:
+    """Grow a statistically shaped namespace; returns the file paths.
+
+    Deterministic for a given ``config.seed``.  Stops at exactly
+    ``config.total_files`` regular files.
+    """
+    rng = random.Random(config.seed)
+    vfs.mkdir(root, parents=True)
+    paths: List[str] = []
+    # Breadth-first growth: (dir_path, depth).
+    frontier: List[Tuple[str, int]] = [(root, 0)]
+    dir_counter = 0
+    file_counter = 0
+    while frontier and len(paths) < config.total_files:
+        dir_path, depth = frontier.pop(0)
+        # Files in this directory.
+        if rng.random() < config.fanout_dir_probability:
+            n_files = config.fanout_dir_files
+        else:
+            n_files = max(0, int(rng.expovariate(1.0 / config.mean_files_per_dir)))
+        for _ in range(n_files):
+            if len(paths) >= config.total_files:
+                break
+            ext = _sample_extension(rng)
+            path = f"{dir_path}/f{file_counter:07d}.{ext}"
+            file_counter += 1
+            vfs.write_file(path, _sample_size(rng, config), pid=pid)
+            paths.append(path)
+        # Subdirectories.
+        if depth < config.max_depth:
+            n_subdirs = max(0, int(rng.expovariate(1.0 / config.mean_subdirs)))
+            for _ in range(n_subdirs):
+                sub = f"{dir_path}/d{dir_counter:06d}"
+                dir_counter += 1
+                vfs.mkdir(sub)
+                frontier.append((sub, depth + 1))
+        # Never starve: keep at least one growable directory around.
+        if not frontier and len(paths) < config.total_files:
+            sub = f"{root}/overflow{dir_counter:06d}"
+            dir_counter += 1
+            vfs.mkdir(sub)
+            frontier.append((sub, 1))
+    return paths

@@ -1,0 +1,41 @@
+"""Mixed update/search workload (Figure 10).
+
+The paper feeds 10 000 updates to one 1 000-file group with one
+file-search request every 1 024 updates, and a background re-index
+('timeout' commit) every 500 updates, then reports per-request latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class MixedWorkloadConfig:
+    """Figure 10's parameters, exposed as knobs."""
+
+    n_updates: int = 10_000
+    search_every: int = 1_024
+    commit_every: int = 500
+    query: str = "size>1m"
+    seed: int = 0
+
+
+# Each item is ("update", path), ("search", query) or ("commit", "").
+MixedOp = Tuple[str, str]
+
+
+def mixed_stream(paths: Sequence[str],
+                 config: MixedWorkloadConfig = MixedWorkloadConfig()) -> Iterator[MixedOp]:
+    """Yield the interleaved operation stream for one group of files."""
+    if not paths:
+        raise ValueError("need at least one file path")
+    rng = random.Random(config.seed)
+    for i in range(1, config.n_updates + 1):
+        yield "update", paths[rng.randrange(len(paths))]
+        if i % config.commit_every == 0:
+            yield "commit", ""
+        if i % config.search_every == 0:
+            yield "search", config.query

@@ -1,0 +1,146 @@
+"""PostMark (Katcher 1997) — the raw-I/O benchmark of Table VI.
+
+Three phases against a :class:`~repro.fs.passthrough.ProfiledFS`:
+
+1. **Create** — ``files`` files spread over ``subdirs`` subdirectories
+   with random sizes in [min_size, max_size];
+2. **Transactions** — a mix of read / append / create / delete
+   operations on random files;
+3. **Delete** — unlink everything that remains.
+
+Reports the numbers Table VI quotes: files created per second (creation
+phase), read/write throughput over the whole run, and total (virtual)
+time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.fs.passthrough import ProfiledFS
+from repro.fs.vfs import OpenMode
+
+
+@dataclass(frozen=True)
+class PostMarkConfig:
+    """Knobs mirroring PostMark's config file (paper values by default)."""
+
+    files: int = 50_000
+    subdirs: int = 200
+    min_size: int = 500
+    max_size: int = 9_770
+    transactions: int = 20_000
+    read_block: int = 4096
+    read_bias: float = 0.5      # read vs append inside a transaction
+    create_bias: float = 0.5    # create vs delete inside a transaction
+    seed: int = 42
+
+
+@dataclass
+class PostMarkReport:
+    """Measured results for one run."""
+
+    fs_name: str
+    files_created: int
+    creation_seconds: float
+    transaction_seconds: float
+    deletion_seconds: float
+    bytes_read: int
+    bytes_written: int
+    total_seconds: float
+
+    @property
+    def files_created_per_second(self) -> float:
+        """Creation-phase throughput (Table VI's headline column)."""
+        return self.files_created / self.creation_seconds if self.creation_seconds else 0.0
+
+    @property
+    def read_throughput(self) -> float:
+        """Bytes read per simulated second over the whole run."""
+        return self.bytes_read / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def write_throughput(self) -> float:
+        """Bytes written per simulated second over the whole run."""
+        return self.bytes_written / self.total_seconds if self.total_seconds else 0.0
+
+
+def run_postmark(pfs: ProfiledFS, config: PostMarkConfig = PostMarkConfig(),
+                 root: str = "/postmark") -> PostMarkReport:
+    """Run the benchmark; all costs land on the ProfiledFS's clock."""
+    rng = random.Random(config.seed)
+    clock = pfs.clock
+    pfs.mkdir(root, parents=True)
+    for d in range(config.subdirs):
+        pfs.mkdir(f"{root}/s{d:03d}")
+
+    bytes_read = 0
+    bytes_written = 0
+    next_file = 0
+    live: List[str] = []
+
+    def create_one() -> None:
+        nonlocal next_file, bytes_written
+        path = f"{root}/s{next_file % config.subdirs:03d}/pm{next_file:07d}"
+        next_file += 1
+        size = rng.randint(config.min_size, config.max_size)
+        fd = pfs.open(path, OpenMode.WRITE, create=True)
+        pfs.write(fd, size)
+        pfs.close(fd)
+        bytes_written += size
+        live.append(path)
+
+    start = clock.now()
+    for _ in range(config.files):
+        create_one()
+    created = len(live)
+    creation_seconds = clock.now() - start
+
+    start = clock.now()
+    for _ in range(config.transactions):
+        if not live:
+            create_one()
+            continue
+        if rng.random() < 0.5:
+            # Read or append an existing file.
+            path = live[rng.randrange(len(live))]
+            if rng.random() < config.read_bias:
+                fd = pfs.open(path, OpenMode.READ)
+                bytes_read += pfs.read(fd, config.read_block)
+                pfs.close(fd)
+            else:
+                size = rng.randint(config.min_size, config.max_size)
+                fd = pfs.open(path, OpenMode.WRITE)
+                pfs.write(fd, size)
+                pfs.close(fd)
+                bytes_written += size
+        else:
+            # Create or delete.
+            if rng.random() < config.create_bias:
+                create_one()
+                created += 1
+            else:
+                victim = rng.randrange(len(live))
+                live[victim], live[-1] = live[-1], live[victim]
+                pfs.unlink(live.pop())
+    transaction_seconds = clock.now() - start
+
+    start = clock.now()
+    for path in live:
+        pfs.unlink(path)
+    live.clear()
+    deletion_seconds = clock.now() - start
+
+    total = creation_seconds + transaction_seconds + deletion_seconds
+    return PostMarkReport(
+        fs_name=pfs.profile.name,
+        files_created=created,
+        creation_seconds=creation_seconds,
+        transaction_seconds=transaction_seconds,
+        deletion_seconds=deletion_seconds,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        total_seconds=total,
+    )

@@ -1,0 +1,45 @@
+"""Update-request stream generators (the Figure 2 sensitivity study).
+
+Figure 2 issues 50 000 random update requests against a namespace split
+into equal-size groups, varying (a) the group size and (b) how many groups
+the stream touches.  These helpers produce the file-id streams for both
+axes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_files(files: Sequence[T], group_size: int) -> List[List[T]]:
+    """Chop a file list into consecutive equal-size groups."""
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1: {group_size}")
+    return [list(files[i:i + group_size]) for i in range(0, len(files), group_size)]
+
+
+def random_update_requests(files: Sequence[T], n_updates: int,
+                           seed: int = 0) -> List[T]:
+    """Uniformly random update targets over the whole file set."""
+    rng = random.Random(seed)
+    return [files[rng.randrange(len(files))] for _ in range(n_updates)]
+
+
+def grouped_update_requests(groups: Sequence[Sequence[T]], n_updates: int,
+                            touched_groups: int, seed: int = 0) -> List[T]:
+    """Random update targets confined to ``touched_groups`` of the groups
+    (Figure 2(b)'s inter-partition-access axis)."""
+    if not 1 <= touched_groups <= len(groups):
+        raise ValueError(
+            f"touched_groups must be in [1, {len(groups)}]: {touched_groups}")
+    rng = random.Random(seed)
+    chosen = rng.sample(range(len(groups)), touched_groups)
+    targets = [groups[g] for g in chosen]
+    out: List[T] = []
+    for _ in range(n_updates):
+        group = targets[rng.randrange(len(targets))]
+        out.append(group[rng.randrange(len(group))])
+    return out

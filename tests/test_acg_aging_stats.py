@@ -1,0 +1,123 @@
+"""ACG aging (decay/prune) and service introspection stats."""
+
+import pytest
+
+from repro.cluster import PropellerService
+from repro.core.acg import AccessCausalityGraph
+from repro.indexstructures import IndexKind
+
+
+# -- decay -------------------------------------------------------------------
+
+def test_decay_scales_weights():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 10)
+    graph.add_causality(2, 3, 4)
+    graph.decay(0.5)
+    assert graph.weight(1, 2) == 5
+    assert graph.weight(2, 3) == 2
+
+
+def test_decay_drops_zero_weight_edges_keeps_vertices():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 1)
+    graph.decay(0.4)
+    assert graph.weight(1, 2) == 0
+    assert graph.edge_count == 0
+    assert graph.has_vertex(1) and graph.has_vertex(2)
+
+
+def test_decay_factor_validation():
+    graph = AccessCausalityGraph()
+    with pytest.raises(ValueError):
+        graph.decay(0.0)
+    with pytest.raises(ValueError):
+        graph.decay(1.5)
+
+
+def test_decay_identity():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 7)
+    graph.decay(1.0)
+    assert graph.weight(1, 2) == 7
+
+
+def test_repeated_decay_eventually_disconnects():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 100)
+    for _ in range(10):
+        graph.decay(0.5)
+    assert graph.edge_count == 0
+    assert len(graph.connected_components()) == 2
+
+
+# -- prune -----------------------------------------------------------------------
+
+def test_prune_below_removes_weak_edges():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 10)
+    graph.add_causality(3, 4, 1)
+    graph.add_causality(5, 6, 3)
+    assert graph.prune_below(3) == 1
+    assert graph.weight(3, 4) == 0
+    assert graph.weight(5, 6) == 3
+    assert graph.weight(1, 2) == 10
+
+
+def test_prune_affects_components():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 10)
+    graph.add_causality(2, 3, 1)   # weak bridge
+    assert len(graph.connected_components()) == 1
+    graph.prune_below(5)
+    assert len(graph.connected_components()) == 2
+
+
+def test_prune_symmetry_of_internal_maps():
+    graph = AccessCausalityGraph()
+    graph.add_causality(1, 2, 1)
+    graph.prune_below(10)
+    assert graph.predecessors(2) == {}
+    assert graph.successors(1) == {}
+
+
+# -- service stats -------------------------------------------------------------------
+
+def test_service_stats_shape_and_consistency():
+    service = PropellerService(num_index_nodes=2)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+    vfs.mkdir("/d")
+    for i in range(50):
+        vfs.write_file(f"/d/f{i}", 100 + i, pid=1)
+        client.index_path(f"/d/f{i}", pid=1)
+    client.flush_updates()
+    service.commit_all()
+    client.search("size>0")
+
+    stats = service.stats()
+    assert stats["indexed_files"] == 50
+    assert stats["partitions"] >= 1
+    assert stats["network_messages"] > 0
+    assert set(stats["nodes"]) == {"in1", "in2"}
+    total_node_files = sum(n["files"] for n in stats["nodes"].values())
+    assert total_node_files == 50
+    for node_stats in stats["nodes"].values():
+        assert node_stats["up"] is True
+        assert node_stats["cache_pending"] == 0
+
+
+def test_service_stats_reflect_failures_and_pending():
+    service = PropellerService(num_index_nodes=2)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    service.vfs.mkdir("/d")
+    service.vfs.write_file("/d/f", 10, pid=1)
+    client.index_path("/d/f", pid=1)
+    client.flush_updates()           # acknowledged, still cached
+    service.fail_node("in1")
+    stats = service.stats()
+    assert stats["nodes"]["in1"]["up"] is False
+    pending = sum(n["cache_pending"] for n in stats["nodes"].values())
+    assert pending == 1

@@ -1,0 +1,144 @@
+"""Crawler (Spotlight analog) and brute-force baselines."""
+
+import pytest
+
+from repro.baselines.bruteforce import BruteForceSearcher, brute_force_search
+from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+from repro.metrics.recall import recall
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+def make_world(**config_kwargs):
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    loop = EventLoop(clock)
+    config = CrawlerConfig(**config_kwargs) if config_kwargs else CrawlerConfig()
+    crawler = CrawlerSearchEngine(vfs, loop, config)
+    vfs.mkdir("/data")
+    return clock, vfs, loop, crawler
+
+
+def test_full_rebuild_indexes_supported_types():
+    _, vfs, _, crawler = make_world()
+    vfs.write_file("/data/doc.txt", 20 * 1024**2)
+    vfs.write_file("/data/blob.xyz", 20 * 1024**2)  # unsupported type
+    crawler.full_rebuild()
+    assert crawler.query("size>1m") == ["/data/doc.txt"]
+
+
+def test_recall_capped_by_type_coverage():
+    _, vfs, _, crawler = make_world()
+    for i in range(10):
+        vfs.write_file(f"/data/f{i}.txt", 10)
+    for i in range(10):
+        vfs.write_file(f"/data/f{i}.bin", 10)
+    crawler.full_rebuild()
+    got = crawler.query("size>0")
+    truth = [p for p, _ in vfs.namespace.files()]
+    assert recall(got, truth) == pytest.approx(0.5)
+
+
+def test_new_files_invisible_until_pass_runs():
+    _, vfs, loop, crawler = make_world(pass_trigger_dirty=10**9,
+                                       pass_period_s=30.0)
+    crawler.full_rebuild()
+    vfs.write_file("/data/new.txt", 10)
+    assert crawler.query("size>0") == []      # asynchronous: not yet seen
+    loop.run_until(31.0)                       # periodic pass fires
+    # The pass takes re-index time; wait it out.
+    loop.run_until(crawler._reindexing_until + 1.0)
+    assert crawler.query("size>0") == ["/data/new.txt"]
+
+
+def test_queries_degrade_during_reindex():
+    clock, vfs, loop, crawler = make_world(pass_trigger_dirty=5,
+                                           reindex_rate_fps=1.0)
+    crawler.full_rebuild()
+    for i in range(6):
+        vfs.write_file(f"/data/f{i}.txt", 10)
+    # The dirty threshold forced a pass; it runs for ~6 s of virtual time.
+    assert crawler.query("size>0") == []      # recall collapses to 0
+    loop.run_until(clock.now() + 100.0)
+    assert len(crawler.query("size>0")) == 6
+
+
+def test_deletions_eventually_disappear():
+    _, vfs, loop, crawler = make_world(pass_trigger_dirty=1)
+    vfs.write_file("/data/f.txt", 10)
+    crawler.full_rebuild()
+    vfs.unlink("/data/f.txt")
+    crawler._ingest_notifications()
+    crawler._run_pass()
+    assert crawler.query("size>0") == []
+
+
+def test_modification_updates_snapshot_after_pass():
+    clock, vfs, loop, crawler = make_world(pass_trigger_dirty=1,
+                                           reindex_rate_fps=1000.0)
+    vfs.write_file("/data/f.txt", 10)
+    crawler.full_rebuild()
+    fd = vfs.open("/data/f.txt", OpenMode.WRITE)
+    vfs.write(fd, 64 * 1024**2)
+    vfs.close(fd)
+    crawler._ingest_notifications()
+    loop.run_until(clock.now() + 10)
+    assert crawler.query("size>1m") == ["/data/f.txt"]
+
+
+def test_query_charges_latency():
+    clock, vfs, _, crawler = make_world()
+    vfs.write_file("/data/f.txt", 10)
+    crawler.full_rebuild()
+    t0 = clock.now()
+    crawler.query("size>0")
+    assert clock.now() - t0 >= crawler.config.query_cost_s
+
+
+def test_dirty_backlog_visible():
+    _, vfs, _, crawler = make_world(pass_trigger_dirty=10**9)
+    crawler.full_rebuild()
+    vfs.write_file("/data/a.txt", 1)
+    vfs.write_file("/data/b.txt", 1)
+    assert crawler.dirty_backlog >= 2
+
+
+# -- brute force -----------------------------------------------------------------
+
+def test_brute_force_always_exact():
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    vfs.mkdir("/d")
+    vfs.write_file("/d/big.bin", 64 * 1024**2)
+    vfs.write_file("/d/small.bin", 10)
+    assert brute_force_search(vfs, "size>16m") == ["/d/big.bin"]
+
+
+def test_brute_force_user_attributes():
+    vfs = VirtualFileSystem(SimClock())
+    vfs.mkdir("/d")
+    vfs.write_file("/d/p1", 10)
+    vfs.setattr("/d/p1", "energy", -5.0)
+    vfs.write_file("/d/p2", 10)
+    vfs.setattr("/d/p2", "energy", 3.0)
+    assert brute_force_search(vfs, "energy<0") == ["/d/p1"]
+
+
+def test_brute_force_cold_slower_than_warm():
+    from repro.sim.disk import DiskDevice
+    from repro.sim.memory import PageCache
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    vfs.mkdir("/d")
+    for i in range(500):
+        vfs.write_file(f"/d/f{i}", i)
+    cache = PageCache(DiskDevice(clock), 64 * 1024**2)
+    searcher = BruteForceSearcher(vfs, page_cache=cache)
+    t0 = clock.now()
+    searcher.query("size>100")
+    cold = clock.now() - t0
+    t1 = clock.now()
+    searcher.query("size>100")
+    warm = clock.now() - t1
+    assert cold > 10 * warm

@@ -1,0 +1,203 @@
+"""B+tree: unit tests plus property tests against a dict-of-lists oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexstructures.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.get(1) == []
+    assert list(tree.items()) == []
+    assert tree.min_key() is None
+
+
+def test_single_insert_get():
+    tree = BPlusTree()
+    tree.insert(5, "a")
+    assert tree.get(5) == ["a"]
+    assert len(tree) == 1
+
+
+def test_multimap_values_accumulate():
+    tree = BPlusTree()
+    tree.insert(5, "a")
+    tree.insert(5, "b")
+    assert sorted(tree.get(5)) == ["a", "b"]
+    assert len(tree) == 2
+
+
+def test_duplicate_pair_idempotent():
+    tree = BPlusTree()
+    tree.insert(5, "a")
+    tree.insert(5, "a")
+    assert tree.get(5) == ["a"]
+    assert len(tree) == 1
+
+
+def test_order_below_three_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+def test_splits_grow_height():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert(i, i)
+    assert tree.height > 1
+    tree.check_invariants()
+
+
+def test_items_sorted_by_key():
+    tree = BPlusTree(order=4)
+    keys = random.Random(3).sample(range(1000), 200)
+    for k in keys:
+        tree.insert(k, k)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def test_range_inclusive_bounds():
+    tree = BPlusTree(order=4)
+    for i in range(20):
+        tree.insert(i, i)
+    assert [k for k, _ in tree.range(5, 8)] == [5, 6, 7, 8]
+
+
+def test_range_exclusive_bounds():
+    tree = BPlusTree(order=4)
+    for i in range(20):
+        tree.insert(i, i)
+    got = [k for k, _ in tree.range(5, 8, include_low=False, include_high=False)]
+    assert got == [6, 7]
+
+
+def test_range_open_ended():
+    tree = BPlusTree(order=4)
+    for i in range(10):
+        tree.insert(i, i)
+    assert [k for k, _ in tree.range(None, 2)] == [0, 1, 2]
+    assert [k for k, _ in tree.range(7, None)] == [7, 8, 9]
+
+
+def test_range_between_keys():
+    tree = BPlusTree()
+    for i in (10, 20, 30):
+        tree.insert(i, i)
+    assert [k for k, _ in tree.range(11, 19)] == []
+
+
+def test_remove_specific_value():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert tree.remove(1, "a") == 1
+    assert tree.get(1) == ["b"]
+
+
+def test_remove_all_values_under_key():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert tree.remove(1) == 2
+    assert tree.get(1) == []
+    assert len(tree) == 0
+
+
+def test_remove_missing_key_returns_zero():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    assert tree.remove(2) == 0
+    assert tree.remove(1, "zzz") == 0
+
+
+def test_remove_rebalances():
+    tree = BPlusTree(order=4)
+    for i in range(200):
+        tree.insert(i, i)
+    for i in range(0, 200, 2):
+        assert tree.remove(i) == 1
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == list(range(1, 200, 2))
+
+
+def test_remove_everything_then_reinsert():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert(i, i)
+    for i in range(100):
+        tree.remove(i)
+    assert len(tree) == 0
+    tree.check_invariants()
+    tree.insert(7, "x")
+    assert tree.get(7) == ["x"]
+
+
+def test_string_keys():
+    tree = BPlusTree(order=4)
+    for word in ["banana", "apple", "cherry"]:
+        tree.insert(word, word.upper())
+    assert [k for k, _ in tree.items()] == ["apple", "banana", "cherry"]
+
+
+def test_page_hook_called():
+    touched = []
+    tree = BPlusTree(order=4, page_hook=lambda nid, w: touched.append((nid, w)))
+    for i in range(50):
+        tree.insert(i, i)
+    tree.get(25)
+    assert touched
+    assert any(w for _, w in touched)       # writes happened
+    assert any(not w for _, w in touched)   # reads happened
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(-500, 500), st.integers(0, 5)), max_size=300),
+       st.integers(3, 16))
+def test_property_matches_oracle_after_inserts(pairs, order):
+    tree = BPlusTree(order=order)
+    oracle = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        oracle.setdefault(key, set()).add(value)
+    tree.check_invariants()
+    assert len(tree) == sum(len(v) for v in oracle.values())
+    for key, values in oracle.items():
+        assert set(tree.get(key)) == values
+    assert [k for k, _ in tree.items()] == sorted(
+        k for k, vs in oracle.items() for _ in vs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(-100, 100)), max_size=400),
+       st.integers(3, 8))
+def test_property_interleaved_insert_delete(ops, order):
+    tree = BPlusTree(order=order)
+    oracle = {}
+    for is_insert, key in ops:
+        if is_insert:
+            tree.insert(key, key)
+            oracle.setdefault(key, set()).add(key)
+        else:
+            removed = tree.remove(key)
+            expected = len(oracle.pop(key, set()))
+            assert removed == expected
+    tree.check_invariants()
+    assert sorted(k for k, _ in tree.items()) == sorted(oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+       st.integers(0, 1000), st.integers(0, 1000))
+def test_property_range_equals_filter(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=5)
+    for k in keys:
+        tree.insert(k, k)
+    got = [k for k, _ in tree.range(low, high)]
+    want = sorted(k for k in set(keys) if low <= k <= high)
+    assert got == want

@@ -1,0 +1,164 @@
+"""CLI, VFS byte content, and namespace-integrated query directories."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import PropellerService
+from repro.errors import QueryError
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+from repro.indexstructures import IndexKind
+from repro.sim.clock import SimClock
+
+
+# -- VFS byte content --------------------------------------------------------
+
+def test_write_read_bytes_roundtrip():
+    vfs = VirtualFileSystem(SimClock())
+    vfs.mkdir("/s")
+    vfs.write_bytes("/s/blob", b"hello world")
+    assert vfs.read_bytes("/s/blob") == b"hello world"
+    assert vfs.stat("/s/blob").size == 11
+
+
+def test_write_bytes_replaces_content():
+    vfs = VirtualFileSystem(SimClock())
+    vfs.write_bytes("/f", b"aaaa")
+    vfs.write_bytes("/f", b"bb")
+    assert vfs.read_bytes("/f") == b"bb"
+    assert vfs.stat("/f").size == 2
+
+
+def test_size_only_write_invalidates_bytes():
+    vfs = VirtualFileSystem(SimClock())
+    vfs.write_bytes("/f", b"content")
+    fd = vfs.open("/f", OpenMode.WRITE)
+    vfs.write(fd, 100)
+    vfs.close(fd)
+    assert vfs.read_bytes("/f") == b""       # content no longer known
+    assert vfs.stat("/f").size == 107
+
+
+def test_read_bytes_of_size_only_file_is_empty():
+    vfs = VirtualFileSystem(SimClock())
+    vfs.write_file("/f", 4096)
+    assert vfs.read_bytes("/f") == b""
+
+
+def test_system_pids_invisible_to_access_manager():
+    from repro.fs.interceptor import FileAccessManager
+
+    vfs = VirtualFileSystem(SimClock())
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    vfs.write_bytes("/checkpoint", b"x", pid=-1)
+    vfs.write_file("/user", 10, pid=5)
+    assert fam.peek().vertex_count == 1
+
+
+# -- query directories through the VFS -----------------------------------------
+
+def make_service():
+    service = PropellerService(num_index_nodes=2)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+    vfs.mkdir("/data")
+    vfs.write_file("/data/big.bin", 64 * 1024**2, pid=1)
+    vfs.write_file("/data/small.bin", 10, pid=1)
+    client.index_paths(["/data/big.bin", "/data/small.bin"], pid=1)
+    client.flush_updates()
+    return service, client
+
+
+def test_readdir_query_directory_runs_search():
+    service, _ = make_service()
+    assert service.vfs.readdir("/data/?size>16m") == ["/data/big.bin"]
+
+
+def test_readdir_query_directory_scopes_to_prefix():
+    service, client = make_service()
+    service.vfs.mkdir("/other")
+    service.vfs.write_file("/other/huge", 64 * 1024**2, pid=1)
+    client.index_path("/other/huge", pid=1)
+    assert service.vfs.readdir("/data/?size>16m") == ["/data/big.bin"]
+
+
+def test_readdir_plain_directory_still_lists():
+    service, _ = make_service()
+    assert service.vfs.readdir("/data") == ["big.bin", "small.bin"]
+
+
+def test_readdir_query_without_handler_raises():
+    vfs = VirtualFileSystem(SimClock())
+    with pytest.raises(QueryError):
+        vfs.readdir("/x/?size>1")
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_demo(capsys):
+    code, out, _ = run_cli(["demo", "--nodes", "2", "--files", "300"], capsys)
+    assert code == 0
+    assert "index node" in out
+    assert "size>16m" in out
+    assert "node loads" in out
+
+
+def test_cli_query_finds_files(capsys):
+    code, out, _ = run_cli(
+        ["query", "size>16m", "--files", "300", "--nodes", "1", "--limit", "3"],
+        capsys)
+    assert code == 0
+    assert "matches in" in out
+
+
+def test_cli_query_bad_syntax(capsys):
+    code, _, err = run_cli(["query", "size >", "--files", "10"], capsys)
+    assert code == 2
+    assert "error" in err
+
+
+def test_cli_partition_app(capsys):
+    code, out, _ = run_cli(["partition", "--app", "git", "--k", "3"], capsys)
+    assert code == 0
+    assert "ACG from git" in out
+    assert "3-way partition" in out
+    assert "cut weight" in out
+
+
+def test_cli_partition_unknown_app(capsys):
+    code, _, err = run_cli(["partition", "--app", "emacs"], capsys)
+    assert code == 2
+    assert "unknown app" in err
+
+
+def test_cli_partition_from_trace_file(tmp_path, capsys):
+    trace = tmp_path / "build.trace"
+    trace.write_text(
+        "# synthetic\n"
+        "7 r /a.c 0.0\n7 r /a.h 1.0\n7 w /a.o 2.0\n"
+        "8 r /b.c 3.0\n8 w /b.o 4.0\n")
+    code, out, _ = run_cli(["partition", "--trace", str(trace)], capsys)
+    assert code == 0
+    assert "5 files" in out
+
+
+def test_cli_results_missing_dir(tmp_path, capsys):
+    code, _, err = run_cli(["results", "--dir", str(tmp_path / "nope")], capsys)
+    assert code == 2
+
+
+def test_cli_results_prints_tables(tmp_path, capsys):
+    (tmp_path / "x.txt").write_text("Table X\nrow 1\n")
+    code, out, _ = run_cli(["results", "--dir", str(tmp_path)], capsys)
+    assert code == 0
+    assert "Table X" in out

@@ -1,0 +1,154 @@
+"""Edge cases across modules: notification overflow consequences, parser
+robustness, deep namespaces, planted-community k-way partitioning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
+from repro.core.metis import k_way_partition
+from repro.errors import QueryError
+from repro.fs.namespace import Namespace, normalize
+from repro.fs.notification import NotificationQueue
+from repro.fs.vfs import VirtualFileSystem
+from repro.query.parser import parse_query
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+# -- notification overflow has real consequences ---------------------------------
+
+def test_overflowed_notifications_cause_permanent_staleness():
+    """When the inotify-style queue overflows, the crawler never learns
+    about the dropped changes until a full rebuild — a real failure mode
+    of notification-based engines under write bursts."""
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    loop = EventLoop(clock)
+    crawler = CrawlerSearchEngine(vfs, loop, CrawlerConfig(
+        pass_trigger_dirty=10**9, pass_period_s=5.0,
+        reindex_rate_fps=10_000.0, type_filter=lambda p, i: True))
+    crawler.notifications.capacity = 10
+    vfs.mkdir("/d")
+    crawler.full_rebuild()
+    for i in range(50):
+        vfs.write_file(f"/d/f{i:03d}.txt", 2 * 1024**2)
+    # Each write_file emits create+modify: 100 events against capacity 10.
+    assert crawler.notifications.dropped == 90
+    loop.run_until(clock.now() + 60.0)   # many passes later...
+    # Only the files whose events fit the queue (5 create+modify pairs)
+    # ever become visible.
+    assert len(crawler.query("size>1m")) == 5
+    crawler.full_rebuild()                # the recovery tool
+    assert len(crawler.query("size>1m")) == 50
+
+
+# -- parser robustness -----------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(max_size=30))
+def test_parser_never_crashes_unexpectedly(text):
+    """Arbitrary input either parses or raises QueryError — nothing else."""
+    try:
+        parse_query(text)
+    except QueryError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10))
+def test_parser_handles_deep_nesting(depth):
+    query = "(" * depth + "size>1" + ")" * depth
+    assert parse_query(query) == parse_query("size>1")
+
+
+def test_parser_whitespace_insensitive():
+    assert parse_query("size>1m&mtime<1day") == \
+        parse_query("  size  >  1m  &  mtime < 1day ")
+
+
+def test_parser_unit_aliases():
+    assert parse_query("size>1m") == parse_query("size>1mb")
+    assert parse_query("mtime<1h") == parse_query("mtime<1hour")
+
+
+# -- namespace with generated paths -----------------------------------------------------
+
+_SEGMENT = st.text(alphabet="abcdefghij0123456789_-.", min_size=1,
+                   max_size=8).filter(lambda s: s not in (".", ".."))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(_SEGMENT, min_size=1, max_size=6), min_size=1,
+                max_size=10))
+def test_property_namespace_create_resolve(path_segments):
+    """Whatever sequence of creates succeeds, the namespace stays exactly
+    consistent: files() lists precisely the successfully created paths,
+    and failed attempts change nothing."""
+    from repro.errors import FileExists, NotADirectory
+
+    ns = Namespace()
+    created = set()
+    for segments in path_segments:
+        path = "/" + "/".join(segments)
+        parent = path.rsplit("/", 1)[0] or "/"
+        try:
+            if parent != "/":
+                ns.mkdir(parent, parents=True)
+            ns.create(path)
+        except (FileExists, NotADirectory):
+            continue
+        created.add(normalize(path))
+    assert {p for p, _ in ns.files()} == created
+    for path in created:
+        assert ns.resolve(path).kind.value == "file"
+
+
+def test_deep_directory_chain():
+    ns = Namespace()
+    path = "/" + "/".join(f"level{i}" for i in range(50))
+    ns.mkdir(path, parents=True)
+    ns.create(path + "/leaf")
+    assert ns.resolve(path + "/leaf")
+    assert len(list(ns.walk())) == 51
+
+
+# -- k-way on planted communities ------------------------------------------------------------
+
+def planted(k_communities, size, p_in=0.3, p_out=0.004, seed=0):
+    rng = random.Random(seed)
+    n = k_communities * size
+    adj = {i: {} for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i // size) == (j // size)
+            if rng.random() < (p_in if same else p_out):
+                adj[i][j] = 1
+                adj[j][i] = 1
+    return adj
+
+
+def test_k_way_recovers_planted_communities():
+    adj = planted(4, 50)
+    parts = k_way_partition(adj, 4)
+    # Each part should be dominated by one community.
+    for part in parts:
+        if not part:
+            continue
+        communities = [sum(1 for v in part if v // 50 == c) for c in range(4)]
+        assert max(communities) / len(part) > 0.8
+
+
+def test_k_way_cut_beats_random_assignment():
+    adj = planted(4, 40, seed=2)
+    parts = k_way_partition(adj, 4)
+    assignment = {v: i for i, part in enumerate(parts) for v in part}
+    cut = sum(w for u, t in adj.items() for v, w in t.items()
+              if u < v and assignment[u] != assignment[v])
+    rng = random.Random(3)
+    random_assignment = {v: rng.randrange(4) for v in adj}
+    random_cut = sum(w for u, t in adj.items() for v, w in t.items()
+                     if u < v and random_assignment[u] != random_assignment[v])
+    assert cut < 0.3 * random_cut

@@ -1,0 +1,42 @@
+"""Every example must stay runnable — they are executable documentation.
+
+Each example module exposes ``main()`` and asserts its own claims
+internally, so importing and running them is a real end-to-end test.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "log_analytics",
+    "drug_discovery",
+    "cluster_operations",
+])
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()          # every example narrates what it shows
+
+
+def test_compile_partitioning_example(capsys):
+    # The replay-based example is the slowest; keep it last and check
+    # its headline output lines.
+    run_example("compile_partitioning")
+    out = capsys.readouterr().out
+    assert "Thrift build ACG: 775 files" in out
+    assert "cluster search returns every indexed file: OK" in out

@@ -1,0 +1,75 @@
+"""Failure-path edges found by audit: down nodes during splits, and
+failover of a victim that never checkpointed."""
+
+import pytest
+
+from repro.cluster import PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.indexstructures import IndexKind
+
+
+def build(nodes=3, split=40):
+    service = PropellerService(
+        num_index_nodes=nodes,
+        policy=PartitioningPolicy(split_threshold=split, cluster_target=15))
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    return service, client
+
+
+def chain_files(service, client, n, pid=7):
+    service.vfs.mkdir("/d", parents=True) if not service.vfs.exists("/d") else None
+    for i in range(n):
+        service.vfs.write_file(f"/d/c{pid}_{i:03d}", 100 + i, pid=pid)
+        client.index_path(f"/d/c{pid}_{i:03d}", pid=pid)
+    client.flush_updates()
+
+
+def test_split_of_partition_on_down_node_is_deferred():
+    service, client = build()
+    chain_files(service, client, 60)       # one oversized partition
+    big = max(service.master.partitions.partitions(), key=lambda p: p.size)
+    assert big.size > 40
+    service.fail_node(big.node)
+    # The heartbeat round must not blow up on the dead owner...
+    service.master.poll_heartbeats()
+    assert len(service.master.splits) == 0
+    # ...and the split happens once the node is back.
+    service.index_nodes[big.node].endpoint.recover()
+    service.master.poll_heartbeats()
+    assert len(service.master.splits) >= 1
+
+
+def test_failover_without_checkpoint_leaves_partition_unplaced():
+    service, client = build()
+    chain_files(service, client, 30)
+    victim = max(service.master.index_nodes,
+                 key=service.master.partitions.node_load)
+    # No checkpoint ever written: the victim's data is unrecoverable.
+    service.fail_node(victim)
+    moved = service.failover(victim)
+    assert moved == 0
+    orphaned = [p for p in service.master.partitions.partitions()
+                if p.files and p.node is None]
+    assert orphaned
+    # The cluster still serves (the orphaned data is lost, not the service).
+    assert client.search("size>1000000") == []
+    # New updates re-place the orphaned partition on a survivor.
+    for path, inode in list(service.vfs.namespace.files("/d")):
+        client.index_path(path, pid=1)
+    client.flush_updates()
+    placed = [p for p in service.master.partitions.partitions()
+              if p.files and p.node is not None]
+    assert placed
+    got = client.search("size>0")
+    assert len(got) == 30
+
+
+def test_background_timer_survives_node_failure():
+    """The periodic heartbeat/split/checkpoint timers must keep firing
+    with a dead node in the cluster."""
+    service, client = build()
+    chain_files(service, client, 60)
+    service.fail_node("in1")
+    service.advance(65.0)   # heartbeats + checkpoints, several rounds
+    assert service.clock.now() >= 65.0

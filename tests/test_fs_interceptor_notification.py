@@ -1,0 +1,128 @@
+"""File Access Management (FUSE shim) and the notification queue."""
+
+import pytest
+
+from repro.fs.interceptor import FileAccessManager
+from repro.fs.notification import FsEventKind, NotificationQueue
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem(SimClock())
+
+
+def compile_like_sequence(vfs, pid=7):
+    """source read -> header read -> object write, one process."""
+    vfs.mkdir("/src")
+    vfs.mkdir("/out")
+    src = vfs.write_file("/src/a.c", 100, pid=pid)
+    vfs.clock.charge(0.1)
+    hdr = vfs.write_file("/src/a.h", 50, pid=pid)
+    vfs.clock.charge(0.1)
+    fd = vfs.open("/src/a.c", OpenMode.READ, pid=pid)
+    vfs.close(fd)
+    vfs.clock.charge(0.1)
+    fd = vfs.open("/src/a.h", OpenMode.READ, pid=pid)
+    vfs.close(fd)
+    vfs.clock.charge(0.1)
+    obj = vfs.write_file("/out/a.o", 30, pid=pid)
+    return src, hdr, obj
+
+
+def test_acg_built_from_opens(vfs):
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    src, hdr, obj = compile_like_sequence(vfs)
+    acg = fam.peek()
+    assert acg.weight(src.ino, obj.ino) >= 1
+    assert acg.weight(hdr.ino, obj.ino) >= 1
+    assert acg.weight(obj.ino, src.ino) == 0
+
+
+def test_drain_resets_acg(vfs):
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    compile_like_sequence(vfs)
+    first = fam.drain()
+    assert first.edge_count > 0
+    assert fam.peek().vertex_count == 0
+
+
+def test_unlink_removes_vertex(vfs):
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    src, hdr, obj = compile_like_sequence(vfs)
+    vfs.unlink("/out/a.o", pid=7)
+    assert not fam.peek().has_vertex(obj.ino)
+
+
+def test_create_unlink_callbacks(vfs):
+    created, unlinked = [], []
+    fam = FileAccessManager(on_create=lambda p, i: created.append(p),
+                            on_unlink=lambda p, i: unlinked.append(p))
+    vfs.add_observer(fam)
+    vfs.write_file("/f", 1, pid=1)
+    vfs.unlink("/f", pid=1)
+    assert created == ["/f"]
+    assert unlinked == ["/f"]
+
+
+def test_pid_filter_ignores_other_processes(vfs):
+    fam = FileAccessManager(pid_filter={7})
+    vfs.add_observer(fam)
+    vfs.write_file("/mine", 1, pid=7)
+    vfs.write_file("/theirs", 1, pid=8)
+    acg = fam.peek()
+    assert acg.vertex_count == 1
+
+
+def test_process_finished_stops_causality(vfs):
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    a = vfs.write_file("/a", 1, pid=7)
+    fam.process_finished(7)
+    vfs.clock.charge(0.1)
+    b = vfs.write_file("/b", 1, pid=7)
+    assert fam.peek().weight(a.ino, b.ino) == 0
+
+
+def test_events_seen_counter(vfs):
+    fam = FileAccessManager()
+    vfs.add_observer(fam)
+    vfs.write_file("/a", 1, pid=1)  # one open
+    fd = vfs.open("/a", OpenMode.READ, pid=1)
+    vfs.close(fd)
+    assert fam.events_seen == 2
+
+
+def test_notification_queue_records_events(vfs):
+    queue = NotificationQueue()
+    vfs.add_observer(queue)
+    vfs.write_file("/f", 10, pid=1)
+    vfs.setattr("/f", "tag", "x")
+    vfs.unlink("/f", pid=1)
+    kinds = [e.kind for e in queue.drain()]
+    assert kinds == [FsEventKind.CREATED, FsEventKind.MODIFIED,
+                     FsEventKind.MODIFIED, FsEventKind.DELETED]
+    assert len(queue) == 0
+
+
+def test_notification_overflow_drops(vfs):
+    queue = NotificationQueue(capacity=2)
+    vfs.add_observer(queue)
+    for i in range(5):
+        vfs.write_file(f"/f{i}", 1)
+    assert len(queue) == 2
+    assert queue.dropped > 0
+
+
+def test_notification_paths_and_timestamps(vfs):
+    queue = NotificationQueue()
+    vfs.add_observer(queue)
+    vfs.clock.charge(3.0)
+    vfs.write_file("/d/f" if vfs.mkdir("/d") else "/d/f", 1)
+    events = queue.drain()
+    assert all(e.path == "/d/f" for e in events)
+    assert all(e.timestamp == pytest.approx(3.0, abs=1e-5) for e in events)

@@ -1,0 +1,154 @@
+"""Namespace: path resolution, mutation, walking."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound, IsADirectory, NotADirectory
+from repro.fs.namespace import FileKind, Namespace, normalize, split
+
+
+def test_normalize():
+    assert normalize("/") == "/"
+    assert normalize("") == "/"
+    assert normalize("a/b") == "/a/b"
+    assert normalize("/a//b/") == "/a/b"
+    assert normalize("/a/./b/../c") == "/a/c"
+
+
+def test_split():
+    assert split("/a/b/c") == ("/a/b", "c")
+    assert split("/top") == ("/", "top")
+
+
+def test_root_exists():
+    ns = Namespace()
+    assert ns.resolve("/").ino == 1
+    assert ns.resolve("/").is_dir
+    assert len(ns) == 1
+    assert ns.file_count == 0
+
+
+def test_create_and_resolve():
+    ns = Namespace()
+    ns.mkdir("/dir")
+    inode = ns.create("/dir/file", now=5.0, uid=42)
+    assert ns.resolve("/dir/file") is inode
+    assert inode.kind is FileKind.FILE
+    assert inode.mtime == 5.0
+    assert inode.uid == 42
+    assert ns.file_count == 1
+
+
+def test_create_in_missing_dir():
+    ns = Namespace()
+    with pytest.raises(FileNotFound):
+        ns.create("/nope/file")
+
+
+def test_create_duplicate():
+    ns = Namespace()
+    ns.create("/f")
+    with pytest.raises(FileExists):
+        ns.create("/f")
+
+
+def test_create_under_file():
+    ns = Namespace()
+    ns.create("/f")
+    with pytest.raises(NotADirectory):
+        ns.create("/f/child")
+
+
+def test_mkdir_parents():
+    ns = Namespace()
+    ns.mkdir("/a/b/c", parents=True)
+    assert ns.resolve("/a/b/c").is_dir
+    # Idempotent with parents=True.
+    ns.mkdir("/a/b/c", parents=True)
+
+
+def test_mkdir_duplicate_without_parents():
+    ns = Namespace()
+    ns.mkdir("/a")
+    with pytest.raises(FileExists):
+        ns.mkdir("/a")
+
+
+def test_mkdir_updates_parent_mtime():
+    ns = Namespace()
+    ns.mkdir("/a", now=3.0)
+    assert ns.resolve("/").mtime == 3.0
+
+
+def test_unlink_file():
+    ns = Namespace()
+    ns.create("/f")
+    ns.unlink("/f")
+    assert not ns.exists("/f")
+
+
+def test_unlink_missing():
+    ns = Namespace()
+    with pytest.raises(FileNotFound):
+        ns.unlink("/ghost")
+
+
+def test_unlink_nonempty_dir_rejected():
+    ns = Namespace()
+    ns.mkdir("/d")
+    ns.create("/d/f")
+    with pytest.raises(IsADirectory):
+        ns.unlink("/d")
+    ns.unlink("/d/f")
+    ns.unlink("/d")
+    assert not ns.exists("/d")
+
+
+def test_readdir_sorted():
+    ns = Namespace()
+    ns.mkdir("/d")
+    for name in ("zebra", "apple", "mango"):
+        ns.create(f"/d/{name}")
+    assert ns.readdir("/d") == ["apple", "mango", "zebra"]
+
+
+def test_readdir_of_file_rejected():
+    ns = Namespace()
+    ns.create("/f")
+    with pytest.raises(NotADirectory):
+        ns.readdir("/f")
+
+
+def test_walk_and_files():
+    ns = Namespace()
+    ns.mkdir("/a")
+    ns.create("/a/f1")
+    ns.mkdir("/a/b")
+    ns.create("/a/b/f2")
+    all_paths = {p for p, _ in ns.walk()}
+    assert all_paths == {"/a", "/a/f1", "/a/b", "/a/b/f2"}
+    file_paths = {p for p, _ in ns.files()}
+    assert file_paths == {"/a/f1", "/a/b/f2"}
+
+
+def test_walk_subtree():
+    ns = Namespace()
+    ns.mkdir("/a/b", parents=True)
+    ns.create("/a/b/f")
+    ns.create("/top")
+    assert {p for p, _ in ns.walk("/a")} == {"/a/b", "/a/b/f"}
+
+
+def test_path_of_reverse_lookup():
+    ns = Namespace()
+    ns.mkdir("/d")
+    inode = ns.create("/d/f")
+    assert ns.path_of(inode.ino) == "/d/f"
+    assert ns.path_of(987654) is None
+
+
+def test_inode_lookup_by_id():
+    ns = Namespace()
+    inode = ns.create("/f")
+    assert ns.inode(inode.ino) is inode
+    with pytest.raises(FileNotFound):
+        ns.inode(999)

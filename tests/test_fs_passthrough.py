@@ -1,0 +1,100 @@
+"""Profiled file systems (Table VI substrate)."""
+
+import pytest
+
+from repro.fs.passthrough import FSProfile, PROFILES, ProfiledFS
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+from repro.sim.clock import SimClock
+
+
+def make_pfs(profile="ext4", index_hook=None):
+    vfs = VirtualFileSystem(SimClock())
+    return ProfiledFS(vfs, PROFILES[profile], index_hook=index_hook)
+
+
+def test_profiles_present_for_table6():
+    assert set(PROFILES) == {"ext4", "btrfs", "ptfs", "ntfs-3g", "zfs-fuse"}
+
+
+def test_fuse_profiles_marked():
+    assert PROFILES["ptfs"].fuse
+    assert PROFILES["ntfs-3g"].fuse
+    assert not PROFILES["ext4"].fuse
+
+
+def test_create_charges_profile_cost():
+    pfs = make_pfs()
+    pfs.create("/f")
+    assert pfs.clock.now() == pytest.approx(PROFILES["ext4"].create_cost_s)
+
+
+def test_ext4_creates_faster_than_zfs_fuse():
+    fast, slow = make_pfs("ext4"), make_pfs("zfs-fuse")
+    fast.create("/f")
+    slow.create("/f")
+    assert fast.clock.now() < slow.clock.now()
+
+
+def test_write_cost_proportional_to_bytes():
+    pfs = make_pfs()
+    fd = pfs.open("/f", OpenMode.WRITE, create=True)
+    t0 = pfs.clock.now()
+    pfs.write(fd, 84_000_000)  # one second at ext4's write rate
+    assert pfs.clock.now() - t0 == pytest.approx(1.0)
+    pfs.close(fd)
+
+
+def test_open_create_flag_charges_create():
+    pfs = make_pfs()
+    fd = pfs.open("/new", OpenMode.WRITE, create=True)
+    pfs.close(fd)
+    assert pfs.vfs.exists("/new")
+    assert pfs.clock.now() > PROFILES["ext4"].create_cost_s
+
+
+def test_unlink_goes_through_vfs():
+    pfs = make_pfs()
+    pfs.create("/f")
+    pfs.unlink("/f")
+    assert not pfs.vfs.exists("/f")
+
+
+def test_index_hook_fires_on_create_and_write_close():
+    hooked = []
+    pfs = make_pfs(index_hook=lambda p, i: hooked.append(p))
+    pfs.create("/a")
+    fd = pfs.open("/b", OpenMode.WRITE, create=True)
+    pfs.write(fd, 10)
+    pfs.close(fd)
+    assert hooked.count("/a") == 1
+    assert hooked.count("/b") == 2  # at create and at write-close
+
+
+def test_index_hook_fires_on_unlink():
+    hooked = []
+    pfs = make_pfs(index_hook=lambda p, i: hooked.append(p))
+    pfs.create("/f")
+    pfs.unlink("/f")
+    assert hooked == ["/f", "/f"]
+
+
+def test_read_only_close_does_not_reindex():
+    hooked = []
+    pfs = make_pfs(index_hook=lambda p, i: hooked.append(p))
+    pfs.create("/f")
+    hooked.clear()
+    fd = pfs.open("/f", OpenMode.READ)
+    pfs.read(fd, 10)
+    pfs.close(fd)
+    assert hooked == []
+
+
+def test_inline_indexing_slows_the_fs_down():
+    plain = make_pfs("ptfs")
+    indexed = make_pfs("ptfs", index_hook=lambda p, i: indexed.clock.charge(100e-6))
+    for pfs in (plain, indexed):
+        for i in range(50):
+            fd = pfs.open(f"/f{i}", OpenMode.WRITE, create=True)
+            pfs.write(fd, 1000)
+            pfs.close(fd)
+    assert indexed.clock.now() > plain.clock.now()

@@ -1,0 +1,158 @@
+"""VirtualFileSystem: I/O semantics, observers, attribute updates."""
+
+import pytest
+
+from repro.errors import BadFileDescriptor, IsADirectory
+from repro.fs.vfs import OpenMode, VirtualFileSystem
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem(SimClock())
+
+
+def test_open_missing_without_create(vfs):
+    from repro.errors import FileNotFound
+    with pytest.raises(FileNotFound):
+        vfs.open("/nope")
+
+
+def test_open_create_then_write_updates_size_and_mtime(vfs):
+    fd = vfs.open("/f", OpenMode.WRITE, create=True)
+    vfs.clock.charge(2.0)
+    vfs.write(fd, 100)
+    vfs.close(fd)
+    inode = vfs.stat("/f")
+    assert inode.size == 100
+    # The open itself charged a syscall's worth of time before the write.
+    assert inode.mtime == pytest.approx(2.0, abs=1e-5)
+
+
+def test_write_appends(vfs):
+    fd = vfs.open("/f", OpenMode.WRITE, create=True)
+    vfs.write(fd, 100)
+    vfs.write(fd, 50)
+    vfs.close(fd)
+    assert vfs.stat("/f").size == 150
+
+
+def test_truncate(vfs):
+    vfs.write_file("/f", 100)
+    fd = vfs.open("/f", OpenMode.WRITE)
+    vfs.truncate(fd)
+    vfs.close(fd)
+    assert vfs.stat("/f").size == 0
+
+
+def test_read_returns_available_bytes(vfs):
+    vfs.write_file("/f", 100)
+    fd = vfs.open("/f", OpenMode.READ)
+    assert vfs.read(fd, 40) == 40
+    assert vfs.read(fd, 400) == 100
+    vfs.close(fd)
+
+
+def test_mode_enforcement(vfs):
+    vfs.write_file("/f", 10)
+    fd = vfs.open("/f", OpenMode.READ)
+    with pytest.raises(BadFileDescriptor):
+        vfs.write(fd, 1)
+    vfs.close(fd)
+    fd = vfs.open("/f", OpenMode.WRITE)
+    with pytest.raises(BadFileDescriptor):
+        vfs.read(fd, 1)
+    vfs.close(fd)
+
+
+def test_rw_mode_allows_both(vfs):
+    fd = vfs.open("/f", OpenMode.RW, create=True)
+    vfs.write(fd, 10)
+    assert vfs.read(fd, 5) == 5
+    vfs.close(fd)
+
+
+def test_bad_fd(vfs):
+    with pytest.raises(BadFileDescriptor):
+        vfs.write(999, 1)
+    with pytest.raises(BadFileDescriptor):
+        vfs.close(999)
+
+
+def test_double_close(vfs):
+    fd = vfs.open("/f", OpenMode.WRITE, create=True)
+    vfs.close(fd)
+    with pytest.raises(BadFileDescriptor):
+        vfs.close(fd)
+
+
+def test_open_directory_rejected(vfs):
+    vfs.mkdir("/d")
+    with pytest.raises(IsADirectory):
+        vfs.open("/d")
+
+
+def test_setattr_user_defined(vfs):
+    vfs.write_file("/f", 1)
+    vfs.setattr("/f", "protein_energy", -42.5)
+    assert vfs.stat("/f").attributes["protein_energy"] == -42.5
+
+
+class Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_open(self, pid, path, inode, mode, t):
+        self.calls.append(("open", pid, path))
+
+    def on_close(self, pid, path, inode, mode, t):
+        self.calls.append(("close", pid, path))
+
+    def on_create(self, pid, path, inode, t):
+        self.calls.append(("create", pid, path))
+
+    def on_unlink(self, pid, path, inode, t):
+        self.calls.append(("unlink", pid, path))
+
+    def on_write(self, pid, path, inode, nbytes, t):
+        self.calls.append(("write", pid, path, nbytes))
+
+
+def test_observer_sequence(vfs):
+    recorder = Recorder()
+    vfs.add_observer(recorder)
+    fd = vfs.open("/f", OpenMode.WRITE, pid=7, create=True)
+    vfs.write(fd, 11)
+    vfs.close(fd)
+    vfs.unlink("/f", pid=7)
+    assert recorder.calls == [
+        ("create", 7, "/f"),
+        ("open", 7, "/f"),
+        ("write", 7, "/f", 11),
+        ("close", 7, "/f"),
+        ("unlink", 7, "/f"),
+    ]
+
+
+def test_remove_observer(vfs):
+    recorder = Recorder()
+    vfs.add_observer(recorder)
+    vfs.remove_observer(recorder)
+    vfs.write_file("/f", 1)
+    assert recorder.calls == []
+
+
+def test_observer_missing_callbacks_tolerated(vfs):
+    class Partial:
+        def on_create(self, pid, path, inode, t):
+            self.created = path
+
+    partial = Partial()
+    vfs.add_observer(partial)
+    vfs.write_file("/f", 1)
+    assert partial.created == "/f"
+
+
+def test_write_file_helper(vfs):
+    inode = vfs.write_file("/a/b.txt" if vfs.mkdir("/a") else "/a/b.txt", 64)
+    assert inode.size == 64

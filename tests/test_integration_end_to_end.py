@@ -1,0 +1,158 @@
+"""Whole-system integration: the paper's workflows end to end."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_search
+from repro.baselines.sqldb import MiniSQL
+from repro.cluster import PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.fs.vfs import OpenMode
+from repro.indexstructures import IndexKind
+from repro.metrics.recall import recall
+from repro.sim.clock import SimClock
+from repro.sim.machine import Machine
+from repro.workloads.datasets import populate_namespace
+
+
+def build_service(nodes=4, split=400, target=100):
+    service = PropellerService(
+        num_index_nodes=nodes,
+        policy=PartitioningPolicy(split_threshold=split, cluster_target=target))
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    client.create_index("by_kw", IndexKind.HASH, ["keyword"])
+    return service, client
+
+
+def test_propeller_matches_brute_force_on_generated_namespace():
+    service, client = build_service()
+    paths = populate_namespace(service.vfs, 1500, seed=3)
+    client.index_paths(paths, pid=1)
+    client.flush_updates()
+    for query in ("size>16m", "size>1m & mtime<1day", "keyword:firefox"):
+        assert client.search(query) == brute_force_search(service.vfs, query)
+
+
+def test_propeller_and_minisql_agree():
+    service, client = build_service()
+    db = MiniSQL(Machine(SimClock()))
+    paths = populate_namespace(service.vfs, 800, seed=5)
+    for path in paths:
+        inode = service.vfs.stat(path)
+        client.index_path(path, pid=1)
+        db.insert_file(inode.ino, {"size": inode.size, "mtime": inode.mtime},
+                       path=path)
+    client.flush_updates()
+    db.flush()
+    assert client.search_ids("size>16m") == db.query("size>16m")
+    assert client.search_ids("keyword:logs") == db.query("keyword:logs")
+
+
+def test_recall_stays_perfect_under_concurrent_updates():
+    """The paper's headline property (Figures 1/11): Propeller's recall
+    is 100% no matter how intense the background updates are."""
+    service, client = build_service()
+    vfs = service.vfs
+    vfs.mkdir("/live")
+    rng = random.Random(0)
+    recalls = []
+    for step in range(30):
+        # Background I/O: create a batch of files, some of them big.
+        for j in range(20):
+            size = 64 * 1024**2 if rng.random() < 0.3 else 1024
+            path = f"/live/f{step:03d}_{j:02d}.bin"
+            vfs.write_file(path, size, pid=2)
+            client.index_path(path, pid=2)
+        # Foreground search immediately afterwards.
+        got = client.search("size>16m")
+        truth = [p for p, i in vfs.namespace.files() if i.size > 16 * 1024**2]
+        recalls.append(recall(got, truth))
+        service.advance(0.5)
+    assert min(recalls) == 1.0
+
+
+def test_multi_client_isolation_and_shared_results():
+    service = PropellerService(num_index_nodes=2)
+    alice = service.make_client(pid_filter={1})
+    bob = service.make_client(pid_filter={2})
+    alice.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+    vfs.mkdir("/shared")
+    vfs.write_file("/shared/from_alice", 64 * 1024**2, pid=1)
+    alice.index_path("/shared/from_alice", pid=1)
+    vfs.write_file("/shared/from_bob", 64 * 1024**2, pid=2)
+    bob.index_path("/shared/from_bob", pid=2)
+    alice.flush_updates()
+    bob.flush_updates()
+    # Both clients see the union: the index is shared service state.
+    assert alice.search("size>16m") == bob.search("size>16m") == [
+        "/shared/from_alice", "/shared/from_bob"]
+
+
+def test_compile_workflow_places_build_in_few_partitions():
+    """Firefox-dataflow scenario (Figure 3): one application touching
+    files across scattered directories still lands in few ACGs."""
+    service, client = build_service(split=1000, target=50)
+    vfs = service.vfs
+    for d in ("/usr/bin", "/usr/lib", "/var/log", "/home/john"):
+        vfs.mkdir(d, parents=True)
+    pid = 77
+    # An app reads scattered inputs and writes outputs repeatedly.
+    inputs = ["/usr/bin/app", "/usr/lib/libc.so", "/home/john/config"]
+    for path in inputs:
+        vfs.write_file(path, 100, pid=pid)
+        client.index_path(path, pid=pid)
+    for i in range(60):
+        for path in inputs:
+            fd = vfs.open(path, OpenMode.READ, pid=pid)
+            vfs.close(fd)
+        out = f"/var/log/app{i:03d}.log"
+        vfs.write_file(out, 10, pid=pid)
+        client.index_path(out, pid=pid)
+    client.flush_updates()
+    client.process_finished(pid)
+    partitions = {service.master.partitions.partition_of(i.ino)
+                  for _, i in service.vfs.namespace.files()}
+    # 63 files across 4 directories end up in 1 partition (namespace-based
+    # partitioning would have needed 4).
+    assert len(partitions) == 1
+
+
+def test_user_defined_attribute_index_mvd_scenario():
+    """The MVD drug-discovery motivation: search proteins by computed
+    attributes, re-filtering as results refine."""
+    service, client = build_service()
+    client.create_index("protein_kd", IndexKind.KDTREE,
+                        ["binding_energy", "mass"])
+    vfs = service.vfs
+    vfs.mkdir("/proteins")
+    rng = random.Random(1)
+    for i in range(200):
+        path = f"/proteins/p{i:04d}.pdb"
+        vfs.write_file(path, 1000, pid=1)
+        vfs.setattr(path, "binding_energy", rng.uniform(-10, 0))
+        vfs.setattr(path, "mass", rng.uniform(10, 500))
+        client.index_path(path, pid=1)
+    client.flush_updates()
+    got = client.search("binding_energy<-8 & mass>100 & mass<400")
+    truth = [p for p, inode in vfs.namespace.files()
+             if inode.attributes.get("binding_energy", 0) < -8
+             and 100 < inode.attributes.get("mass", 0) < 400]
+    assert got == sorted(truth)
+
+
+def test_scale_out_reduces_search_latency():
+    """Table IV's shape: more index nodes, lower warm search latency."""
+    def warm_latency(nodes):
+        service, client = build_service(nodes=nodes, split=200, target=50)
+        paths = populate_namespace(service.vfs, 1200, seed=9)
+        client.index_paths(paths, pid=1)
+        client.flush_updates()
+        client.search("size>16m")  # warm up
+        span = service.clock.span()
+        client.search("size>16m")
+        return span.elapsed()
+
+    assert warm_latency(8) < warm_latency(1)

@@ -1,0 +1,169 @@
+"""K-D tree: range queries vs linear-filter oracle, tombstones, serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexstructures.kdtree import KDTreeIndex
+
+
+def test_empty_tree():
+    tree = KDTreeIndex(dimensions=2)
+    assert len(tree) == 0
+    assert tree.get((0, 0)) == []
+    assert list(tree.range((None, None), (None, None))) == []
+
+
+def test_insert_get_exact_point():
+    tree = KDTreeIndex(dimensions=2)
+    tree.insert((1.0, 2.0), "a")
+    assert tree.get((1.0, 2.0)) == ["a"]
+    assert tree.get((1.0, 2.1)) == []
+
+
+def test_multimap_at_same_point():
+    tree = KDTreeIndex(dimensions=2)
+    tree.insert((1, 1), "a")
+    tree.insert((1, 1), "b")
+    assert sorted(tree.get((1, 1))) == ["a", "b"]
+
+
+def test_dimension_validation():
+    with pytest.raises(ValueError):
+        KDTreeIndex(dimensions=0)
+    tree = KDTreeIndex(dimensions=2)
+    with pytest.raises(TypeError):
+        tree.insert((1, 2, 3), "x")
+    with pytest.raises(TypeError):
+        tree.insert(5, "x")
+
+
+def test_range_bounds_validation():
+    tree = KDTreeIndex(dimensions=2)
+    with pytest.raises(TypeError):
+        list(tree.range((None,), (None, None)))
+
+
+def test_orthogonal_range_query():
+    tree = KDTreeIndex(dimensions=2)
+    for x in range(5):
+        for y in range(5):
+            tree.insert((x, y), (x, y))
+    got = sorted(v for _, v in tree.range((1, 2), (3, 3)))
+    want = sorted((x, y) for x in range(1, 4) for y in range(2, 4))
+    assert got == want
+
+
+def test_range_unbounded_axis():
+    tree = KDTreeIndex(dimensions=2)
+    for i in range(10):
+        tree.insert((i, i * 10), i)
+    got = sorted(v for _, v in tree.range((5, None), (None, None)))
+    assert got == [5, 6, 7, 8, 9]
+
+
+def test_remove_value_and_tombstone():
+    tree = KDTreeIndex(dimensions=1)
+    tree.insert((1,), "a")
+    tree.insert((1,), "b")
+    assert tree.remove((1,), "a") == 1
+    assert tree.get((1,)) == ["b"]
+    assert tree.remove((1,)) == 1
+    assert tree.get((1,)) == []
+    assert list(tree.range((None,), (None,))) == []
+
+
+def test_reinsert_after_delete():
+    tree = KDTreeIndex(dimensions=1)
+    tree.insert((1,), "a")
+    tree.remove((1,))
+    tree.insert((1,), "b")
+    assert tree.get((1,)) == ["b"]
+
+
+def test_remove_missing_returns_zero():
+    tree = KDTreeIndex(dimensions=1)
+    assert tree.remove((9,)) == 0
+    tree.insert((1,), "a")
+    assert tree.remove((1,), "zzz") == 0
+
+
+def test_tombstone_rebuild_triggers():
+    tree = KDTreeIndex(dimensions=1)
+    for i in range(40):
+        tree.insert((i,), i)
+    for i in range(30):
+        tree.remove((i,))
+    # Most nodes are tombstones; rebuild should have compacted.
+    assert tree._tombstones / max(1, tree._live_points + tree._tombstones) <= 0.5
+    assert sorted(v for _, v in tree.items()) == list(range(30, 40))
+
+
+def test_bulk_load_balanced():
+    pairs = [((float(i), float(i % 7)), i) for i in range(127)]
+    tree = KDTreeIndex.bulk_load(2, pairs)
+    assert len(tree) == 127
+    got = sorted(v for _, v in tree.range((None, None), (None, None)))
+    assert got == list(range(127))
+
+
+def test_serialize_roundtrip():
+    rng = random.Random(7)
+    tree = KDTreeIndex(dimensions=3)
+    for i in range(100):
+        tree.insert((rng.random(), rng.random(), rng.random()), i)
+    clone = KDTreeIndex.deserialize(tree.serialize())
+    assert sorted(clone.items()) == sorted(tree.items())
+    assert clone.dimensions == 3
+
+
+def test_serialize_skips_tombstones():
+    tree = KDTreeIndex(dimensions=1)
+    tree.insert((1,), "a")
+    tree.insert((2,), "b")
+    tree.remove((1,))
+    clone = KDTreeIndex.deserialize(tree.serialize())
+    assert sorted(clone.items()) == [((2.0,), "b")]
+
+
+def test_page_hook_called():
+    touched = []
+    tree = KDTreeIndex(dimensions=2, page_hook=lambda n, w: touched.append((n, w)))
+    for i in range(20):
+        tree.insert((i, i), i)
+    list(tree.range((0, 0), (5, 5)))
+    assert touched
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=150),
+       st.tuples(st.integers(0, 20), st.integers(0, 20)),
+       st.tuples(st.integers(0, 20), st.integers(0, 20)))
+def test_property_range_equals_linear_filter(points, lows, highs):
+    lo = (min(lows[0], highs[0]), min(lows[1], highs[1]))
+    hi = (max(lows[0], highs[0]), max(lows[1], highs[1]))
+    tree = KDTreeIndex(dimensions=2)
+    for i, p in enumerate(points):
+        tree.insert(p, i)
+    got = sorted(v for _, v in tree.range(lo, hi))
+    want = sorted(i for i, p in enumerate(points)
+                  if lo[0] <= p[0] <= hi[0] and lo[1] <= p[1] <= hi[1])
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 15)), max_size=200))
+def test_property_insert_delete_oracle(ops):
+    tree = KDTreeIndex(dimensions=1)
+    oracle = {}
+    for is_insert, x in ops:
+        point = (float(x),)
+        if is_insert:
+            tree.insert(point, x)
+            oracle.setdefault(point, set()).add(x)
+        else:
+            assert tree.remove(point) == len(oracle.pop(point, set()))
+    assert {(p, v) for p, v in tree.items()} == {
+        (p, v) for p, vs in oracle.items() for v in vs}

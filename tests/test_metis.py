@@ -1,0 +1,154 @@
+"""Multilevel bisection: partition validity, balance, cut quality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metis import (
+    bisect,
+    cut_of,
+    random_bisect,
+    total_edge_weight,
+)
+
+
+def ring(n, weight=1):
+    adj = {i: {} for i in range(n)}
+    for i in range(n):
+        j = (i + 1) % n
+        adj[i][j] = weight
+        adj[j][i] = weight
+    return adj
+
+
+def two_cliques(k, bridge_weight=1):
+    """Two k-cliques joined by one light edge — the obvious best cut."""
+    adj = {i: {} for i in range(2 * k)}
+    for base in (0, k):
+        for i in range(base, base + k):
+            for j in range(base, base + k):
+                if i != j:
+                    adj[i][j] = 10
+    adj[k - 1][k] = bridge_weight
+    adj[k][k - 1] = bridge_weight
+    return adj
+
+
+def random_graph(n, p, seed, max_w=5):
+    rng = random.Random(seed)
+    adj = {i: {} for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                w = rng.randint(1, max_w)
+                adj[i][j] = w
+                adj[j][i] = w
+    return adj
+
+
+def assert_valid_partition(adj, result):
+    assert result.side_a | result.side_b == set(adj)
+    assert not (result.side_a & result.side_b)
+    assert result.cut_weight == cut_of(adj, result.side_a)
+
+
+def test_trivial_graphs():
+    assert bisect({}).cut_weight == 0
+    r1 = bisect({1: {}})
+    assert r1.side_a | r1.side_b == {1}
+    r2 = bisect({1: {2: 3}, 2: {1: 3}})
+    assert_valid_partition({1: {2: 3}, 2: {1: 3}}, r2)
+    assert r2.cut_weight == 3  # only edge must be cut
+
+
+def test_two_cliques_finds_the_bridge():
+    adj = two_cliques(8)
+    result = bisect(adj)
+    assert_valid_partition(adj, result)
+    assert result.cut_weight == 1
+    assert result.balance == pytest.approx(0.5)
+
+
+def test_ring_cut_is_two_edges():
+    adj = ring(64)
+    result = bisect(adj)
+    assert_valid_partition(adj, result)
+    assert result.cut_weight == 2  # any contiguous half cuts exactly 2
+
+
+def test_balance_tolerance_respected():
+    adj = random_graph(200, 0.05, seed=1)
+    result = bisect(adj, balance_tolerance=0.05)
+    assert_valid_partition(adj, result)
+    assert result.balance <= 0.55 + 1e-9
+
+
+def test_deterministic_for_same_seed():
+    adj = random_graph(100, 0.08, seed=2)
+    r1 = bisect(adj, seed=7)
+    r2 = bisect(adj, seed=7)
+    assert r1.side_a == r2.side_a
+
+
+def test_beats_random_bisection_on_structured_graph():
+    adj = two_cliques(16)
+    ours = bisect(adj)
+    rnd = random_bisect(adj, seed=3)
+    assert ours.cut_weight <= rnd.cut_weight
+
+
+def test_cut_fraction():
+    adj = two_cliques(8)
+    result = bisect(adj)
+    assert result.cut_fraction == pytest.approx(
+        result.cut_weight / total_edge_weight(adj))
+
+
+def test_large_graph_is_coarsened_and_still_valid():
+    adj = random_graph(600, 0.01, seed=4)
+    result = bisect(adj)
+    assert_valid_partition(adj, result)
+    assert 0.4 <= result.balance <= 0.6
+
+
+def test_validate_rejects_asymmetric():
+    with pytest.raises(ValueError):
+        bisect({1: {2: 3}, 2: {}}, validate=True)
+
+
+def test_validate_rejects_self_loop():
+    with pytest.raises(ValueError):
+        bisect({1: {1: 1}}, validate=True)
+
+
+def test_disconnected_input_still_partitions():
+    # bisect is normally applied per component, but must not crash on
+    # disconnected input.
+    adj = {1: {2: 1}, 2: {1: 1}, 3: {4: 1}, 4: {3: 1}}
+    result = bisect(adj)
+    assert_valid_partition(adj, result)
+
+
+def test_random_bisect_is_half_half():
+    adj = random_graph(101, 0.05, seed=5)
+    result = random_bisect(adj, seed=1)
+    assert abs(len(result.side_a) - len(result.side_b)) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 60), st.floats(0.02, 0.3), st.integers(0, 5))
+def test_property_always_valid_partition(n, p, seed):
+    adj = random_graph(n, p, seed=seed)
+    result = bisect(adj, seed=seed)
+    assert_valid_partition(adj, result)
+    total = len(result.side_a) + len(result.side_b)
+    assert total == n
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(8, 40), st.integers(0, 3))
+def test_property_not_worse_than_random_on_cliques(k, seed):
+    adj = two_cliques(k)
+    assert bisect(adj, seed=seed).cut_weight <= random_bisect(adj, seed=seed).cut_weight

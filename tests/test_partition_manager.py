@@ -1,0 +1,105 @@
+"""Partition lifecycle bookkeeping (the Master Node's metadata)."""
+
+import pytest
+
+from repro.core.partition_manager import PartitionManager
+from repro.errors import UnknownAcg
+
+
+def test_new_partition_and_lookup():
+    manager = PartitionManager()
+    partition = manager.new_partition(files=[1, 2, 3], node="in1")
+    assert partition.size == 3
+    assert manager.partition_of(2) == partition.partition_id
+    assert manager.get(partition.partition_id).node == "in1"
+
+
+def test_unknown_partition_raises():
+    with pytest.raises(UnknownAcg):
+        PartitionManager().get(99)
+
+
+def test_add_file_moves_between_partitions():
+    manager = PartitionManager()
+    a = manager.new_partition(files=[1])
+    b = manager.new_partition()
+    manager.add_file(b.partition_id, 1)
+    assert manager.partition_of(1) == b.partition_id
+    assert a.size == 0
+    assert b.size == 1
+
+
+def test_add_file_same_partition_is_noop():
+    manager = PartitionManager()
+    a = manager.new_partition(files=[1])
+    manager.add_file(a.partition_id, 1)
+    assert a.size == 1
+
+
+def test_remove_file():
+    manager = PartitionManager()
+    a = manager.new_partition(files=[1, 2])
+    assert manager.remove_file(1) == a.partition_id
+    assert manager.partition_of(1) is None
+    assert a.size == 1
+    assert manager.remove_file(99) is None
+
+
+def test_node_load_and_least_loaded():
+    manager = PartitionManager()
+    manager.new_partition(files=[1, 2, 3], node="a")
+    manager.new_partition(files=[4], node="b")
+    assert manager.node_load("a") == 3
+    assert manager.node_load("b") == 1
+    assert manager.least_loaded(["a", "b", "c"]) == "c"
+    assert manager.least_loaded(["a", "b"]) == "b"
+
+
+def test_least_loaded_requires_nodes():
+    with pytest.raises(ValueError):
+        PartitionManager().least_loaded([])
+
+
+def test_split_moves_second_half():
+    manager = PartitionManager()
+    original = manager.new_partition(files=range(10), node="a")
+    stay, moved = set(range(5)), set(range(5, 10))
+    old, new = manager.split(original.partition_id, [stay, moved], new_node="b")
+    assert old.files == stay
+    assert new.files == moved
+    assert new.node == "b"
+    assert manager.partition_of(7) == new.partition_id
+
+
+def test_split_validates_halves():
+    manager = PartitionManager()
+    original = manager.new_partition(files=[1, 2, 3])
+    with pytest.raises(ValueError):
+        manager.split(original.partition_id, [{1}, {2}])  # missing 3
+    with pytest.raises(ValueError):
+        manager.split(original.partition_id, [{1, 2}, {2, 3}])  # overlap
+    with pytest.raises(ValueError):
+        manager.split(original.partition_id, [{1, 2, 3}])  # not 2 halves
+
+
+def test_drop_partition_requires_empty():
+    manager = PartitionManager()
+    partition = manager.new_partition(files=[1])
+    with pytest.raises(ValueError):
+        manager.drop_partition(partition.partition_id)
+    manager.remove_file(1)
+    manager.drop_partition(partition.partition_id)
+    with pytest.raises(UnknownAcg):
+        manager.get(partition.partition_id)
+
+
+def test_records_roundtrip_preserves_ids():
+    manager = PartitionManager()
+    a = manager.new_partition(files=[1, 2], node="x")
+    manager.new_partition(files=[3])
+    clone = PartitionManager.from_records(manager.to_records())
+    assert clone.partition_of(1) == a.partition_id
+    assert clone.get(a.partition_id).node == "x"
+    # New ids continue after the restored maximum.
+    fresh = clone.new_partition()
+    assert fresh.partition_id > a.partition_id

@@ -1,0 +1,106 @@
+"""Partitioning policy: components -> partitions, clustering, splitting."""
+
+import pytest
+
+from repro.core.acg import AccessCausalityGraph
+from repro.core.partitioner import (
+    PartitioningPolicy,
+    partition_components,
+    split_partition,
+)
+
+
+def chain_component(graph, start, length):
+    for i in range(start, start + length - 1):
+        graph.add_causality(i, i + 1)
+    return set(range(start, start + length))
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        PartitioningPolicy(split_threshold=1)
+    with pytest.raises(ValueError):
+        PartitioningPolicy(cluster_target=0)
+
+
+def test_each_large_component_is_a_partition():
+    graph = AccessCausalityGraph()
+    a = chain_component(graph, 0, 20)
+    b = chain_component(graph, 100, 30)
+    policy = PartitioningPolicy(split_threshold=1000, cluster_target=10)
+    partitions = partition_components(graph, policy)
+    assert sorted(map(len, partitions)) == [20, 30]
+    assert {frozenset(p) for p in partitions} == {frozenset(a), frozenset(b)}
+
+
+def test_small_components_are_packed_together():
+    graph = AccessCausalityGraph()
+    for i in range(10):
+        chain_component(graph, i * 10, 3)  # 10 components of 3 files
+    policy = PartitioningPolicy(split_threshold=1000, cluster_target=9)
+    partitions = partition_components(graph, policy)
+    # Packed into partitions of about 9 files each.
+    assert all(len(p) >= 3 for p in partitions)
+    assert sum(len(p) for p in partitions) == 30
+    assert len(partitions) <= 4
+
+
+def test_app_labels_prevent_cross_app_packing():
+    graph = AccessCausalityGraph()
+    chain_component(graph, 0, 2)
+    chain_component(graph, 10, 2)
+    chain_component(graph, 100, 2)
+    chain_component(graph, 110, 2)
+    policy = PartitioningPolicy(split_threshold=1000, cluster_target=100)
+    partitions = partition_components(
+        graph, policy, app_of=lambda f: "app1" if f < 100 else "app2")
+    assert len(partitions) == 2
+    assert {frozenset(p) for p in partitions} == {
+        frozenset({0, 1, 10, 11}), frozenset({100, 101, 110, 111})}
+
+
+def test_oversized_component_is_split():
+    graph = AccessCausalityGraph()
+    chain_component(graph, 0, 100)
+    policy = PartitioningPolicy(split_threshold=40, cluster_target=5)
+    partitions = partition_components(graph, policy)
+    assert all(len(p) <= 40 for p in partitions)
+    assert sum(len(p) for p in partitions) == 100
+    covered = set()
+    for p in partitions:
+        assert not covered & p
+        covered |= p
+
+
+def test_split_partition_balanced_halves():
+    graph = AccessCausalityGraph()
+    files = chain_component(graph, 0, 60)
+    halves = split_partition(graph, files, PartitioningPolicy(split_threshold=30))
+    assert len(halves) == 2
+    assert halves[0] | halves[1] == files
+    assert not halves[0] & halves[1]
+    assert abs(len(halves[0]) - len(halves[1])) <= 8
+
+
+def test_split_partition_spreads_orphans():
+    graph = AccessCausalityGraph()
+    chain_component(graph, 0, 10)
+    files = set(range(10)) | {500, 501, 502, 503}  # 4 files the ACG never saw
+    halves = split_partition(graph, files)
+    assert halves[0] | halves[1] == files
+    assert abs(len(halves[0]) - len(halves[1])) <= 3
+
+
+def test_split_single_file_partition():
+    graph = AccessCausalityGraph()
+    graph.add_file(1)
+    assert split_partition(graph, {1}) == [{1}]
+
+
+def test_isolated_files_form_their_own_pool():
+    graph = AccessCausalityGraph()
+    for i in range(5):
+        graph.add_file(i)
+    policy = PartitioningPolicy(split_threshold=100, cluster_target=3)
+    partitions = partition_components(graph, policy)
+    assert sum(len(p) for p in partitions) == 5

@@ -1,0 +1,66 @@
+"""PostMark benchmark implementation (Table VI substrate)."""
+
+import pytest
+
+from repro.fs.passthrough import PROFILES, ProfiledFS
+from repro.fs.vfs import VirtualFileSystem
+from repro.sim.clock import SimClock
+from repro.workloads.postmark import PostMarkConfig, run_postmark
+
+SMALL = PostMarkConfig(files=500, subdirs=10, transactions=300, seed=1)
+
+
+def run_on(profile, config=SMALL, index_hook=None):
+    vfs = VirtualFileSystem(SimClock())
+    pfs = ProfiledFS(vfs, PROFILES[profile], index_hook=index_hook)
+    return run_postmark(pfs, config), vfs
+
+
+def test_report_fields_consistent():
+    report, _ = run_on("ext4")
+    assert report.fs_name == "ext4"
+    assert report.files_created >= SMALL.files
+    assert report.total_seconds == pytest.approx(
+        report.creation_seconds + report.transaction_seconds +
+        report.deletion_seconds)
+    assert report.files_created_per_second > 0
+    assert report.bytes_written > 0
+
+
+def test_namespace_empty_after_run():
+    _, vfs = run_on("ext4")
+    leftover = [p for p, _ in vfs.namespace.files()]
+    assert leftover == []
+
+
+def test_deterministic_for_seed():
+    r1, _ = run_on("ext4")
+    r2, _ = run_on("ext4")
+    assert r1.total_seconds == r2.total_seconds
+    assert r1.files_created == r2.files_created
+
+
+def test_table6_ordering_of_file_systems():
+    """Native > pass-through FUSE > heavy FUSE file systems — the
+    qualitative ordering of Table VI."""
+    rates = {name: run_on(name)[0].files_created_per_second
+             for name in ("ext4", "ptfs", "ntfs-3g", "zfs-fuse")}
+    assert rates["ext4"] > rates["ptfs"] > rates["ntfs-3g"] > rates["zfs-fuse"]
+
+
+def test_inline_indexing_costs_throughput():
+    plain, _ = run_on("ptfs")
+    taxed, _ = run_on("ptfs", index_hook=lambda p, i: None)
+    # A no-op hook is free; a real one charges time.
+    vfs = VirtualFileSystem(SimClock())
+    pfs = ProfiledFS(vfs, PROFILES["ptfs"],
+                     index_hook=lambda p, i: vfs.clock.charge(200e-6))
+    indexed = run_postmark(pfs, SMALL)
+    assert indexed.files_created_per_second < plain.files_created_per_second
+
+
+def test_transactions_do_read_and_append():
+    report, _ = run_on("ext4", PostMarkConfig(files=200, subdirs=5,
+                                              transactions=500, seed=3))
+    assert report.bytes_read > 0
+    assert report.transaction_seconds > 0

@@ -1,0 +1,302 @@
+"""Rebalancing/merging, sorted search, static partitioning, Impressions
+namespaces, and B+tree bulk loading."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.core.static_partitioning import (
+    hash_partition,
+    namespace_partition,
+    partition_sizes,
+    partitions_touched,
+)
+from repro.errors import ClusterError, UnknownIndexNode
+from repro.fs.vfs import VirtualFileSystem
+from repro.indexstructures import IndexKind
+from repro.indexstructures.btree import BPlusTree
+from repro.sim.clock import SimClock
+from repro.workloads.impressions import ImpressionsConfig, generate_impressions
+
+
+def build(nodes=3, split=500, target=30):
+    service = PropellerService(
+        num_index_nodes=nodes,
+        policy=PartitioningPolicy(split_threshold=split, cluster_target=target))
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    return service, client
+
+
+def populate(service, client, n=120, files_per_process=30):
+    """Write files as several independent processes so causality hints
+    produce several partitions (one application ≈ one partition)."""
+    vfs = service.vfs
+    vfs.mkdir("/d")
+    for i in range(n):
+        pid = 1 + i // files_per_process
+        vfs.write_file(f"/d/f{i:03d}", 100 + i, pid=pid)
+        client.index_path(f"/d/f{i:03d}", pid=pid)
+        if (i + 1) % files_per_process == 0:
+            client.access_manager.process_finished(pid)
+    client.flush_updates()
+    service.commit_all()
+
+
+# -- migration / rebalance / merge ----------------------------------------------
+
+def test_migrate_partition_moves_data_and_serves():
+    service, client = build()
+    populate(service, client)
+    partition = next(p for p in service.master.partitions.partitions() if p.files)
+    source = partition.node
+    target = next(n for n in service.master.index_nodes if n != source)
+    before = client.search("size>0")
+    moved = service.master.migrate_partition(partition.partition_id, target)
+    assert moved == partition.size
+    assert partition.node == target
+    assert partition.partition_id not in service.index_nodes[source].replicas
+    assert client.search("size>0") == before
+
+
+def test_migrate_to_same_node_is_noop():
+    service, client = build()
+    populate(service, client)
+    partition = next(p for p in service.master.partitions.partitions() if p.files)
+    assert service.master.migrate_partition(partition.partition_id,
+                                            partition.node) == 0
+
+
+def test_migrate_to_unknown_node():
+    service, client = build()
+    populate(service, client)
+    partition = service.master.partitions.partitions()[0]
+    with pytest.raises(UnknownIndexNode):
+        service.master.migrate_partition(partition.partition_id, "ghost")
+
+
+def test_rebalance_levels_loads():
+    service, client = build(nodes=3)
+    populate(service, client, n=150)
+    master = service.master
+    # Skew everything onto one node first.
+    heavy = master.index_nodes[0]
+    for partition in master.partitions.partitions():
+        if partition.node != heavy and partition.files:
+            master.migrate_partition(partition.partition_id, heavy)
+    assert master.partitions.node_load(heavy) == 150
+    before = client.search("size>0")
+    moves = master.rebalance(tolerance=0.25)
+    assert moves >= 1
+    loads = [master.partitions.node_load(n) for n in master.index_nodes]
+    assert max(loads) <= (sum(loads) / len(loads)) * 1.25 + max(
+        p.size for p in master.partitions.partitions())
+    assert client.search("size>0") == before
+
+
+def test_rebalance_single_node_is_noop():
+    service, client = build(nodes=1)
+    populate(service, client, n=40)
+    assert service.master.rebalance() == 0
+
+
+def test_merge_partitions_absorbs_and_serves():
+    service, client = build()
+    populate(service, client)
+    parts = [p for p in service.master.partitions.partitions() if p.files]
+    assert len(parts) >= 2
+    keep, absorb = parts[0], parts[1]
+    absorbed_files = set(absorb.files)
+    before = client.search("size>0")
+    moved = service.master.merge_partitions(keep.partition_id, absorb.partition_id)
+    assert moved == len(absorbed_files)
+    assert absorbed_files <= keep.files
+    assert client.search("size>0") == before
+    # The absorbed id is gone from the partition map.
+    from repro.errors import UnknownAcg
+    with pytest.raises(UnknownAcg):
+        service.master.partitions.get(absorb.partition_id)
+
+
+def test_merge_with_itself_rejected():
+    service, client = build()
+    populate(service, client)
+    partition = service.master.partitions.partitions()[0]
+    with pytest.raises(ClusterError):
+        service.master.merge_partitions(partition.partition_id,
+                                        partition.partition_id)
+
+
+def test_merge_small_partitions_defragments():
+    service, client = build(target=10)
+    populate(service, client, n=44)   # leaves a few small partitions
+    small_before = [p for p in service.master.partitions.partitions()
+                    if p.files and p.size < 5]
+    before = client.search("size>0")
+    service.master.merge_small_partitions(min_size=5)
+    small_after = [p for p in service.master.partitions.partitions()
+                   if p.files and p.size < 5]
+    assert len(small_after) <= 1
+    assert client.search("size>0") == before
+
+
+# -- sorted / limited search -------------------------------------------------------
+
+def test_search_sort_by_size_descending_with_limit():
+    service, client = build()
+    populate(service, client, n=30)
+    top3 = client.search("size>0", sort_by="size", descending=True, limit=3)
+    assert top3 == ["/d/f029", "/d/f028", "/d/f027"]
+
+
+def test_search_sort_ascending():
+    service, client = build()
+    populate(service, client, n=10)
+    ordered = client.search("size>0", sort_by="size")
+    assert ordered[0] == "/d/f000"
+    assert ordered[-1] == "/d/f009"
+
+
+def test_search_default_order_with_limit():
+    service, client = build()
+    populate(service, client, n=10)
+    assert client.search("size>0", limit=2) == ["/d/f000", "/d/f001"]
+
+
+def test_search_sort_by_user_attribute_missing_sorts_last():
+    service, client = build()
+    populate(service, client, n=4)
+    service.vfs.setattr("/d/f002", "rank", 1.0)
+    client.index_path("/d/f002", pid=1)
+    ordered = client.search("size>0", sort_by="rank")
+    assert ordered[0] == "/d/f002"        # only file with the attribute
+
+
+# -- static partitioning ----------------------------------------------------------------
+
+PATHS = [f"/usr/lib/l{i}" for i in range(10)] + \
+        [f"/var/log/g{i}" for i in range(10)] + \
+        [f"/home/john/h{i}" for i in range(10)]
+
+
+def test_namespace_partition_by_top_level():
+    mapping = namespace_partition(PATHS, depth=1)
+    assert len(set(mapping.values())) == 3
+    assert mapping["/usr/lib/l0"] == mapping["/usr/lib/l9"]
+
+
+def test_namespace_partition_depth_two():
+    mapping = namespace_partition(PATHS, depth=2)
+    assert mapping["/usr/lib/l0"] != mapping["/var/log/g0"]
+
+
+def test_namespace_partition_giga_split():
+    paths = [f"/big/dir/f{i:04d}" for i in range(100)]
+    mapping = namespace_partition(paths, depth=2, group_size=30)
+    assert len(set(mapping.values())) == 4      # ceil(100/30)
+
+
+def test_namespace_partition_validation():
+    with pytest.raises(ValueError):
+        namespace_partition(PATHS, depth=0)
+
+
+def test_hash_partition_spread_and_stability():
+    mapping = hash_partition(PATHS, 4)
+    assert set(mapping.values()) <= set(range(4))
+    assert mapping == hash_partition(PATHS, 4)
+    with pytest.raises(ValueError):
+        hash_partition(PATHS, 0)
+
+
+def test_partitions_touched_and_sizes():
+    mapping = namespace_partition(PATHS, depth=1)
+    stream = ["/usr/lib/l1", "/usr/lib/l2", "/home/john/h1"]
+    assert partitions_touched(mapping, stream) == 2
+    assert partition_sizes(mapping) == [10, 10, 10]
+
+
+# -- Impressions namespaces ----------------------------------------------------------------
+
+def test_impressions_exact_file_count_and_determinism():
+    vfs_a = VirtualFileSystem(SimClock())
+    paths_a = generate_impressions(vfs_a, config=ImpressionsConfig(
+        total_files=500, seed=3))
+    assert len(paths_a) == 500
+    assert vfs_a.namespace.file_count == 500
+    vfs_b = VirtualFileSystem(SimClock())
+    paths_b = generate_impressions(vfs_b, config=ImpressionsConfig(
+        total_files=500, seed=3))
+    sizes_a = sorted(i.size for _, i in vfs_a.namespace.files())
+    sizes_b = sorted(i.size for _, i in vfs_b.namespace.files())
+    assert sizes_a == sizes_b
+    assert paths_a == paths_b
+
+
+def test_impressions_size_distribution_shape():
+    vfs = VirtualFileSystem(SimClock())
+    generate_impressions(vfs, config=ImpressionsConfig(total_files=2_000, seed=1))
+    sizes = sorted(i.size for _, i in vfs.namespace.files())
+    median = sizes[len(sizes) // 2]
+    assert 256 <= median <= 256 * 1024          # small-file body
+    assert sizes[-1] > 4 * 1024**2              # heavy tail exists
+    assert sizes[-1] > 50 * median
+
+
+def test_impressions_has_depth_and_fanout():
+    vfs = VirtualFileSystem(SimClock())
+    generate_impressions(vfs, config=ImpressionsConfig(
+        total_files=3_000, fanout_dir_probability=0.05, seed=2))
+    depths = [p.count("/") for p, _ in vfs.namespace.files()]
+    assert max(depths) >= 4
+    # Some directory got the giant-fan-out treatment.
+    from collections import Counter
+    dirs = Counter(p.rsplit("/", 1)[0] for p, _ in vfs.namespace.files())
+    assert max(dirs.values()) >= 400
+
+
+# -- B+tree bulk load ------------------------------------------------------------------------
+
+def test_bulk_load_matches_inserted_tree():
+    rng = random.Random(0)
+    pairs = [(rng.randrange(500), i) for i in range(800)]
+    bulk = BPlusTree.bulk_load(pairs, order=16)
+    bulk.check_invariants()
+    reference = BPlusTree(order=16)
+    for k, v in pairs:
+        reference.insert(k, v)
+    assert sorted(bulk.items()) == sorted(reference.items())
+    assert len(bulk) == len(reference)
+
+
+def test_bulk_load_empty():
+    tree = BPlusTree.bulk_load([])
+    assert len(tree) == 0
+    tree.check_invariants()
+
+
+def test_bulk_load_supports_deletes_afterwards():
+    pairs = [(i, i) for i in range(200)]
+    tree = BPlusTree.bulk_load(pairs, order=8)
+    for i in range(0, 200, 2):
+        assert tree.remove(i) == 1
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == list(range(1, 200, 2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 300), st.integers(0, 5)), max_size=400),
+       st.integers(4, 32))
+def test_property_bulk_load_oracle(pairs, order):
+    tree = BPlusTree.bulk_load(pairs, order=order)
+    tree.check_invariants()
+    oracle = {}
+    for k, v in pairs:
+        oracle.setdefault(k, set()).add(v)
+    for k, values in oracle.items():
+        assert set(tree.get(k)) == values
+    assert len(tree) == sum(len(v) for v in oracle.values())

@@ -1,0 +1,216 @@
+"""VFS rename end-to-end and the periodic-crawl appliance baseline."""
+
+import pytest
+
+from repro.baselines.crawler import PeriodicCrawler
+from repro.cluster import PropellerService
+from repro.errors import FileExists, FileNotFound, FileSystemError
+from repro.fs.notification import FsEventKind, NotificationQueue
+from repro.fs.vfs import VirtualFileSystem
+from repro.indexstructures import IndexKind
+from repro.metrics.recall import recall
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+# -- namespace-level rename -----------------------------------------------------
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem(SimClock())
+
+
+def test_rename_file_moves_inode(vfs):
+    vfs.mkdir("/a")
+    vfs.mkdir("/b")
+    inode = vfs.write_file("/a/f", 100)
+    moved = vfs.rename("/a/f", "/b/g")
+    assert moved.ino == inode.ino
+    assert not vfs.exists("/a/f")
+    assert vfs.stat("/b/g").size == 100
+
+
+def test_rename_directory_moves_subtree(vfs):
+    vfs.mkdir("/a/sub", parents=True)
+    vfs.write_file("/a/sub/f", 10)
+    vfs.rename("/a/sub", "/moved")
+    assert vfs.stat("/moved/f").size == 10
+    assert not vfs.exists("/a/sub")
+
+
+def test_rename_missing_source(vfs):
+    with pytest.raises(FileNotFound):
+        vfs.rename("/nope", "/x")
+
+
+def test_rename_existing_target_rejected(vfs):
+    vfs.write_file("/a", 1)
+    vfs.write_file("/b", 1)
+    with pytest.raises(FileExists):
+        vfs.rename("/a", "/b")
+
+
+def test_rename_into_itself_rejected(vfs):
+    vfs.mkdir("/d")
+    with pytest.raises(FileSystemError):
+        vfs.rename("/d", "/d/inner")
+    with pytest.raises(FileSystemError):
+        vfs.rename("/", "/x")
+
+
+def test_rename_updates_parent_mtimes(vfs):
+    vfs.mkdir("/a")
+    vfs.mkdir("/b")
+    vfs.write_file("/a/f", 1)
+    vfs.clock.charge(5.0)
+    vfs.rename("/a/f", "/b/f")
+    assert vfs.stat("/a").mtime == pytest.approx(5.0, abs=1e-5)
+    assert vfs.stat("/b").mtime == pytest.approx(5.0, abs=1e-5)
+
+
+def test_rename_emits_moved_notification(vfs):
+    queue = NotificationQueue()
+    vfs.add_observer(queue)
+    vfs.write_file("/old", 1)
+    queue.drain()
+    vfs.rename("/old", "/new")
+    events = queue.drain()
+    assert len(events) == 1
+    assert events[0].kind is FsEventKind.MOVED
+    assert events[0].path == "/new"
+
+
+# -- rename through the Propeller service -----------------------------------------
+
+def make_service():
+    service = PropellerService(num_index_nodes=2)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    client.create_index("by_kw", IndexKind.HASH, ["keyword"])
+    vfs = service.vfs
+    vfs.mkdir("/proj")
+    vfs.write_file("/proj/report.txt", 5000, pid=1)
+    client.index_path("/proj/report.txt", pid=1)
+    client.flush_updates()
+    return service, client
+
+
+def test_rename_reindexes_keywords():
+    service, client = make_service()
+    service.vfs.mkdir("/archive")
+    service.vfs.rename("/proj/report.txt", "/archive/final.txt", pid=1)
+    client.flush_updates()
+    assert client.search("keyword:final") == ["/archive/final.txt"]
+    assert client.search("keyword:report") == []
+    # Attribute search returns the new path too.
+    assert client.search("size==5000") == ["/archive/final.txt"]
+
+
+def test_rename_of_unindexed_file_is_ignored():
+    service, client = make_service()
+    service.vfs.write_file("/proj/scratch", 10, pid=1)   # never indexed
+    service.vfs.rename("/proj/scratch", "/proj/scratch2", pid=1)
+    client.flush_updates()
+    assert client.search("keyword:scratch2") == []
+    assert service.total_indexed_files() == 1
+
+
+def test_rename_of_pending_update_lands_under_new_path():
+    service, client = make_service()
+    vfs = service.vfs
+    vfs.write_file("/proj/tmp.dat", 77, pid=1)
+    client.index_path("/proj/tmp.dat", pid=1)     # batched, unsent
+    vfs.rename("/proj/tmp.dat", "/proj/kept.dat", pid=1)
+    client.flush_updates()
+    assert client.search("size==77") == ["/proj/kept.dat"]
+    assert client.search("keyword:tmp") == []
+
+
+def test_crawler_sees_rename_after_pass():
+    from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
+
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    loop = EventLoop(clock)
+    crawler = CrawlerSearchEngine(vfs, loop, CrawlerConfig(
+        pass_trigger_dirty=1, reindex_rate_fps=1000.0))
+    vfs.mkdir("/d")
+    vfs.write_file("/d/old.txt", 20 * 1024**2)
+    crawler.full_rebuild()
+    vfs.rename("/d/old.txt", "/d/new.txt")
+    crawler._ingest_notifications()
+    loop.run_until(clock.now() + 10)
+    assert crawler.query("size>1m") == ["/d/new.txt"]
+
+
+# -- periodic-crawl appliance --------------------------------------------------------
+
+def appliance_world(period=60.0, rate=100.0):
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    loop = EventLoop(clock)
+    appliance = PeriodicCrawler(vfs, loop, crawl_period_s=period,
+                                crawl_rate_fps=rate,
+                                type_filter=lambda p, i: True)
+    vfs.mkdir("/data")
+    return clock, vfs, loop, appliance
+
+
+def test_appliance_initial_crawl_and_query():
+    clock, vfs, loop, appliance = appliance_world()
+    for i in range(10):
+        vfs.write_file(f"/data/f{i}.txt", 2 * 1024**2)
+    assert appliance.crawl_now() == 10
+    assert len(appliance.query("size>1m")) == 10
+
+
+def test_appliance_staleness_until_next_periodic_crawl():
+    clock, vfs, loop, appliance = appliance_world(period=60.0)
+    vfs.write_file("/data/before.txt", 2 * 1024**2)
+    appliance.crawl_now()
+    vfs.write_file("/data/after.txt", 2 * 1024**2)
+    # No notifications: the new file is invisible for up to a full period.
+    assert appliance.query("size>1m") == ["/data/before.txt"]
+    loop.run_until(clock.now() + 70.0)   # next crawl starts and finishes
+    assert set(appliance.query("size>1m")) == {"/data/before.txt",
+                                               "/data/after.txt"}
+
+
+def test_appliance_serves_old_snapshot_during_crawl():
+    clock, vfs, loop, appliance = appliance_world(period=30.0, rate=1.0)
+    for i in range(20):
+        vfs.write_file(f"/data/f{i}.txt", 2 * 1024**2)
+    # First periodic crawl starts at t=30 and takes 20s at 1 FPS.
+    loop.run_until(35.0)
+    assert appliance.query("size>1m") == []    # old (empty) snapshot
+    loop.run_until(55.0)
+    assert len(appliance.query("size>1m")) == 20
+    assert appliance.crawls_completed == 1
+
+
+def test_appliance_worse_recall_than_notification_crawler():
+    """Section II's hierarchy: notifications help, inline indexing wins."""
+    from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
+
+    clock = SimClock()
+    vfs = VirtualFileSystem(clock)
+    loop = EventLoop(clock)
+    desktop = CrawlerSearchEngine(vfs, loop, CrawlerConfig(
+        pass_trigger_dirty=4, reindex_rate_fps=1000.0,
+        type_filter=lambda p, i: True))
+    appliance = PeriodicCrawler(vfs, loop, crawl_period_s=600.0,
+                                crawl_rate_fps=1000.0,
+                                type_filter=lambda p, i: True)
+    vfs.mkdir("/data")
+    desktop.full_rebuild()
+    appliance.crawl_now()
+    desktop_recalls, appliance_recalls = [], []
+    for i in range(30):
+        vfs.write_file(f"/data/f{i}.txt", 2 * 1024**2)
+        loop.run_until(clock.now() + 2.0)
+        truth = [p for p, inode in vfs.namespace.files()
+                 if inode.size > 1024**2]
+        desktop_recalls.append(recall(desktop.query("size>1m"), truth))
+        appliance_recalls.append(recall(appliance.query("size>1m"), truth))
+    assert sum(desktop_recalls) > sum(appliance_recalls)
+    assert max(appliance_recalls) < 0.5   # a whole period away from a crawl

@@ -1,0 +1,89 @@
+"""SimClock: monotonicity, spans, and the parallel-overlap helper."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now() == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.5).now() == 5.5
+
+
+def test_charge_advances():
+    clock = SimClock()
+    clock.charge(1.25)
+    clock.charge(0.75)
+    assert clock.now() == 2.0
+
+
+def test_charge_zero_is_allowed():
+    clock = SimClock()
+    clock.charge(0.0)
+    assert clock.now() == 0.0
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(SimulationError):
+        SimClock().charge(-0.1)
+
+
+def test_advance_to_future():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now() == 10.0
+
+
+def test_advance_to_past_rejected():
+    clock = SimClock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.0)
+
+
+def test_span_measures_elapsed():
+    clock = SimClock()
+    span = clock.span()
+    clock.charge(3.0)
+    assert span.elapsed() == 3.0
+    clock.charge(1.0)
+    assert span.elapsed() == 4.0
+
+
+def test_span_start_recorded():
+    clock = SimClock(2.0)
+    span = clock.span()
+    assert span.start == 2.0
+
+
+def test_parallel_takes_slowest_leg():
+    clock = SimClock()
+    durations = [0.5, 2.0, 1.0]
+
+    def make(d):
+        return lambda: clock.charge(d)
+
+    clock.parallel([make(d) for d in durations])
+    assert clock.now() == pytest.approx(2.0)
+
+
+def test_parallel_returns_results_in_order():
+    clock = SimClock()
+    results = clock.parallel([lambda: "a", lambda: "b"])
+    assert results == ["a", "b"]
+
+
+def test_parallel_empty_is_noop():
+    clock = SimClock(1.0)
+    assert clock.parallel([]) == []
+    assert clock.now() == 1.0
+
+
+def test_parallel_side_effects_all_happen():
+    clock = SimClock()
+    box = []
+    clock.parallel([lambda: box.append(1), lambda: box.append(2)])
+    assert box == [1, 2]

@@ -1,0 +1,80 @@
+"""Disk models: random vs sequential costs, stats, append detection."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskDevice, HDDModel, SSDModel
+
+
+@pytest.fixture
+def disk():
+    return DiskDevice(SimClock())
+
+
+def test_random_read_charges_seek_and_transfer(disk):
+    disk.read(0, 4096)
+    model = disk.model
+    expected = model.avg_seek_s + model.avg_rotation_s + 4096 / model.bandwidth_bytes_per_s
+    assert disk.clock.now() == pytest.approx(expected)
+
+
+def test_sequential_read_skips_seek(disk):
+    disk.read(0, 4096)
+    t1 = disk.clock.now()
+    disk.read(4096, 4096)  # continues the stream
+    assert disk.clock.now() - t1 == pytest.approx(4096 / disk.model.bandwidth_bytes_per_s)
+
+
+def test_non_adjacent_read_pays_seek_again(disk):
+    disk.read(0, 4096)
+    t1 = disk.clock.now()
+    disk.read(1 << 20, 4096)
+    delta = disk.clock.now() - t1
+    assert delta > disk.model.avg_seek_s
+
+
+def test_stats_counters(disk):
+    disk.read(0, 100)
+    disk.write(4096, 200)
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 1
+    assert disk.stats.bytes_read == 100
+    assert disk.stats.bytes_written == 200
+
+
+def test_seek_count_tracks_non_sequential(disk):
+    disk.read(0, 4096)
+    disk.read(4096, 4096)   # sequential
+    disk.read(0, 4096)      # seek back
+    assert disk.stats.seeks == 2
+
+
+def test_append_is_sequential_after_first(disk):
+    disk.append(1000)
+    t1 = disk.clock.now()
+    disk.append(1000)
+    assert disk.clock.now() - t1 == pytest.approx(1000 / disk.model.bandwidth_bytes_per_s)
+
+
+def test_reset_head_forces_seek(disk):
+    disk.read(0, 4096)
+    disk.reset_head()
+    t1 = disk.clock.now()
+    disk.read(4096, 4096)
+    assert disk.clock.now() - t1 > disk.model.avg_seek_s
+
+
+def test_ssd_cheaper_than_hdd_random():
+    hdd, ssd = HDDModel(), SSDModel()
+    assert ssd.random_access_cost(4096) < hdd.random_access_cost(4096)
+
+
+def test_hdd_sequential_is_bandwidth_only():
+    model = HDDModel()
+    assert model.sequential_access_cost(125_000_000) == pytest.approx(1.0)
+
+
+def test_busy_seconds_accumulates(disk):
+    disk.read(0, 4096)
+    disk.write(1 << 22, 4096)
+    assert disk.stats.busy_seconds == pytest.approx(disk.clock.now())

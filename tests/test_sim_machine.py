@@ -1,0 +1,58 @@
+"""Machine and Cluster composition."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.machine import Cluster, Machine, MachineSpec
+
+
+def test_machine_defaults():
+    machine = Machine(SimClock())
+    assert machine.name == "node"
+    assert machine.spec.ram_bytes == 4 * 1024**3
+
+
+def test_compute_charges_at_cpu_rate():
+    machine = Machine(SimClock(), MachineSpec(cpu_ops_per_s=1e9))
+    machine.compute(5e8)
+    assert machine.clock.now() == pytest.approx(0.5)
+
+
+def test_drop_caches_resets_page_cache_and_head():
+    machine = Machine(SimClock())
+    machine.page_cache.touch("x", 0)
+    machine.drop_caches()
+    assert machine.page_cache.touch("x", 0) is False
+
+
+def test_cluster_shares_clock():
+    cluster = Cluster(["a", "b"])
+    cluster["a"].compute(1e9)
+    assert cluster["b"].clock.now() > 0
+
+
+def test_cluster_machines_have_own_disks():
+    cluster = Cluster(["a", "b"])
+    cluster["a"].disk.read(0, 4096)
+    assert cluster["b"].disk.stats.reads == 0
+
+
+def test_cluster_len_and_iter():
+    cluster = Cluster(["a", "b", "c"])
+    assert len(cluster) == 3
+    assert sorted(m.name for m in cluster) == ["a", "b", "c"]
+
+
+def test_cluster_spec_propagates():
+    spec = MachineSpec(ram_bytes=1024**3)
+    cluster = Cluster(["a"], spec=spec)
+    assert cluster["a"].spec.ram_bytes == 1024**3
+
+
+def test_cluster_drop_caches_all_nodes():
+    cluster = Cluster(["a", "b"])
+    cluster["a"].page_cache.touch("x", 0)
+    cluster["b"].page_cache.touch("x", 0)
+    cluster.drop_caches()
+    assert cluster["a"].page_cache.touch("x", 0) is False
+    assert cluster["b"].page_cache.touch("x", 0) is False

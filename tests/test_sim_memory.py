@@ -1,0 +1,106 @@
+"""PageCache: hits vs misses, LRU eviction, namespaces, cold drops."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskDevice
+from repro.sim.memory import PAGE_SIZE, PageCache
+
+
+def make_cache(pages=4):
+    disk = DiskDevice(SimClock())
+    return PageCache(disk, capacity_bytes=pages * PAGE_SIZE)
+
+
+def test_first_touch_is_miss():
+    cache = make_cache()
+    assert cache.touch("a", 0) is False
+    assert cache.stats.misses == 1
+
+
+def test_second_touch_is_hit():
+    cache = make_cache()
+    cache.touch("a", 0)
+    assert cache.touch("a", 0) is True
+    assert cache.stats.hits == 1
+
+
+def test_miss_charges_disk_time_hit_does_not():
+    cache = make_cache()
+    cache.touch("a", 0)
+    t_after_miss = cache.disk.clock.now()
+    cache.touch("a", 0)
+    assert cache.disk.clock.now() - t_after_miss < 1e-5
+    assert t_after_miss > 1e-3  # the miss paid a random disk access
+
+
+def test_lru_eviction_order():
+    cache = make_cache(pages=2)
+    cache.touch("a", 0)
+    cache.touch("a", 1)
+    cache.touch("a", 0)      # 0 now most recent
+    cache.touch("a", 2)      # evicts 1
+    assert cache.touch("a", 0) is True
+    assert cache.touch("a", 1) is False
+
+
+def test_eviction_counter():
+    cache = make_cache(pages=1)
+    cache.touch("a", 0)
+    cache.touch("a", 1)
+    assert cache.stats.evictions == 1
+
+
+def test_namespaces_do_not_alias():
+    cache = make_cache()
+    cache.touch("a", 7)
+    assert cache.touch("b", 7) is False
+
+
+def test_access_bytes_touches_spanned_pages():
+    cache = make_cache(pages=8)
+    cache.access_bytes("a", 0, 3 * PAGE_SIZE)
+    assert cache.stats.misses == 3
+
+
+def test_access_bytes_partial_page():
+    cache = make_cache()
+    cache.access_bytes("a", 100, 10)
+    assert cache.stats.misses == 1
+
+
+def test_access_bytes_zero_is_noop():
+    cache = make_cache()
+    cache.access_bytes("a", 0, 0)
+    assert cache.stats.accesses == 0
+
+
+def test_invalidate_namespace():
+    cache = make_cache()
+    cache.touch("a", 0)
+    cache.touch("b", 0)
+    assert cache.invalidate("a") == 1
+    assert cache.touch("a", 0) is False
+    assert cache.touch("b", 0) is True
+
+
+def test_drop_all_goes_cold():
+    cache = make_cache()
+    cache.touch("a", 0)
+    cache.drop_all()
+    assert cache.touch("a", 0) is False
+
+
+def test_tiny_capacity_rejected():
+    disk = DiskDevice(SimClock())
+    with pytest.raises(SimulationError):
+        PageCache(disk, capacity_bytes=100)
+
+
+def test_hit_ratio():
+    cache = make_cache()
+    cache.touch("a", 0)
+    cache.touch("a", 0)
+    cache.touch("a", 0)
+    assert cache.stats.hit_ratio == pytest.approx(2 / 3)

@@ -1,0 +1,119 @@
+"""Network model and the simulated RPC layer."""
+
+import pytest
+
+from repro.errors import ClusterError, NodeDown
+from repro.sim.clock import SimClock
+from repro.sim.network import NetworkModel
+from repro.sim.rpc import RpcEndpoint, RpcNetwork
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(SimClock())
+
+
+def test_message_cost_has_latency_floor(net):
+    assert net.message_cost(0) == pytest.approx(net.latency_s)
+
+
+def test_send_charges_clock(net):
+    net.send(125_000_000)  # one second of line rate + latency
+    assert net.clock.now() == pytest.approx(1.0 + net.latency_s)
+
+
+def test_fanout_charges_slowest_leg_only(net):
+    net.fanout([100, 125_000_000, 100])
+    assert net.clock.now() == pytest.approx(1.0 + net.latency_s, rel=1e-3)
+    assert net.stats.messages == 3
+
+
+def test_local_send_is_cheap(net):
+    # Loopback pays a process-boundary crossing (~25us) but never the
+    # wire latency or serialization delay.
+    net.send_local(1 << 20)
+    assert net.clock.now() < net.latency_s
+    assert net.clock.now() == pytest.approx(25e-6)
+
+
+def test_stats_accumulate(net):
+    net.send(100)
+    net.send(200)
+    assert net.stats.messages == 2
+    assert net.stats.bytes_sent == 300
+
+
+def make_rpc():
+    net = NetworkModel(SimClock())
+    rpc = RpcNetwork(net)
+    endpoint = RpcEndpoint("node1")
+    endpoint.register("echo", lambda x: x * 2)
+    rpc.add_endpoint(endpoint)
+    return rpc, endpoint
+
+
+def test_rpc_call_runs_handler():
+    rpc, _ = make_rpc()
+    assert rpc.call("node1", "echo", 21) == 42
+
+
+def test_rpc_call_charges_round_trip():
+    rpc, _ = make_rpc()
+    rpc.call("node1", "echo", 1)
+    assert rpc.network.clock.now() >= 2 * rpc.network.latency_s
+
+
+def test_rpc_local_call_cheap():
+    rpc, _ = make_rpc()
+    rpc.call("node1", "echo", 1, local=True)
+    # Two loopback crossings, but cheaper than one wire round trip.
+    assert rpc.network.clock.now() < 2 * rpc.network.latency_s
+    assert rpc.network.clock.now() == pytest.approx(50e-6)
+
+
+def test_rpc_unknown_endpoint():
+    rpc, _ = make_rpc()
+    with pytest.raises(ClusterError):
+        rpc.call("ghost", "echo", 1)
+
+
+def test_rpc_unknown_method():
+    rpc, _ = make_rpc()
+    with pytest.raises(ClusterError):
+        rpc.call("node1", "nope")
+
+
+def test_rpc_duplicate_endpoint_rejected():
+    rpc, endpoint = make_rpc()
+    with pytest.raises(ClusterError):
+        rpc.add_endpoint(RpcEndpoint("node1"))
+
+
+def test_rpc_duplicate_handler_rejected():
+    _, endpoint = make_rpc()
+    with pytest.raises(ClusterError):
+        endpoint.register("echo", lambda: None)
+
+
+def test_failed_node_raises_node_down():
+    rpc, endpoint = make_rpc()
+    endpoint.fail()
+    with pytest.raises(NodeDown):
+        rpc.call("node1", "echo", 1)
+    endpoint.recover()
+    assert rpc.call("node1", "echo", 3) == 6
+
+
+def test_multicall_fans_out():
+    net = NetworkModel(SimClock())
+    rpc = RpcNetwork(net)
+    for name in ("a", "b", "c"):
+        ep = RpcEndpoint(name)
+        ep.register("who", lambda n=name: n)
+        rpc.add_endpoint(ep)
+    assert rpc.multicall(["a", "b", "c"], "who") == ["a", "b", "c"]
+
+
+def test_multicall_empty():
+    rpc, _ = make_rpc()
+    assert rpc.multicall([], "echo") == []

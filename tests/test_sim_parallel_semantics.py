@@ -1,0 +1,77 @@
+"""The overlap semantics that every benchmark's validity rests on:
+nested SimClock.parallel, multicall charging, and span composition."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.machine import Cluster
+from repro.sim.network import NetworkModel
+from repro.sim.rpc import RpcEndpoint, RpcNetwork
+
+
+def test_nested_parallel_composes():
+    clock = SimClock()
+
+    def inner_pair(a, b):
+        # Two legs inside one outer leg.
+        clock.parallel([lambda: clock.charge(a), lambda: clock.charge(b)])
+
+    clock.parallel([
+        lambda: inner_pair(1.0, 2.0),   # outer leg 1: max(1,2) = 2
+        lambda: clock.charge(3.0),      # outer leg 2: 3
+    ])
+    assert clock.now() == pytest.approx(3.0)
+
+
+def test_parallel_then_sequential_charges_add():
+    clock = SimClock()
+    clock.parallel([lambda: clock.charge(2.0), lambda: clock.charge(1.0)])
+    clock.charge(0.5)
+    assert clock.now() == pytest.approx(2.5)
+
+
+def test_span_inside_parallel_measures_leg_time():
+    clock = SimClock()
+    measured = []
+
+    def leg(duration):
+        span = clock.span()
+        clock.charge(duration)
+        measured.append(span.elapsed())
+
+    clock.parallel([lambda: leg(1.0), lambda: leg(4.0)])
+    assert measured == [pytest.approx(1.0), pytest.approx(4.0)]
+    assert clock.now() == pytest.approx(4.0)
+
+
+def test_multicall_overlaps_network_but_runs_all_handlers():
+    cluster = Cluster(["a", "b", "c"])
+    rpc = RpcNetwork(cluster.network)
+    calls = []
+    for name in ("a", "b", "c"):
+        endpoint = RpcEndpoint(name)
+        endpoint.register("work", lambda n=name: calls.append(n))
+        rpc.add_endpoint(endpoint)
+    t0 = cluster.clock.now()
+    rpc.multicall(["a", "b", "c"], "work")
+    # Network cost ≈ one round trip (legs overlap), not three.
+    assert cluster.clock.now() - t0 < 3 * 2 * cluster.network.latency_s
+    assert calls == ["a", "b", "c"]
+
+
+def test_parallel_search_model_cluster_speedup():
+    """The exact pattern the client uses: per-node handler work wrapped
+    in clock.parallel must scale with the slowest node, not the sum."""
+    cluster = Cluster(["n1", "n2", "n3", "n4"])
+    clock = cluster.clock
+
+    def node_work(seconds):
+        return lambda: clock.charge(seconds)
+
+    start = clock.now()
+    clock.parallel([node_work(0.25) for _ in range(4)])
+    four_nodes = clock.now() - start
+    start = clock.now()
+    clock.parallel([node_work(1.0)])
+    one_node = clock.now() - start
+    assert one_node / four_nodes == pytest.approx(4.0)

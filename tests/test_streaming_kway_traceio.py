@@ -1,0 +1,207 @@
+"""Streaming partitioner, k-way partitioning, and trace file I/O."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metis import bisect, cut_of, k_way_partition, random_bisect
+from repro.core.streaming import StreamingPartitioner, streaming_partition
+from repro.core.trace import AccessEvent, causal_pairs
+from repro.core.traceio import (
+    TraceFormatError,
+    acg_from_trace,
+    dump_trace,
+    format_event,
+    load_trace,
+)
+
+
+def two_cliques(k):
+    adj = {i: {} for i in range(2 * k)}
+    for base in (0, k):
+        for i in range(base, base + k):
+            for j in range(base, base + k):
+                if i != j:
+                    adj[i][j] = 5
+    adj[k - 1][k] = 1
+    adj[k][k - 1] = 1
+    return adj
+
+
+# -- streaming (LDG) ---------------------------------------------------------------
+
+def test_streaming_validation():
+    with pytest.raises(ValueError):
+        StreamingPartitioner(0, 10)
+    with pytest.raises(ValueError):
+        StreamingPartitioner(2, 0)
+
+
+def test_streaming_is_idempotent_per_vertex():
+    p = StreamingPartitioner(2, capacity=10)
+    first = p.place(1, [])
+    again = p.place(1, [2, 3])
+    assert first == again
+    assert sum(len(part) for part in p.partitions) == 1
+
+
+def test_streaming_respects_capacity():
+    p = StreamingPartitioner(2, capacity=2)
+    for v in range(4):
+        p.place(v, [])
+    with pytest.raises(ValueError):
+        p.place(99, [])
+
+
+def test_streaming_keeps_cliques_together():
+    adj = two_cliques(10)
+    partitioner = streaming_partition(adj, 2)
+    # The two cliques should land (almost) entirely in separate parts.
+    cut = partitioner.cut_weight(adj)
+    assert cut <= random_bisect(adj, seed=1).cut_weight
+    assert cut < 0.2 * sum(w for t in adj.values() for w in t.values()) / 2
+
+
+def test_streaming_balance_under_slack():
+    adj = {i: {} for i in range(100)}  # no edges: pure balance test
+    partitioner = streaming_partition(adj, 4)
+    sizes = sorted(len(p) for p in partitioner.partitions)
+    assert sizes[0] >= 20
+
+
+def test_streaming_order_matters_but_cut_reasonable():
+    adj = two_cliques(8)
+    rng = random.Random(0)
+    order = list(adj)
+    rng.shuffle(order)
+    partitioner = streaming_partition(adj, 2, order=order)
+    assert partitioner.cut_weight(adj) <= random_bisect(adj, seed=2).cut_weight
+
+
+# -- k-way ---------------------------------------------------------------------------
+
+def test_k_way_validation():
+    with pytest.raises(ValueError):
+        k_way_partition({1: {}}, 0)
+
+
+def test_k_way_one_part_is_whole_graph():
+    adj = two_cliques(4)
+    assert k_way_partition(adj, 1) == [set(adj)]
+
+
+def test_k_way_covers_and_is_disjoint():
+    adj = two_cliques(12)
+    parts = k_way_partition(adj, 4)
+    assert len(parts) == 4
+    union = set()
+    for part in parts:
+        assert not union & part
+        union |= part
+    assert union == set(adj)
+
+
+def test_k_way_roughly_balanced():
+    rng = random.Random(1)
+    adj = {i: {} for i in range(128)}
+    for i in range(128):
+        for j in range(i + 1, 128):
+            if rng.random() < 0.05:
+                adj[i][j] = 1
+                adj[j][i] = 1
+    parts = k_way_partition(adj, 4)
+    sizes = sorted(len(p) for p in parts)
+    assert sizes[0] >= 20 and sizes[-1] <= 44
+
+
+def test_k_way_odd_k():
+    adj = two_cliques(9)
+    parts = k_way_partition(adj, 3)
+    assert len(parts) == 3
+    assert sum(len(p) for p in parts) == len(adj)
+
+
+# -- trace I/O -------------------------------------------------------------------------
+
+def ev(pid, fid, mode, t):
+    return AccessEvent(pid=pid, file_id=fid,
+                       read="r" in mode, write="w" in mode, t_open=t)
+
+
+def test_format_event_modes():
+    assert format_event(ev(1, 2, "r", 0.5)) == "1 r 2 0.500000"
+    assert format_event(ev(1, 2, "w", 0.5)).split()[1] == "w"
+    assert format_event(ev(1, 2, "rw", 0.5)).split()[1] == "rw"
+
+
+def test_dump_load_roundtrip():
+    events = [ev(1, 10, "r", 0.0), ev(1, 20, "w", 1.0), ev(2, 10, "rw", 2.0)]
+    buffer = io.StringIO()
+    assert dump_trace(events, buffer) == 3
+    buffer.seek(0)
+    assert load_trace(buffer) == events
+
+
+def test_load_accepts_paths_with_stable_ids():
+    lines = [
+        "7 r /src/a.c 0.0",
+        "7 r /src/a.h 1.0",
+        "7 w /out/a.o 2.0",
+        "8 r /src/a.c 3.0",
+    ]
+    events = load_trace(lines)
+    assert events[0].file_id == events[3].file_id       # same path, same id
+    assert len({e.file_id for e in events[:3]}) == 3
+
+
+def test_comments_and_blanks_skipped():
+    lines = ["# header", "", "1 r 5 0.0", "   ", "# trailing"]
+    assert len(load_trace(lines)) == 1
+
+
+@pytest.mark.parametrize("bad", [
+    "1 r 5",                # too few fields
+    "1 q 5 0.0",            # bad mode
+    "x r 5 0.0",            # bad pid
+    "1 r 5 zz",             # bad time
+])
+def test_malformed_lines_raise(bad):
+    with pytest.raises(TraceFormatError):
+        load_trace([bad])
+
+
+def test_acg_from_trace_builds_causality():
+    lines = [
+        "7 r /src/a.c 0.0",
+        "7 w /out/a.o 1.0",
+        "9 r /src/a.c 2.0",   # different process, no write: no edge
+    ]
+    graph = acg_from_trace(lines)
+    assert graph.vertex_count == 2
+    assert graph.edge_count == 1
+    # Edge goes source -> object.
+    (u, v, w), = list(graph.edges())
+    assert w == 1
+
+
+def test_trace_roundtrip_preserves_causality():
+    events = [ev(1, 1, "r", 0), ev(1, 2, "w", 1), ev(1, 3, "w", 2),
+              ev(2, 4, "r", 3), ev(2, 5, "w", 4)]
+    buffer = io.StringIO()
+    dump_trace(events, buffer)
+    buffer.seek(0)
+    assert sorted(causal_pairs(load_trace(buffer))) == sorted(causal_pairs(events))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 4), st.integers(1, 30),
+                          st.sampled_from(["r", "w", "rw"])), max_size=50))
+def test_property_trace_roundtrip(raw):
+    events = [ev(pid, fid, mode, float(i)) for i, (pid, fid, mode) in enumerate(raw)]
+    buffer = io.StringIO()
+    dump_trace(events, buffer)
+    buffer.seek(0)
+    assert load_trace(buffer) == events

