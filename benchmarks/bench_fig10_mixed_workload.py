@@ -31,8 +31,10 @@ def run_propeller(total_files: int, config: MixedWorkloadConfig):
         single_node=True)
     group = paths[:1000]
     node = service.index_nodes["in1"]
-    updates = LatencyCollector("propeller updates")
-    searches = LatencyCollector("propeller searches")
+    # Bounded reservoirs: the stream is long and only summary statistics
+    # are reported, so retention need not grow with the run.
+    updates = LatencyCollector("propeller updates", max_samples=4096)
+    searches = LatencyCollector("propeller searches", max_samples=4096)
     # The paper uses a request batch size of 128 in both systems; the
     # per-update latency is therefore amortized over batches, with
     # periodic spikes (the bands in Figure 10's scatter).
@@ -57,8 +59,8 @@ def run_minisql(total_files: int, config: MixedWorkloadConfig):
     group = paths[:1000]
     import zlib
     ino_of = {p: zlib.crc32(p.encode()) & 0x7FFFFFFF for p in group}
-    updates = LatencyCollector("minisql updates")
-    searches = LatencyCollector("minisql searches")
+    updates = LatencyCollector("minisql updates", max_samples=4096)
+    searches = LatencyCollector("minisql searches", max_samples=4096)
     db.batch_size = 128
     counter = 0
     for op, arg in mixed_stream(group, config):

@@ -47,7 +47,10 @@ def run_fps(fps: float, snapshot_files: int) -> Dict[str, object]:
     crawler.full_rebuild()
 
     pp_recall, sl_recall = TimeSeries("PP"), TimeSeries("SL")
-    pp_latency, sl_latency = LatencyCollector("PP"), LatencyCollector("SL")
+    # Bounded reservoirs: queries arrive for the whole simulated run and
+    # only summaries are reported.
+    pp_latency = LatencyCollector("PP", max_samples=4096)
+    sl_latency = LatencyCollector("SL", max_samples=4096)
     copied, start = 0, clock.now()
     vfs.mkdir("/incoming")
     while clock.now() - start < DURATION_S:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.fs.vfs import VirtualFileSystem
+from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate, matches
 from repro.query.executor import tokenize_path
 from repro.query.parser import parse_query
@@ -23,9 +24,13 @@ _STAT_CPU_S = 2e-6  # getattr syscall + predicate evaluation
 class BruteForceSearcher:
     """Full-scan search over a VFS with page-cache-aware stat costs."""
 
-    def __init__(self, vfs: VirtualFileSystem, page_cache: Optional[PageCache] = None) -> None:
+    def __init__(self, vfs: VirtualFileSystem, page_cache: Optional[PageCache] = None,
+                 tracer=NULL_TRACER) -> None:
         self.vfs = vfs
         self.page_cache = page_cache
+        self.tracer = tracer
+        if page_cache is not None:
+            page_cache.tracer = tracer
 
     def query(self, text: str) -> List[str]:
         """Scan for files matching the query text; returns sorted paths."""
@@ -35,16 +40,21 @@ class BruteForceSearcher:
         """Scan for files matching a pre-parsed predicate."""
         now = self.vfs.clock.now()
         results: List[str] = []
-        for path, inode in self.vfs.namespace.files():
-            if self.page_cache is not None:
-                # Inodes pack ~32 per metadata block.
-                self.page_cache.touch("inodes", inode.ino // 32)
-            self.vfs.clock.charge(_STAT_CPU_S)
-            attrs = {"size": inode.size, "mtime": inode.mtime,
-                     "ctime": inode.ctime, "uid": inode.uid}
-            attrs.update(inode.attributes)
-            if matches(predicate, attrs, tokenize_path(path), now):
-                results.append(path)
+        with self.tracer.span("bruteforce_scan") as span:
+            examined = 0
+            for path, inode in self.vfs.namespace.files():
+                examined += 1
+                if self.page_cache is not None:
+                    # Inodes pack ~32 per metadata block.
+                    self.page_cache.touch("inodes", inode.ino // 32)
+                self.vfs.clock.charge(_STAT_CPU_S)
+                attrs = {"size": inode.size, "mtime": inode.mtime,
+                         "ctime": inode.ctime, "uid": inode.uid}
+                attrs.update(inode.attributes)
+                if matches(predicate, attrs, tokenize_path(path), now):
+                    results.append(path)
+            span.set_attribute("examined", examined)
+            span.set_attribute("matches", len(results))
         return sorted(results)
 
 

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cluster.messages import IndexUpdate, UpdateOp
 from repro.indexstructures.base import IndexKind
 from repro.indexstructures.btree import BPlusTree
+from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
 from repro.query.executor import AttributeStore, execute_plans
 from repro.query.parser import parse_query
@@ -68,10 +69,14 @@ class MiniSQL:
                  indexed_attrs: Sequence[str] = ("size", "mtime"),
                  buffer_pool_bytes: int = DEFAULT_BUFFER_POOL_BYTES,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 btree_order: int = 64) -> None:
+                 btree_order: int = 64,
+                 tracer=NULL_TRACER) -> None:
         self.machine = machine
         self.batch_size = batch_size
+        self.tracer = tracer
         self.buffer_pool = PageCache(machine.disk, buffer_pool_bytes)
+        self.buffer_pool.tracer = tracer
+        machine.disk.tracer = tracer
         self.store: AttributeStore = _PagedStore(self.buffer_pool)
         self.indexed_attrs = tuple(indexed_attrs)
         self._indexes: Dict[str, BPlusTree] = {
@@ -114,9 +119,10 @@ class MiniSQL:
         if not self._pending:
             return 0
         batch, self._pending = self._pending, []
-        for update in batch:
-            self._apply(update)
-        self.machine.disk.append(_REDO_RECORD_BYTES * len(batch))
+        with self.tracer.span("sql_group_commit", rows=len(batch)):
+            for update in batch:
+                self._apply(update)
+            self.machine.disk.append(_REDO_RECORD_BYTES * len(batch))
         return len(batch)
 
     def _deindex(self, file_id: int) -> None:
@@ -154,20 +160,27 @@ class MiniSQL:
 
     def query_predicate(self, predicate: Predicate) -> Set[int]:
         """SELECT matching file ids for a pre-parsed predicate."""
-        self.flush()  # a query sees every acknowledged write
-        self.queries_served += 1
-        now = self.machine.clock.now()
-        self.machine.compute(_STATEMENT_OPS)
-        specs = list(self._specs)
-        specs.append(IndexSpec("files_kw", IndexKind.HASH, (KEYWORD_ATTR,)))
-        plans = plan_query_set(predicate, specs, now)
-        indexes: Dict[str, Any] = {f"files_{attr}": idx
-                                   for attr, idx in self._indexes.items()}
-        # The keyword table serves 'keyword:' terms; MiniSQL keeps it as a
-        # B+tree, which answers exact-match gets just as well.
-        indexes["files_kw"] = self._keyword_index
-        result = execute_plans(plans, predicate, indexes, self.store, now)
-        self.machine.compute(500 * max(1, len(result)))
+        with self.tracer.span("sql_query") as root:
+            self.flush()  # a query sees every acknowledged write
+            self.queries_served += 1
+            now = self.machine.clock.now()
+            self.machine.compute(_STATEMENT_OPS)
+            with self.tracer.span("plan") as span:
+                specs = list(self._specs)
+                specs.append(IndexSpec("files_kw", IndexKind.HASH, (KEYWORD_ATTR,)))
+                plans = plan_query_set(predicate, specs, now)
+                span.set_attribute(
+                    "access_path", "; ".join(p.describe() for p in plans))
+            indexes: Dict[str, Any] = {f"files_{attr}": idx
+                                       for attr, idx in self._indexes.items()}
+            # The keyword table serves 'keyword:' terms; MiniSQL keeps it as a
+            # B+tree, which answers exact-match gets just as well.
+            indexes["files_kw"] = self._keyword_index
+            with self.tracer.span("index_scan") as span:
+                result = execute_plans(plans, predicate, indexes, self.store, now)
+                self.machine.compute(500 * max(1, len(result)))
+                span.set_attribute("matches", len(result))
+            root.set_attribute("matches", len(result))
         return result
 
     def query_paths(self, text: str) -> List[str]:

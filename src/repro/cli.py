@@ -1,9 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Main subcommands::
 
     repro demo       [--nodes N] [--files M]         run a live cluster demo
-    repro query      QUERY [--files M] [--nodes N]   build a namespace, search it
+    repro query      QUERY [--files M] [--nodes N] [--profile]
+                                                      build a namespace, search it
+    repro profile    QUERY [--files M] [--nodes N] [--json]
+                                                      span-tree breakdown of a query
     repro partition  (--trace FILE | --app NAME[:SCALE]) [--k K]
                                                       ACG stats + partitioning
     repro results    [--dir PATH]                     show regenerated tables
@@ -58,6 +61,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     """``repro query``: search a generated namespace and print matches."""
     service, client = _build_service(args.nodes, args.files)
+    if getattr(args, "profile", False):
+        service.enable_tracing()
     span = service.clock.span()
     try:
         results = client.search(args.query)
@@ -71,6 +76,36 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"... and {suppressed} more")
     print(f"# {len(results)} matches in {format_duration(span.elapsed())} "
           "(simulated)")
+    if getattr(args, "profile", False):
+        from repro.obs.profile import QueryProfile
+
+        root = service.tracer.last_root("search")
+        if root is not None:
+            print()
+            print(QueryProfile(root, query=args.query).render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: EXPLAIN ANALYZE a query on a demo cluster."""
+    import json as _json
+
+    from repro.obs.export import render_registry
+
+    service, client = _build_service(args.nodes, args.files)
+    service.enable_tracing()
+    try:
+        profile = client.profile_search(args.query)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(profile.render())
+    print()
+    print(render_registry(service.registry, prefix="cluster.client",
+                          title="client metrics"))
     return 0
 
 
@@ -189,7 +224,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--files", type=int, default=2000)
     query.add_argument("--nodes", type=int, default=4)
     query.add_argument("--limit", type=int, default=20)
+    query.add_argument("--profile", action="store_true",
+                       help="print the traced span-tree breakdown after "
+                            "the results")
     query.set_defaults(func=cmd_query)
+
+    profile = sub.add_parser(
+        "profile", help="EXPLAIN ANALYZE a query against a demo cluster")
+    profile.add_argument("query")
+    profile.add_argument("--files", type=int, default=2000)
+    profile.add_argument("--nodes", type=int, default=4)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile as JSON instead of tables")
+    profile.set_defaults(func=cmd_profile)
 
     partition = sub.add_parser("partition", help="partition an ACG")
     source = partition.add_mutually_exclusive_group(required=True)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cluster.messages import IndexUpdate
+from repro.obs.tracing import NULL_TRACER
 
 DEFAULT_TIMEOUT_S = 5.0
 
@@ -45,6 +46,9 @@ class IndexCache:
         self._pending: Dict[int, List[IndexUpdate]] = {}
         self._oldest: Dict[int, float] = {}
         self.stats = CacheStats()
+        # Commits open a span so searches show the index-cache commit
+        # they forced (zero simulated cost; no-op until tracing is wired).
+        self.tracer = NULL_TRACER
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._pending.values())
@@ -80,8 +84,15 @@ class IndexCache:
         return sum(self._commit(acg, "timeout") for acg in due)
 
     def commit_for_search(self, acg_id: int) -> int:
-        """Search path: commit one ACG's pending updates right now."""
-        return self._commit(acg_id, "search")
+        """Search path: commit one ACG's pending updates right now.
+
+        Always a traced stage — a search forces the commit check even
+        when nothing is pending, and profiles should show that.
+        """
+        with self.tracer.span("cache_commit", acg=acg_id, reason="search") as span:
+            committed = self._commit(acg_id, "search")
+            span.set_attribute("updates", committed)
+        return committed
 
     def commit_all(self) -> int:
         """Flush everything (shutdown / checkpoint)."""

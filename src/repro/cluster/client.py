@@ -14,7 +14,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.messages import IndexUpdate, RouteEntry, SearchResult
+from repro.errors import ClusterError
 from repro.fs.interceptor import FileAccessManager
+from repro.obs.tracing import NULL_TRACER
 from repro.fs.namespace import Inode
 from repro.fs.vfs import VirtualFileSystem
 from repro.indexstructures.base import IndexKind
@@ -57,6 +59,11 @@ class PropellerClient:
         self._pending: List[Tuple[int, IndexUpdate]] = []  # (hint, update)
         self.searches_issued = 0
         self.updates_sent = 0
+        # Observability (wired by the service): spans for the search
+        # path, a registry for request-latency histograms.  Both charge
+        # zero simulated time.
+        self.tracer = NULL_TRACER
+        self.registry = None
         # Namespace integration: listing "/scope/?query" on the VFS runs
         # the search through this client's File Query Engine.
         vfs.set_query_handler(self.search_directory)
@@ -207,7 +214,7 @@ class PropellerClient:
         flips the order, and ``limit`` truncates — the result-shaping
         analytics pipelines need ("the 10 biggest segments of the hour").
         """
-        results = self._search_raw(parse_query(query), index_name)
+        results = self._search_raw(parse_query(query), index_name, query=query)
         if sort_by is None:
             paths = sorted({p for r in results for p in r.paths})
             return paths[:limit] if limit is not None else paths
@@ -312,22 +319,58 @@ class PropellerClient:
         return sorted(paths)
 
     def _search_raw(self, predicate: Predicate,
-                    index_name: Optional[str]) -> List[SearchResult]:
-        # Any pending updates of ours must be visible to our own search.
-        self.flush_updates()
-        self.searches_issued += 1
-        routing: Dict[str, List[int]] = self.rpc.call(
-            self.master, "route_search", index_name, local=self.local)
-        if not routing:
-            return []
-        names = [index_name] if index_name else None
+                    index_name: Optional[str],
+                    query: Optional[str] = None) -> List[SearchResult]:
         clock = self.vfs.clock
-        # Index Nodes serve their share in parallel (Figure 6); network
-        # fan-out overlaps too, which rpc.multicall and clock.parallel model.
-        nodes = sorted(routing)
-        per_node = clock.parallel([
-            (lambda n=node: self.rpc.call(n, "search", routing[n], predicate, names,
-                                          local=self.local))
-            for node in nodes
-        ])
-        return [result for batch in per_node for result in batch]
+        start = clock.now()
+        with self.tracer.span("search", query=query) as root:
+            # Any pending updates of ours must be visible to our own search.
+            with self.tracer.span("flush_updates"):
+                self.flush_updates()
+            self.searches_issued += 1
+            routing: Dict[str, List[int]] = self.rpc.call(
+                self.master, "route_search", index_name, local=self.local)
+            if not routing:
+                results: List[SearchResult] = []
+            else:
+                names = [index_name] if index_name else None
+                # Index Nodes serve their share in parallel (Figure 6);
+                # network fan-out overlaps too, which rpc.multicall and
+                # clock.parallel model.  ``parallel=True`` tells the
+                # profiler these children overlap: wall time is the
+                # slowest leg, not the sum.
+                nodes = sorted(routing)
+                with self.tracer.span("fanout", parallel=True,
+                                      nodes=len(nodes)):
+                    per_node = clock.parallel([
+                        (lambda n=node: self.rpc.call(
+                            n, "search", routing[n], predicate, names,
+                            local=self.local))
+                        for node in nodes
+                    ])
+                results = [result for batch in per_node for result in batch]
+        if self.registry is not None:
+            self.registry.counter("cluster.client.searches").inc()
+            self.registry.histogram("cluster.client.search_latency_s").observe(
+                clock.now() - start)
+        return results
+
+    def profile_search(self, query: str,
+                       index_name: Optional[str] = None):
+        """Run one search under tracing and return its
+        :class:`~repro.obs.profile.QueryProfile` (EXPLAIN ANALYZE).
+
+        Requires tracing to be enabled on the deployment
+        (``service.enable_tracing()``); the no-op tracer keeps no spans
+        to profile.
+        """
+        from repro.obs.profile import QueryProfile
+
+        if not self.tracer.enabled:
+            raise ClusterError(
+                "tracing is disabled: call service.enable_tracing() before "
+                "profiling a query")
+        self.search(query, index_name=index_name)
+        root = self.tracer.last_root("search")
+        assert root is not None  # the search above just recorded one
+        return QueryProfile(root, query=query)

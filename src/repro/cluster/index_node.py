@@ -23,6 +23,7 @@ from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
 from repro.errors import ClusterError, UnknownAcg
 from repro.indexstructures.base import Index, IndexKind, make_index
+from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
 from repro.query.executor import AttributeStore, execute, execute_plans, tokenize_path
 from repro.query.planner import (
@@ -166,6 +167,7 @@ class IndexNode:
         # here (Section IV).
         self.shared_vfs = None
         self.cache = IndexCache(self._commit_updates, timeout_s=cache_timeout_s)
+        self.tracer = NULL_TRACER
         self.replicas: Dict[int, AcgReplica] = {}
         self._global_specs: Dict[str, IndexSpec] = {}
         self.endpoint = RpcEndpoint(name)
@@ -183,6 +185,15 @@ class IndexNode:
             ("explain", self.handle_explain),
         ]:
             self.endpoint.register(method, handler)
+
+    def set_tracer(self, tracer) -> None:
+        """Thread one tracer through this node's cache and devices."""
+        self.tracer = tracer
+        self.cache.tracer = tracer
+        self.machine.disk.tracer = tracer
+        self.machine.page_cache.tracer = tracer
+        self._log_device.tracer = tracer
+        self._shared_device.tracer = tracer
 
     # -- replica management -----------------------------------------------------
 
@@ -284,15 +295,22 @@ class IndexNode:
             if acg_id not in self.replicas:
                 continue
             self.cache.commit_for_search(acg_id)
-            self._ensure_resident(acg_id)
+            with self.tracer.span("page_faults", node=self.name, acg=acg_id) as span:
+                span.set_attribute("resident", self.is_resident(acg_id))
+                self._ensure_resident(acg_id)
             replica = self.replicas[acg_id]
             specs = [replica.specs[n] for n in (index_names or replica.specs)
                      if n in replica.specs]
-            plans = plan_query_set(predicate, specs, now)
-            self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
-            file_ids = execute_plans(plans, predicate, replica.indexes,
-                                     replica.store, now)
-            self.machine.compute(_EXAMINE_OPS * len(file_ids))
+            with self.tracer.span("plan", node=self.name, acg=acg_id) as span:
+                plans = plan_query_set(predicate, specs, now)
+                span.set_attribute(
+                    "access_path", "; ".join(p.describe() for p in plans))
+            with self.tracer.span("index_scan", node=self.name, acg=acg_id) as span:
+                self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
+                file_ids = execute_plans(plans, predicate, replica.indexes,
+                                         replica.store, now)
+                self.machine.compute(_EXAMINE_OPS * len(file_ids))
+                span.set_attribute("matches", len(file_ids))
             paths = tuple(sorted(
                 p for p in (replica.store.attrs(f).get("path") for f in file_ids)
                 if p is not None))

@@ -18,6 +18,8 @@ from repro.cluster.messages import Heartbeat, RouteEntry
 from repro.core.partition_manager import PartitionManager
 from repro.core.partitioner import PartitioningPolicy
 from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
 from repro.query.planner import IndexSpec
 from repro.sim.machine import Machine
 from repro.sim.rpc import RpcEndpoint, RpcNetwork
@@ -41,11 +43,16 @@ class MasterNode:
     """Propeller's metadata and coordination server."""
 
     def __init__(self, machine: Machine, rpc: RpcNetwork,
-                 policy: PartitioningPolicy = PartitioningPolicy()) -> None:
+                 policy: PartitioningPolicy = PartitioningPolicy(),
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.machine = machine
         self.rpc = rpc
         self.policy = policy
         self.partitions = PartitionManager()
+        # Coordination events (failovers, splits, checkpoints) count into
+        # the deployment-wide registry; a standalone Master gets its own.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = NULL_TRACER
         from repro.sim.disk import DiskDevice
 
         self._shared_device = DiskDevice(machine.clock, machine.disk.model)
@@ -229,25 +236,31 @@ class MasterNode:
         survivors = [n for n in self.index_nodes if n != failed_node]
         if not survivors:
             raise ClusterError("no surviving index nodes to fail over to")
+        self.registry.counter("cluster.master.failovers").inc()
         self.index_nodes.remove(failed_node)
         self.heartbeats.pop(failed_node, None)
         moved = 0
-        for partition in self.partitions.partitions():
-            if partition.node != failed_node:
-                continue
-            target = self.partitions.least_loaded(survivors)
-            path = replica_path(failed_node, partition.partition_id)
-            try:
-                self.rpc.call(target, "adopt_acg", path)
-            except FileSystemError:
-                # The victim never checkpointed this ACG: its data is
-                # gone with the node.  Leave the partition unplaced so
-                # future updates re-create it instead of crashing the
-                # whole failover.
-                partition.node = None
-                continue
-            partition.node = target
-            moved += 1
+        with self.tracer.span("failover", failed_node=failed_node) as span:
+            for partition in self.partitions.partitions():
+                if partition.node != failed_node:
+                    continue
+                target = self.partitions.least_loaded(survivors)
+                path = replica_path(failed_node, partition.partition_id)
+                try:
+                    self.rpc.call(target, "adopt_acg", path)
+                except FileSystemError:
+                    # The victim never checkpointed this ACG: its data is
+                    # gone with the node.  Leave the partition unplaced so
+                    # future updates re-create it instead of crashing the
+                    # whole failover.
+                    partition.node = None
+                    self.registry.counter(
+                        "cluster.master.partitions_lost").inc()
+                    continue
+                partition.node = target
+                moved += 1
+            span.set_attribute("moved", moved)
+        self.registry.counter("cluster.master.reassigned_partitions").inc(moved)
         return moved
 
     def maybe_split(self) -> List[SplitDecision]:
@@ -271,6 +284,11 @@ class MasterNode:
         partition = self.partitions.get(acg_id)
         source = partition.node
         assert source is not None
+        with self.tracer.span("split", acg=acg_id, source=source):
+            return self._split_partition_inner(acg_id, partition, source)
+
+    def _split_partition_inner(self, acg_id: int, partition,
+                               source: str) -> SplitDecision:
         halves = self.rpc.call(source, "compute_split", acg_id, self.policy)
         stay, move = set(halves[0]), set(halves[1])
         # The IN's ACG may lag the MN's file map (weak ACG consistency);
@@ -290,6 +308,7 @@ class MasterNode:
                                  source_node=source, target_node=target,
                                  moved_files=moved)
         self.splits.append(decision)
+        self.registry.counter("cluster.master.splits").inc()
         return decision
 
     # -- load balancing and merging -------------------------------------------------------------
@@ -387,8 +406,10 @@ class MasterNode:
         records = self.partitions.to_records()
         nbytes = sum(_CHECKPOINT_BYTES_PER_FILE * (len(r[2]) + 1) for r in records)
         # Metadata checkpoints land on shared storage, not the local disk.
-        self._shared_device.append(max(512, nbytes))
+        with self.tracer.span("master_checkpoint", bytes=max(512, nbytes)):
+            self._shared_device.append(max(512, nbytes))
         self.checkpoints_written += 1
+        self.registry.counter("cluster.master.checkpoints").inc()
         return records
 
     @classmethod

@@ -18,6 +18,8 @@ from repro.cluster.index_node import IndexNode
 from repro.cluster.master import MasterNode
 from repro.core.partitioner import PartitioningPolicy
 from repro.fs.vfs import VirtualFileSystem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, PeriodicTask
 from repro.sim.machine import Cluster, MachineSpec
@@ -34,7 +36,8 @@ class PropellerService:
                  spec: Optional[MachineSpec] = None,
                  policy: Optional[PartitioningPolicy] = None,
                  cache_timeout_s: float = 5.0,
-                 single_node: bool = False) -> None:
+                 single_node: bool = False,
+                 tracing: bool = False) -> None:
         if num_index_nodes < 1:
             raise ValueError("need at least one index node")
         self.policy = policy if policy is not None else PartitioningPolicy()
@@ -45,8 +48,13 @@ class PropellerService:
         self.clock: SimClock = self.cluster.clock
         self.loop = EventLoop(self.clock)
         self.rpc = RpcNetwork(self.cluster.network)
+        # Observability: one registry for the whole deployment; tracing
+        # defaults to the free no-op tracer (enable_tracing swaps it in).
+        self.registry = MetricsRegistry()
+        self.tracer = NULL_TRACER
         master_machine = self.cluster["in1"] if self.single_node else self.cluster["mn"]
-        self.master = MasterNode(master_machine, self.rpc, policy=self.policy)
+        self.master = MasterNode(master_machine, self.rpc, policy=self.policy,
+                                 registry=self.registry)
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -62,6 +70,79 @@ class PropellerService:
             PeriodicTask(self.loop, HEARTBEAT_PERIOD_S, self.master.poll_heartbeats),
             PeriodicTask(self.loop, CHECKPOINT_PERIOD_S, self._checkpoint_all),
         ]
+        self._register_metrics()
+        if tracing:
+            self.enable_tracing()
+
+    # -- observability --------------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Publish the deployment's live state into the metrics registry.
+
+        Callable gauges read the same structures the components already
+        maintain, so the registry can never drift from ground truth and
+        registration charges zero simulated time.
+        """
+        reg = self.registry
+        reg.gauge_fn("cluster.virtual_time_s", self.clock.now)
+        reg.gauge_fn("cluster.indexed_files", self.total_indexed_files)
+        reg.gauge_fn("cluster.master.partitions",
+                     lambda: len(self.master.partitions))
+        reg.gauge_fn("cluster.master.split_decisions",
+                     lambda: len(self.master.splits))
+        reg.gauge_fn("cluster.master.checkpoints_written",
+                     lambda: self.master.checkpoints_written)
+        network = self.cluster.network
+        reg.gauge_fn("cluster.network.messages",
+                     lambda: network.stats.messages)
+        reg.gauge_fn("cluster.network.bytes_sent",
+                     lambda: network.stats.bytes_sent)
+        for name, node in self.index_nodes.items():
+            self._register_node_metrics(name, node)
+
+    def _register_node_metrics(self, name: str, node: IndexNode) -> None:
+        reg = self.registry
+        prefix = f"cluster.{name}"
+        reg.gauge_fn(f"{prefix}.acgs", lambda n=node: len(n.replicas))
+        reg.gauge_fn(f"{prefix}.files",
+                     lambda n=node: sum(r.file_count for r in n.replicas.values()))
+        reg.gauge_fn(f"{prefix}.resident_bytes",
+                     lambda n=node: n._resident_bytes)
+        reg.gauge_fn(f"{prefix}.cache.pending", lambda n=node: len(n.cache))
+        reg.gauge_fn(f"{prefix}.cache.timeout_commits",
+                     lambda n=node: n.cache.stats.timeout_commits)
+        reg.gauge_fn(f"{prefix}.cache.search_commits",
+                     lambda n=node: n.cache.stats.search_commits)
+        reg.gauge_fn(f"{prefix}.wal.bytes", lambda n=node: len(n.wal))
+        reg.gauge_fn(f"{prefix}.disk.reads",
+                     lambda n=node: n.machine.disk.stats.reads)
+        reg.gauge_fn(f"{prefix}.disk.writes",
+                     lambda n=node: n.machine.disk.stats.writes)
+        reg.gauge_fn(f"{prefix}.up", lambda n=node: n.endpoint.up)
+
+    def _wire_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self.rpc.tracer = tracer
+        self.master.tracer = tracer
+        self.master.machine.disk.tracer = tracer
+        for node in self.index_nodes.values():
+            node.set_tracer(tracer)
+        for client in self._clients:
+            client.tracer = tracer
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Thread a span tracer through every component and return it.
+
+        Tracing charges zero simulated time — only Python-side
+        bookkeeping — so enabling it never changes benchmark numbers.
+        """
+        tracer = tracer if tracer is not None else Tracer(self.clock)
+        self._wire_tracer(tracer)
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Swap the no-op tracer back in everywhere."""
+        self._wire_tracer(NULL_TRACER)
 
     # -- background machinery -------------------------------------------------
 
@@ -106,6 +187,8 @@ class PropellerService:
             local=self.single_node,
             pump=self.pump,
         )
+        client.tracer = self.tracer
+        client.registry = self.registry
         self._clients.append(client)
         return client
 
@@ -136,32 +219,45 @@ class PropellerService:
         for node in self.index_nodes.values():
             node.cache.commit_all()
 
+    # Registry-name → stats()-key mapping for one Index Node: stats() is
+    # now a *view* over the metrics registry, so operators, exporters and
+    # this method all read the same instruments.
+    _NODE_STAT_KEYS = (
+        ("acgs", "acgs"),
+        ("files", "files"),
+        ("resident_bytes", "resident_bytes"),
+        ("cache_pending", "cache.pending"),
+        ("cache_timeout_commits", "cache.timeout_commits"),
+        ("cache_search_commits", "cache.search_commits"),
+        ("wal_bytes", "wal.bytes"),
+        ("disk_reads", "disk.reads"),
+        ("disk_writes", "disk.writes"),
+        ("up", "up"),
+    )
+
     def stats(self) -> Dict[str, object]:
         """A structured snapshot of the whole deployment's health:
         partition layout, per-node cache/WAL/disk counters, and network
         traffic.  Used by operators (and the CLI) to see where load
-        lands."""
-        nodes = {}
-        for name, node in self.index_nodes.items():
-            nodes[name] = {
-                "acgs": len(node.replicas),
-                "files": sum(r.file_count for r in node.replicas.values()),
-                "resident_bytes": node._resident_bytes,
-                "cache_pending": len(node.cache),
-                "cache_timeout_commits": node.cache.stats.timeout_commits,
-                "cache_search_commits": node.cache.stats.search_commits,
-                "wal_bytes": len(node.wal),
-                "disk_reads": node.machine.disk.stats.reads,
-                "disk_writes": node.machine.disk.stats.writes,
-                "up": node.endpoint.up,
-            }
+        lands.
+
+        Every value is read from the metrics registry (the keys are
+        unchanged from before the registry existed); ``repro.obs.export``
+        renders the same instruments as tables or JSON.
+        """
+        value = self.registry.value
+        nodes = {
+            name: {key: value(f"cluster.{name}.{metric}")
+                   for key, metric in self._NODE_STAT_KEYS}
+            for name in self.index_nodes
+        }
         return {
-            "virtual_time_s": self.clock.now(),
-            "partitions": len(self.master.partitions),
-            "indexed_files": self.total_indexed_files(),
-            "splits": len(self.master.splits),
-            "checkpoints": self.master.checkpoints_written,
-            "network_messages": self.cluster.network.stats.messages,
-            "network_bytes": self.cluster.network.stats.bytes_sent,
+            "virtual_time_s": value("cluster.virtual_time_s"),
+            "partitions": value("cluster.master.partitions"),
+            "indexed_files": value("cluster.indexed_files"),
+            "splits": value("cluster.master.split_decisions"),
+            "checkpoints": value("cluster.master.checkpoints_written"),
+            "network_messages": value("cluster.network.messages"),
+            "network_bytes": value("cluster.network.bytes_sent"),
             "nodes": nodes,
         }

@@ -1,0 +1,51 @@
+"""repro.obs — cluster-wide observability.
+
+Three layers, all charging **zero simulated time**:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms under hierarchical names (``cluster.in1.disk.reads``);
+* :mod:`repro.obs.tracing` — span-based tracing on the virtual clock
+  (:data:`NULL_TRACER` is the free disabled default);
+* :mod:`repro.obs.profile` / :mod:`repro.obs.export` — EXPLAIN
+  ANALYZE-style query profiles and table/JSON exporters.
+
+Enable on a deployment with ``service.enable_tracing()``; read metrics
+from ``service.registry``.
+"""
+
+from repro.obs.export import (
+    registry_to_dict,
+    registry_to_json,
+    render_registry,
+    render_span_tree,
+    span_to_dict,
+    span_to_json,
+)
+from repro.obs.metrics import (
+    CallableGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import QueryProfile
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "CallableGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+    "registry_to_dict",
+    "registry_to_json",
+    "render_registry",
+    "render_span_tree",
+    "span_to_dict",
+    "span_to_json",
+]

@@ -1,0 +1,102 @@
+"""Exporters: registry snapshots and span trees as tables or JSON.
+
+Fixed-width rendering reuses :mod:`repro.metrics.reporting` so operator
+output looks like every benchmark table; the JSON forms are plain dicts
+of built-in types, ready for ``json.dumps`` in benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.metrics.reporting import format_duration, render_table
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Span
+
+
+# -- span trees ---------------------------------------------------------------
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span (and its subtree) as JSON-ready nested dicts."""
+    out: Dict[str, Any] = {
+        "name": span.name,
+        "start_s": span.start,
+        "duration_s": span.duration,
+        "status": span.status,
+    }
+    if span.error:
+        out["error"] = span.error
+    if span.attributes:
+        out["attributes"] = dict(span.attributes)
+    if span.metrics:
+        out["metrics"] = dict(span.metrics)
+    if span.children:
+        out["children"] = [span_to_dict(child) for child in span.children]
+    return out
+
+
+def span_to_json(span: Span, indent: int = 2) -> str:
+    """The span tree serialized as a JSON string."""
+    return json.dumps(span_to_dict(span), indent=indent, sort_keys=True)
+
+
+def render_span_tree(span: Span, title: str = "") -> str:
+    """An indented fixed-width view of one span tree."""
+    rows = []
+
+    def visit(node: Span, depth: int) -> None:
+        notes = []
+        for key, value in sorted(node.attributes.items()):
+            notes.append(f"{key}={value}")
+        for key, value in sorted(node.metrics.items()):
+            notes.append(f"{key}={value:g}")
+        if node.status == "error":
+            notes.append(f"ERROR: {node.error}")
+        rows.append(["  " * depth + node.name,
+                     format_duration(node.duration),
+                     " ".join(notes)])
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return render_table(["span", "wall", "detail"], rows, title=title)
+
+
+# -- registries ---------------------------------------------------------------
+
+def registry_to_dict(registry: MetricsRegistry, prefix: str = "") -> Dict[str, Any]:
+    """A JSON-ready snapshot: name → value / histogram summary."""
+    return registry.snapshot(prefix)
+
+
+def registry_to_json(registry: MetricsRegistry, prefix: str = "",
+                     indent: int = 2) -> str:
+    """The registry snapshot serialized as a JSON string."""
+    return json.dumps(registry_to_dict(registry, prefix),
+                      indent=indent, sort_keys=True)
+
+
+def render_registry(registry: MetricsRegistry, prefix: str = "",
+                    title: str = "metrics") -> str:
+    """The registry as a fixed-width table, one instrument per row.
+
+    Histograms show count/mean and the reservoir percentiles; counters
+    and gauges show their value.
+    """
+    rows = []
+    instruments = registry.find(prefix) if prefix else {
+        name: registry.find(name)[name] for name in registry.names()}
+    for name in sorted(instruments):
+        instrument = instruments[name]
+        if isinstance(instrument, Histogram):
+            s = instrument.summary()
+            detail = (f"n={int(s['count'])} mean={format_duration(s['mean'])} "
+                      f"p50={format_duration(s['p50'])} "
+                      f"p95={format_duration(s['p95'])} "
+                      f"p99={format_duration(s['p99'])} "
+                      f"max={format_duration(s['max'])}")
+            rows.append([name, instrument.kind, detail])
+        else:
+            rows.append([name, instrument.kind, instrument.value])
+    return render_table(["metric", "kind", "value"], rows, title=title)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import SimClock
 
 
@@ -77,6 +78,9 @@ class DiskDevice:
         self.clock = clock
         self.model = model if model is not None else HDDModel()
         self.stats = DiskStats()
+        # Per-IO counts land on whichever span is open when the access
+        # happens (zero simulated cost; no-op until tracing is wired).
+        self.tracer = NULL_TRACER
         self._next_sequential_offset: int | None = None
 
     def _charge(self, offset: int, nbytes: int) -> None:
@@ -85,20 +89,24 @@ class DiskDevice:
         else:
             cost = self.model.random_access_cost(nbytes)
             self.stats.seeks += 1
+            self.tracer.annotate("disk_seeks")
         self._next_sequential_offset = offset + nbytes
         self.stats.busy_seconds += cost
+        self.tracer.annotate("disk_busy_s", cost)
         self.clock.charge(cost)
 
     def read(self, offset: int, nbytes: int) -> None:
         """Charge the cost of reading ``nbytes`` at ``offset``."""
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
+        self.tracer.annotate("disk_reads")
         self._charge(offset, nbytes)
 
     def write(self, offset: int, nbytes: int) -> None:
         """Charge the cost of writing ``nbytes`` at ``offset``."""
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
+        self.tracer.annotate("disk_writes")
         self._charge(offset, nbytes)
 
     def append(self, nbytes: int) -> None:

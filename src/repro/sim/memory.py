@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.disk import DiskDevice
 
 PAGE_SIZE = 4096
@@ -50,6 +51,8 @@ class PageCache:
         self.capacity_pages = capacity_bytes // PAGE_SIZE
         self.hit_cost_s = hit_cost_s
         self.stats = CacheStats()
+        # Hit/fault counts annotate the open span (zero simulated cost).
+        self.tracer = NULL_TRACER
         self._lru: OrderedDict[tuple, None] = OrderedDict()
 
     def __len__(self) -> int:
@@ -65,9 +68,11 @@ class PageCache:
         if key in self._lru:
             self._lru.move_to_end(key)
             self.stats.hits += 1
+            self.tracer.annotate("page_hits")
             self.disk.clock.charge(self.hit_cost_s)
             return True
         self.stats.misses += 1
+        self.tracer.annotate("page_faults")
         # crc32 (not builtin hash) keeps disk offsets — and therefore
         # sequentiality detection — identical across processes.
         offset = (zlib.crc32(repr(key).encode()) % (1 << 30)) * PAGE_SIZE

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.errors import ClusterError, NodeDown
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.network import NetworkModel
 
 Handler = Callable[..., Any]
@@ -62,6 +63,9 @@ class RpcNetwork:
     def __init__(self, network: NetworkModel) -> None:
         self.network = network
         self._endpoints: Dict[str, RpcEndpoint] = {}
+        # Observability: spans per call (zero simulated cost; NULL_TRACER
+        # by default so uninstrumented deployments pay nothing).
+        self.tracer = NULL_TRACER
 
     def add_endpoint(self, endpoint: RpcEndpoint) -> None:
         """Attach a node's endpoint to the network."""
@@ -81,15 +85,16 @@ class RpcNetwork:
              response_bytes: int = _DEFAULT_MSG_BYTES, **kwargs: Any) -> Any:
         """Synchronous RPC: charge request, run handler, charge response."""
         endpoint = self.endpoint(target)
-        if local:
-            self.network.send_local(request_bytes)
-        else:
-            self.network.send(request_bytes)
-        result = endpoint.dispatch(method, *args, **kwargs)
-        if local:
-            self.network.send_local(response_bytes)
-        else:
-            self.network.send(response_bytes)
+        with self.tracer.span(f"rpc:{method}", target=target):
+            if local:
+                self.network.send_local(request_bytes)
+            else:
+                self.network.send(request_bytes)
+            result = endpoint.dispatch(method, *args, **kwargs)
+            if local:
+                self.network.send_local(response_bytes)
+            else:
+                self.network.send(response_bytes)
         return result
 
     def multicall(self, targets: list, method: str, *args: Any,
@@ -104,7 +109,11 @@ class RpcNetwork:
         """
         if not targets:
             return []
-        self.network.fanout([request_bytes] * len(targets))
-        results = [self.endpoint(t).dispatch(method, *args, **kwargs) for t in targets]
-        self.network.fanout([_DEFAULT_MSG_BYTES] * len(targets))
+        with self.tracer.span(f"rpc_multicall:{method}", targets=len(targets)):
+            self.network.fanout([request_bytes] * len(targets))
+            results = []
+            for t in targets:
+                with self.tracer.span(f"rpc:{method}", target=t):
+                    results.append(self.endpoint(t).dispatch(method, *args, **kwargs))
+            self.network.fanout([_DEFAULT_MSG_BYTES] * len(targets))
         return results
