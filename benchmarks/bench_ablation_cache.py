@@ -18,7 +18,7 @@ from benchmarks.common import build_propeller
 from repro.metrics.reporting import format_duration, render_table
 
 
-def run(eager: bool, n_updates: int = 3_000):
+def run_policy(eager: bool, n_updates: int = 3_000):
     service, client, paths = build_propeller(
         num_index_nodes=1, total_files=3_000, group_size=1000,
         single_node=True)
@@ -40,9 +40,11 @@ def run(eager: bool, n_updates: int = 3_000):
     return update_time, search_time, commits
 
 
-def test_ablation_lazy_cache(benchmark, record_result):
-    lazy_update, lazy_search, lazy_commits = run(eager=False)
-    eager_update, eager_search, eager_commits = run(eager=True)
+def _run(n_updates: int):
+    lazy_update, lazy_search, lazy_commits = run_policy(eager=False,
+                                                        n_updates=n_updates)
+    eager_update, eager_search, eager_commits = run_policy(eager=True,
+                                                           n_updates=n_updates)
     rows = [
         ["lazy (paper)", f"{lazy_update:.4f}", format_duration(lazy_search),
          lazy_commits],
@@ -51,9 +53,30 @@ def test_ablation_lazy_cache(benchmark, record_result):
         ["eager/lazy", f"{eager_update / lazy_update:.1f}x", "", ""],
     ]
     table = render_table(
-        ["commit policy", "3000-update time (s)", "next-search latency",
-         "commit batches"],
+        ["commit policy", f"{n_updates}-update time (s)",
+         "next-search latency", "commit batches"],
         rows, title="Ablation — lazy index cache vs eager per-update commit")
+    return table, (lazy_update, lazy_search, lazy_commits), \
+        (eager_update, eager_search, eager_commits)
+
+
+def run(cfg):
+    n_updates = cfg.scale(800, 3_000)
+    table, lazy, eager = _run(n_updates)
+    return {
+        "name": "ablation_cache",
+        "params": {"n_updates": n_updates},
+        "texts": {"ablation_cache": table},
+        "latency_s": {"lazy_update_s": lazy[0], "lazy_search_s": lazy[1],
+                      "eager_update_s": eager[0], "eager_search_s": eager[1]},
+        "extra": {"lazy_commits": lazy[2], "eager_commits": eager[2]},
+    }
+
+
+def test_ablation_lazy_cache(benchmark, record_result):
+    table, lazy, eager = _run(3_000)
+    (lazy_update, lazy_search, _) = lazy
+    (eager_update, _, _) = eager
     record_result("ablation_cache", table)
 
     # Lazy batching buys a large indexing-throughput win...
@@ -62,4 +85,4 @@ def test_ablation_lazy_cache(benchmark, record_result):
     # most one batch, still far below the eager stream's total overhead.
     assert lazy_search < eager_update - lazy_update
 
-    benchmark(lambda: run(eager=False, n_updates=500))
+    benchmark(lambda: run_policy(eager=False, n_updates=500))

@@ -29,10 +29,10 @@ N_GROUPS = 30
 NODES_PER_PAGE = 64
 
 
-def build_groups(seed=0):
+def build_groups(seed=0, n_groups=N_GROUPS):
     rng = random.Random(seed)
     groups = []
-    for g in range(N_GROUPS):
+    for g in range(n_groups):
         pairs = [((rng.uniform(0, 128 * 1024**2), rng.uniform(0, 1e6)), g * GROUP_FILES + i)
                  for i in range(GROUP_FILES)]
         groups.append(pairs)
@@ -68,8 +68,8 @@ def cold_query_paged(groups, lows, highs):
     return clock.now(), results
 
 
-def test_ablation_paged_kdtree(benchmark, record_result):
-    groups = build_groups()
+def _run(n_groups: int):
+    groups = build_groups(n_groups=n_groups)
     # "size > 120MB & mtime < 50k" — selective on both axes, the shape
     # Table III's Query #1 has.
     lows = (120 * 1024**2, None)
@@ -86,8 +86,26 @@ def test_ablation_paged_kdtree(benchmark, record_result):
     table = render_table(
         ["on-disk KD layout", "cold selective query (sim)"],
         rows,
-        title=f"Ablation — future-work on-disk KD-tree ({N_GROUPS} groups x "
+        title=f"Ablation — future-work on-disk KD-tree ({n_groups} groups x "
               f"{GROUP_FILES} files, cold caches)")
+    return table, serialized_time, paged_time, groups, lows, highs
+
+
+def run(cfg):
+    n_groups = cfg.scale(8, N_GROUPS)
+    table, serialized_time, paged_time, _, _, _ = _run(n_groups)
+    return {
+        "name": "ablation_paged_kdtree",
+        "params": {"n_groups": n_groups, "group_files": GROUP_FILES},
+        "texts": {"ablation_paged_kdtree": table},
+        "latency_s": {"serialized_cold_s": serialized_time,
+                      "paged_cold_s": paged_time},
+        "extra": {"speedup": serialized_time / paged_time},
+    }
+
+
+def test_ablation_paged_kdtree(benchmark, record_result):
+    table, serialized_time, paged_time, groups, lows, highs = _run(N_GROUPS)
     record_result("ablation_paged_kdtree", table)
 
     # The paper predicted a dramatic improvement; demand at least 2x.

@@ -90,7 +90,7 @@ def simulate(mapping: Dict[str, int], stream: List[str]):
     return len(touched), clock.now()
 
 
-def test_ablation_partitioning_schemes(benchmark, record_result):
+def _run():
     files = make_files()
     stream = app_accesses(files)
     rows = []
@@ -106,6 +106,23 @@ def test_ablation_partitioning_schemes(benchmark, record_result):
         rows,
         title="Ablation — partitioning scheme vs one application's "
               f"{len(stream)} accesses across {len(DIRECTORIES)} directories")
+    return table, results, files, stream
+
+
+def run(cfg):
+    table, results, _, _ = _run()
+    return {
+        "name": "ablation_partitioning",
+        "texts": {"ablation_partitioning": table},
+        "latency_s": {f"{name.replace('-', '_')}_indexing_s": seconds
+                      for name, (_, seconds) in results.items()},
+        "extra": {name: {"partitions_touched": touched}
+                  for name, (touched, _) in results.items()},
+    }
+
+
+def test_ablation_partitioning_schemes(benchmark, record_result):
+    table, results, files, stream = _run()
     record_result("ablation_partitioning", table)
 
     acg_touched, acg_time = results["access-causality"]

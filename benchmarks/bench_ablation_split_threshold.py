@@ -29,7 +29,7 @@ from repro.workloads.replay import replay_trace
 THRESHOLDS = (50, 200, 800, 3200)
 
 
-def run_threshold(threshold: int):
+def run_threshold(threshold: int, thrift_scale: float = 0.5):
     service = PropellerService(
         num_index_nodes=4,
         policy=PartitioningPolicy(split_threshold=threshold,
@@ -37,7 +37,7 @@ def run_threshold(threshold: int):
     client = service.make_client()
     for name, kind, attrs in STANDARD_INDICES:
         client.create_index(name, kind, attrs)
-    app = CompileApplication(scaled_spec(THRIFT_SPEC, 0.5))
+    app = CompileApplication(scaled_spec(THRIFT_SPEC, thrift_scale))
     span = service.clock.span()
     stats = replay_trace(service, client, app.trace(), app.path_of)
     service.master.poll_heartbeats()   # trigger any splits
@@ -51,11 +51,12 @@ def run_threshold(threshold: int):
     return service.acg_count(), update_time, search_time
 
 
-def test_ablation_split_threshold(benchmark, record_result):
+def _sweep(thresholds, thrift_scale: float = 0.5):
     rows = []
     results = {}
-    for threshold in THRESHOLDS:
-        partitions, update_time, search_time = run_threshold(threshold)
+    for threshold in thresholds:
+        partitions, update_time, search_time = run_threshold(
+            threshold, thrift_scale)
         results[threshold] = (partitions, update_time, search_time)
         rows.append([threshold, partitions, format_duration(update_time),
                      format_duration(search_time)])
@@ -65,6 +66,28 @@ def test_ablation_split_threshold(benchmark, record_result):
         rows,
         title="Ablation — split-threshold sweep on the Thrift build "
               "(paper default: 50 000 files)")
+    return table, results
+
+
+def run(cfg):
+    thresholds = cfg.scale((50, 800), THRESHOLDS)
+    thrift_scale = cfg.scale(0.25, 0.5)
+    table, results = _sweep(thresholds, thrift_scale)
+    latency = {}
+    for threshold, (_, update_time, search_time) in results.items():
+        latency[f"update_s_thr{threshold}"] = update_time
+        latency[f"search_s_thr{threshold}"] = search_time
+    return {
+        "name": "ablation_split_threshold",
+        "params": {"thresholds": list(thresholds), "thrift_scale": thrift_scale},
+        "texts": {"ablation_split_threshold": table},
+        "latency_s": latency,
+        "extra": {"partitions": {str(t): results[t][0] for t in thresholds}},
+    }
+
+
+def test_ablation_split_threshold(benchmark, record_result):
+    table, results = _sweep(THRESHOLDS)
     record_result("ablation_split_threshold", table)
 
     # Smaller thresholds shatter the namespace into more partitions...

@@ -24,24 +24,26 @@ from repro.workloads.tracegen import partition_files, random_update_requests
 N_UPDATES = 5_000
 
 
-def run_with_model(model, total_files: int, group_size: int) -> float:
+def run_with_model(model, total_files: int, group_size: int,
+                   n_updates: int = N_UPDATES) -> float:
     files = list(range(total_files))
     groups = partition_files(files, group_size)
     indexer = PartitionedIndexer(groups)
     indexer.disk.model = model
-    stream = random_update_requests(files, N_UPDATES, seed=11)
+    stream = random_update_requests(files, n_updates, seed=11)
     start = indexer.clock.now()
     for fid in stream:
         indexer.update(fid)
     return indexer.clock.now() - start
 
 
-def test_ablation_hdd_vs_ssd(benchmark, record_result):
+def _sweep(total_files: int, n_updates: int):
     group_sizes = (1000, 8000)
     rows = []
     results = {}
     for name, model in (("HDD (7200rpm)", HDDModel()), ("SSD", SSDModel())):
-        times = [run_with_model(model, 32_000, g) for g in group_sizes]
+        times = [run_with_model(model, total_files, g, n_updates)
+                 for g in group_sizes]
         results[name] = times
         ratio = times[1] / times[0]
         rows.append([name] + [f"{t:.2f}" for t in times] + [f"{ratio:.2f}x"])
@@ -49,7 +51,30 @@ def test_ablation_hdd_vs_ssd(benchmark, record_result):
         ["device", "1000/group (s)", "8000/group (s)", "size penalty"],
         rows,
         title=f"Ablation — Figure 2(a) kernel on HDD vs SSD "
-              f"({N_UPDATES} updates, 32k files)")
+              f"({n_updates} updates, {total_files // 1000}k files)")
+    return table, results, group_sizes
+
+
+def run(cfg):
+    total_files = cfg.scale(8_000, 32_000)
+    n_updates = cfg.scale(1_000, N_UPDATES)
+    table, results, group_sizes = _sweep(total_files, n_updates)
+    latency = {}
+    for name, times in results.items():
+        tag = "hdd" if name.startswith("HDD") else "ssd"
+        for g, t in zip(group_sizes, times):
+            latency[f"{tag}_{g}group_s"] = t
+    return {
+        "name": "ablation_ssd",
+        "params": {"total_files": total_files, "n_updates": n_updates,
+                   "group_sizes": list(group_sizes)},
+        "texts": {"ablation_ssd": table},
+        "latency_s": latency,
+    }
+
+
+def test_ablation_hdd_vs_ssd(benchmark, record_result):
+    table, results, _ = _sweep(32_000, N_UPDATES)
     record_result("ablation_ssd", table)
 
     hdd_times, ssd_times = results["HDD (7200rpm)"], results["SSD"]

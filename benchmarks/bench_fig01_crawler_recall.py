@@ -6,17 +6,27 @@ continuously for 10 minutes.  Findings to reproduce: recall is capped well
 below 100% by file-type coverage (< 53%), falls with background intensity,
 and collapses to 0 whenever a re-index pass is running (clearly visible at
 10 FPS).
+
+With freshness instrumentation the same run also yields the *staleness*
+distribution behind the recall dips — virtual time from each background
+copy to its appearance in the crawler's snapshot — retelling Figure 1 as
+a staleness CDF.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
+from benchmarks.harness import BenchConfig, default_cfg
 from repro.baselines.crawler import CrawlerConfig, CrawlerSearchEngine
 from repro.fs.vfs import VirtualFileSystem
 from repro.metrics.recall import recall
-from repro.metrics.reporting import render_table
+from repro.metrics.reporting import render_series, render_table
 from repro.metrics.stats import TimeSeries
+from repro.obs.freshness import NULL_FRESHNESS, FreshnessTracker
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop
 from repro.workloads.datasets import populate_namespace
@@ -27,12 +37,16 @@ QUERY = "size>1m"
 FPS_LEVELS = (0.0, 2.0, 5.0, 10.0)
 
 
-def run_fps(fps: float, initial_files: int = 2000) -> TimeSeries:
+def run_fps(fps: float, initial_files: int = 2000,
+            duration_s: float = DURATION_S,
+            freshness=NULL_FRESHNESS, freshness_node: str = "crawler",
+            ) -> TimeSeries:
     clock = SimClock()
     vfs = VirtualFileSystem(clock)
     loop = EventLoop(clock)
     crawler = CrawlerSearchEngine(vfs, loop, CrawlerConfig(
-        reindex_rate_fps=50.0, pass_trigger_dirty=64, pass_period_s=30.0))
+        reindex_rate_fps=50.0, pass_trigger_dirty=64, pass_period_s=30.0),
+        freshness=freshness, freshness_node=freshness_node)
     populate_namespace(vfs, initial_files, seed=1)
     crawler.full_rebuild()
 
@@ -42,7 +56,7 @@ def run_fps(fps: float, initial_files: int = 2000) -> TimeSeries:
     start = clock.now()
 
     vfs.mkdir("/copies")
-    while clock.now() - start < DURATION_S:
+    while clock.now() - start < duration_s:
         loop.run_until(clock.now() + QUERY_PERIOD_S)
         # Background copying since the last query tick.
         if fps > 0:
@@ -62,8 +76,19 @@ def run_fps(fps: float, initial_files: int = 2000) -> TimeSeries:
     return series
 
 
-def test_fig01_crawler_recall(benchmark, record_result):
-    all_series = {fps: run_fps(fps) for fps in FPS_LEVELS}
+def run(cfg: BenchConfig) -> Dict[str, Any]:
+    duration_s = cfg.scale(120.0, DURATION_S)
+    initial_files = cfg.scale(500, 2000)
+    fps_levels = cfg.scale((0.0, 10.0), FPS_LEVELS)
+
+    registry = MetricsRegistry()
+    tracker = FreshnessTracker(registry) if cfg.instrument else NULL_FRESHNESS
+    all_series = {
+        fps: run_fps(fps, initial_files=initial_files, duration_s=duration_s,
+                     freshness=tracker,
+                     freshness_node=f"crawler_{fps:g}fps")
+        for fps in fps_levels
+    }
 
     rows = []
     for fps, series in all_series.items():
@@ -74,21 +99,46 @@ def test_fig01_crawler_recall(benchmark, record_result):
         ["background load", "min recall %", "mean recall %", "max recall %", "final %"],
         rows,
         title="Figure 1 — crawler (Spotlight-analog) recall vs background FPS "
-              f"({DURATION_S:.0f}s, query every {QUERY_PERIOD_S:.0f}s)")
+              f"({duration_s:.0f}s, query every {QUERY_PERIOD_S:.0f}s)")
     # Full series (every 6th sample) so the figure itself can be redrawn.
-    from repro.metrics.reporting import render_series
     series_text = "\n\n".join(
         render_series(f"{fps:g} FPS", s.points[::6], "t (s)", "recall %")
         for fps, s in all_series.items())
-    record_result("fig01_crawler_recall", table + "\n\n" + series_text)
 
-    quiet = all_series[0.0].values()
-    stressed = all_series[10.0].values()
+    staleness = tracker.summary() if cfg.instrument else {}
+    latency_s = {
+        f"mean_staleness_s_{fps:g}fps": node_summary["mean"]
+        for fps in fps_levels
+        for node_summary in [staleness.get("nodes", {}).get(f"crawler_{fps:g}fps")]
+        if node_summary and node_summary["count"]
+    }
+    return {
+        "name": "fig01_crawler_recall",
+        "params": {"duration_s": duration_s, "initial_files": initial_files,
+                   "fps_levels": list(fps_levels), "query": QUERY},
+        "texts": {"fig01_crawler_recall": table + "\n\n" + series_text},
+        "latency_s": latency_s,
+        "series": {f"recall_{fps:g}fps": [[t, v] for t, v in s.points]
+                   for fps, s in all_series.items()},
+        "staleness": staleness,
+        "extra": {"recall_values": {f"{fps:g}": s.values()
+                                    for fps, s in all_series.items()}},
+    }
+
+
+def test_fig01_crawler_recall(benchmark, record_result):
+    result = run(default_cfg())
+    record_result("fig01_crawler_recall", result["texts"]["fig01_crawler_recall"])
+
+    values = result["extra"]["recall_values"]
+    quiet, stressed = values["0"], values["10"]
     # Type coverage caps recall below 53% even with no background load.
     assert max(quiet) < 53.0
     # Heavy background copying drives recall to 0 during re-index passes.
     assert min(stressed) == 0.0
     # More background load, lower average recall.
     assert (sum(stressed) / len(stressed)) < (sum(quiet) / len(quiet))
+    # The crawler probe saw the copies become visible late.
+    assert result["staleness"]["nodes"], result["staleness"]
 
     benchmark(lambda: run_fps(10.0, initial_files=300))

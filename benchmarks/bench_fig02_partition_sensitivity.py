@@ -112,13 +112,10 @@ def run_inter_partition(group_size: int, touched: int, n_updates: int,
     return indexer.clock.now() - start
 
 
-def test_fig02a_partition_size(benchmark, record_result):
-    n_updates = N_UPDATES // 5   # scaled run; REPRO_FULL uses the paper's 50k
-    from benchmarks.conftest import full_scale
-    if full_scale():
-        n_updates = N_UPDATES
+def _run_a(cfg):
+    n_updates = cfg.scale(2_000, N_UPDATES // 5, N_UPDATES)
     group_sizes = (1000, 2000, 4000, 8000)
-    totals = (50_000, 100_000, 200_000) if full_scale() else (50_000, 100_000)
+    totals = cfg.scale((20_000,), (50_000, 100_000), (50_000, 100_000, 200_000))
     rows = []
     results: Dict[int, List[float]] = {}
     for total in totals:
@@ -129,25 +126,17 @@ def test_fig02a_partition_size(benchmark, record_result):
         ["dataset"] + [f"{g}/group (s)" for g in group_sizes], rows,
         title=f"Figure 2(a) — {n_updates} random updates, execution time vs "
               "partition size (simulated seconds)")
-    record_result("fig02a_partition_size", table)
-
-    for total in totals:
-        times = results[total]
-        # Monotone: bigger partitions are slower.
-        assert all(a < b for a, b in zip(times, times[1:])), times
-        # And the effect is substantial (paper: ~5x from 1k to 8k).
-        assert times[-1] / times[0] > 2.0
-
-    benchmark(lambda: run_partition_size(8_000, 1000, 2_000))
+    latency = {f"a_{total}files_{g}group": t
+               for total in totals
+               for g, t in zip(group_sizes, results[total])}
+    return table, results, latency, {"n_updates": n_updates, "totals": list(totals),
+                                     "group_sizes": list(group_sizes)}
 
 
-def test_fig02b_inter_partition_access(benchmark, record_result):
-    n_updates = N_UPDATES // 5
-    from benchmarks.conftest import full_scale
-    if full_scale():
-        n_updates = N_UPDATES
+def _run_b(cfg):
+    n_updates = cfg.scale(2_000, N_UPDATES // 5, N_UPDATES)
     touched_levels = (1, 2, 4, 8, 16, 32)
-    group_sizes = (1000, 2000, 4000, 8000) if full_scale() else (1000, 2000)
+    group_sizes = cfg.scale((1000,), (1000, 2000), (1000, 2000, 4000, 8000))
     rows = []
     results: Dict[int, List[float]] = {}
     for group_size in group_sizes:
@@ -159,9 +148,47 @@ def test_fig02b_inter_partition_access(benchmark, record_result):
         ["group size"] + [f"{t} parts (s)" for t in touched_levels], rows,
         title=f"Figure 2(b) — {n_updates} updates spread over 1..32 partitions "
               "(simulated seconds, cf. paper's log-scale plot)")
+    latency = {f"b_{g}group_{t}touched": secs
+               for g in group_sizes
+               for t, secs in zip(touched_levels, results[g])}
+    return table, results, latency, {"n_updates": n_updates,
+                                     "group_sizes": list(group_sizes),
+                                     "touched_levels": list(touched_levels)}
+
+
+def run(cfg):
+    table_a, _, latency_a, params_a = _run_a(cfg)
+    table_b, _, latency_b, params_b = _run_b(cfg)
+    return {
+        "name": "fig02_partition_sensitivity",
+        "params": {"a": params_a, "b": params_b},
+        "texts": {"fig02a_partition_size": table_a,
+                  "fig02b_inter_partition": table_b},
+        "latency_s": {**latency_a, **latency_b},
+    }
+
+
+def test_fig02a_partition_size(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, results, _, params = _run_a(default_cfg())
+    record_result("fig02a_partition_size", table)
+
+    for total in params["totals"]:
+        times = results[total]
+        # Monotone: bigger partitions are slower.
+        assert all(a < b for a, b in zip(times, times[1:])), times
+        # And the effect is substantial (paper: ~5x from 1k to 8k).
+        assert times[-1] / times[0] > 2.0
+
+    benchmark(lambda: run_partition_size(8_000, 1000, 2_000))
+
+
+def test_fig02b_inter_partition_access(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, results, _, params = _run_b(default_cfg())
     record_result("fig02b_inter_partition", table)
 
-    for group_size in group_sizes:
+    for group_size in params["group_sizes"]:
         times = results[group_size]
         # More partitions touched ⇒ slower, by a large factor.
         assert times[0] < times[-1]

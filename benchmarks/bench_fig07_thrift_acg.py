@@ -18,8 +18,7 @@ def build():
     return CompileApplication(THRIFT_SPEC).build_acg()
 
 
-def test_fig07_thrift_acg(benchmark, record_result):
-    graph = benchmark(build)
+def _analyze(graph):
     components = graph.connected_components()
     rows = [
         ["vertices (files)", graph.vertex_count],
@@ -38,6 +37,25 @@ def test_fig07_thrift_acg(benchmark, record_result):
                      f"sides {len(result.side_a)}/{len(result.side_b)}"])
     table = render_table(["property", "value"], rows,
                          title="Figure 7 — ACG of compiling Thrift")
+    return table, components
+
+
+def run(cfg):
+    graph = build()
+    table, components = _analyze(graph)
+    return {
+        "name": "fig07_thrift_acg",
+        "params": {"spec": THRIFT_SPEC.name},
+        "texts": {"fig07_thrift_acg": table},
+        "extra": {"vertices": graph.vertex_count,
+                  "edges": graph.edge_count,
+                  "components": [len(c) for c in components]},
+    }
+
+
+def test_fig07_thrift_acg(benchmark, record_result):
+    graph = benchmark(build)
+    table, components = _analyze(graph)
     record_result("fig07_thrift_acg", table)
 
     assert graph.vertex_count == 775

@@ -91,10 +91,10 @@ def minisql_run(db, machine, paths, n_processes: int, n_updates: int) -> float:
     return span.elapsed()
 
 
-def test_fig08_indexing_scale(benchmark, record_result):
-    datasets = (50_000, 100_000) if full_scale() else (20_000, 40_000)
-    n_updates = UPDATES_PER_PROCESS if full_scale() else 1_500
-    processes = PROCESS_COUNTS if full_scale() else (1, 4, 16)
+def _sweep(cfg):
+    datasets = cfg.scale((5_000, 10_000), (20_000, 40_000), (50_000, 100_000))
+    n_updates = cfg.scale(300, 1_500, UPDATES_PER_PROCESS)
+    processes = cfg.scale((1, 4), (1, 4, 16), PROCESS_COUNTS)
 
     rows = []
     results = {}
@@ -121,6 +121,30 @@ def test_fig08_indexing_scale(benchmark, record_result):
         title=f"Figure 8 — indexing time for {n_updates} updates/process "
               "(simulated seconds; datasets scaled down with the MiniSQL "
               "buffer pool scaled to match)")
+    return table, results, datasets, processes, n_updates
+
+
+def run(cfg):
+    table, results, datasets, processes, n_updates = _sweep(cfg)
+    latency = {}
+    for total in datasets:
+        prop, sql = results[total]
+        for p, t in zip(processes, prop):
+            latency[f"prop_{total}files_{p}proc"] = t
+        for p, t in zip(processes, sql):
+            latency[f"sql_{total}files_{p}proc"] = t
+    return {
+        "name": "fig08_indexing_scale",
+        "params": {"datasets": list(datasets), "processes": list(processes),
+                   "n_updates": n_updates},
+        "texts": {"fig08_indexing_scale": table},
+        "latency_s": latency,
+    }
+
+
+def test_fig08_indexing_scale(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, results, datasets, processes, n_updates = _sweep(default_cfg())
     record_result("fig08_indexing_scale", table)
 
     small, large = datasets

@@ -13,6 +13,12 @@ Findings to reproduce:
 Scale substitution: datasets at 1:1000 (50k/100k files) with per-node RAM
 scaled down the same way (16 MB), preserving the indices-to-RAM ratio
 that creates the memory-fit knee.
+
+The instrumented run (`run(cfg)` with ``cfg.instrument``) additionally
+records timeline series (cache hit rate, load skew, dirty backlog) and a
+staleness probe; both charge zero virtual time, so the simulated latency
+numbers are bit-identical with instrumentation on or off — the driver
+below calls the same ``service.pump()`` either way.
 """
 
 from __future__ import annotations
@@ -22,36 +28,70 @@ from typing import Dict, List, Tuple
 import pytest
 
 from benchmarks.common import build_propeller
-from benchmarks.conftest import full_scale
+from benchmarks.harness import BenchConfig, default_cfg
 from repro.metrics.reporting import render_table
 
 QUERY = "size>16m"
 RAM_BYTES = 12 * 1024**2
 NODE_COUNTS = (1, 2, 4, 6, 8)
+TIMELINE_INTERVAL_S = 0.005
+FRESHNESS_PROBE_FILES = 64
 
 
-def measure(total_files: int, nodes: int) -> Tuple[float, float]:
-    service, client, _ = build_propeller(
+def measure(total_files: int, nodes: int,
+            instrument: bool = False) -> Tuple[float, float, dict, dict]:
+    service, client, paths = build_propeller(
         num_index_nodes=nodes, total_files=total_files,
         group_size=1000, ram_bytes=RAM_BYTES)
+    if instrument:
+        timeline = service.enable_timeline(interval_s=TIMELINE_INTERVAL_S)
+        service.enable_freshness()
     service.drop_caches()
     span = service.clock.span()
     client.search(QUERY)
     cold = span.elapsed()
+    # pump() is part of the measured driver in BOTH modes: with a
+    # timeline enabled it also samples, which must not (and does not)
+    # change the simulated numbers.
+    service.pump()
     warm_samples = []
     for _ in range(10):
         span = service.clock.span()
         client.search(QUERY)
         warm_samples.append(span.elapsed())
-    return cold, sum(warm_samples) / len(warm_samples)
+        service.pump()
+    warm = sum(warm_samples) / len(warm_samples)
+    series: dict = {}
+    staleness: dict = {}
+    if instrument:
+        # Post-measurement freshness probe: re-index a handful of files
+        # and commit, measuring change-to-search-visible staleness on
+        # this deployment.  Runs after the latency measurements.
+        client.index_paths(paths[:FRESHNESS_PROBE_FILES], pid=1)
+        client.flush_updates()
+        service.advance(1.0)
+        service.commit_all()
+        timeline.sample()
+        series = timeline.to_dict()["series"]
+        staleness = service.freshness.summary()
+    return cold, warm, series, staleness
 
 
-def test_fig09_cluster_search_scaling(benchmark, record_result):
-    datasets = (50_000, 100_000) if full_scale() else (25_000, 50_000)
-    node_counts = NODE_COUNTS if full_scale() else (1, 2, 4, 8)
+def _sweep(cfg: BenchConfig):
+    datasets = cfg.scale((5_000, 10_000), (25_000, 50_000), (50_000, 100_000))
+    node_counts = cfg.scale((1, 2, 4), (1, 2, 4, 8), NODE_COUNTS)
     results: Dict[int, List[Tuple[float, float]]] = {}
+    series: dict = {}
+    staleness: dict = {}
     for total in datasets:
-        results[total] = [measure(total, n) for n in node_counts]
+        results[total] = []
+        for n in node_counts:
+            cold, warm, run_series, run_staleness = measure(
+                total, n, instrument=cfg.instrument)
+            results[total].append((cold, warm))
+            # Keep the telemetry of the largest configuration measured.
+            if run_series:
+                series, staleness = run_series, run_staleness
 
     rows = []
     for total in datasets:
@@ -65,6 +105,30 @@ def test_fig09_cluster_search_scaling(benchmark, record_result):
         title='Figure 9 / Table IV — cluster search latency (simulated s), '
               f'query "{QUERY}", datasets scaled 1:1000, RAM/node '
               f'{RAM_BYTES // 1024**2} MB')
+    return table, results, datasets, node_counts, series, staleness
+
+
+def run(cfg: BenchConfig):
+    table, results, datasets, node_counts, series, staleness = _sweep(cfg)
+    latency = {}
+    for total in datasets:
+        for n, (cold, warm) in zip(node_counts, results[total]):
+            latency[f"cold_{total // 1000}k_{n}nodes"] = cold
+            latency[f"warm_{total // 1000}k_{n}nodes"] = warm
+    return {
+        "name": "fig09_cluster_scaling",
+        "params": {"datasets": list(datasets), "node_counts": list(node_counts),
+                   "ram_bytes": RAM_BYTES, "query": QUERY},
+        "texts": {"fig09_cluster_scaling": table},
+        "latency_s": latency,
+        "series": series,
+        "staleness": staleness,
+    }
+
+
+def test_fig09_cluster_search_scaling(record_result):
+    cfg = default_cfg()
+    table, results, datasets, node_counts, _, _ = _sweep(cfg)
     record_result("fig09_cluster_scaling", table)
 
     for total in datasets:
@@ -87,4 +151,17 @@ def test_fig09_cluster_search_scaling(benchmark, record_result):
                 knee_found = True
     assert knee_found, results
 
+
+def test_fig09_instrumentation_bit_identical():
+    """The acceptance invariant: timeline + staleness instrumentation
+    leaves the simulated latencies bit-identical."""
+    plain = measure(5_000, 2, instrument=False)
+    instrumented = measure(5_000, 2, instrument=True)
+    assert plain[0] == instrumented[0]      # cold, exactly
+    assert plain[1] == instrumented[1]      # warm, exactly
+    assert instrumented[2], "instrumented run should produce series"
+    assert instrumented[3]["nodes"], "staleness probe should observe commits"
+
+
+def test_fig09_benchmark(benchmark):
     benchmark(lambda: measure(10_000, 2))

@@ -10,6 +10,11 @@ updates a global B+tree that misses its buffer pool.
 Scale substitution: the backing dataset is 1:1000 (50k files) with the
 MySQL buffer pool shrunk by the same factor; Propeller's update path does
 not depend on the dataset size at all (that's the point).
+
+The instrumented harness run additionally records a timeline (dirty
+backlog, cache hit rate) sampled on virtual time and the update-to-
+search-visible staleness of every commit; both only *read* the clock, so
+the latency distributions are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -17,18 +22,23 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import build_minisql, build_propeller
-from benchmarks.conftest import full_scale
+from benchmarks.harness import BenchConfig, default_cfg
 from repro.metrics.reporting import format_duration, render_table
 from repro.metrics.stats import LatencyCollector
 from repro.workloads.mixed import MixedWorkloadConfig, mixed_stream
 
 QUERY = "size>1m"
+TIMELINE_INTERVAL_S = 1e-3
 
 
-def run_propeller(total_files: int, config: MixedWorkloadConfig):
+def run_propeller(total_files: int, config: MixedWorkloadConfig,
+                  instrument: bool = False):
     service, client, paths = build_propeller(
         num_index_nodes=1, total_files=total_files, group_size=1000,
         single_node=True)
+    if instrument:
+        service.enable_timeline(interval_s=TIMELINE_INTERVAL_S)
+        service.enable_freshness()
     group = paths[:1000]
     node = service.index_nodes["in1"]
     # Bounded reservoirs: the stream is long and only summary statistics
@@ -50,7 +60,11 @@ def run_propeller(total_files: int, config: MixedWorkloadConfig):
             span = service.clock.span()
             client.search(arg)
             searches.add(span.elapsed())
-    return updates, searches
+        # No-op unless a timeline is enabled; reads the clock, never
+        # charges it.
+        service.timeline.sample_if_due()
+    service.timeline.sample_if_due()
+    return updates, searches, service
 
 
 def run_minisql(total_files: int, config: MixedWorkloadConfig):
@@ -79,12 +93,13 @@ def run_minisql(total_files: int, config: MixedWorkloadConfig):
     return updates, searches
 
 
-def test_fig10_mixed_workload(benchmark, record_result):
-    total_files = 50_000 if full_scale() else 20_000
-    n_updates = 10_000 if full_scale() else 4_096
+def _run(cfg: BenchConfig):
+    total_files = cfg.scale(5_000, 20_000, 50_000)
+    n_updates = cfg.scale(1_024, 4_096, 10_000)
     config = MixedWorkloadConfig(n_updates=n_updates, search_every=1024,
                                  commit_every=500, query=QUERY)
-    prop_up, prop_search = run_propeller(total_files, config)
+    prop_up, prop_search, service = run_propeller(
+        total_files, config, instrument=cfg.instrument)
     sql_up, sql_search = run_minisql(total_files, config)
 
     ratio = sql_up.mean() / prop_up.mean()
@@ -103,6 +118,38 @@ def test_fig10_mixed_workload(benchmark, record_result):
         rows,
         title=f"Figure 10 — mixed workload ({n_updates} updates, search "
               "every 1024, commit every 500; dataset scaled 1:1000)")
+    return (table, prop_up, prop_search, sql_up, sql_search, ratio,
+            service, total_files, n_updates)
+
+
+def run(cfg: BenchConfig):
+    (table, prop_up, prop_search, sql_up, sql_search, ratio,
+     service, total_files, n_updates) = _run(cfg)
+    latency = {
+        "prop_update_mean_s": prop_up.mean(),
+        "prop_update_max_s": prop_up.maximum(),
+        "sql_update_mean_s": sql_up.mean(),
+        "sql_update_max_s": sql_up.maximum(),
+    }
+    if len(prop_search):
+        latency["prop_search_mean_s"] = prop_search.mean()
+    if len(sql_search):
+        latency["sql_search_mean_s"] = sql_search.mean()
+    return {
+        "name": "fig10_mixed_workload",
+        "params": {"total_files": total_files, "n_updates": n_updates,
+                   "search_every": 1024, "commit_every": 500, "query": QUERY},
+        "texts": {"fig10_mixed_workload": table},
+        "latency_s": latency,
+        "series": service.timeline.to_dict()["series"] if service.timeline.enabled else {},
+        "staleness": service.freshness.summary() if service.freshness.enabled else {},
+        "extra": {"update_ratio": ratio},
+    }
+
+
+def test_fig10_mixed_workload(benchmark, record_result):
+    (table, prop_up, _, sql_up, _, ratio,
+     _, _, _) = _run(default_cfg(instrument=False))
     record_result("fig10_mixed_workload", table)
 
     # Propeller's update path is microseconds; MiniSQL's is milliseconds.

@@ -44,12 +44,15 @@ def run_app(spec):
     return graph, result, elapsed
 
 
-def test_table2_metis_partitioning(benchmark, record_result):
-    specs = {
-        "linux": LINUX_SPEC if full_scale() else scaled_spec(LINUX_SPEC, 0.3),
+def _specs_for(linux_scale: float):
+    return {
+        "linux": LINUX_SPEC if linux_scale >= 1.0 else scaled_spec(LINUX_SPEC, linux_scale),
         "thrift": THRIFT_SPEC,
         "git": GIT_SPEC,
     }
+
+
+def _sweep(specs):
     rows = []
     measured = {}
     for name, spec in specs.items():
@@ -78,6 +81,27 @@ def test_table2_metis_partitioning(benchmark, record_result):
         ["application", "vertices", "edges", "total weight",
          "partition time", "partition sizes", "cut (%)"],
         rows, title="Table II — ACG partitioning of the largest component")
+    return table, measured
+
+
+def run(cfg):
+    specs = _specs_for(cfg.scale(0.1, 0.3, 1.0))
+    table, measured = _sweep(specs)
+    extra = {name: {"vertices": graph.vertex_count,
+                    "cut_pct": 100 * result.cut_fraction,
+                    "balance": result.balance}
+             for name, (graph, result) in measured.items()}
+    return {
+        "name": "table2_metis",
+        "params": {"linux_vertices": specs["linux"].vertex_count},
+        "texts": {"table2_metis": table},
+        "extra": extra,
+    }
+
+
+def test_table2_metis_partitioning(benchmark, record_result):
+    specs = _specs_for(1.0 if full_scale() else 0.3)
+    table, measured = _sweep(specs)
     record_result("table2_metis", table)
 
     # Thrift/Git run at exact paper scale: check the published shape.

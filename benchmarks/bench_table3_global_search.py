@@ -51,9 +51,9 @@ def measure(total_files: int):
     return times
 
 
-def test_table3_global_search(benchmark, record_result):
+def _sweep(cfg):
     step = 10_000
-    points = 5 if full_scale() else 3
+    points = cfg.scale(2, 3, 5)
     sizes = [step * (i + 1) for i in range(points)]
     rows = []
     all_times = {}
@@ -71,6 +71,27 @@ def test_table3_global_search(benchmark, record_result):
         rows,
         title="Table III — global file search (simulated seconds; datasets "
               "scaled 1:1000; paper speedups: 9.0x / 26.3x)")
+    return table, all_times, sizes
+
+
+def run(cfg):
+    table, all_times, sizes = _sweep(cfg)
+    latency = {}
+    for total in sizes:
+        for label, t in all_times[total].items():
+            key = label.lower().replace(" #", "_q")
+            latency[f"{key}_{total // 1000}k"] = t
+    return {
+        "name": "table3_global_search",
+        "params": {"sizes": list(sizes), "queries": [QUERY1, QUERY2]},
+        "texts": {"table3_global_search": table},
+        "latency_s": latency,
+    }
+
+
+def test_table3_global_search(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, all_times, sizes = _sweep(default_cfg())
     record_result("table3_global_search", table)
 
     for total in sizes:

@@ -101,10 +101,10 @@ def run_dataset(total_files: int, user_heavy: bool, seed: int):
     return measurements
 
 
-def test_table5_spotlight_comparison(benchmark, record_result):
-    scale = 1 if full_scale() else 10
-    dataset1 = 138_000 // scale
-    dataset2 = 487_000 // scale
+def _run(cfg):
+    dataset1 = cfg.scale(3_000, 13_800, 138_000)
+    dataset2 = cfg.scale(8_000, 48_700, 487_000)
+    scale = 487_000 // dataset2
     d1 = run_dataset(dataset1, user_heavy=False, seed=1)
     d2 = run_dataset(dataset2, user_heavy=True, seed=2)
 
@@ -124,6 +124,31 @@ def test_table5_spotlight_comparison(benchmark, record_result):
         title=f'Table V — "{QUERY}", Dataset 1 ({dataset1} files) and '
               f'Dataset 2 ({dataset2} files), scaled 1:{scale} '
               "(* = crawler analog)")
+    return table, d1, d2, dataset1, dataset2
+
+
+def run(cfg):
+    table, d1, d2, dataset1, dataset2 = _run(cfg)
+    latency = {}
+    for tag, d in (("d1", d1), ("d2", d2)):
+        for name, m in d.items():
+            key = name.lower().rstrip("*").replace("-", "_")
+            latency[f"{key}_{tag}_cold_s"] = m["cold"]
+            latency[f"{key}_{tag}_warm_s"] = m["warm"]
+    return {
+        "name": "table5_spotlight",
+        "params": {"dataset1": dataset1, "dataset2": dataset2,
+                   "query": QUERY, "repeats": REPEATS},
+        "texts": {"table5_spotlight": table},
+        "latency_s": latency,
+        "extra": {"recall_pct": {tag: {name: m["recall"] for name, m in d.items()}
+                                 for tag, d in (("d1", d1), ("d2", d2))}},
+    }
+
+
+def test_table5_spotlight_comparison(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, d1, d2, _, _ = _run(default_cfg())
     record_result("table5_spotlight", table)
 
     for d in (d1, d2):

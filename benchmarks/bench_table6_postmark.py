@@ -51,11 +51,11 @@ def run_propeller(config: PostMarkConfig):
     return run_postmark(pfs, config)
 
 
-def test_table6_postmark(benchmark, record_result):
-    if full_scale():
-        config = PostMarkConfig(files=50_000, subdirs=200, transactions=20_000)
-    else:
-        config = PostMarkConfig(files=8_000, subdirs=200, transactions=3_000)
+def _run(cfg):
+    config = cfg.scale(
+        PostMarkConfig(files=2_000, subdirs=200, transactions=800),
+        PostMarkConfig(files=8_000, subdirs=200, transactions=3_000),
+        PostMarkConfig(files=50_000, subdirs=200, transactions=20_000))
     reports = {name: run_plain(name, config)
                for name in ("ext4", "btrfs", "ptfs", "ntfs-3g", "zfs-fuse")}
     reports["propeller"] = run_propeller(config)
@@ -76,6 +76,27 @@ def test_table6_postmark(benchmark, record_result):
         rows,
         title=f"Table VI — PostMark ({config.files} files, "
               f"{config.subdirs} subdirs, {config.transactions} transactions)")
+    return table, reports, config
+
+
+def run(cfg):
+    table, reports, config = _run(cfg)
+    return {
+        "name": "table6_postmark",
+        "params": {"files": config.files, "subdirs": config.subdirs,
+                   "transactions": config.transactions},
+        "texts": {"table6_postmark": table},
+        "latency_s": {f"{name}_total_s": report.total_seconds
+                      for name, report in reports.items()},
+        "extra": {"creates_per_s": {name: report.files_created_per_second
+                                    for name, report in reports.items()},
+                  "paper_creates_per_s": PAPER_RATES},
+    }
+
+
+def test_table6_postmark(benchmark, record_result):
+    from benchmarks.harness import default_cfg
+    table, reports, _ = _run(default_cfg())
     record_result("table6_postmark", table)
 
     rates = {name: r.files_created_per_second for name, r in reports.items()}

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.fs.namespace import Inode
 from repro.fs.notification import FsEvent, FsEventKind, NotificationQueue
 from repro.fs.vfs import VirtualFileSystem
+from repro.obs.freshness import NULL_FRESHNESS
 from repro.query.ast import Predicate, matches
 from repro.query.executor import tokenize_path
 from repro.query.parser import parse_query
@@ -82,10 +83,18 @@ class CrawlerSearchEngine:
     """Notification-driven asynchronous indexer + snapshot query engine."""
 
     def __init__(self, vfs: VirtualFileSystem, loop: EventLoop,
-                 config: CrawlerConfig = CrawlerConfig()) -> None:
+                 config: CrawlerConfig = CrawlerConfig(),
+                 freshness=NULL_FRESHNESS,
+                 freshness_node: str = "crawler") -> None:
         self.vfs = vfs
         self.loop = loop
         self.config = config
+        # The staleness probe equivalent to Propeller's: a change event
+        # stamps at its notification timestamp and resolves when the file
+        # is folded into the queryable snapshot — so Fig. 1's recall gap
+        # can be retold as a staleness CDF against the same instrument.
+        self.freshness = freshness
+        self.freshness_node = freshness_node
         self.notifications = NotificationQueue()
         vfs.add_observer(self.notifications)
         self._snapshot: Dict[int, _SnapshotEntry] = {}
@@ -116,6 +125,7 @@ class CrawlerSearchEngine:
                 self._dirty_paths.pop(event.ino, None)
                 self._deleted.add(event.ino)
             else:
+                self.freshness.stamp(event.ino, event.timestamp)
                 self._deleted.discard(event.ino)
                 self._dirty.add(event.ino)
                 self._dirty_paths[event.ino] = event.path
@@ -138,21 +148,31 @@ class CrawlerSearchEngine:
             path = self._dirty_paths.pop(ino, None)
             if path is None or not self.vfs.exists(path):
                 self._snapshot.pop(ino, None)
+                self.freshness.visible(self.freshness_node, ino,
+                                       self._reindexing_until)
                 continue
             inode = self.vfs.stat(path)
             if not self.config.type_filter(path, inode):
-                continue  # no importer plug-in for this type
+                # No importer plug-in: the change never becomes visible
+                # (infinite staleness), so it leaves no sample.
+                self.freshness.forget(ino)
+                continue
             attrs = {"size": inode.size, "mtime": inode.mtime,
                      "ctime": inode.ctime, "uid": inode.uid}
             attrs.update(inode.attributes)
             self._snapshot[ino] = _SnapshotEntry(
                 path=path, attrs=attrs, keywords=tokenize_path(path))
             self.files_indexed += 1
+            # Queryable only once the (rate-limited) pass finishes.
+            self.freshness.visible(self.freshness_node, ino,
+                                   self._reindexing_until)
         self.passes_run += 1
 
     def _ingest_pending_deletes(self) -> None:
+        now = self.vfs.clock.now()
         for ino in self._deleted:
             self._snapshot.pop(ino, None)
+            self.freshness.visible(self.freshness_node, ino, now)
         self._deleted.clear()
 
     def full_rebuild(self) -> int:
@@ -176,6 +196,9 @@ class CrawlerSearchEngine:
             self._snapshot[inode.ino] = _SnapshotEntry(
                 path=path, attrs=attrs, keywords=tokenize_path(path))
         self.vfs.clock.charge(count / self.config.reindex_rate_fps)
+        now = self.vfs.clock.now()
+        for ino in self._snapshot:
+            self.freshness.visible(self.freshness_node, ino, now)
         self.files_indexed += len(self._snapshot)
         self.passes_run += 1
         return len(self._snapshot)

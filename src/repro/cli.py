@@ -10,6 +10,10 @@ Main subcommands::
     repro partition  (--trace FILE | --app NAME[:SCALE]) [--k K]
                                                       ACG stats + partitioning
     repro results    [--dir PATH]                     show regenerated tables
+    repro bench      [NAMES...] [--smoke|--full] [--out DIR]
+                                                      run benches -> BENCH_*.json
+    repro bench      --compare OLD NEW [--threshold T]
+                                                      fail on latency regressions
 
 ``main(argv)`` returns a process exit code and prints to stdout, so the
 CLI is unit-testable without subprocesses.
@@ -189,6 +193,90 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ensure_benchmarks_importable() -> None:
+    """Make the repo-root ``benchmarks`` package importable.
+
+    The CLI is normally run with ``PYTHONPATH=src`` from the repo root;
+    when it isn't, derive the repo root from this package's location.
+    """
+    try:
+        import benchmarks  # noqa: F401
+        return
+    except ImportError:
+        pass
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    import benchmarks  # noqa: F401
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run the unified benchmark harness / compare runs."""
+    _ensure_benchmarks_importable()
+    from benchmarks import harness
+
+    if args.compare:
+        old, new = (pathlib.Path(p) for p in args.compare)
+        for path in (old, new):
+            if not path.exists():
+                print(f"error: {path} does not exist", file=sys.stderr)
+                return 2
+        report, failures = harness.compare(old, new, threshold=args.threshold)
+        for line in report:
+            print(line)
+        if failures:
+            print(f"FAIL: {len(failures)} regression(s) beyond "
+                  f"{args.threshold:.0%}", file=sys.stderr)
+            return 1
+        print("OK: no regressions")
+        return 0
+
+    benches = harness.discover()
+    if args.list:
+        for key in sorted(benches):
+            print(key)
+        return 0
+    if args.names:
+        unknown = sorted(set(args.names) - set(benches))
+        if unknown:
+            print(f"error: unknown bench(es): {', '.join(unknown)} "
+                  f"(see `repro bench --list`)", file=sys.stderr)
+            return 2
+        selected = {name: benches[name] for name in args.names}
+    else:
+        selected = benches
+
+    tier = "smoke" if args.smoke else ("full" if args.full else "default")
+    from benchmarks.harness import BenchConfig
+
+    cfg = BenchConfig(tier=tier, instrument=not args.no_instrument)
+    out_dir = pathlib.Path(args.out)
+    failed = []
+    for key in sorted(selected):
+        print(f"[bench] {key} (tier={cfg.tier}) ...", flush=True)
+        try:
+            artifact = harness.run_bench(key, selected[key], cfg)
+        except Exception as exc:
+            print(f"[bench] {key} FAILED: {exc}", file=sys.stderr)
+            failed.append(key)
+            continue
+        path = harness.write_artifact(key, artifact, out_dir)
+        n_lat = len(artifact["latency_s"])
+        print(f"[bench] {key}: {n_lat} latencies, "
+              f"{artifact['wall_clock_s']:.1f}s wall -> {path}")
+        if args.write_results:
+            for written in harness.write_results_texts(
+                    artifact, pathlib.Path(args.write_results)):
+                print(f"[bench] {key}: wrote {written}")
+    if failed:
+        print(f"error: {len(failed)} bench(es) failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_results(args: argparse.Namespace) -> int:
     """``repro results``: print the regenerated paper tables."""
     directory = pathlib.Path(args.dir)
@@ -261,6 +349,31 @@ def build_parser() -> argparse.ArgumentParser:
     results = sub.add_parser("results", help="print regenerated tables")
     results.add_argument("--dir", default="benchmarks/results")
     results.set_defaults(func=cmd_results)
+
+    bench = sub.add_parser(
+        "bench", help="run the unified benchmark harness (BENCH_*.json)")
+    bench.add_argument("names", nargs="*",
+                       help="bench keys to run (default: all; see --list)")
+    tier_group = bench.add_mutually_exclusive_group()
+    tier_group.add_argument("--smoke", action="store_true",
+                            help="smallest datasets (CI regression gate)")
+    tier_group.add_argument("--full", action="store_true",
+                            help="paper-scale datasets (REPRO_FULL analog)")
+    bench.add_argument("--out", default=".",
+                       help="directory for BENCH_*.json (default: repo root)")
+    bench.add_argument("--list", action="store_true",
+                       help="list discoverable benches and exit")
+    bench.add_argument("--no-instrument", action="store_true",
+                       help="disable timeline/freshness instrumentation")
+    bench.add_argument("--write-results", metavar="DIR",
+                       help="also regenerate fixed-width tables under DIR")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       help="compare two artifacts or directories; exits "
+                            "non-zero on latency regressions")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression threshold for --compare "
+                            "(default 0.10)")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

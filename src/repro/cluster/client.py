@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.cluster.messages import IndexUpdate, RouteEntry, SearchResult
 from repro.errors import ClusterError
 from repro.fs.interceptor import FileAccessManager
+from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
 from repro.fs.namespace import Inode
 from repro.fs.vfs import VirtualFileSystem
@@ -64,9 +65,16 @@ class PropellerClient:
         # zero simulated time.
         self.tracer = NULL_TRACER
         self.registry = None
+        self.freshness = NULL_FRESHNESS
         # Namespace integration: listing "/scope/?query" on the VFS runs
         # the search through this client's File Query Engine.
         vfs.set_query_handler(self.search_directory)
+
+    def set_freshness(self, tracker) -> None:
+        """Thread one freshness tracker through this client and its File
+        Access Management module (so close-after-write events stamp)."""
+        self.freshness = tracker
+        self.access_manager.freshness = tracker
 
     # -- namespace-change callbacks (from File Access Management) ----------------
 
@@ -83,7 +91,11 @@ class PropellerClient:
                          if u.file_id != inode.ino]
         route: Optional[RouteEntry] = self.rpc.call(
             self.master, "file_deleted", inode.ino, local=self.local)
+        if route is None or not route.node:
+            # Never indexed: any stamped-but-unsent change dies with it.
+            self.freshness.forget(inode.ino)
         if route is not None and route.node:
+            self.freshness.stamp(inode.ino, self.vfs.clock.now())
             # The index entry must go too, or searches would return a
             # path that no longer exists.
             self.rpc.call(route.node, "index_update", route.acg_id,
@@ -100,6 +112,7 @@ class PropellerClient:
             attrs: Dict[str, Any] = {name: getattr(inode, name)
                                      for name in _INODE_ATTRS}
             attrs.update(inode.attributes)
+            self.freshness.stamp(inode.ino, self.vfs.clock.now())
             self._pending.append((-1, IndexUpdate.upsert(inode.ino, attrs,
                                                          path=new_path)))
             if len(self._pending) >= self.batch_size:
@@ -121,6 +134,7 @@ class PropellerClient:
     def index_path(self, path: str, pid: int = 0) -> None:
         """Queue one file for (re)indexing; sent when the batch fills."""
         update, hint = self._update_for(path, pid=pid)
+        self.freshness.stamp(update.file_id, self.vfs.clock.now())
         self._pending.append((hint if hint is not None else -1, update))
         if len(self._pending) >= self.batch_size:
             self.flush_updates()
@@ -132,6 +146,7 @@ class PropellerClient:
 
     def delete_path_index(self, file_id: int) -> None:
         """Queue removal of one file id from the indices."""
+        self.freshness.stamp(file_id, self.vfs.clock.now())
         self._pending.append((-1, IndexUpdate.delete(file_id)))
         if len(self._pending) >= self.batch_size:
             self.flush_updates()

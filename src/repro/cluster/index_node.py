@@ -23,6 +23,7 @@ from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
 from repro.errors import ClusterError, UnknownAcg
 from repro.indexstructures.base import Index, IndexKind, make_index
+from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
 from repro.query.executor import AttributeStore, execute, execute_plans, tokenize_path
@@ -168,6 +169,7 @@ class IndexNode:
         self.shared_vfs = None
         self.cache = IndexCache(self._commit_updates, timeout_s=cache_timeout_s)
         self.tracer = NULL_TRACER
+        self.freshness = NULL_FRESHNESS
         self.replicas: Dict[int, AcgReplica] = {}
         self._global_specs: Dict[str, IndexSpec] = {}
         self.endpoint = RpcEndpoint(name)
@@ -276,6 +278,11 @@ class IndexNode:
         self._ensure_resident(acg_id)
         for update in updates:
             replica.apply(update)
+        # Commit is the moment an update becomes search-visible: resolve
+        # any freshness stamps now (bookkeeping only, zero simulated cost).
+        now = self.machine.clock.now()
+        for update in updates:
+            self.freshness.visible(self.name, update.file_id, now)
 
     def tick(self) -> int:
         """Commit timed-out cache buckets (called by the event loop)."""

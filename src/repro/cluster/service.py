@@ -18,7 +18,9 @@ from repro.cluster.index_node import IndexNode
 from repro.cluster.master import MasterNode
 from repro.core.partitioner import PartitioningPolicy
 from repro.fs.vfs import VirtualFileSystem
+from repro.obs.freshness import NULL_FRESHNESS, FreshnessTracker
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import NULL_TIMELINE, TimelineRecorder
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, PeriodicTask
@@ -52,6 +54,8 @@ class PropellerService:
         # defaults to the free no-op tracer (enable_tracing swaps it in).
         self.registry = MetricsRegistry()
         self.tracer = NULL_TRACER
+        self.timeline = NULL_TIMELINE
+        self.freshness = NULL_FRESHNESS
         master_machine = self.cluster["in1"] if self.single_node else self.cluster["mn"]
         self.master = MasterNode(master_machine, self.rpc, policy=self.policy,
                                  registry=self.registry)
@@ -144,6 +148,82 @@ class PropellerService:
         """Swap the no-op tracer back in everywhere."""
         self._wire_tracer(NULL_TRACER)
 
+    def enable_timeline(self, interval_s: float = 1.0,
+                        timeline: Optional[TimelineRecorder] = None) -> TimelineRecorder:
+        """Record per-metric time series as virtual time advances.
+
+        The default series are the ones the paper's figures track over
+        time: dirty-partition backlog, per-node load skew, cache hit
+        rate, indexed files, and failovers.  Sampling is driven from
+        :meth:`pump`/:meth:`advance` and charges zero simulated time, so
+        (like tracing) enabling a timeline never changes benchmark
+        numbers.
+        """
+        timeline = timeline if timeline is not None else TimelineRecorder(
+            self.clock, interval_s=interval_s)
+        timeline.track("dirty_backlog", self._dirty_backlog)
+        timeline.track("load_skew", self._load_skew)
+        timeline.track("cache_hit_rate", self._cache_hit_rate)
+        timeline.track("indexed_files", self.total_indexed_files)
+        timeline.track("failovers", self._failover_count)
+        self.timeline = timeline
+        return timeline
+
+    def disable_timeline(self) -> None:
+        """Swap the no-op timeline back in (recorded series are dropped)."""
+        self.timeline = NULL_TIMELINE
+
+    def enable_freshness(self, tracker: Optional[FreshnessTracker] = None) -> FreshnessTracker:
+        """Track change-to-search-visible staleness on every node.
+
+        Clients stamp close/update events; Index Nodes resolve them when
+        the update commits into real indices.  Zero simulated cost.
+        """
+        tracker = tracker if tracker is not None else FreshnessTracker(self.registry)
+        self.freshness = tracker
+        for node in self.index_nodes.values():
+            node.freshness = tracker
+        for client in self._clients:
+            client.set_freshness(tracker)
+        return tracker
+
+    def disable_freshness(self) -> None:
+        """Swap the no-op freshness tracker back in everywhere."""
+        self.freshness = NULL_FRESHNESS
+        for node in self.index_nodes.values():
+            node.freshness = NULL_FRESHNESS
+        for client in self._clients:
+            client.set_freshness(NULL_FRESHNESS)
+
+    # Timeline sources: each reads live state the deployment already
+    # maintains, so sampling can never drift from ground truth.
+
+    def _dirty_backlog(self) -> int:
+        """Updates sitting in Index Caches, not yet in real indices."""
+        return sum(len(node.cache) for node in self.index_nodes.values()
+                   if node.endpoint.up)
+
+    def _load_skew(self) -> float:
+        """Max-over-mean indexed files across live nodes (1.0 = balanced)."""
+        counts = [sum(r.file_count for r in node.replicas.values())
+                  for node in self.index_nodes.values() if node.endpoint.up]
+        if not counts or not sum(counts):
+            return 1.0
+        return max(counts) / (sum(counts) / len(counts))
+
+    def _cache_hit_rate(self) -> float:
+        """Aggregate page-cache hit rate over the Index Node machines."""
+        hits = accesses = 0
+        for node in self.index_nodes.values():
+            stats = node.machine.page_cache.stats
+            hits += stats.hits
+            accesses += stats.accesses
+        return hits / accesses if accesses else 0.0
+
+    def _failover_count(self) -> int:
+        name = "cluster.master.failovers"
+        return self.registry.value(name) if name in self.registry else 0
+
     # -- background machinery -------------------------------------------------
 
     def _tick_caches(self) -> None:
@@ -170,10 +250,28 @@ class PropellerService:
     def pump(self) -> None:
         """Let background timers that are due fire (no time advance)."""
         self.loop.run_due()
+        self.timeline.sample_if_due()
 
     def advance(self, seconds: float) -> None:
-        """Advance virtual time, firing background work along the way."""
-        self.loop.run_until(self.clock.now() + seconds)
+        """Advance virtual time, firing background work along the way.
+
+        With a timeline enabled the advance is chunked at sample-interval
+        boundaries so long sleeps still produce evenly spaced points;
+        each chunk is the same ``run_until`` a plain advance performs, so
+        the simulated timeline of events is identical either way.
+        """
+        target = self.clock.now() + seconds
+        if self.timeline.enabled:
+            step = self.timeline.interval_s
+            while self.clock.now() < target:
+                # Work inside run_until may push the clock past the chunk
+                # boundary; always aim at least at the current instant.
+                chunk = max(self.clock.now(), min(target, self.clock.now() + step))
+                self.loop.run_until(chunk)
+                self.timeline.sample_if_due()
+            self.timeline.sample_if_due()
+        else:
+            self.loop.run_until(target)
 
     # -- clients -------------------------------------------------------------------
 
@@ -189,6 +287,7 @@ class PropellerService:
         )
         client.tracer = self.tracer
         client.registry = self.registry
+        client.set_freshness(self.freshness)
         self._clients.append(client)
         return client
 

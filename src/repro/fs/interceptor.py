@@ -15,6 +15,7 @@ from repro.core.acg import AccessCausalityGraph
 from repro.core.trace import AccessEvent, TraceRecorder
 from repro.fs.namespace import Inode
 from repro.fs.vfs import OpenMode
+from repro.obs.freshness import NULL_FRESHNESS
 
 
 class FileAccessManager:
@@ -38,6 +39,10 @@ class FileAccessManager:
         self._rename_cb = on_rename
         self._pid_filter = pid_filter
         self.events_seen = 0
+        # Freshness instrumentation (wired by the client / service): a
+        # close-after-write is the instant a file's content changed, so
+        # it is where the staleness stopwatch starts.
+        self.freshness = NULL_FRESHNESS
 
     def _watches(self, pid: int) -> bool:
         # Negative pids are system components (checkpoint writers, the
@@ -67,15 +72,19 @@ class FileAccessManager:
 
     def on_close(self, pid: int, path: str, inode: Inode, mode: OpenMode, t: float) -> None:
         # Close marks the end of the access; causality is keyed on opens,
-        # so nothing to extract — but the hook exists because a real FUSE
-        # client flushes per-file state here.
-        return None
+        # so nothing to extract — but a close-after-write is the moment
+        # the file's content changed, which starts the staleness clock.
+        if not self._watches(pid):
+            return
+        if mode & OpenMode.WRITE:
+            self.freshness.stamp(inode.ino, t)
 
     def on_create(self, pid: int, path: str, inode: Inode, t: float) -> None:
         """VFS observer hook: register the new file as an ACG vertex."""
         if not self._watches(pid):
             return
         self._acg.add_file(inode.ino)
+        self.freshness.stamp(inode.ino, t)
         if self._create_cb is not None:
             self._create_cb(path, inode)
 

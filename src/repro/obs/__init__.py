@@ -1,16 +1,20 @@
 """repro.obs — cluster-wide observability.
 
-Three layers, all charging **zero simulated time**:
+Four layers, all charging **zero simulated time**:
 
 * :mod:`repro.obs.metrics` — a registry of counters, gauges, and
   histograms under hierarchical names (``cluster.in1.disk.reads``);
 * :mod:`repro.obs.tracing` — span-based tracing on the virtual clock
   (:data:`NULL_TRACER` is the free disabled default);
+* :mod:`repro.obs.timeline` / :mod:`repro.obs.freshness` — continuous
+  telemetry: per-metric time series sampled at a virtual-time interval,
+  and change-to-search-visible staleness tracking per node;
 * :mod:`repro.obs.profile` / :mod:`repro.obs.export` — EXPLAIN
   ANALYZE-style query profiles and table/JSON exporters.
 
-Enable on a deployment with ``service.enable_tracing()``; read metrics
-from ``service.registry``.
+Enable on a deployment with ``service.enable_tracing()``,
+``service.enable_timeline()``, ``service.enable_freshness()``; read
+metrics from ``service.registry``.
 """
 
 from repro.obs.export import (
@@ -21,6 +25,7 @@ from repro.obs.export import (
     span_to_dict,
     span_to_json,
 )
+from repro.obs.freshness import NULL_FRESHNESS, FreshnessTracker, NullFreshness
 from repro.obs.metrics import (
     CallableGauge,
     Counter,
@@ -29,18 +34,25 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profile import QueryProfile
+from repro.obs.timeline import NULL_TIMELINE, NullTimeline, TimelineRecorder
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "CallableGauge",
     "Counter",
+    "FreshnessTracker",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_FRESHNESS",
+    "NULL_TIMELINE",
     "NULL_TRACER",
+    "NullFreshness",
+    "NullTimeline",
     "NullTracer",
     "QueryProfile",
     "Span",
+    "TimelineRecorder",
     "Tracer",
     "registry_to_dict",
     "registry_to_json",

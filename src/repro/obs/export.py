@@ -77,25 +77,34 @@ def registry_to_json(registry: MetricsRegistry, prefix: str = "",
                       indent=indent, sort_keys=True)
 
 
+def _format_observation(value: float, unit: str) -> str:
+    """One histogram statistic in its own unit.
+
+    Only second-valued histograms get µs/ms/s formatting; count-valued
+    ones (page faults, rows scanned) are plain numbers.
+    """
+    if unit in ("s", "seconds"):
+        return format_duration(value)
+    return f"{value:g}"
+
+
 def render_registry(registry: MetricsRegistry, prefix: str = "",
                     title: str = "metrics") -> str:
     """The registry as a fixed-width table, one instrument per row.
 
-    Histograms show count/mean and the reservoir percentiles; counters
-    and gauges show their value.
+    Histograms show count/mean and the reservoir percentiles (formatted
+    per their ``unit``); counters and gauges show their value.
     """
     rows = []
-    instruments = registry.find(prefix) if prefix else {
-        name: registry.find(name)[name] for name in registry.names()}
-    for name in sorted(instruments):
-        instrument = instruments[name]
+    for name, instrument in registry.items(prefix):
         if isinstance(instrument, Histogram):
             s = instrument.summary()
-            detail = (f"n={int(s['count'])} mean={format_duration(s['mean'])} "
-                      f"p50={format_duration(s['p50'])} "
-                      f"p95={format_duration(s['p95'])} "
-                      f"p99={format_duration(s['p99'])} "
-                      f"max={format_duration(s['max'])}")
+            fmt = lambda v: _format_observation(v, instrument.unit)
+            detail = (f"n={int(s['count'])} mean={fmt(s['mean'])} "
+                      f"p50={fmt(s['p50'])} "
+                      f"p95={fmt(s['p95'])} "
+                      f"p99={fmt(s['p99'])} "
+                      f"max={fmt(s['max'])}")
             rows.append([name, instrument.kind, detail])
         else:
             rows.append([name, instrument.kind, instrument.value])

@@ -104,15 +104,21 @@ class Histogram:
     observations, so memory stays bounded no matter how long a benchmark
     runs.  The reservoir RNG is seeded per-instrument, keeping simulated
     runs deterministic.
+
+    ``unit`` names what one observation measures — ``"s"`` (seconds, the
+    default) renders as µs/ms/s; anything else (``"count"``, ``"bytes"``)
+    renders as a plain number.
     """
 
     kind = "histogram"
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
-                 reservoir_size: int = DEFAULT_RESERVOIR) -> None:
+                 reservoir_size: int = DEFAULT_RESERVOIR,
+                 unit: str = "s") -> None:
         if reservoir_size < 1:
             raise SimulationError(f"reservoir must hold at least 1 sample: {reservoir_size}")
         self.name = name
+        self.unit = unit
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
             raise SimulationError("histogram needs at least one bucket bound")
@@ -161,6 +167,10 @@ class Histogram:
         ordered = sorted(self._reservoir)
         rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil without math
         return ordered[min(rank, len(ordered)) - 1]
+
+    def reservoir_values(self) -> List[float]:
+        """The retained sample, sorted — enough to draw an empirical CDF."""
+        return sorted(self._reservoir)
 
     def summary(self) -> Dict[str, float]:
         """count/mean/min/p50/p95/p99/max in one dict (what exporters show)."""
@@ -227,9 +237,11 @@ class MetricsRegistry:
         return gauge
 
     def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
-                  reservoir_size: int = DEFAULT_RESERVOIR) -> Histogram:
+                  reservoir_size: int = DEFAULT_RESERVOIR,
+                  unit: str = "s") -> Histogram:
         """Get or create the histogram called ``name``."""
-        return self._get_or_create(name, Histogram, buckets, reservoir_size)
+        return self._get_or_create(name, Histogram, buckets, reservoir_size,
+                                   unit=unit)
 
     def value(self, name: str) -> Any:
         """The current value of a counter or gauge (raises on unknown)."""
@@ -251,11 +263,20 @@ class MetricsRegistry:
         """Every registered name, sorted."""
         return sorted(self._instruments)
 
+    def items(self, prefix: str = ""):
+        """Yield ``(name, instrument)`` pairs in name order.
+
+        The one iteration primitive every exporter shares — no re-lookup
+        dance, and ``prefix`` scopes it to a subtree like :meth:`find`.
+        """
+        selected = self.find(prefix) if prefix else self._instruments
+        for name in sorted(selected):
+            yield name, selected[name]
+
     def snapshot(self, prefix: str = "") -> Dict[str, Any]:
         """name → value (histograms become their summary dict), sorted.
 
         Callable gauges are evaluated at snapshot time, so the result is
         a consistent point-in-time view of live state.
         """
-        selected = self.find(prefix) if prefix else self._instruments
-        return {name: self.value(name) for name in sorted(selected)}
+        return {name: self.value(name) for name, _ in self.items(prefix)}

@@ -1,0 +1,113 @@
+"""Exporter round-trips: span trees and registry snapshots must survive
+``json.dumps``/``loads`` unchanged, and the fixed-width renderers must
+mark errors and format histogram statistics in their own unit."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    registry_to_dict,
+    registry_to_json,
+    render_registry,
+    render_span_tree,
+    span_to_dict,
+    span_to_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.sim.clock import SimClock
+
+
+def build_span_tree():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.span("search", query="size>1m") as root:
+        with tracer.span("route"):
+            clock.charge(0.001)
+        with tracer.span("probe", node="in1") as probe:
+            clock.charge(0.004)
+            probe.record("groups", 3)
+        try:
+            with tracer.span("probe", node="in2"):
+                clock.charge(0.002)
+                raise RuntimeError("node down")
+        except RuntimeError:
+            pass
+    return root
+
+
+class TestSpanRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        root = build_span_tree()
+        d = span_to_dict(root)
+        assert json.loads(span_to_json(root)) == json.loads(
+            json.dumps(d, sort_keys=True))
+        assert json.loads(json.dumps(d)) == d
+
+    def test_dict_carries_tree_and_error(self):
+        d = span_to_dict(build_span_tree())
+        assert d["name"] == "search"
+        assert d["attributes"] == {"query": "size>1m"}
+        children = d["children"]
+        assert [c["name"] for c in children] == ["route", "probe", "probe"]
+        assert children[1]["metrics"] == {"groups": 3}
+        failed = children[2]
+        assert failed["status"] == "error"
+        assert "node down" in failed["error"]
+
+    def test_render_span_tree_marks_errors(self):
+        text = render_span_tree(build_span_tree(), title="q")
+        assert "ERROR:" in text and "node down" in text
+        assert "  probe" in text        # children indent under the root
+        assert "query=size>1m" in text
+
+
+class TestRegistryRoundTrip:
+    def build_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster.updates").inc(7)
+        reg.gauge("cluster.freshness.worst_s").set(1.5)
+        h = reg.histogram("cluster.in1.staleness_s", unit="s")
+        for v in (0.010, 0.020, 0.500):
+            h.observe(v)
+        faults = reg.histogram("node.page_faults", unit="count")
+        faults.observe(12)
+        return reg
+
+    def test_json_round_trip_is_lossless(self):
+        reg = self.build_registry()
+        d = registry_to_dict(reg)
+        assert json.loads(registry_to_json(reg)) == json.loads(
+            json.dumps(d, sort_keys=True))
+
+    def test_snapshot_has_every_instrument_once(self):
+        reg = self.build_registry()
+        d = registry_to_dict(reg)
+        assert d["cluster.updates"] == 7
+        assert d["cluster.freshness.worst_s"] == 1.5
+        assert d["cluster.in1.staleness_s"]["count"] == 3
+        assert sorted(d) == sorted(set(d))
+
+    def test_prefix_filters_both_exporters(self):
+        reg = self.build_registry()
+        d = registry_to_dict(reg, prefix="cluster.")
+        assert "node.page_faults" not in d
+        assert "cluster.updates" in d
+        text = render_registry(reg, prefix="cluster.")
+        assert "node.page_faults" not in text
+
+    def test_items_iterates_instruments_with_prefix(self):
+        reg = self.build_registry()
+        names = [name for name, _ in reg.items("cluster.")]
+        assert names == sorted(names)
+        assert all(n.startswith("cluster.") for n in names)
+        assert len(list(reg.items())) == 4
+
+    def test_render_formats_histograms_per_unit(self):
+        text = render_registry(self.build_registry())
+        # Second-valued histogram statistics use duration formatting...
+        assert "20.00ms" in text       # p50 of the staleness histogram
+        # ...while count-valued ones stay plain numbers (no "12.0s").
+        assert "12.0s" not in text
+        assert "page_faults" in text
