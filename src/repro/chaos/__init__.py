@@ -1,0 +1,34 @@
+"""repro.chaos — deterministic fault injection and crash-consistency checking.
+
+The subsystem has four parts, each usable alone:
+
+* :class:`FaultInjector` (:mod:`repro.chaos.faults`) — seeded per-message
+  and per-read fault decisions, attached to ``RpcNetwork.faults`` and
+  ``DiskDevice.faults``;
+* :func:`build_schedule` (:mod:`repro.chaos.schedule`) — seeded fault
+  programs mixing workload with crashes, torn WAL tails, lossy links,
+  stragglers and disk errors;
+* :class:`AckLedger` / :class:`InvariantChecker`
+  (:mod:`repro.chaos.check`) — ground truth of every acknowledgement and
+  the crash-consistency invariants audited against it;
+* :class:`ChaosRunner` (:mod:`repro.chaos.runner`) — wires the above to a
+  fresh hardened deployment and produces a canonical, bit-reproducible
+  JSON report (`repro chaos` runs every schedule twice to prove it).
+"""
+
+from repro.chaos.check import AckLedger, ExcuseWindow, FileRecord, InvariantChecker
+from repro.chaos.faults import FaultInjector
+from repro.chaos.runner import ChaosRunner, run_chaos
+from repro.chaos.schedule import ChaosStep, build_schedule
+
+__all__ = [
+    "AckLedger",
+    "ChaosRunner",
+    "ChaosStep",
+    "ExcuseWindow",
+    "FaultInjector",
+    "FileRecord",
+    "InvariantChecker",
+    "build_schedule",
+    "run_chaos",
+]

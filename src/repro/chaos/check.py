@@ -1,0 +1,212 @@
+"""Crash-consistency invariants.
+
+The :class:`AckLedger` is the chaos harness's ground truth: which files
+the cluster *acknowledged* indexing, when, into which partition, and
+which deletions it accepted.  The :class:`InvariantChecker` compares that
+ledger against what live Index Nodes actually hold and what a search
+actually returns, at *settle points* — moments when message faults are
+cleared and every pending batch has had a delivery chance — so transient
+states never masquerade as corruption.
+
+Invariants (with their principled excuses):
+
+1. **No lost acked updates** — every acknowledged, undeleted file is
+   present on some live node.  Excused when the loss is the documented
+   durability boundary: the file's partition failed over and the ack
+   postdates the victim's last checkpoint; the partition was lost
+   outright (victim never checkpointed it); the record sat in a WAL tail
+   torn off by a crash (counted by ``wal.replay_dropped``); or the update
+   is still waiting in the client's re-queue.
+2. **No duplicates** — no file id is hosted by more than one live node,
+   even after duplicated RPC delivery, replayed WALs and failovers
+   (handlers must be idempotent; rejoining nodes must reset).
+3. **Deletions stick** — an acknowledged deletion never resurrects.
+   Excused when the delete itself was lost to a dead node (recorded
+   client debt) or rolled back by a checkpoint-failover of its partition.
+4. **Search agrees with storage** — a settle-point search returns
+   exactly the paths live nodes hold (stale entries from excused
+   lost-deletes may appear; nothing else may), and is not degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+_NEVER = -1e18
+
+
+@dataclass
+class FileRecord:
+    """One file's lifecycle as the harness observed it."""
+
+    file_id: int
+    path: str
+    submitted_t: float
+    acked: bool = False
+    ack_t: float = 0.0
+    partition: Optional[int] = None
+    deleted: bool = False
+    deleted_t: float = 0.0
+    delete_lost: bool = False
+
+
+@dataclass
+class ExcuseWindow:
+    """Files in these partitions acked after ``after_t`` may be missing
+    (the checkpoint-failover durability boundary)."""
+
+    partitions: Set[int]
+    after_t: float
+    reason: str
+
+
+class AckLedger:
+    """What the cluster promised: every ack and accepted delete."""
+
+    def __init__(self) -> None:
+        self.files: Dict[int, FileRecord] = {}
+        # File ids that may have ridden a WAL tail torn off by a crash.
+        self.wal_excused: Set[int] = set()
+        self.windows: List[ExcuseWindow] = []
+
+    def created(self, file_id: int, path: str, t: float) -> None:
+        self.files[file_id] = FileRecord(file_id=file_id, path=path,
+                                         submitted_t=t)
+
+    def acked(self, file_id: int, t: float, partition: Optional[int]) -> None:
+        record = self.files[file_id]
+        record.acked = True
+        record.ack_t = t
+        record.partition = partition
+
+    def deleted(self, file_id: int, t: float, lost: bool) -> None:
+        record = self.files[file_id]
+        record.deleted = True
+        record.deleted_t = t
+        record.delete_lost = lost
+
+    def add_window(self, partitions, after_t: float, reason: str) -> None:
+        if partitions:
+            self.windows.append(ExcuseWindow(set(partitions), after_t, reason))
+
+    def excuse_wal_tail(self, file_ids) -> None:
+        self.wal_excused.update(file_ids)
+
+    # -- queries --------------------------------------------------------------
+
+    def known_paths(self) -> Set[str]:
+        return {r.path for r in self.files.values()}
+
+    def live_acked(self) -> List[FileRecord]:
+        return [r for r in self.files.values() if r.acked and not r.deleted]
+
+    def excused_missing(self, record: FileRecord) -> Optional[str]:
+        """Why this acked file may legitimately be absent (None = no
+        excuse — absence is a violation)."""
+        if record.file_id in self.wal_excused:
+            return "wal_torn_tail"
+        for window in self.windows:
+            if record.partition in window.partitions and record.ack_t > window.after_t:
+                return window.reason
+        return None
+
+    def excused_resurrection(self, record: FileRecord) -> Optional[str]:
+        """Why this deleted file may legitimately still be indexed."""
+        if record.delete_lost:
+            return "delete_lost_to_dead_node"
+        if record.file_id in self.wal_excused:
+            return "wal_torn_tail"
+        for window in self.windows:
+            if record.partition in window.partitions and record.deleted_t > window.after_t:
+                return window.reason
+        return None
+
+
+class InvariantChecker:
+    """Checks the ledger against live cluster state at a settle point."""
+
+    def __init__(self, service, client, ledger: AckLedger) -> None:
+        self.service = service
+        self.client = client
+        self.ledger = ledger
+
+    def presence(self) -> Dict[int, List[str]]:
+        """file id → live nodes hosting it (sorted), from the replica
+        stores directly — no RPC, no search path."""
+        hosts: Dict[int, List[str]] = {}
+        for name in sorted(self.service.index_nodes):
+            node = self.service.index_nodes[name]
+            if not node.endpoint.up:
+                continue
+            for replica in node.replicas.values():
+                for file_id in replica.store.file_ids():
+                    hosts.setdefault(file_id, []).append(name)
+        return hosts
+
+    def check(self, step: int) -> List[Dict[str, Any]]:
+        """Run every invariant; returns the violations found."""
+        violations: List[Dict[str, Any]] = []
+
+        def violate(kind: str, detail: str) -> None:
+            violations.append({"step": step, "kind": kind, "detail": detail})
+
+        hosts = self.presence()
+        requeued = {u.file_id for _, u in self.client._pending}
+
+        # 2. No duplicates across live nodes.
+        for file_id in sorted(hosts):
+            if len(hosts[file_id]) > 1:
+                violate("duplicate_hosting",
+                        f"file {file_id} on {hosts[file_id]}")
+
+        # 1. No lost acked updates.
+        for record in sorted(self.ledger.live_acked(),
+                             key=lambda r: r.file_id):
+            if record.file_id in hosts or record.file_id in requeued:
+                continue
+            excuse = self.ledger.excused_missing(record)
+            if excuse is None:
+                violate("lost_acked_update",
+                        f"file {record.file_id} ({record.path}) acked at "
+                        f"t={record.ack_t:.3f} into partition "
+                        f"{record.partition} is on no live node")
+
+        # 3. Deletions stick.
+        for record in sorted(self.ledger.files.values(),
+                             key=lambda r: r.file_id):
+            if not record.deleted or record.file_id not in hosts:
+                continue
+            excuse = self.ledger.excused_resurrection(record)
+            if excuse is None:
+                violate("resurrected_delete",
+                        f"file {record.file_id} ({record.path}) deleted at "
+                        f"t={record.deleted_t:.3f} still hosted on "
+                        f"{hosts[record.file_id]}")
+
+        # 4. Search agrees with storage (and is whole at a settle point).
+        answer = self.client.search_detailed("chaos>=0")
+        if answer.degraded:
+            violate("degraded_at_settle",
+                    f"settle-point search degraded; unreachable partitions "
+                    f"{answer.unreachable_partitions}")
+        by_id = {r.file_id: r for r in self.ledger.files.values()}
+        stored_paths = set()
+        allowed_stale = set()
+        for file_id, nodes in hosts.items():
+            record = by_id.get(file_id)
+            if record is None:
+                continue  # not a chaos-harness file
+            if record.deleted:
+                allowed_stale.add(record.path)
+            else:
+                stored_paths.add(record.path)
+        got = set(answer.paths)
+        for path in sorted(stored_paths - got):
+            violate("search_missing_stored_file",
+                    f"{path} is hosted on a live node but absent from a "
+                    f"settle-point search")
+        for path in sorted(got - stored_paths - allowed_stale):
+            violate("search_phantom_path",
+                    f"search returned {path}, which no live node hosts")
+        return violations

@@ -1,0 +1,142 @@
+"""Seed-driven fault injection.
+
+One :class:`FaultInjector` instance attaches to the points failures enter
+the simulation:
+
+* ``RpcNetwork.faults`` — per-message fates (:meth:`message_fate`
+  decides drop / delay / duplicate) plus per-node straggler latency
+  (:meth:`extra_latency_s`);
+* ``DiskDevice.faults`` — injected medium errors on reads
+  (:meth:`disk_read_fails`).
+
+Every decision is drawn from one seeded :class:`random.Random`, so a
+schedule replayed against the same seed makes byte-identical choices —
+the determinism contract ``repro chaos`` verifies by running every
+schedule twice.  All rates default to zero: an attached but quiescent
+injector changes nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+_DROPPED = "chaos.messages_dropped"
+_DELAYED = "chaos.messages_delayed"
+_DUPLICATED = "chaos.messages_duplicated"
+_DISK_ERRORS = "chaos.disk_errors"
+
+
+class FaultInjector:
+    """Decides, message by message and read by read, what goes wrong.
+
+    ``immune`` names RPC targets that never suffer message faults — the
+    chaos schedules exempt the Master so the fault model matches the
+    paper's (Index Nodes fail; the metadata server is assumed reachable).
+    Straggler latency still applies to immune targets: a slow master is a
+    performance fault, not a partition.
+    """
+
+    def __init__(self, seed: int = 0, registry=None,
+                 immune: Optional[frozenset] = None) -> None:
+        self.rng = random.Random(seed)
+        self.registry = registry
+        self.immune = frozenset(immune or ())
+        self.drop_rate = 0.0
+        self.duplicate_rate = 0.0
+        self.delay_rate = 0.0
+        self.delay_s = 0.05
+        self.disk_error_rate = 0.0
+        self.slow_nodes: Dict[str, float] = {}
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.disk_errors = 0
+
+    # -- configuration (schedule steps call these) ---------------------------
+
+    def set_message_faults(self, drop: float = 0.0, duplicate: float = 0.0,
+                           delay: float = 0.0, delay_s: float = 0.05) -> None:
+        """Set the per-message fault probabilities (all in [0, 1))."""
+        self.drop_rate = drop
+        self.duplicate_rate = duplicate
+        self.delay_rate = delay
+        self.delay_s = delay_s
+
+    def clear_message_faults(self) -> None:
+        """Back to a healthy network (stragglers cleared too)."""
+        self.set_message_faults()
+        self.slow_nodes.clear()
+
+    def slow_node(self, node: str, extra_s: float) -> None:
+        """Make one node a straggler: every message to it pays extra."""
+        self.slow_nodes[node] = extra_s
+
+    def clear_slow(self, node: str) -> None:
+        """Stop straggling one node."""
+        self.slow_nodes.pop(node, None)
+
+    def set_disk_error_rate(self, rate: float) -> None:
+        """Probability an attached disk's read hits a medium error."""
+        self.disk_error_rate = rate
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no fault of any kind is currently armed."""
+        return (self.drop_rate == 0.0 and self.duplicate_rate == 0.0
+                and self.delay_rate == 0.0 and self.disk_error_rate == 0.0
+                and not self.slow_nodes)
+
+    # -- decision points (the instrumented layers call these) ----------------
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc()
+
+    def message_fate(self, target: str, method: str) -> str:
+        """One message's fate: ``ok`` / ``drop`` / ``delay`` / ``duplicate``.
+
+        Exactly one draw per message keeps the RNG stream aligned across
+        replays regardless of which rates are armed.
+        """
+        draw = self.rng.random()
+        if target in self.immune:
+            return "ok"
+        if draw < self.drop_rate:
+            self.dropped += 1
+            self._count(_DROPPED)
+            return "drop"
+        draw -= self.drop_rate
+        if draw < self.duplicate_rate:
+            self.duplicated += 1
+            self._count(_DUPLICATED)
+            return "duplicate"
+        draw -= self.duplicate_rate
+        if draw < self.delay_rate:
+            self.delayed += 1
+            self._count(_DELAYED)
+            return "delay"
+        return "ok"
+
+    def extra_latency_s(self, node: str) -> float:
+        """Straggler tax for one message to ``node`` (0 when healthy)."""
+        return self.slow_nodes.get(node, 0.0)
+
+    def disk_read_fails(self) -> bool:
+        """Whether the next disk read hits an injected medium error."""
+        if self.disk_error_rate <= 0.0:
+            return False
+        if self.rng.random() < self.disk_error_rate:
+            self.disk_errors += 1
+            self._count(_DISK_ERRORS)
+            return True
+        return False
+
+    def summary(self) -> Dict[str, int]:
+        """JSON-ready injection totals."""
+        return {
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "disk_errors": self.disk_errors,
+        }

@@ -14,6 +14,9 @@ Main subcommands::
                                                       run benches -> BENCH_*.json
     repro bench      --compare OLD NEW [--threshold T]
                                                       fail on latency regressions
+    repro chaos      [--seed S] [--steps K] [--nodes N] [--json]
+                                                      deterministic fault injection
+                                                      + crash-consistency audit
 
 ``main(argv)`` returns a process exit code and prints to stdout, so the
 CLI is unit-testable without subprocesses.
@@ -22,6 +25,7 @@ CLI is unit-testable without subprocesses.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -295,6 +299,60 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: run a seeded fault program twice and audit it.
+
+    Exit codes: 0 — deterministic and invariant-clean; 1 — invariant
+    violations; 2 — the two runs of the same seed diverged
+    (nondeterminism, itself a bug in the simulation).
+    """
+    from repro.chaos import ChaosRunner
+
+    reports = []
+    for attempt in range(2):
+        runner = ChaosRunner(args.seed, steps=args.steps, nodes=args.nodes,
+                             settle_every=args.settle_every)
+        runner.run()
+        reports.append(runner.report_json())
+    report = json.loads(reports[0])
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        counters = report["counters"]
+        print(f"chaos seed={report['seed']} steps={report['steps']} "
+              f"nodes={report['nodes']}")
+        print(f"  virtual time      {report['virtual_time_s']:.1f}s")
+        print(f"  files             {report['files_created']} created, "
+              f"{report['files_deleted']} deleted, "
+              f"{report['files_acked_live']} acked live")
+        print(f"  injected          {report['injected']['dropped']} dropped, "
+              f"{report['injected']['duplicated']} duplicated, "
+              f"{report['injected']['delayed']} delayed, "
+              f"{report['injected']['disk_errors']} disk errors")
+        print(f"  rpc               {counters['cluster.rpc.retries']:.0f} retries, "
+              f"{counters['cluster.rpc.timeouts']:.0f} timeouts, "
+              f"{counters['cluster.rpc.failures']:.0f} gave up")
+        print(f"  failovers         {counters['cluster.master.failovers']:.0f} "
+              f"({counters['cluster.master.auto_failovers']:.0f} automatic), "
+              f"{counters['cluster.master.rejoins']:.0f} rejoins")
+        print(f"  degraded queries  {report['queries_degraded']}")
+        print(f"  wal replay drops  {report['wal_replay_dropped']}")
+        print(f"  violations        {len(report['violations'])}")
+        for violation in report["violations"]:
+            print(f"    - step {violation['step']}: {violation['kind']}: "
+                  f"{violation['detail']}")
+    if reports[0] != reports[1]:
+        print("NONDETERMINISM: two runs of the same seed produced "
+              "different reports", file=sys.stderr)
+        return 2
+    if report["violations"]:
+        return 1
+    if not args.json:
+        print("deterministic: two runs produced bit-identical reports; "
+              "0 invariant violations")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -374,6 +432,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression threshold for --compare "
                             "(default 0.10)")
     bench.set_defaults(func=cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a deterministic fault-injection program and "
+                      "audit crash-consistency invariants")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="schedule/injection seed (default 0)")
+    chaos.add_argument("--steps", type=int, default=50,
+                       help="fault-program length (default 50)")
+    chaos.add_argument("--nodes", type=int, default=3,
+                       help="index node count (default 3)")
+    chaos.add_argument("--settle-every", type=int, default=10,
+                       help="steps between invariant audits (default 10)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

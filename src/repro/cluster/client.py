@@ -11,6 +11,7 @@ Master.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.messages import IndexUpdate, RouteEntry, SearchResult
@@ -22,6 +23,7 @@ from repro.fs.namespace import Inode
 from repro.fs.vfs import VirtualFileSystem
 from repro.indexstructures.base import IndexKind
 from repro.query.ast import Predicate
+from repro.query.executor import DEGRADABLE_ERRORS, FanoutOutcome, scatter_gather
 from repro.query.parser import parse_query, parse_query_directory
 from repro.query.planner import IndexSpec
 from repro.sim.rpc import RpcNetwork
@@ -29,6 +31,22 @@ from repro.sim.rpc import RpcNetwork
 DEFAULT_BATCH_SIZE = 128
 
 _INODE_ATTRS = ("size", "mtime", "ctime", "uid")
+
+
+@dataclass
+class SearchAnswer:
+    """A search's paths plus its availability verdict.
+
+    ``degraded`` is True when at least one Index Node could not serve its
+    share after retries; ``unreachable_partitions`` then names exactly
+    which ACGs the answer is missing, and ``unreachable_nodes`` which
+    nodes failed.  A non-degraded answer is complete.
+    """
+
+    paths: List[str] = field(default_factory=list)
+    degraded: bool = False
+    unreachable_partitions: List[int] = field(default_factory=list)
+    unreachable_nodes: List[str] = field(default_factory=list)
 
 
 class PropellerClient:
@@ -60,6 +78,13 @@ class PropellerClient:
         self._pending: List[Tuple[int, IndexUpdate]] = []  # (hint, update)
         self.searches_issued = 0
         self.updates_sent = 0
+        self.updates_requeued = 0
+        # Deletes whose Index Node was unreachable even after retries:
+        # the index entry may outlive the file until an operator (or the
+        # chaos checker) reconciles.  Kept so callers can see the debt.
+        self.lost_deletes: List[int] = []
+        # The availability verdict of the most recent search fan-out.
+        self.last_outcome: FanoutOutcome = FanoutOutcome()
         # Observability (wired by the service): spans for the search
         # path, a registry for request-latency histograms.  Both charge
         # zero simulated time.
@@ -89,17 +114,35 @@ class PropellerClient:
         # upsert *after* the delete would resurrect a dead file.
         self._pending = [(h, u) for h, u in self._pending
                          if u.file_id != inode.ino]
-        route: Optional[RouteEntry] = self.rpc.call(
-            self.master, "file_deleted", inode.ino, local=self.local)
+        try:
+            route: Optional[RouteEntry] = self.rpc.call(
+                self.master, "file_deleted", inode.ino, local=self.local)
+        except DEGRADABLE_ERRORS:
+            # The Master itself was unreachable: the mapping (and maybe an
+            # index entry) survives the file.  Record the debt — the
+            # unlink must not fail because bookkeeping did.
+            self.lost_deletes.append(inode.ino)
+            self.freshness.forget(inode.ino)
+            if self.registry is not None:
+                self.registry.counter("cluster.client.lost_deletes").inc()
+            return
         if route is None or not route.node:
             # Never indexed: any stamped-but-unsent change dies with it.
             self.freshness.forget(inode.ino)
         if route is not None and route.node:
             self.freshness.stamp(inode.ino, self.vfs.clock.now())
             # The index entry must go too, or searches would return a
-            # path that no longer exists.
-            self.rpc.call(route.node, "index_update", route.acg_id,
-                          [IndexUpdate.delete(inode.ino)], local=self.local)
+            # path that no longer exists.  If the owning node is dead
+            # even after retries the unlink itself must not fail — the
+            # stale entry is recorded as debt instead.
+            try:
+                self.rpc.call(route.node, "index_update", route.acg_id,
+                              [IndexUpdate.delete(inode.ino)], local=self.local)
+            except DEGRADABLE_ERRORS:
+                self.lost_deletes.append(inode.ino)
+                self.freshness.forget(inode.ino)
+                if self.registry is not None:
+                    self.registry.counter("cluster.client.lost_deletes").inc()
 
     def _on_rename(self, old_path: str, new_path: str, inode: Inode) -> None:
         """A rename keeps the inode but changes the path — and therefore
@@ -153,27 +196,54 @@ class PropellerClient:
 
     def flush_updates(self) -> int:
         """Route the queued batch through the Master, then send each
-        Index Node its share (the paper's batched indexing path)."""
+        Index Node its share (the paper's batched indexing path).
+
+        Per-target delivery failures (a dead or unreachable Index Node,
+        even after the RPC layer's retries) re-queue that target's
+        updates instead of failing the whole batch — the next flush
+        re-routes them through the Master, which by then may have failed
+        the partition over to a live node.  Returns the number of updates
+        actually delivered (and acknowledged) this flush.
+        """
         if not self._pending:
             return 0
         pending, self._pending = self._pending, []
         file_ids = [u.file_id for _, u in pending]
         hints = {u.file_id: h for h, u in pending if h != -1}
-        request_bytes = sum(u.wire_bytes() for _, u in pending)
-        routes: List[RouteEntry] = self.rpc.call(
-            self.master, "route_updates", file_ids, hints,
-            local=self.local, request_bytes=8 * len(file_ids))
+        try:
+            routes: List[RouteEntry] = self.rpc.call(
+                self.master, "route_updates", file_ids, hints,
+                local=self.local, request_bytes=8 * len(file_ids))
+        except DEGRADABLE_ERRORS:
+            # The routing round-trip itself was lost: nothing went out.
+            # Put the whole batch back (hints intact) for the next flush.
+            self._pending = pending + self._pending
+            self.updates_requeued += len(pending)
+            if self.registry is not None:
+                self.registry.counter(
+                    "cluster.client.requeued_updates").inc(len(pending))
+            return 0
         route_by_file = {r.file_id: r for r in routes}
         by_target: Dict[Tuple[str, int], List[IndexUpdate]] = {}
         for _, update in pending:
             route = route_by_file[update.file_id]
             by_target.setdefault((route.node, route.acg_id), []).append(update)
+        delivered = 0
         for (node, acg_id), updates in by_target.items():
-            self.rpc.call(node, "index_update", acg_id, updates,
-                          local=self.local,
-                          request_bytes=sum(u.wire_bytes() for u in updates))
+            try:
+                self.rpc.call(node, "index_update", acg_id, updates,
+                              local=self.local,
+                              request_bytes=sum(u.wire_bytes() for u in updates))
+            except DEGRADABLE_ERRORS:
+                self._pending.extend((-1, u) for u in updates)
+                self.updates_requeued += len(updates)
+                if self.registry is not None:
+                    self.registry.counter(
+                        "cluster.client.requeued_updates").inc(len(updates))
+                continue
             self.updates_sent += len(updates)
-        return len(pending)
+            delivered += len(updates)
+        return delivered
 
     # -- ACG flush ----------------------------------------------------------------------
 
@@ -248,6 +318,20 @@ class PropellerClient:
             reverse=descending,
         )
         return ordered[:limit] if limit is not None else ordered
+
+    def search_detailed(self, query: str,
+                        index_name: Optional[str] = None) -> SearchAnswer:
+        """Like :meth:`search`, but the answer carries its availability
+        verdict: whether the fan-out degraded, and which partitions and
+        nodes the result set is missing when it did."""
+        paths = self.search(query, index_name=index_name)
+        outcome = self.last_outcome
+        return SearchAnswer(
+            paths=paths,
+            degraded=outcome.degraded,
+            unreachable_partitions=outcome.unreachable_partitions,
+            unreachable_nodes=sorted(outcome.unreachable),
+        )
 
     def _attribute_values(self, results: Sequence[SearchResult],
                           attr: str) -> Dict[str, Any]:
@@ -346,26 +430,34 @@ class PropellerClient:
             routing: Dict[str, List[int]] = self.rpc.call(
                 self.master, "route_search", index_name, local=self.local)
             if not routing:
-                results: List[SearchResult] = []
+                outcome = FanoutOutcome()
             else:
                 names = [index_name] if index_name else None
                 # Index Nodes serve their share in parallel (Figure 6);
-                # network fan-out overlaps too, which rpc.multicall and
-                # clock.parallel model.  ``parallel=True`` tells the
-                # profiler these children overlap: wall time is the
-                # slowest leg, not the sum.
-                nodes = sorted(routing)
+                # network fan-out overlaps too, which clock.parallel
+                # models.  ``parallel=True`` tells the profiler these
+                # children overlap: wall time is the slowest leg, not the
+                # sum.  Legs that fail transiently after retries degrade
+                # the answer instead of failing it (scatter_gather).
                 with self.tracer.span("fanout", parallel=True,
-                                      nodes=len(nodes)):
-                    per_node = clock.parallel([
-                        (lambda n=node: self.rpc.call(
+                                      nodes=len(routing)) as span:
+                    outcome = scatter_gather(
+                        clock, routing,
+                        lambda n: self.rpc.call(
                             n, "search", routing[n], predicate, names,
                             local=self.local))
-                        for node in nodes
-                    ])
-                results = [result for batch in per_node for result in batch]
+                    if outcome.degraded:
+                        span.set_attribute(
+                            "unreachable", sorted(outcome.unreachable))
+            results = list(outcome.results)
+        self.last_outcome = outcome
         if self.registry is not None:
             self.registry.counter("cluster.client.searches").inc()
+            if outcome.degraded:
+                self.registry.counter("cluster.client.degraded_searches").inc()
+                self.registry.counter(
+                    "cluster.client.unreachable_partitions").inc(
+                        len(outcome.unreachable_partitions))
             self.registry.histogram("cluster.client.search_latency_s").observe(
                 clock.now() - start)
         return results

@@ -172,6 +172,12 @@ class IndexNode:
         self.freshness = NULL_FRESHNESS
         self.replicas: Dict[int, AcgReplica] = {}
         self._global_specs: Dict[str, IndexSpec] = {}
+        # Crash-consistency bookkeeping: when this node last persisted
+        # its ACGs to shared storage (failover restores that snapshot),
+        # and how many WAL records recovery has had to drop at torn or
+        # corrupt tails over the node's lifetime.
+        self.last_checkpoint_t: float = 0.0
+        self.wal_replay_dropped_total = 0
         self.endpoint = RpcEndpoint(name)
         for method, handler in [
             ("index_update", self.handle_index_update),
@@ -274,8 +280,17 @@ class IndexNode:
         return len(updates)
 
     def _commit_updates(self, acg_id: int, updates: List[IndexUpdate]) -> None:
+        from repro.errors import DiskIOError
+
         replica = self.replica(acg_id, create=True)
-        self._ensure_resident(acg_id)
+        try:
+            self._ensure_resident(acg_id)
+        except DiskIOError:
+            # An injected read error while paging the ACG in: the commit
+            # itself must not be lost (the updates are acknowledged), so
+            # absorb the fault — the store is authoritative; residency is
+            # a cost-model event, retried on the next touch.
+            pass
         for update in updates:
             replica.apply(update)
         # Commit is the moment an update becomes search-visible: resolve
@@ -430,6 +445,9 @@ class IndexNode:
             self._shared_device.reset_head()
             self._shared_device.append(replica.resident_bytes())
             count += 1
+        # Failover restores this snapshot: anything acknowledged after
+        # this instant lives only in the local WAL and dies with the node.
+        self.last_checkpoint_t = self.machine.clock.now()
         return count
 
     def handle_adopt_acg(self, checkpoint_path: str) -> int:
@@ -463,7 +481,10 @@ class IndexNode:
         """Rebuild the pending cache from the WAL after a simulated crash.
 
         Replayed updates go straight through commit (they were already
-        acknowledged); returns how many records were recovered.
+        acknowledged); returns how many records were recovered.  Records
+        the log had to drop at a torn or corrupt tail accumulate into
+        :attr:`wal_replay_dropped_total` (the ``wal.replay_dropped`` node
+        metric) so every unrecoverable acknowledgement is accounted for.
         """
         recovered = 0
         for record in self.wal.replay():
@@ -472,5 +493,55 @@ class IndexNode:
                                  attrs=tuple(attrs), path=path)
             self._commit_updates(acg_id, [update])
             recovered += 1
+        self.wal_replay_dropped_total += self.wal.replay_dropped
         self.wal.truncate()
         return recovered
+
+    # -- crash / restart / rejoin lifecycle ----------------------------------------------------
+
+    def crash(self, torn_tail_bytes: int = 0) -> List[int]:
+        """Process crash: all in-memory state dies, durable state stays.
+
+        The pending cache (acknowledged-but-uncommitted updates) and the
+        residency map are lost; the committed replicas (disk-backed) and
+        the WAL survive, minus ``torn_tail_bytes`` chopped off the log's
+        end — the bytes in flight when power died.  Marks the endpoint
+        down.  Returns the file ids whose updates were pending (and are
+        therefore recoverable only from the WAL) for crash-consistency
+        accounting.
+        """
+        pending = sorted({u.file_id
+                          for acg in self.cache.pending_acgs()
+                          for u in self.cache._pending[acg]})
+        self.cache._pending.clear()
+        self.cache._oldest.clear()
+        self.drop_resident()
+        if torn_tail_bytes > 0:
+            self.wal.simulate_torn_tail(torn_tail_bytes)
+        self.endpoint.fail()
+        return pending
+
+    def restart(self) -> int:
+        """Bring a crashed process back on the same durable state.
+
+        Replays the WAL (rebuilding everything acknowledged before the
+        crash that survived the torn tail) and marks the endpoint up.
+        Returns the number of records recovered.
+        """
+        recovered = self.recover_from_wal()
+        self.endpoint.recover()
+        return recovered
+
+    def reset(self) -> None:
+        """Wipe the node for a rejoin after failover moved its data away.
+
+        A node that comes back *after* the Master failed its partitions
+        over must not serve (or count) its stale replicas — the live
+        copies belong to the adopters now.  The node rejoins empty and
+        receives partitions again through routing and rebalancing.
+        """
+        self.replicas.clear()
+        self.cache._pending.clear()
+        self.cache._oldest.clear()
+        self.wal.truncate()
+        self.drop_resident()

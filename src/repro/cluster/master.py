@@ -39,15 +39,38 @@ class SplitDecision:
     moved_files: int
 
 
+@dataclass
+class FailoverEvent:
+    """Record of one failover: what moved, what was lost, and when.
+
+    The chaos invariant checker uses these to tell *expected* data loss
+    (updates acknowledged after the victim's last checkpoint die with it)
+    apart from genuine bugs: a file is excused only if its partition
+    appears here and its ack time postdates the victim's checkpoint.
+    """
+
+    t: float
+    node: str
+    moved: Tuple[int, ...]
+    lost: Tuple[int, ...]
+    auto: bool = False
+
+
 class MasterNode:
     """Propeller's metadata and coordination server."""
 
     def __init__(self, machine: Machine, rpc: RpcNetwork,
                  policy: PartitioningPolicy = PartitioningPolicy(),
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 auto_failover: bool = False,
+                 heartbeat_timeout_s: float = 15.0) -> None:
         self.machine = machine
         self.rpc = rpc
         self.policy = policy
+        # When on, the heartbeat poll itself fails silent nodes over —
+        # off by default so explicit-failover deployments keep control.
+        self.auto_failover = auto_failover
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self.partitions = PartitionManager()
         # Coordination events (failovers, splits, checkpoints) count into
         # the deployment-wide registry; a standalone Master gets its own.
@@ -60,6 +83,7 @@ class MasterNode:
         self.index_specs: Dict[str, IndexSpec] = {}
         self.heartbeats: Dict[str, Heartbeat] = {}
         self.splits: List[SplitDecision] = []
+        self.failover_log: List[FailoverEvent] = []
         self.checkpoints_written = 0
         self.endpoint = RpcEndpoint("master")
         for method, handler in [
@@ -192,19 +216,50 @@ class MasterNode:
         """Record one Index Node's heartbeat."""
         self.heartbeats[heartbeat.node] = heartbeat
 
-    def poll_heartbeats(self) -> None:
+    def poll_heartbeats(self) -> List[str]:
         """Pull a heartbeat from every Index Node, then act on oversized
         ACGs (the split trigger).  Nodes whose RPC fails are recorded as
-        silent — :meth:`detect_failed_nodes` turns silence into failure."""
-        from repro.errors import NodeDown
+        silent — :meth:`detect_failed_nodes` turns silence into failure.
 
+        With :attr:`auto_failover` on, this is also the failure detector's
+        trigger: a node whose endpoint is conclusively down (``NodeDown``
+        survives the retry policy) or whose heartbeat has gone stale past
+        :attr:`heartbeat_timeout_s` is failed over right here.  Returns
+        the nodes that were failed over this round (always empty when
+        auto-failover is off).
+        """
+        from repro.errors import NodeDown, RpcTimeout
+
+        conclusively_down = []
         for node in list(self.index_nodes):
             try:
                 heartbeat = self.rpc.call(node, "heartbeat")
             except NodeDown:
+                # The endpoint itself is down — process death, not a lost
+                # message (retries already ruled those out).
+                conclusively_down.append(node)
+                continue
+            except RpcTimeout:
+                # Ambiguous: the node may be fine behind a lossy link.
+                # Leave it to staleness detection.
                 continue
             self.report_heartbeat(heartbeat)
+        failed_over: List[str] = []
+        if self.auto_failover:
+            suspects = set(conclusively_down)
+            suspects.update(self.detect_failed_nodes(self.heartbeat_timeout_s))
+            for node in sorted(suspects):
+                if node not in self.index_nodes:
+                    continue
+                try:
+                    self.failover(node, auto=True)
+                except ClusterError:
+                    # Nobody left to adopt the partitions; keep the node
+                    # registered so a later recovery can pick it back up.
+                    continue
+                failed_over.append(node)
         self.maybe_split()
+        return failed_over
 
     def detect_failed_nodes(self, timeout_s: float = 15.0) -> List[str]:
         """Index Nodes whose last heartbeat is older than ``timeout_s``
@@ -217,51 +272,90 @@ class MasterNode:
                 failed.append(node)
         return failed
 
-    def failover(self, failed_node: str) -> int:
+    def failover(self, failed_node: str, auto: bool = False) -> int:
         """Reassign a dead node's ACGs to survivors from shared storage.
 
         Each of the failed node's partitions is adopted by the currently
-        least-loaded survivor, restoring from the checkpoint the dead
-        node wrote to the shared file system.  Updates acknowledged after
-        the last checkpoint are lost (they live in the dead node's local
-        WAL) — the paper's consistency guarantee covers searches against
-        live nodes, not durability across permanent node loss.
+        least-loaded *reachable* survivor, restoring from the checkpoint
+        the dead node wrote to the shared file system.  Updates
+        acknowledged after the last checkpoint are lost (they live in the
+        dead node's local WAL) — the paper's consistency guarantee covers
+        searches against live nodes, not durability across permanent node
+        loss.
+
+        Failover tolerates concurrent failures: an adoption target that
+        is itself down (or times out) is skipped in favor of the next
+        survivor.  If a partition finds no reachable adopter at all it
+        stays on the failed node and the node stays registered, so the
+        next heartbeat round retries the failover instead of stranding
+        the partition forever.  Partial progress is safe — adopted
+        partitions already point at their new home and are skipped on
+        the retry.
 
         Returns the number of partitions moved.
         """
         from repro.cluster.persistence import replica_path
+        from repro.errors import NodeDown, RpcTimeout
 
         if failed_node not in self.index_nodes:
             raise UnknownIndexNode(failed_node)
         survivors = [n for n in self.index_nodes if n != failed_node]
         if not survivors:
             raise ClusterError("no surviving index nodes to fail over to")
-        self.registry.counter("cluster.master.failovers").inc()
-        self.index_nodes.remove(failed_node)
-        self.heartbeats.pop(failed_node, None)
-        moved = 0
+        moved_ids: List[int] = []
+        lost_ids: List[int] = []
+        stranded = 0
+        unreachable: Set[str] = set()
         with self.tracer.span("failover", failed_node=failed_node) as span:
             for partition in self.partitions.partitions():
                 if partition.node != failed_node:
                     continue
-                target = self.partitions.least_loaded(survivors)
                 path = replica_path(failed_node, partition.partition_id)
-                try:
-                    self.rpc.call(target, "adopt_acg", path)
-                except FileSystemError:
-                    # The victim never checkpointed this ACG: its data is
-                    # gone with the node.  Leave the partition unplaced so
-                    # future updates re-create it instead of crashing the
-                    # whole failover.
-                    partition.node = None
-                    self.registry.counter(
-                        "cluster.master.partitions_lost").inc()
-                    continue
-                partition.node = target
-                moved += 1
-            span.set_attribute("moved", moved)
-        self.registry.counter("cluster.master.reassigned_partitions").inc(moved)
-        return moved
+                placed = False
+                while not placed:
+                    candidates = [n for n in survivors if n not in unreachable]
+                    if not candidates:
+                        stranded += 1
+                        break
+                    target = self.partitions.least_loaded(candidates)
+                    try:
+                        self.rpc.call(target, "adopt_acg", path)
+                    except FileSystemError:
+                        # The victim never checkpointed this ACG: its
+                        # data is gone with the node.  Leave the
+                        # partition unplaced so future updates re-create
+                        # it instead of crashing the whole failover.
+                        partition.node = None
+                        lost_ids.append(partition.partition_id)
+                        self.registry.counter(
+                            "cluster.master.partitions_lost").inc()
+                        placed = True
+                    except (NodeDown, RpcTimeout):
+                        unreachable.add(target)
+                    else:
+                        partition.node = target
+                        moved_ids.append(partition.partition_id)
+                        placed = True
+            span.set_attribute("moved", len(moved_ids))
+            span.set_attribute("stranded", stranded)
+        if stranded and not moved_ids and not lost_ids:
+            # Nothing could be done this round; leave every bit of state
+            # untouched and let the next heartbeat poll retry.
+            raise ClusterError(
+                f"no reachable survivor could adopt {failed_node}'s partitions")
+        if not stranded:
+            self.index_nodes.remove(failed_node)
+            self.heartbeats.pop(failed_node, None)
+        self.registry.counter("cluster.master.failovers").inc()
+        if auto:
+            self.registry.counter("cluster.master.auto_failovers").inc()
+        self.failover_log.append(FailoverEvent(
+            t=self.machine.clock.now(), node=failed_node,
+            moved=tuple(sorted(moved_ids)), lost=tuple(sorted(lost_ids)),
+            auto=auto))
+        self.registry.counter(
+            "cluster.master.reassigned_partitions").inc(len(moved_ids))
+        return len(moved_ids)
 
     def maybe_split(self) -> List[SplitDecision]:
         """Split every partition that outgrew the policy threshold.
@@ -269,14 +363,14 @@ class MasterNode:
         A partition whose owner is currently unreachable is skipped — the
         split re-triggers on a later round (or after failover).
         """
-        from repro.errors import NodeDown
+        from repro.errors import NodeDown, RpcTimeout
 
         decisions = []
         for partition in list(self.partitions.partitions()):
             if partition.size > self.policy.split_threshold and partition.node:
                 try:
                     decisions.append(self._split_partition(partition.partition_id))
-                except NodeDown:
+                except (NodeDown, RpcTimeout):
                     continue
         return decisions
 

@@ -11,6 +11,7 @@ comparisons.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.client import PropellerClient
@@ -25,7 +26,7 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, PeriodicTask
 from repro.sim.machine import Cluster, MachineSpec
-from repro.sim.rpc import RpcNetwork
+from repro.sim.rpc import RetryPolicy, RpcNetwork
 
 HEARTBEAT_PERIOD_S = 5.0
 CHECKPOINT_PERIOD_S = 30.0
@@ -39,7 +40,11 @@ class PropellerService:
                  policy: Optional[PartitioningPolicy] = None,
                  cache_timeout_s: float = 5.0,
                  single_node: bool = False,
-                 tracing: bool = False) -> None:
+                 tracing: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rpc_seed: int = 0,
+                 auto_failover: bool = False,
+                 heartbeat_timeout_s: float = 15.0) -> None:
         if num_index_nodes < 1:
             raise ValueError("need at least one index node")
         self.policy = policy if policy is not None else PartitioningPolicy()
@@ -49,16 +54,24 @@ class PropellerService:
         self.cluster = Cluster(machine_names, spec=spec)
         self.clock: SimClock = self.cluster.clock
         self.loop = EventLoop(self.clock)
-        self.rpc = RpcNetwork(self.cluster.network)
         # Observability: one registry for the whole deployment; tracing
         # defaults to the free no-op tracer (enable_tracing swaps it in).
         self.registry = MetricsRegistry()
+        # The RPC layer's backoff jitter comes from a dedicated seeded
+        # RNG so two runs of the same deployment burn identical virtual
+        # time (the chaos determinism contract).
+        self.rpc = RpcNetwork(self.cluster.network,
+                              retry_policy=retry_policy,
+                              rng=random.Random(rpc_seed),
+                              registry=self.registry)
         self.tracer = NULL_TRACER
         self.timeline = NULL_TIMELINE
         self.freshness = NULL_FRESHNESS
         master_machine = self.cluster["in1"] if self.single_node else self.cluster["mn"]
         self.master = MasterNode(master_machine, self.rpc, policy=self.policy,
-                                 registry=self.registry)
+                                 registry=self.registry,
+                                 auto_failover=auto_failover,
+                                 heartbeat_timeout_s=heartbeat_timeout_s)
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -118,6 +131,8 @@ class PropellerService:
         reg.gauge_fn(f"{prefix}.cache.search_commits",
                      lambda n=node: n.cache.stats.search_commits)
         reg.gauge_fn(f"{prefix}.wal.bytes", lambda n=node: len(n.wal))
+        reg.gauge_fn(f"{prefix}.wal.replay_dropped",
+                     lambda n=node: n.wal_replay_dropped_total)
         reg.gauge_fn(f"{prefix}.disk.reads",
                      lambda n=node: n.machine.disk.stats.reads)
         reg.gauge_fn(f"{prefix}.disk.writes",
@@ -166,6 +181,10 @@ class PropellerService:
         timeline.track("cache_hit_rate", self._cache_hit_rate)
         timeline.track("indexed_files", self.total_indexed_files)
         timeline.track("failovers", self._failover_count)
+        timeline.track("degraded_searches",
+                       lambda: self._counter_value("cluster.client.degraded_searches"))
+        timeline.track("rpc_retries",
+                       lambda: self._counter_value("cluster.rpc.retries"))
         self.timeline = timeline
         return timeline
 
@@ -221,14 +240,20 @@ class PropellerService:
         return hits / accesses if accesses else 0.0
 
     def _failover_count(self) -> int:
-        name = "cluster.master.failovers"
+        return self._counter_value("cluster.master.failovers")
+
+    def _counter_value(self, name: str) -> int:
         return self.registry.value(name) if name in self.registry else 0
 
     # -- background machinery -------------------------------------------------
 
     def _tick_caches(self) -> None:
         for node in self.index_nodes.values():
-            node.tick()
+            if node.endpoint.up:
+                node.tick()
+        # Reap freshness stamps whose updates died with a failed node
+        # (acked, never committed anywhere) so the pending map can't leak.
+        self.freshness.expire(self.clock.now())
 
     def _checkpoint_all(self) -> None:
         """Periodic durability: Master metadata plus every node's ACGs
@@ -246,6 +271,34 @@ class PropellerService:
     def failover(self, name: str) -> int:
         """Checkpoint-based failover of a dead node's partitions."""
         return self.master.failover(name)
+
+    def recover_node(self, name: str) -> int:
+        """Bring a failed Index Node back into the cluster.
+
+        Two distinct cases, decided by what happened while it was down:
+
+        * the Master never failed it over (it is still registered) — a
+          plain process restart: replay the WAL and carry on with the
+          data it already had; or
+        * failover already moved its partitions to survivors — the node
+          must **rejoin empty** (its replicas are stale copies of data
+          now live elsewhere; serving or counting them would double-count
+          every failed-over file).  :meth:`IndexNode.reset` wipes it, and
+          it re-registers to take new assignments.
+
+        Returns the number of WAL records replayed (always 0 on the
+        rejoin path — a rejoin starts from nothing).
+        """
+        node = self.index_nodes[name]
+        if name in self.master.index_nodes:
+            if node.endpoint.up:
+                return 0
+            return node.restart()
+        node.reset()
+        node.endpoint.recover()
+        self.master.register_index_node(name)
+        self.registry.counter("cluster.master.rejoins").inc()
+        return 0
 
     def pump(self) -> None:
         """Let background timers that are due fire (no time advance)."""
@@ -329,6 +382,7 @@ class PropellerService:
         ("cache_timeout_commits", "cache.timeout_commits"),
         ("cache_search_commits", "cache.search_commits"),
         ("wal_bytes", "wal.bytes"),
+        ("wal_replay_dropped", "wal.replay_dropped"),
         ("disk_reads", "disk.reads"),
         ("disk_writes", "disk.writes"),
         ("up", "up"),

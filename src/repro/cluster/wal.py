@@ -3,8 +3,14 @@
 Every file-indexing request an Index Node acknowledges is first appended
 here (Section IV), so a crash between acknowledgement and index commit
 loses nothing: replay reconstructs the pending updates.  Records are
-CRC-framed; a torn tail (partial final record after a crash) is detected
-and dropped, anything worse raises :class:`~repro.errors.WalCorruption`.
+CRC-framed; a torn or corrupt *tail* (partial or garbled final record
+after a crash — the bytes that were mid-write when power died) is
+detected, dropped, and **counted** (``replay_dropped`` /
+``replay_dropped_bytes``, surfaced as the ``wal.replay_dropped`` node
+metric) so recovery can account for every acknowledged record it could
+not replay.  Corruption anywhere before the final record means the log
+itself is damaged, not torn, and still raises
+:class:`~repro.errors.WalCorruption`.
 """
 
 from __future__ import annotations
@@ -27,6 +33,11 @@ class WriteAheadLog:
         self._buffer = bytearray()
         self._disk = disk
         self.records_appended = 0
+        # What the most recent replay() had to drop at a torn or corrupt
+        # tail (a replay over a healthy log resets both to zero).
+        # Recovery paths accumulate these into longer-lived counters.
+        self.replay_dropped = 0
+        self.replay_dropped_bytes = 0
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -43,27 +54,44 @@ class WriteAheadLog:
     def replay(self) -> Iterator[Tuple[Any, ...]]:
         """Yield every intact record in append order.
 
-        A cleanly-torn tail ends iteration silently; a corrupted record
-        body raises :class:`WalCorruption`.
+        A torn tail (partial header or body) and a *final* record that
+        fails its CRC — the record that was mid-write at the crash — end
+        iteration and are counted in :attr:`replay_dropped` /
+        :attr:`replay_dropped_bytes` instead of vanishing silently.
+        Corruption that is not at the tail means the log is damaged, not
+        torn, and raises :class:`WalCorruption`.
         """
+        self.replay_dropped = 0
+        self.replay_dropped_bytes = 0
         data = bytes(self._buffer)
         offset = 0
         while offset < len(data):
             if offset + _HEADER.size > len(data):
+                self._drop_tail(len(data) - offset)
                 return  # torn header at tail
             length, crc = _HEADER.unpack_from(data, offset)
             body_start = offset + _HEADER.size
             body_end = body_start + length
             if body_end > len(data):
+                self._drop_tail(len(data) - offset)
                 return  # torn body at tail
             body = data[body_start:body_end]
             if zlib.crc32(body) != crc:
+                if body_end == len(data):
+                    # The final record garbled in flight: a corrupt tail,
+                    # recoverable by dropping it.
+                    self._drop_tail(len(data) - offset)
+                    return
                 raise WalCorruption(f"bad CRC at offset {offset}")
             value, consumed = load_value(body, 0)
             if consumed != length:
                 raise WalCorruption(f"bad record length at offset {offset}")
             yield value
             offset = body_end
+
+    def _drop_tail(self, nbytes: int) -> None:
+        self.replay_dropped += 1
+        self.replay_dropped_bytes += nbytes
 
     def truncate(self) -> None:
         """Discard the log after a successful checkpoint/commit."""

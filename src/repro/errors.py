@@ -71,6 +71,17 @@ class NodeDown(ClusterError):
     """An RPC was sent to a node that is marked failed."""
 
 
+class RpcTimeout(ClusterError):
+    """An RPC request or response was lost and the caller's timer fired.
+
+    Raised after the retry budget (if any) is exhausted; transient
+    timeouts inside the retry loop never escape."""
+
+
+class DiskIOError(ClusterError):
+    """An injected storage fault: a device read failed mid-transfer."""
+
+
 class WalCorruption(ClusterError):
     """The write-ahead log failed checksum validation during replay."""
 

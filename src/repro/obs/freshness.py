@@ -35,25 +35,42 @@ if TYPE_CHECKING:  # annotation-only import, like repro.obs.tracing
     from repro.obs.metrics import MetricsRegistry
 
 DEFAULT_MAX_PENDING = 65536
+DEFAULT_PENDING_TTL_S = 120.0
 
 _STALENESS_SUFFIX = ".staleness_s"
 _WORST_GAUGE = "cluster.freshness.worst_s"
 _VISIBLE_COUNTER = "cluster.freshness.visible_events"
+_EXPIRED_COUNTER = "cluster.freshness.expired"
 
 
 class FreshnessTracker:
-    """Virtual time from file change to search visibility, per node."""
+    """Virtual time from file change to search visibility, per node.
+
+    ``pending_ttl_s`` bounds how long a stamp may wait: a change whose
+    update died with a failed node (acked, never committed anywhere) would
+    otherwise sit in the pending map forever.  Re-homed updates need no
+    special casing — a failed-over file that gets re-indexed commits on
+    its new node and resolves the *original* stamp (earliest-wins), so the
+    recorded staleness honestly spans the outage.  Only changes that never
+    become visible anywhere expire, counted under
+    ``cluster.freshness.expired``.  ``None`` disables expiry.
+    """
 
     enabled = True
 
     def __init__(self, registry: "MetricsRegistry",
-                 max_pending: int = DEFAULT_MAX_PENDING) -> None:
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 pending_ttl_s: Optional[float] = DEFAULT_PENDING_TTL_S) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be positive: {max_pending}")
+        if pending_ttl_s is not None and pending_ttl_s <= 0:
+            raise ValueError(f"pending_ttl_s must be positive: {pending_ttl_s}")
         self.registry = registry
         self.max_pending = max_pending
+        self.pending_ttl_s = pending_ttl_s
         self._pending: "OrderedDict[int, float]" = OrderedDict()
         self.dropped = 0
+        self.expired = 0
 
     # -- producer side -------------------------------------------------------
 
@@ -92,6 +109,27 @@ class FreshnessTracker:
     def forget(self, file_id: int) -> None:
         """Drop a pending stamp (the file was unlinked before indexing)."""
         self._pending.pop(file_id, None)
+
+    def expire(self, now: float) -> int:
+        """Drop pending stamps older than ``pending_ttl_s``.
+
+        Called periodically by the service loop; returns how many stamps
+        expired.  The pending map is insertion-ordered and stamps are
+        monotone in time, so expiry scans only the stale prefix.
+        """
+        if self.pending_ttl_s is None:
+            return 0
+        expired = 0
+        while self._pending:
+            file_id = next(iter(self._pending))
+            if now - self._pending[file_id] <= self.pending_ttl_s:
+                break
+            del self._pending[file_id]
+            expired += 1
+        if expired:
+            self.expired += expired
+            self.registry.counter(_EXPIRED_COUNTER).inc(expired)
+        return expired
 
     # -- reading -------------------------------------------------------------
 
@@ -133,6 +171,7 @@ class FreshnessTracker:
             "worst_s": self.worst_s(),
             "pending": self.pending,
             "dropped": self.dropped,
+            "expired": self.expired,
             "nodes": nodes,
         }
 
@@ -150,6 +189,9 @@ class NullFreshness:
 
     def forget(self, file_id: int) -> None:
         pass
+
+    def expire(self, now: float) -> int:
+        return 0
 
     @property
     def pending(self) -> int:

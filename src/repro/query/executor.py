@@ -1,20 +1,36 @@
-"""Plan execution against one ACG's indices.
+"""Plan execution against one ACG's indices — and the cluster-side
+scatter-gather that stitches per-node answers into one result.
 
-The executor runs on an Index Node: it walks the chosen access path to get
-candidate file ids, then applies the full predicate as a residual filter
-against the ACG's attribute store.  Results are therefore always exact —
-an over-approximate index never yields false positives.
+The per-ACG executor runs on an Index Node: it walks the chosen access
+path to get candidate file ids, then applies the full predicate as a
+residual filter against the ACG's attribute store.  Results are therefore
+always exact — an over-approximate index never yields false positives.
+
+The scatter-gather runs on the client: search legs fan out to every Index
+Node in parallel and, when a leg fails transiently (node down, RPC
+timeout, injected disk error), the query **degrades** instead of dying —
+the surviving legs' results come back in a :class:`FanoutOutcome` whose
+``degraded`` flag is set and whose ``unreachable`` map names exactly
+which partitions on which nodes the answer is missing (the tail-tolerant
+partial-results semantic partition-parallel search needs).
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Mapping, Optional, Sequence, Set, Tuple)
 
-from repro.errors import QueryError, UnknownIndexName
+from repro.errors import DiskIOError, NodeDown, QueryError, RpcTimeout, UnknownIndexName
 from repro.indexstructures.base import Index
 from repro.query.ast import Predicate, matches
 from repro.query.planner import Plan
+
+# Failures that degrade a search leg instead of failing the whole query.
+# Anything else (parse errors, unknown index names, handler bugs) is a
+# caller mistake and still propagates.
+DEGRADABLE_ERRORS = (NodeDown, RpcTimeout, DiskIOError)
 
 _TOKEN_SPLIT = re.compile(r"[^a-z0-9]+")
 
@@ -111,3 +127,62 @@ def execute_plans(plans: Iterable[Plan], predicate: Predicate,
     for plan in plans:
         result |= execute(plan, predicate, indexes, store, now)
     return result
+
+
+# -- degraded scatter-gather ---------------------------------------------------
+
+
+@dataclass
+class FanoutOutcome:
+    """What a partition-parallel search fan-out actually achieved.
+
+    ``results`` holds every per-node answer that arrived; ``unreachable``
+    maps each failed node to the partition (ACG) ids its leg was asked to
+    search, and ``errors`` keeps the error text per failed node.  A query
+    is ``degraded`` exactly when at least one leg failed — the caller got
+    a correct but possibly incomplete answer and can name what is
+    missing.
+    """
+
+    results: List[Any] = field(default_factory=list)
+    unreachable: Dict[str, List[int]] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.unreachable)
+
+    @property
+    def unreachable_partitions(self) -> List[int]:
+        """Every partition id the answer is missing, sorted."""
+        return sorted(acg for acgs in self.unreachable.values() for acg in acgs)
+
+
+def scatter_gather(clock, routing: Mapping[str, Sequence[int]],
+                   call: Callable[[str], Any]) -> FanoutOutcome:
+    """Fan one search out to every node in ``routing``, tolerating legs.
+
+    ``call(node)`` performs one node's search RPC (retries included — the
+    RPC layer owns those); legs run as logically concurrent work on the
+    virtual clock, so the caller waits for the slowest leg, including a
+    failed leg's timeout burn.  Legs that still fail with a transient
+    error after retries are recorded against the partitions they covered
+    instead of aborting the fan-out.
+    """
+    nodes = sorted(routing)
+    outcome = FanoutOutcome()
+
+    def leg(node: str):
+        try:
+            return node, call(node), None
+        except DEGRADABLE_ERRORS as exc:
+            return node, None, exc
+
+    for node, batch, error in clock.parallel(
+            [(lambda n=n: leg(n)) for n in nodes]):
+        if error is not None:
+            outcome.unreachable[node] = sorted(routing[node])
+            outcome.errors[node] = f"{type(error).__name__}: {error}"
+        else:
+            outcome.results.extend(batch)
+    return outcome

@@ -81,6 +81,10 @@ class DiskDevice:
         # Per-IO counts land on whichever span is open when the access
         # happens (zero simulated cost; no-op until tracing is wired).
         self.tracer = NULL_TRACER
+        # Fault injection (chaos): when attached, reads may raise
+        # DiskIOError after paying the access cost — the medium-error
+        # case real drives report.  None means the device is healthy.
+        self.faults = None
         self._next_sequential_offset: int | None = None
 
     def _charge(self, offset: int, nbytes: int) -> None:
@@ -96,11 +100,20 @@ class DiskDevice:
         self.clock.charge(cost)
 
     def read(self, offset: int, nbytes: int) -> None:
-        """Charge the cost of reading ``nbytes`` at ``offset``."""
+        """Charge the cost of reading ``nbytes`` at ``offset``.
+
+        With a fault injector attached, the read may fail with
+        :class:`~repro.errors.DiskIOError` *after* paying the access cost
+        (the drive retried internally, then reported a medium error).
+        """
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
         self.tracer.annotate("disk_reads")
         self._charge(offset, nbytes)
+        if self.faults is not None and self.faults.disk_read_fails():
+            from repro.errors import DiskIOError
+
+            raise DiskIOError(f"injected medium error at offset {offset}")
 
     def write(self, offset: int, nbytes: int) -> None:
         """Charge the cost of writing ``nbytes`` at ``offset``."""

@@ -4,13 +4,23 @@ Propeller's client talks to the Master Node and Index Nodes over RPC.  The
 simulation keeps calls synchronous (the paper's request path is
 request/response) and charges: request message + handler work (whatever the
 handler itself charges) + response message.
+
+Fault tolerance lives at this layer too.  A :class:`RetryPolicy` gives
+every call a timeout, exponential backoff with seeded jitter, and a total
+virtual-time budget; an attached fault injector (``RpcNetwork.faults``,
+see :mod:`repro.chaos.faults`) can drop, delay, or duplicate individual
+messages, which is what the retry machinery exists to survive.  Without a
+policy and without faults the request path is byte-for-byte the old
+two-message exchange.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ClusterError, NodeDown
+from repro.errors import ClusterError, NodeDown, RpcTimeout
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.network import NetworkModel
 
@@ -18,6 +28,57 @@ Handler = Callable[..., Any]
 
 # Rough serialized size of an RPC envelope plus a typical small payload.
 _DEFAULT_MSG_BYTES = 256
+
+# What a caller waits before declaring a lost message timed out when no
+# RetryPolicy overrides it (a generous same-switch request deadline).
+DEFAULT_RPC_TIMEOUT_S = 0.25
+
+# Errors the retry loop treats as transient.  Anything else (unknown
+# method, handler bugs) fails immediately — retrying would not help.
+_RETRIABLE = (NodeDown, RpcTimeout)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + capped exponential backoff with jitter for one RPC.
+
+    ``timeout_s`` is how long the caller waits for a reply before giving
+    up on one attempt; backoff between attempts grows geometrically from
+    ``base_backoff_s`` (capped at ``max_backoff_s``) with up to
+    ``jitter_frac`` of itself added from the caller's seeded RNG.
+    ``budget_s`` caps the *total* extra virtual time (timeouts plus
+    backoff) one logical call may burn before the last error escapes —
+    the tail-latency bound a real client would enforce.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float = DEFAULT_RPC_TIMEOUT_S
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter_frac: float = 0.1
+    budget_s: float = 5.0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * self.backoff_multiplier ** (attempt - 1))
+        return base * (1.0 + self.jitter_frac * rng.random())
+
+
+@dataclass
+class CallOutcome:
+    """One target's result in a :meth:`RpcNetwork.multicall` fan-out.
+
+    Either ``value`` (when ``ok``) or ``error`` (the exception that leg
+    hit) is meaningful — never both.  The degraded query executor and the
+    heartbeat poller consume this instead of guessing which targets a
+    half-failed fan-out actually reached.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[Exception] = None
 
 
 class RpcEndpoint:
@@ -58,14 +119,29 @@ class RpcNetwork:
 
     ``local=True`` marks calls that never cross the wire (single-node mode,
     used for the MySQL and Spotlight comparisons).
+
+    ``retry_policy`` (optional) makes every call survive transient faults:
+    lost messages and down nodes are retried with backoff until the policy
+    gives up.  ``faults`` (optional, duck-typed — see
+    :class:`repro.chaos.FaultInjector`) decides per-message fates and
+    per-node straggler delay; ``registry`` (optional) receives
+    ``cluster.rpc.*`` counters.  All three default to off, keeping the
+    fault-free request path identical to the historical one.
     """
 
-    def __init__(self, network: NetworkModel) -> None:
+    def __init__(self, network: NetworkModel,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng: Optional[random.Random] = None,
+                 registry=None) -> None:
         self.network = network
         self._endpoints: Dict[str, RpcEndpoint] = {}
         # Observability: spans per call (zero simulated cost; NULL_TRACER
         # by default so uninstrumented deployments pay nothing).
         self.tracer = NULL_TRACER
+        self.retry_policy = retry_policy
+        self.rng = rng if rng is not None else random.Random(0)
+        self.registry = registry
+        self.faults = None
 
     def add_endpoint(self, endpoint: RpcEndpoint) -> None:
         """Attach a node's endpoint to the network."""
@@ -80,40 +156,117 @@ class RpcNetwork:
         except KeyError:
             raise ClusterError(f"unknown endpoint: {name}") from None
 
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc(n)
+
+    def _timeout_s(self) -> float:
+        if self.retry_policy is not None:
+            return self.retry_policy.timeout_s
+        return DEFAULT_RPC_TIMEOUT_S
+
+    def _leg(self, nbytes: int, local: bool) -> None:
+        """Charge one network leg."""
+        if local:
+            self.network.send_local(nbytes)
+        else:
+            self.network.send(nbytes)
+
+    def _attempt(self, endpoint: RpcEndpoint, method: str, args, kwargs,
+                 local: bool, request_bytes: int, response_bytes: int) -> Any:
+        """One request/response exchange, subject to injected faults."""
+        faults = self.faults
+        if faults is not None:
+            fate = faults.message_fate(endpoint.name, method)
+            if fate == "drop":
+                # The request (or its reply) never arrives: the caller
+                # burns its full timeout waiting, then gives up.
+                self.network.clock.charge(self._timeout_s())
+                self._count("cluster.rpc.timeouts")
+                raise RpcTimeout(
+                    f"rpc {method!r} to {endpoint.name} timed out "
+                    f"(message lost)")
+            if fate == "delay":
+                self.network.clock.charge(faults.delay_s)
+            straggle = faults.extra_latency_s(endpoint.name)
+            if straggle > 0.0:
+                self.network.clock.charge(straggle)
+            self._leg(request_bytes, local)
+            result = endpoint.dispatch(method, *args, **kwargs)
+            if fate == "duplicate":
+                # At-least-once delivery: the handler runs again on the
+                # duplicated request.  Handlers must be idempotent; the
+                # chaos invariant checker verifies they are.
+                self._count("cluster.rpc.duplicates")
+                endpoint.dispatch(method, *args, **kwargs)
+            self._leg(response_bytes, local)
+            return result
+        self._leg(request_bytes, local)
+        result = endpoint.dispatch(method, *args, **kwargs)
+        self._leg(response_bytes, local)
+        return result
+
     def call(self, target: str, method: str, *args: Any,
              local: bool = False, request_bytes: int = _DEFAULT_MSG_BYTES,
              response_bytes: int = _DEFAULT_MSG_BYTES, **kwargs: Any) -> Any:
-        """Synchronous RPC: charge request, run handler, charge response."""
+        """Synchronous RPC: charge request, run handler, charge response.
+
+        With a :class:`RetryPolicy` attached, transient failures
+        (:class:`NodeDown`, :class:`RpcTimeout`) are retried with backoff
+        until attempts or the virtual-time budget run out; the last error
+        then escapes.  Non-transient errors always escape immediately.
+        """
         endpoint = self.endpoint(target)
-        with self.tracer.span(f"rpc:{method}", target=target):
-            if local:
-                self.network.send_local(request_bytes)
-            else:
-                self.network.send(request_bytes)
-            result = endpoint.dispatch(method, *args, **kwargs)
-            if local:
-                self.network.send_local(response_bytes)
-            else:
-                self.network.send(response_bytes)
-        return result
+        policy = self.retry_policy
+        with self.tracer.span(f"rpc:{method}", target=target) as span:
+            if policy is None:
+                return self._attempt(endpoint, method, args, kwargs,
+                                     local, request_bytes, response_bytes)
+            spent = 0.0
+            attempt = 1
+            while True:
+                try:
+                    return self._attempt(endpoint, method, args, kwargs,
+                                         local, request_bytes, response_bytes)
+                except _RETRIABLE as exc:
+                    if isinstance(exc, RpcTimeout):
+                        spent += self._timeout_s()
+                    if attempt >= policy.max_attempts or spent >= policy.budget_s:
+                        self._count("cluster.rpc.failures")
+                        span.set_attribute("attempts", attempt)
+                        raise
+                    backoff = policy.backoff_s(attempt, self.rng)
+                    self.network.clock.charge(backoff)
+                    spent += backoff
+                    attempt += 1
+                    self._count("cluster.rpc.retries")
 
     def multicall(self, targets: list, method: str, *args: Any,
-                  request_bytes: int = _DEFAULT_MSG_BYTES, **kwargs: Any) -> list:
-        """Parallel fan-out: all requests go out together, handlers run,
-        and the caller waits for the slowest reply.
+                  request_bytes: int = _DEFAULT_MSG_BYTES,
+                  **kwargs: Any) -> Dict[str, CallOutcome]:
+        """Parallel fan-out returning a per-target result/error map.
 
-        Network legs overlap (one ``fanout`` charge each way); handler work
-        is charged by the handlers themselves — the caller should measure
-        and overlap it if it models parallel servers (see
-        ``cluster.service``).
+        All requests go out together (network legs overlap — one
+        ``fanout`` charge each way) and every target is attempted even
+        when earlier ones fail: a dead endpoint surfaces as that target's
+        :class:`CallOutcome` with ``ok=False`` instead of masking which
+        of the other targets succeeded.  Handler work is charged by the
+        handlers themselves — the caller should measure and overlap it if
+        it models parallel servers (see ``cluster.service``).
         """
         if not targets:
-            return []
+            return {}
+        outcomes: Dict[str, CallOutcome] = {}
         with self.tracer.span(f"rpc_multicall:{method}", targets=len(targets)):
             self.network.fanout([request_bytes] * len(targets))
-            results = []
             for t in targets:
-                with self.tracer.span(f"rpc:{method}", target=t):
-                    results.append(self.endpoint(t).dispatch(method, *args, **kwargs))
+                with self.tracer.span(f"rpc:{method}", target=t) as span:
+                    try:
+                        value = self.endpoint(t).dispatch(method, *args, **kwargs)
+                    except ClusterError as exc:
+                        span.mark_error(f"{type(exc).__name__}: {exc}")
+                        outcomes[t] = CallOutcome(ok=False, error=exc)
+                    else:
+                        outcomes[t] = CallOutcome(ok=True, value=value)
             self.network.fanout([_DEFAULT_MSG_BYTES] * len(targets))
-        return results
+        return outcomes

@@ -47,12 +47,40 @@ def test_wal_torn_header_is_dropped():
     assert list(wal.replay()) == [(1, "only")]
 
 
-def test_wal_corruption_detected():
+def test_wal_corrupt_tail_dropped_and_counted():
+    """The final record garbled mid-write is a corrupt *tail*: replay
+    drops it and counts the loss instead of refusing the whole log."""
     wal = WriteAheadLog()
     wal.append((1, "data"))
-    wal.corrupt_byte(12)
+    wal.append((2, "more"))
+    tail_start = len(wal)
+    wal.append((3, "torn"))
+    wal.corrupt_byte(tail_start + 10)
+    assert list(wal.replay()) == [(1, "data"), (2, "more")]
+    assert wal.replay_dropped == 1
+    assert wal.replay_dropped_bytes == len(wal) - tail_start
+
+
+def test_wal_mid_log_corruption_detected():
+    """Corruption before the tail means the log is damaged, not torn."""
+    wal = WriteAheadLog()
+    wal.append((1, "data"))
+    wal.append((2, "more"))
+    wal.corrupt_byte(12)  # inside the first record's body
     with pytest.raises(WalCorruption):
         list(wal.replay())
+
+
+def test_wal_torn_tail_dropped_and_counted():
+    wal = WriteAheadLog()
+    wal.append((1, "data"))
+    wal.append((2, "more"))
+    wal.simulate_torn_tail(3)
+    assert list(wal.replay()) == [(1, "data")]
+    assert wal.replay_dropped == 1
+    # A later replay over the same (still-torn) log counts afresh.
+    assert list(wal.replay()) == [(1, "data")]
+    assert wal.replay_dropped == 1
 
 
 def test_wal_charges_disk_appends():

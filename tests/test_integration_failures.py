@@ -61,12 +61,23 @@ def test_torn_wal_tail_loses_only_last_record():
     assert replacement.recover_from_wal() == 9
 
 
-def test_search_fails_loudly_when_node_down():
+def test_search_degrades_when_node_down():
+    """A dead Index Node degrades the answer instead of failing it: the
+    surviving legs' paths come back, and the verdict names exactly which
+    partitions (and which node) the answer is missing."""
     service, client = build(nodes=2)
     populate(service, client, n=60)
+    full = client.search("size>0")
+    dead_partitions = sorted(
+        p.partition_id for p in service.master.partitions.partitions()
+        if p.node == "in1" and p.files)
     service.index_nodes["in1"].endpoint.fail()
-    with pytest.raises(NodeDown):
-        client.search("size>0")
+    answer = client.search_detailed("size>0")
+    assert answer.degraded
+    assert answer.unreachable_nodes == ["in1"]
+    assert answer.unreachable_partitions == dead_partitions
+    assert set(answer.paths) <= set(full)
+    assert len(answer.paths) < len(full)
 
 
 def test_recovered_node_serves_again():

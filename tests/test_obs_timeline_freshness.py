@@ -107,10 +107,37 @@ class TestFreshnessTracker:
         assert tracker.visible("n", 9, 20.0) is not None
         assert tracker.visible("n", 0, 20.0) is None
 
+    def test_pending_ttl_expires_orphaned_stamps(self):
+        """A stamp whose update died with a failed node would otherwise
+        sit in the pending map forever; the TTL reaps it and counts it."""
+        reg = MetricsRegistry()
+        tracker = FreshnessTracker(reg, pending_ttl_s=10.0)
+        tracker.stamp(1, 0.0)
+        tracker.stamp(2, 7.0)
+        assert tracker.expire(5.0) == 0         # nothing old enough
+        assert tracker.expire(11.0) == 1        # stamp 1 aged out
+        assert tracker.pending == 1
+        assert tracker.visible("n", 1, 12.0) is None   # gone
+        assert tracker.visible("n", 2, 12.0) == pytest.approx(5.0)
+        assert tracker.expired == 1
+        assert reg.value("cluster.freshness.expired") == 1
+        assert tracker.summary()["expired"] == 1
+
+    def test_pending_ttl_disabled_never_expires(self):
+        tracker = FreshnessTracker(MetricsRegistry(), pending_ttl_s=None)
+        tracker.stamp(1, 0.0)
+        assert tracker.expire(1e9) == 0
+        assert tracker.pending == 1
+
+    def test_pending_ttl_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FreshnessTracker(MetricsRegistry(), pending_ttl_s=0.0)
+
     def test_null_freshness_is_inert(self):
         assert not NULL_FRESHNESS.enabled
         NULL_FRESHNESS.stamp(1, 0.0)
         assert NULL_FRESHNESS.visible("n", 1, 1.0) is None
+        assert NULL_FRESHNESS.expire(100.0) == 0
         assert isinstance(NULL_FRESHNESS, NullFreshness)
 
 

@@ -111,9 +111,131 @@ def test_multicall_fans_out():
         ep = RpcEndpoint(name)
         ep.register("who", lambda n=name: n)
         rpc.add_endpoint(ep)
-    assert rpc.multicall(["a", "b", "c"], "who") == ["a", "b", "c"]
+    outcomes = rpc.multicall(["a", "b", "c"], "who")
+    assert sorted(outcomes) == ["a", "b", "c"]
+    assert all(o.ok for o in outcomes.values())
+    assert [outcomes[t].value for t in ("a", "b", "c")] == ["a", "b", "c"]
+
+
+def test_multicall_reports_per_target_errors():
+    """A dead target degrades its own entry without masking the others."""
+    net = NetworkModel(SimClock())
+    rpc = RpcNetwork(net)
+    for name in ("a", "b"):
+        ep = RpcEndpoint(name)
+        ep.register("who", lambda n=name: n)
+        rpc.add_endpoint(ep)
+    rpc.endpoint("b").fail()
+    outcomes = rpc.multicall(["a", "b"], "who")
+    assert outcomes["a"].ok and outcomes["a"].value == "a"
+    assert not outcomes["b"].ok
+    assert isinstance(outcomes["b"].error, NodeDown)
 
 
 def test_multicall_empty():
     rpc, _ = make_rpc()
-    assert rpc.multicall([], "echo") == []
+    assert rpc.multicall([], "echo") == {}
+
+
+# -- retry policy ------------------------------------------------------------------
+
+
+def make_retry_rpc(policy):
+    import random
+
+    net = NetworkModel(SimClock())
+    rpc = RpcNetwork(net, retry_policy=policy, rng=random.Random(7))
+    endpoint = RpcEndpoint("node1")
+    endpoint.register("echo", lambda x: x * 2)
+    rpc.add_endpoint(endpoint)
+    return rpc, endpoint
+
+
+class DropFirstN:
+    """Fault hook that loses the first ``n`` messages, then heals."""
+
+    delay_s = 0.0
+
+    def __init__(self, n):
+        self.n = n
+
+    def message_fate(self, target, method):
+        if self.n > 0:
+            self.n -= 1
+            return "drop"
+        return "ok"
+
+    def extra_latency_s(self, node):
+        return 0.0
+
+
+def test_retry_survives_transient_message_loss():
+    from repro.sim.rpc import RetryPolicy
+
+    rpc, endpoint = make_retry_rpc(RetryPolicy(max_attempts=3))
+    rpc.faults = DropFirstN(2)
+    # Two lost messages burn two timeouts, the third attempt lands.
+    assert rpc.call("node1", "echo", 21) == 42
+    assert rpc.network.clock.now() >= 2 * 0.25
+
+
+def test_retry_gives_up_after_max_attempts():
+    from repro.sim.rpc import RetryPolicy
+
+    rpc, endpoint = make_retry_rpc(RetryPolicy(max_attempts=3))
+    endpoint.fail()
+    with pytest.raises(NodeDown):
+        rpc.call("node1", "echo", 1)
+
+
+def test_retry_backoff_advances_virtual_time():
+    from repro.sim.rpc import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=3, base_backoff_s=0.05,
+                         backoff_multiplier=2.0, jitter_frac=0.0)
+    rpc, endpoint = make_retry_rpc(policy)
+    endpoint.fail()
+    with pytest.raises(NodeDown):
+        rpc.call("node1", "echo", 1)
+    # Two backoffs were charged between the three attempts: 0.05 + 0.10.
+    assert rpc.network.clock.now() >= 0.15
+
+
+def test_retry_budget_caps_total_burn():
+    from repro.errors import RpcTimeout
+    from repro.sim.rpc import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=100, timeout_s=0.25, budget_s=1.0,
+                         jitter_frac=0.0)
+    rpc, endpoint = make_retry_rpc(policy)
+
+    class DropEverything:
+        delay_s = 0.0
+
+        def message_fate(self, target, method):
+            return "drop"
+
+        def extra_latency_s(self, node):
+            return 0.0
+
+    rpc.faults = DropEverything()
+    start = rpc.network.clock.now()
+    with pytest.raises(RpcTimeout):
+        rpc.call("node1", "echo", 1)
+    # The budget bounds the burn: a handful of timeouts + backoffs, far
+    # short of the 100 attempts the policy would otherwise allow.
+    assert rpc.network.clock.now() - start < 3.0
+
+
+def test_backoff_grows_and_caps():
+    import random
+
+    from repro.sim.rpc import RetryPolicy
+
+    policy = RetryPolicy(base_backoff_s=0.05, backoff_multiplier=2.0,
+                         max_backoff_s=0.2, jitter_frac=0.0)
+    rng = random.Random(0)
+    assert policy.backoff_s(1, rng) == pytest.approx(0.05)
+    assert policy.backoff_s(2, rng) == pytest.approx(0.10)
+    assert policy.backoff_s(3, rng) == pytest.approx(0.20)
+    assert policy.backoff_s(10, rng) == pytest.approx(0.20)  # capped
