@@ -39,7 +39,7 @@ FRESHNESS_PROBE_FILES = 64
 
 
 def measure(total_files: int, nodes: int,
-            instrument: bool = False) -> Tuple[float, float, dict, dict]:
+            instrument: bool = False) -> Tuple[float, float, dict, dict, dict]:
     service, client, paths = build_propeller(
         num_index_nodes=nodes, total_files=total_files,
         group_size=1000, ram_bytes=RAM_BYTES)
@@ -74,7 +74,16 @@ def measure(total_files: int, nodes: int,
         timeline.sample()
         series = timeline.to_dict()["series"]
         staleness = service.freshness.summary()
-    return cold, warm, series, staleness
+    # Routing-epoch figures of merit: how far off the hot path the
+    # Master is (route RPCs amortized over every indexed update) and how
+    # well the client's route cache serves placement locally.
+    metrics = {
+        "master.route_rpcs_per_update":
+            service.registry.value("cluster.master.route_rpcs_per_update"),
+        "cluster.client.route_cache_hit_rate":
+            service.registry.value("cluster.client.route_cache_hit_rate"),
+    }
+    return cold, warm, series, staleness, metrics
 
 
 def _sweep(cfg: BenchConfig):
@@ -83,15 +92,17 @@ def _sweep(cfg: BenchConfig):
     results: Dict[int, List[Tuple[float, float]]] = {}
     series: dict = {}
     staleness: dict = {}
+    metrics: dict = {}
     for total in datasets:
         results[total] = []
         for n in node_counts:
-            cold, warm, run_series, run_staleness = measure(
+            cold, warm, run_series, run_staleness, run_metrics = measure(
                 total, n, instrument=cfg.instrument)
             results[total].append((cold, warm))
             # Keep the telemetry of the largest configuration measured.
             if run_series:
                 series, staleness = run_series, run_staleness
+            metrics = run_metrics
 
     rows = []
     for total in datasets:
@@ -105,11 +116,12 @@ def _sweep(cfg: BenchConfig):
         title='Figure 9 / Table IV — cluster search latency (simulated s), '
               f'query "{QUERY}", datasets scaled 1:1000, RAM/node '
               f'{RAM_BYTES // 1024**2} MB')
-    return table, results, datasets, node_counts, series, staleness
+    return table, results, datasets, node_counts, series, staleness, metrics
 
 
 def run(cfg: BenchConfig):
-    table, results, datasets, node_counts, series, staleness = _sweep(cfg)
+    (table, results, datasets, node_counts, series, staleness,
+     metrics) = _sweep(cfg)
     latency = {}
     for total in datasets:
         for n, (cold, warm) in zip(node_counts, results[total]):
@@ -123,12 +135,13 @@ def run(cfg: BenchConfig):
         "latency_s": latency,
         "series": series,
         "staleness": staleness,
+        "metrics": metrics,
     }
 
 
 def test_fig09_cluster_search_scaling(record_result):
     cfg = default_cfg()
-    table, results, datasets, node_counts, _, _ = _sweep(cfg)
+    table, results, datasets, node_counts, _, _, _ = _sweep(cfg)
     record_result("fig09_cluster_scaling", table)
 
     for total in datasets:
@@ -161,6 +174,17 @@ def test_fig09_instrumentation_bit_identical():
     assert plain[1] == instrumented[1]      # warm, exactly
     assert instrumented[2], "instrumented run should produce series"
     assert instrumented[3]["nodes"], "staleness probe should observe commits"
+
+
+def test_fig09_master_off_the_hot_path():
+    """Acceptance guard for epoch-versioned routing: with client route
+    caches, the Master answers at least 10x fewer routing RPCs per
+    indexed update than the legacy one-route-call-per-batch protocol
+    (1/128 at the standard batch_size=128)."""
+    *_, metrics = measure(5_000, 4)
+    per_update = metrics["master.route_rpcs_per_update"]
+    assert per_update <= (1 / 128) / 10, metrics
+    assert metrics["cluster.client.route_cache_hit_rate"] >= 0.9, metrics
 
 
 def test_fig09_benchmark(benchmark):

@@ -26,6 +26,11 @@ Invariants (with their principled excuses):
 4. **Search agrees with storage** — a settle-point search returns
    exactly the paths live nodes hold (stale entries from excused
    lost-deletes may appear; nothing else may), and is not degraded.
+5. **Ownership agreement** — at a settle point every live node holding
+   a partition's data is the node the Master routes that partition to
+   (migration debris must sit behind a durable handoff intent), and no
+   node ever *applied* an update to a partition it was handing off —
+   stamped updates must be forwarded or NACKed, never absorbed.
 """
 
 from __future__ import annotations
@@ -151,6 +156,11 @@ class InvariantChecker:
         def violate(kind: str, detail: str) -> None:
             violations.append({"step": step, "kind": kind, "detail": detail})
 
+        # The settle-point search runs *first*: it flushes the client's
+        # requeued batch (updates held back for, e.g., migration debris
+        # may deliver now) and commits caches, so the presence snapshot
+        # below sees the same storage state the search answered from.
+        answer = self.client.search_detailed("chaos>=0")
         hosts = self.presence()
         requeued = {u.file_id for _, u in self.client._pending}
 
@@ -185,7 +195,6 @@ class InvariantChecker:
                         f"{hosts[record.file_id]}")
 
         # 4. Search agrees with storage (and is whole at a settle point).
-        answer = self.client.search_detailed("chaos>=0")
         if answer.degraded:
             violate("degraded_at_settle",
                     f"settle-point search degraded; unreachable partitions "
@@ -209,4 +218,27 @@ class InvariantChecker:
         for path in sorted(got - stored_paths - allowed_stale):
             violate("search_phantom_path",
                     f"search returned {path}, which no live node hosts")
+
+        # 5. Ownership agreement.
+        partitions = self.service.master.partitions
+        known = {p.partition_id: p for p in partitions.partitions()}
+        for name in sorted(self.service.index_nodes):
+            node = self.service.index_nodes[name]
+            if not node.endpoint.up:
+                continue
+            if node.nonowner_applied:
+                violate("nonowner_update_applied",
+                        f"{name} applied {node.nonowner_applied} updates to "
+                        f"partitions it was handing off")
+            for acg_id in sorted(node.replicas):
+                if node.replicas[acg_id].file_count == 0:
+                    continue  # empty debris (a drained merge source) is inert
+                if acg_id in node.handoff_intents:
+                    continue  # migration debris awaiting its finish retry
+                partition = known.get(acg_id)
+                if partition is None or partition.node != name:
+                    routed = partition.node if partition is not None else None
+                    violate("ownership_divergence",
+                            f"{name} holds data for partition {acg_id} which "
+                            f"the Master routes to {routed}")
         return violations

@@ -19,7 +19,7 @@ injector changes nothing.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 _DROPPED = "chaos.messages_dropped"
 _DELAYED = "chaos.messages_delayed"
@@ -48,6 +48,12 @@ class FaultInjector:
         self.delay_s = 0.05
         self.disk_error_rate = 0.0
         self.slow_nodes: Dict[str, float] = {}
+        # Armed one-shot fates: (target, method) → how many of the next
+        # matching messages meet the armed fate.  Unlike the random
+        # rates these hit immune targets too — they exist so tests can
+        # fail one *specific* protocol step (e.g. the finish_migration
+        # RPC) deterministically.
+        self.armed: Dict[Tuple[str, str], int] = {}
         self.dropped = 0
         self.delayed = 0
         self.duplicated = 0
@@ -64,9 +70,10 @@ class FaultInjector:
         self.delay_s = delay_s
 
     def clear_message_faults(self) -> None:
-        """Back to a healthy network (stragglers cleared too)."""
+        """Back to a healthy network (stragglers and armed fates too)."""
         self.set_message_faults()
         self.slow_nodes.clear()
+        self.armed.clear()
 
     def slow_node(self, node: str, extra_s: float) -> None:
         """Make one node a straggler: every message to it pays extra."""
@@ -80,12 +87,19 @@ class FaultInjector:
         """Probability an attached disk's read hits a medium error."""
         self.disk_error_rate = rate
 
+    def arm_method_fault(self, target: str, method: str, count: int = 1) -> None:
+        """Drop the next ``count`` messages of one (target, method) pair.
+
+        Deterministic surgical injection for protocol tests: the armed
+        fate fires regardless of the random rates and of immunity."""
+        self.armed[(target, method)] = self.armed.get((target, method), 0) + count
+
     @property
     def quiescent(self) -> bool:
         """True when no fault of any kind is currently armed."""
         return (self.drop_rate == 0.0 and self.duplicate_rate == 0.0
                 and self.delay_rate == 0.0 and self.disk_error_rate == 0.0
-                and not self.slow_nodes)
+                and not self.slow_nodes and not self.armed)
 
     # -- decision points (the instrumented layers call these) ----------------
 
@@ -100,6 +114,14 @@ class FaultInjector:
         replays regardless of which rates are armed.
         """
         draw = self.rng.random()
+        key = (target, method)
+        if self.armed.get(key, 0) > 0:
+            self.armed[key] -= 1
+            if not self.armed[key]:
+                del self.armed[key]
+            self.dropped += 1
+            self._count(_DROPPED)
+            return "drop"
         if target in self.immune:
             return "ok"
         if draw < self.drop_rate:

@@ -41,6 +41,12 @@ _REPORT_COUNTERS = (
     "cluster.client.unreachable_partitions",
     "cluster.client.requeued_updates",
     "cluster.client.lost_deletes",
+    "cluster.client.stale_route_nacks",
+    "cluster.client.route_refreshes",
+    "cluster.master.route_rpcs",
+    "cluster.master.migrations",
+    "cluster.master.migrations_aborted",
+    "cluster.master.migration_finish_deferred",
     "cluster.freshness.expired",
 )
 
@@ -105,6 +111,24 @@ class ChaosRunner:
     def _now(self) -> float:
         return self.service.clock.now()
 
+    def _locate_partition(self, file_id: int) -> Optional[int]:
+        """Which ACG actually holds a file — committed or still pending
+        in an Index Node's cache.  Ledger ground truth when neither the
+        client's route cache (evicted by a full-table refresh) nor the
+        Master's lazily-learned file map can attribute an ack."""
+        from repro.cluster.messages import UpdateOp
+
+        for name in sorted(self.service.index_nodes):
+            node = self.service.index_nodes[name]
+            for acg_id in sorted(node.replicas):
+                if file_id in node.replicas[acg_id].store:
+                    return acg_id
+            for acg_id in sorted(node.cache.pending_acgs()):
+                for update in node.cache._pending.get(acg_id, ()):
+                    if update.file_id == file_id and update.op is UpdateOp.UPSERT:
+                        return acg_id
+        return None
+
     def _sync_acks(self) -> None:
         """Anything we submitted that is no longer waiting in the client
         was delivered (acked) at some point during the last step."""
@@ -114,8 +138,14 @@ class ChaosRunner:
             record = self.ledger.files[file_id]
             if record.acked or record.deleted or file_id in waiting:
                 continue
-            self.ledger.acked(file_id, self._now(),
-                              partitions.partition_of(file_id))
+            # Client-placed files live in the client's route cache; the
+            # Master only learns them lazily (split adoption, merges).
+            partition = self.client._file_routes.get(file_id)
+            if partition is None:
+                partition = partitions.partition_of(file_id)
+            if partition is None:
+                partition = self._locate_partition(file_id)
+            self.ledger.acked(file_id, self._now(), partition)
 
     def _observe_failovers(self) -> None:
         """Turn new failover events into missing-file excuse windows."""
@@ -185,6 +215,28 @@ class ChaosRunner:
                     "detail": f"mid-chaos search returned unknown {path}"})
                 break
 
+    def _do_migrate(self, pick: int, target_ordinal: int) -> None:
+        """Online-migrate one placed partition to a (live) target node.
+
+        A migration that cannot run — no placed partitions, a dead
+        target, unresolved debris mid-fault-storm — counts as an aborted
+        op; the protocol's own abort path also lands here."""
+        target = self._node_name(target_ordinal)
+        if not self.service.index_nodes[target].endpoint.up:
+            self.skipped += 1
+            return
+        placed = sorted(p.partition_id
+                        for p in self.service.master.partitions.partitions()
+                        if p.node and p.node != target)
+        if not placed:
+            self.skipped += 1
+            return
+        acg_id = placed[pick % len(placed)]
+        try:
+            self.service.master.migrate_partition(acg_id, target)
+        except ClusterError:
+            self.aborted_ops += 1
+
     def _do_crash(self, ordinal: int, torn: int) -> None:
         name = self._node_name(ordinal)
         node = self.service.index_nodes[name]
@@ -247,6 +299,8 @@ class ChaosRunner:
             self.faults.slow_node(self._node_name(p["node"]), p["extra_s"])
         elif step.op == "disk_errors":
             self.faults.set_disk_error_rate(p["rate"])
+        elif step.op == "migrate_partition":
+            self._do_migrate(p["pick"], p["target"])
         elif step.op == "flush":
             self.client.flush_updates()
         else:  # pragma: no cover - schedule and runner move in lockstep

@@ -30,6 +30,7 @@ _WEIGHTED_OPS = [
     ("clear_faults", 4),
     ("slow_node", 3),
     ("disk_errors", 3),
+    ("migrate_partition", 4),
     ("flush", 2),
 ]
 
@@ -92,5 +93,8 @@ def build_schedule(seed: int, steps: int, nodes: int) -> List[ChaosStep]:
             params["delay_s"] = round(0.01 + 0.09 * rng.random(), 4)
         elif op == "disk_errors":
             params["rate"] = round(rng.choice([0.01, 0.05, 0.1]), 3)
+        elif op == "migrate_partition":
+            params["pick"] = rng.randrange(1 << 30)
+            params["target"] = rng.randrange(nodes)
         program.append(ChaosStep(i, op, params))
     return program

@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.messages import IndexUpdate, RouteEntry, SearchResult
-from repro.errors import ClusterError
+from repro.cluster.messages import (IndexUpdate, RouteEntry, RouteTable,
+                                    SearchResult, UpdateOp)
+from repro.errors import ClusterError, StaleRoute
 from repro.fs.interceptor import FileAccessManager
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
@@ -31,6 +32,12 @@ from repro.sim.rpc import RpcNetwork
 DEFAULT_BATCH_SIZE = 128
 
 _INODE_ATTRS = ("size", "mtime", "ctime", "uid")
+
+# How many empty partitions a client grabs per allocation round-trip.
+# Bigger slabs amortize the Master RPC over more locally-placed files;
+# the Master spreads each slab across Index Nodes exactly the way its
+# own per-file placement would.
+_ALLOC_BATCH = 4
 
 
 @dataclass
@@ -76,6 +83,26 @@ class PropellerClient:
         )
         vfs.add_observer(self.access_manager)
         self._pending: List[Tuple[int, IndexUpdate]] = []  # (hint, update)
+        # -- client-side route cache (the routing-epoch protocol) -------------
+        # The Master serves a versioned route table; this cache routes
+        # update batches and search fan-outs locally, refreshing only
+        # when an Index Node NACKs a stale epoch.  ``_route_nodes`` and
+        # ``_route_sizes`` mirror the Master's partition→node map and its
+        # view of each partition's file count; ``_file_routes`` /
+        # ``_acg_files`` hold the per-file routes this client placed or
+        # learned; ``_stale_files`` are files whose cached route was
+        # invalidated (they must re-learn their home from the Master).
+        self._route_epoch = 0
+        self._cluster_target = 0
+        self._route_nodes: Dict[int, Optional[str]] = {}
+        self._route_sizes: Dict[int, int] = {}
+        self._file_routes: Dict[int, int] = {}
+        self._acg_files: Dict[int, Set[int]] = {}
+        self._stale_files: Set[int] = set()
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+        self.stale_route_nacks = 0
+        self.route_refreshes = 0
         self.searches_issued = 0
         self.updates_sent = 0
         self.updates_requeued = 0
@@ -101,6 +128,185 @@ class PropellerClient:
         self.freshness = tracker
         self.access_manager.freshness = tracker
 
+    # -- route cache --------------------------------------------------------------
+
+    def _note_route(self, hit: bool) -> None:
+        if hit:
+            self.route_cache_hits += 1
+            if self.registry is not None:
+                self.registry.counter("cluster.client.route_cache_hits").inc()
+        else:
+            self.route_cache_misses += 1
+            if self.registry is not None:
+                self.registry.counter("cluster.client.route_cache_misses").inc()
+
+    def _note_nacks(self, count: int) -> None:
+        self.stale_route_nacks += count
+        if self.registry is not None:
+            self.registry.counter("cluster.client.stale_route_nacks").inc(count)
+
+    def _apply_route_table(self, table: RouteTable) -> None:
+        if table.fresh:
+            self._route_epoch = max(self._route_epoch, table.epoch)
+            return
+        self._cluster_target = table.cluster_target
+        if table.full:
+            # Snapshot: replace wholesale.  Per-file routes into ACGs we
+            # can no longer vouch for go stale and re-learn their home
+            # from the Master on their next flush.
+            self._route_nodes.clear()
+            self._route_sizes.clear()
+            self._stale_files.update(self._file_routes)
+            self._file_routes.clear()
+            self._acg_files.clear()
+            for entry in table.entries:
+                if entry.size < 0:
+                    continue
+                self._route_nodes[entry.acg_id] = entry.node
+                self._route_sizes[entry.acg_id] = entry.size
+            self._route_epoch = table.epoch
+            return
+        for entry in table.entries:
+            if entry.size < 0:
+                # Merged away: forget the partition and re-learn where
+                # its files went.
+                self._route_nodes.pop(entry.acg_id, None)
+                self._route_sizes.pop(entry.acg_id, None)
+                self._invalidate_acg(entry.acg_id)
+                continue
+            known = entry.acg_id in self._route_sizes
+            if known and self._route_sizes[entry.acg_id] != entry.size:
+                # The partition changed shape (a split or merge moved
+                # files): per-file routes into it may be wrong now.  A
+                # pure node change (migration, failover) keeps them.
+                self._invalidate_acg(entry.acg_id)
+            self._route_nodes[entry.acg_id] = entry.node
+            self._route_sizes[entry.acg_id] = entry.size
+        self._route_epoch = table.epoch
+
+    def _invalidate_acg(self, acg_id: int) -> None:
+        for file_id in self._acg_files.pop(acg_id, set()):
+            self._file_routes.pop(file_id, None)
+            self._stale_files.add(file_id)
+
+    def _refresh_routes(self) -> None:
+        table: RouteTable = self.rpc.call(
+            self.master, "route_table", self._route_epoch, local=self.local)
+        self.route_refreshes += 1
+        if self.registry is not None:
+            self.registry.counter("cluster.client.route_refreshes").inc()
+        self._apply_route_table(table)
+
+    def _learn_route(self, file_id: int, acg_id: int,
+                     node: Optional[str] = None) -> None:
+        old = self._file_routes.get(file_id)
+        if old is not None and old != acg_id:
+            self._acg_files.get(old, set()).discard(file_id)
+        self._file_routes[file_id] = acg_id
+        self._acg_files.setdefault(acg_id, set()).add(file_id)
+        self._stale_files.discard(file_id)
+        if node is not None and self._route_nodes.get(acg_id) != node:
+            # A Master-routed answer is at least as fresh as our table:
+            # adopt its placement (it may have just assigned a node to a
+            # partition our table still shows unplaced).
+            self._route_nodes[acg_id] = node
+            self._route_sizes.setdefault(acg_id, 0)
+
+    def _forget_file(self, file_id: int) -> None:
+        acg_id = self._file_routes.pop(file_id, None)
+        if acg_id is not None:
+            self._acg_files.get(acg_id, set()).discard(file_id)
+        self._stale_files.discard(file_id)
+
+    def _locate_file(self, file_id: int) -> Tuple[Optional[Tuple[str, int]], bool]:
+        """Presence probe for a file whose cached route was evicted by a
+        full-table refresh: ask each Index Node which owned ACG holds it.
+
+        Returns ``((node, acg_id) | None, scan_complete)``; an incomplete
+        scan means some node was unreachable, so a miss must be treated
+        as "the copy may still exist" rather than "never indexed".
+        Deletes are rare and the evicted-route window rarer, so this
+        fan-out stays off every hot path."""
+        if not self._route_nodes:
+            try:
+                self._refresh_routes()
+            except DEGRADABLE_ERRORS:
+                return None, False
+        if self.registry is not None:
+            self.registry.counter("cluster.client.locate_probes").inc()
+        complete = True
+        for node in sorted({n for n in self._route_nodes.values() if n}):
+            try:
+                acg_id = self.rpc.call(node, "locate_file", file_id,
+                                       local=self.local)
+            except DEGRADABLE_ERRORS:
+                complete = False
+                continue
+            if acg_id is not None:
+                return (node, acg_id), complete
+        return None, complete
+
+    def _cache_size(self, acg_id: int) -> int:
+        """A partition's effective size: the Master's reported count or
+        the number of files this client itself routed there, whichever
+        is larger."""
+        return max(self._route_sizes.get(acg_id, 0),
+                   len(self._acg_files.get(acg_id, ())))
+
+    def _pick_open_acg(self) -> Optional[int]:
+        """Mirror of the Master's placement rule: the smallest placed
+        partition still under the clustering target (ties to the oldest)."""
+        best: Optional[int] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for acg_id, node in self._route_nodes.items():
+            if not node:
+                continue
+            size = self._cache_size(acg_id)
+            if size >= self._cluster_target:
+                continue
+            key = (size, acg_id)
+            if best_key is None or key < best_key:
+                best, best_key = acg_id, key
+        return best
+
+    def _resolve_local(self, update: IndexUpdate, hint: int,
+                       alloc_state: Dict[str, bool]) -> Optional[int]:
+        """Route one update through the cache; None means "ask the Master".
+
+        New files without a placement hint are placed locally — into the
+        smallest open cached partition, allocating a fresh slab from the
+        Master when every cached partition is full.  Hinted files whose
+        producer we cannot resolve locally defer to the Master so the
+        ACG co-location rule is never silently broken."""
+        file_id = update.file_id
+        acg_id = self._file_routes.get(file_id)
+        if acg_id is not None:
+            return acg_id if self._route_nodes.get(acg_id) else None
+        if file_id in self._stale_files or update.op is UpdateOp.DELETE:
+            return None
+        if hint != -1:
+            hinted = self._file_routes.get(hint)
+            if hinted is not None and self._route_nodes.get(hinted):
+                self._learn_route(file_id, hinted)
+                return hinted
+            return None
+        if self._cluster_target <= 0:
+            return None
+        acg_id = self._pick_open_acg()
+        if acg_id is None and not alloc_state.get("failed"):
+            try:
+                self._apply_route_table(self.rpc.call(
+                    self.master, "allocate_partitions", _ALLOC_BATCH,
+                    self._route_epoch, local=self.local))
+            except DEGRADABLE_ERRORS:
+                alloc_state["failed"] = True
+                return None
+            acg_id = self._pick_open_acg()
+        if acg_id is None:
+            return None
+        self._learn_route(file_id, acg_id)
+        return acg_id
+
     # -- namespace-change callbacks (from File Access Management) ----------------
 
     def _on_create(self, path: str, inode: Inode) -> None:
@@ -114,6 +320,7 @@ class PropellerClient:
         # upsert *after* the delete would resurrect a dead file.
         self._pending = [(h, u) for h, u in self._pending
                          if u.file_id != inode.ino]
+        cached_acg = self._file_routes.get(inode.ino)
         try:
             route: Optional[RouteEntry] = self.rpc.call(
                 self.master, "file_deleted", inode.ino, local=self.local)
@@ -126,23 +333,59 @@ class PropellerClient:
             if self.registry is not None:
                 self.registry.counter("cluster.client.lost_deletes").inc()
             return
-        if route is None or not route.node:
+        # Prefer the Master's answer; fall back to the route cache for
+        # client-placed files the Master never learned about.
+        if route is not None and route.node:
+            target_node, target_acg = route.node, route.acg_id
+        elif cached_acg is not None and self._route_nodes.get(cached_acg):
+            target_node, target_acg = self._route_nodes[cached_acg], cached_acg
+        elif inode.ino in self._stale_files:
+            # The Master never learned this client-placed file and a
+            # full-table refresh evicted its route — but it WAS indexed,
+            # so its copy is still out there.  Locate it before the
+            # delete has nowhere to go and the entry quietly survives.
+            located, complete = self._locate_file(inode.ino)
+            if located is None:
+                self.freshness.forget(inode.ino)
+                self._forget_file(inode.ino)
+                if not complete:
+                    # A node we could not reach may hold the copy: record
+                    # the debt rather than pretending the delete landed.
+                    self.lost_deletes.append(inode.ino)
+                    if self.registry is not None:
+                        self.registry.counter(
+                            "cluster.client.lost_deletes").inc()
+                return
+            target_node, target_acg = located
+        else:
             # Never indexed: any stamped-but-unsent change dies with it.
             self.freshness.forget(inode.ino)
-        if route is not None and route.node:
-            self.freshness.stamp(inode.ino, self.vfs.clock.now())
-            # The index entry must go too, or searches would return a
-            # path that no longer exists.  If the owning node is dead
-            # even after retries the unlink itself must not fail — the
-            # stale entry is recorded as debt instead.
-            try:
-                self.rpc.call(route.node, "index_update", route.acg_id,
-                              [IndexUpdate.delete(inode.ino)], local=self.local)
-            except DEGRADABLE_ERRORS:
-                self.lost_deletes.append(inode.ino)
-                self.freshness.forget(inode.ino)
-                if self.registry is not None:
-                    self.registry.counter("cluster.client.lost_deletes").inc()
+            self._forget_file(inode.ino)
+            return
+        self.freshness.stamp(inode.ino, self.vfs.clock.now())
+        # The index entry must go too, or searches would return a
+        # path that no longer exists.  If the owning node is dead
+        # even after retries the unlink itself must not fail — the
+        # stale entry is recorded as debt instead.
+        try:
+            self.rpc.call(target_node, "index_update", target_acg,
+                          [IndexUpdate.delete(inode.ino)], local=self.local)
+        except DEGRADABLE_ERRORS:
+            self.lost_deletes.append(inode.ino)
+            self.freshness.forget(inode.ino)
+            self._forget_file(inode.ino)
+            if self.registry is not None:
+                self.registry.counter("cluster.client.lost_deletes").inc()
+        except StaleRoute:
+            # Mid-migration debris NACKed the delete: queue it for the
+            # batched path, which refreshes routes and retries.
+            self._note_nacks(1)
+            self._pending.append((-1, IndexUpdate.delete(inode.ino)))
+            self.updates_requeued += 1
+            if self.registry is not None:
+                self.registry.counter("cluster.client.requeued_updates").inc()
+        else:
+            self._forget_file(inode.ino)
 
     def _on_rename(self, old_path: str, new_path: str, inode: Inode) -> None:
         """A rename keeps the inode but changes the path — and therefore
@@ -162,8 +405,11 @@ class PropellerClient:
                 self.flush_updates()
 
     def _is_indexed(self, file_id: int) -> bool:
-        """Does the Master's file→ACG map know this file?  (Read-only —
-        unlike route_updates, this never creates a mapping.)"""
+        """Is this file indexed?  The route cache answers for files this
+        client placed itself; only unknown files cost a Master lookup
+        (read-only — unlike route_updates, it never creates a mapping)."""
+        if file_id in self._file_routes or file_id in self._stale_files:
+            return True
         return self.rpc.call(self.master, "lookup_file", file_id,
                              local=self.local) is not None
 
@@ -195,54 +441,232 @@ class PropellerClient:
             self.flush_updates()
 
     def flush_updates(self) -> int:
-        """Route the queued batch through the Master, then send each
-        Index Node its share (the paper's batched indexing path).
+        """Send the queued batch, routing through the client's cached
+        route table (the routing-epoch protocol) wherever possible.
 
-        Per-target delivery failures (a dead or unreachable Index Node,
-        even after the RPC layer's retries) re-queue that target's
-        updates instead of failing the whole batch — the next flush
-        re-routes them through the Master, which by then may have failed
-        the partition over to a live node.  Returns the number of updates
-        actually delivered (and acknowledged) this flush.
+        Locally-routable updates go straight to their Index Node stamped
+        with the cached epoch; a node that no longer owns the partition
+        NACKs with :class:`~repro.errors.StaleRoute`, which triggers one
+        route-table refresh and a retry (or a legacy Master-routed
+        fallback when the refresh doesn't change the route).  Updates the
+        cache cannot answer — stale routes, hinted files with unknown
+        producers — take the legacy Master round-trip.  Per-target
+        delivery failures re-queue that target's updates **with their
+        placement hints intact** instead of failing the whole batch.
+        Returns the number of updates actually delivered (acknowledged).
         """
         if not self._pending:
             return 0
         pending, self._pending = self._pending, []
-        file_ids = [u.file_id for _, u in pending]
-        hints = {u.file_id: h for h, u in pending if h != -1}
+        hint_of: Dict[int, int] = {}
+        for h, u in pending:
+            hint_of.setdefault(u.file_id, h)
+        if self._route_epoch == 0:
+            # First contact: one full-table pull so local placement sees
+            # existing partitions and the clustering target.
+            try:
+                self._refresh_routes()
+            except DEGRADABLE_ERRORS:
+                pass
+        alloc_state: Dict[str, bool] = {}
+        stamped: Dict[Tuple[str, int], List[IndexUpdate]] = {}
+        via_master: List[IndexUpdate] = []
+        unrouted_deletes: List[IndexUpdate] = []
+        for _, update in pending:
+            acg_id = self._resolve_local(
+                update, hint_of.get(update.file_id, -1), alloc_state)
+            if acg_id is None:
+                self._note_route(hit=False)
+                if update.op is UpdateOp.DELETE:
+                    # A delete the cache cannot route must never take the
+                    # route_updates path: the Master would place the
+                    # unknown file as *new* and the delete would no-op in
+                    # an empty ACG while the real copy survived.
+                    unrouted_deletes.append(update)
+                else:
+                    via_master.append(update)
+            else:
+                self._note_route(hit=True)
+                stamped.setdefault(
+                    (self._route_nodes[acg_id], acg_id), []).append(update)
+        delivered = self._send_stamped(stamped, hint_of)
+        for update in unrouted_deletes:
+            delivered += self._send_unrouted_delete(update)
+        delivered += self._send_via_master(via_master, hint_of)
+        return delivered
+
+    def _send_unrouted_delete(self, update: IndexUpdate) -> int:
+        """Deliver a DELETE with no usable cached route: a read-only
+        Master lookup first, then a cluster presence probe for
+        client-placed files the Master never learned about."""
+        target: Optional[Tuple[str, int]] = None
+        try:
+            acg_id = self.rpc.call(self.master, "lookup_file",
+                                   update.file_id, local=self.local)
+        except DEGRADABLE_ERRORS:
+            self._requeue([update], {})
+            return 0
+        if acg_id is not None and self._route_nodes.get(acg_id):
+            target = (self._route_nodes[acg_id], acg_id)
+        if target is None:
+            target, complete = self._locate_file(update.file_id)
+        if target is None:
+            self.freshness.forget(update.file_id)
+            self._forget_file(update.file_id)
+            if not complete:
+                # A node we could not reach may hold the copy: record the
+                # debt rather than pretending the delete landed.
+                self.lost_deletes.append(update.file_id)
+                if self.registry is not None:
+                    self.registry.counter("cluster.client.lost_deletes").inc()
+            return 0
+        node, acg_id = target
+        try:
+            self.rpc.call(node, "index_update", acg_id, [update],
+                          local=self.local,
+                          request_bytes=update.wire_bytes())
+        except (StaleRoute,) + DEGRADABLE_ERRORS:
+            self._requeue([update], {})
+            return 0
+        return self._sent([update])
+
+    def _requeue(self, updates: Sequence[IndexUpdate],
+                 hint_of: Dict[int, int]) -> None:
+        # Hints ride along on the requeue: a later Master-routed retry
+        # must still honor ACG co-location.
+        self._pending.extend((hint_of.get(u.file_id, -1), u) for u in updates)
+        self.updates_requeued += len(updates)
+        if self.registry is not None:
+            self.registry.counter(
+                "cluster.client.requeued_updates").inc(len(updates))
+
+    def _sent(self, updates: Sequence[IndexUpdate]) -> int:
+        self.updates_sent += len(updates)
+        for update in updates:
+            if update.op is UpdateOp.DELETE:
+                self._forget_file(update.file_id)
+        return len(updates)
+
+    def _send_stamped(self, stamped: Dict[Tuple[str, int], List[IndexUpdate]],
+                      hint_of: Dict[int, int]) -> int:
+        """Deliver cache-routed groups with the epoch stamp; handle NACKs
+        and unreachable targets with one shared route refresh."""
+        delivered = 0
+        nacked: List[Tuple[str, int, List[IndexUpdate]]] = []
+        unreachable: List[Tuple[str, int, List[IndexUpdate]]] = []
+        for (node, acg_id), updates in stamped.items():
+            try:
+                self.rpc.call(node, "index_update", acg_id, updates,
+                              local=self.local,
+                              request_bytes=sum(u.wire_bytes() for u in updates),
+                              epoch=self._route_epoch)
+            except StaleRoute:
+                self._note_nacks(len(updates))
+                nacked.append((node, acg_id, updates))
+            except DEGRADABLE_ERRORS:
+                unreachable.append((node, acg_id, updates))
+            else:
+                delivered += self._sent(updates)
+        if not nacked and not unreachable:
+            return delivered
+        refreshed = True
+        try:
+            self._refresh_routes()
+        except DEGRADABLE_ERRORS:
+            refreshed = False
+        fallback: List[IndexUpdate] = []
+        for old_node, acg_id, updates in nacked:
+            new_node = self._route_nodes.get(acg_id)
+            if refreshed and new_node and new_node != old_node:
+                # The route genuinely moved (migration or failover):
+                # resend under the fresh epoch.
+                try:
+                    self.rpc.call(new_node, "index_update", acg_id, updates,
+                                  local=self.local,
+                                  request_bytes=sum(u.wire_bytes()
+                                                    for u in updates),
+                                  epoch=self._route_epoch)
+                except StaleRoute:
+                    self._note_nacks(len(updates))
+                    self._requeue(updates, hint_of)
+                except DEGRADABLE_ERRORS:
+                    self._requeue(updates, hint_of)
+                else:
+                    delivered += self._sent(updates)
+            else:
+                # Same route even after a refresh: the node most likely
+                # missed its ownership grant.  Heal through the legacy
+                # Master path (unstamped, create-on-demand).
+                fallback.extend(updates)
+        for old_node, acg_id, updates in unreachable:
+            new_node = self._route_nodes.get(acg_id)
+            if refreshed and new_node and new_node != old_node:
+                try:
+                    self.rpc.call(new_node, "index_update", acg_id, updates,
+                                  local=self.local,
+                                  request_bytes=sum(u.wire_bytes()
+                                                    for u in updates),
+                                  epoch=self._route_epoch)
+                except (StaleRoute,) + DEGRADABLE_ERRORS:
+                    self._requeue(updates, hint_of)
+                else:
+                    delivered += self._sent(updates)
+            else:
+                # The node is down and routing hasn't moved yet; the
+                # next flush retries (failover may re-home it by then).
+                self._requeue(updates, hint_of)
+        if fallback:
+            delivered += self._send_via_master(fallback, hint_of)
+        return delivered
+
+    def _send_via_master(self, updates: Sequence[IndexUpdate],
+                         hint_of: Dict[int, int]) -> int:
+        """Legacy path: the Master routes the batch; sends go unstamped
+        (create-on-demand on the Index Node heals ownership gaps)."""
+        if not updates:
+            return 0
+        file_ids = [u.file_id for u in updates]
+        hints = {u.file_id: hint_of[u.file_id] for u in updates
+                 if hint_of.get(u.file_id, -1) != -1}
         try:
             routes: List[RouteEntry] = self.rpc.call(
                 self.master, "route_updates", file_ids, hints,
                 local=self.local, request_bytes=8 * len(file_ids))
         except DEGRADABLE_ERRORS:
             # The routing round-trip itself was lost: nothing went out.
-            # Put the whole batch back (hints intact) for the next flush.
-            self._pending = pending + self._pending
-            self.updates_requeued += len(pending)
-            if self.registry is not None:
-                self.registry.counter(
-                    "cluster.client.requeued_updates").inc(len(pending))
+            self._requeue(updates, hint_of)
             return 0
         route_by_file = {r.file_id: r for r in routes}
         by_target: Dict[Tuple[str, int], List[IndexUpdate]] = {}
-        for _, update in pending:
-            route = route_by_file[update.file_id]
-            by_target.setdefault((route.node, route.acg_id), []).append(update)
-        delivered = 0
-        for (node, acg_id), updates in by_target.items():
-            try:
-                self.rpc.call(node, "index_update", acg_id, updates,
-                              local=self.local,
-                              request_bytes=sum(u.wire_bytes() for u in updates))
-            except DEGRADABLE_ERRORS:
-                self._pending.extend((-1, u) for u in updates)
-                self.updates_requeued += len(updates)
-                if self.registry is not None:
-                    self.registry.counter(
-                        "cluster.client.requeued_updates").inc(len(updates))
+        unrouted: List[IndexUpdate] = []
+        for update in updates:
+            route = route_by_file.get(update.file_id)
+            if route is None or not route.node:
+                # A partial or inconsistent route list must not drop the
+                # rest of the batch on the floor — requeue what the
+                # Master didn't answer for.
+                unrouted.append(update)
                 continue
-            self.updates_sent += len(updates)
-            delivered += len(updates)
+            if update.op is not UpdateOp.DELETE:
+                self._learn_route(update.file_id, route.acg_id, node=route.node)
+            by_target.setdefault((route.node, route.acg_id), []).append(update)
+        if unrouted:
+            self._requeue(unrouted, hint_of)
+        delivered = 0
+        for (node, acg_id), target_updates in by_target.items():
+            try:
+                self.rpc.call(node, "index_update", acg_id, target_updates,
+                              local=self.local,
+                              request_bytes=sum(u.wire_bytes()
+                                                for u in target_updates))
+            except StaleRoute:
+                self._note_nacks(len(target_updates))
+                self._requeue(target_updates, hint_of)
+                continue
+            except DEGRADABLE_ERRORS:
+                self._requeue(target_updates, hint_of)
+                continue
+            delivered += self._sent(target_updates)
         return delivered
 
     # -- ACG flush ----------------------------------------------------------------------
@@ -254,7 +678,11 @@ class PropellerClient:
         self.flush_acg()
 
     def flush_acg(self) -> int:
-        """Push the client-side ACG to the Index Nodes that own each edge."""
+        """Push the client-side ACG to the Index Nodes that own each edge.
+
+        Vertices with a cached route are grouped locally; only the
+        remainder costs a Master routing round-trip (whose answers are
+        learned into the cache for next time)."""
         acg = self.access_manager.drain()
         if acg.vertex_count == 0:
             return 0
@@ -263,17 +691,34 @@ class PropellerClient:
         hints: Dict[int, int] = {}
         for u, v, _ in acg.edges():
             hints.setdefault(v, u)
-        routes: List[RouteEntry] = self.rpc.call(
-            self.master, "route_updates", vertices, hints,
-            local=self.local, request_bytes=8 * len(vertices))
-        route_by_file = {r.file_id: r for r in routes}
+        placement: Dict[int, Tuple[str, int]] = {}
+        unknown: List[int] = []
+        for file_id in vertices:
+            acg_id = self._file_routes.get(file_id)
+            node = self._route_nodes.get(acg_id) if acg_id is not None else None
+            if acg_id is not None and node and file_id not in self._stale_files:
+                self._note_route(hit=True)
+                placement[file_id] = (node, acg_id)
+            else:
+                self._note_route(hit=False)
+                unknown.append(file_id)
+        if unknown:
+            routes: List[RouteEntry] = self.rpc.call(
+                self.master, "route_updates", unknown,
+                {f: hints[f] for f in unknown if f in hints},
+                local=self.local, request_bytes=8 * len(unknown))
+            for route in routes:
+                if not route.node:
+                    continue
+                self._learn_route(route.file_id, route.acg_id, node=route.node)
+                placement[route.file_id] = (route.node, route.acg_id)
         grouped: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
         for u, v, w in acg.edges():
-            route = route_by_file[u]
-            grouped.setdefault((route.node, route.acg_id), []).append((u, v, w))
+            if u in placement:
+                grouped.setdefault(placement[u], []).append((u, v, w))
         for file_id in vertices:
-            route = route_by_file[file_id]
-            grouped.setdefault((route.node, route.acg_id), []).append((file_id, -1, 0))
+            if file_id in placement:
+                grouped.setdefault(placement[file_id], []).append((file_id, -1, 0))
         for (node, acg_id), records in grouped.items():
             self.rpc.call(node, "flush_acg", acg_id, records,
                           local=self.local, request_bytes=12 * len(records))
@@ -427,12 +872,22 @@ class PropellerClient:
             with self.tracer.span("flush_updates"):
                 self.flush_updates()
             self.searches_issued += 1
-            routing: Dict[str, List[int]] = self.rpc.call(
-                self.master, "route_search", index_name, local=self.local)
+            if self._route_epoch == 0:
+                try:
+                    self._refresh_routes()
+                except DEGRADABLE_ERRORS:
+                    pass
+            # Fan out along the cached route table — every placed
+            # partition, since even a zero-size one may have absorbed
+            # updates since the table was fetched.
+            routing: Dict[str, List[int]] = {}
+            for acg_id, node in self._route_nodes.items():
+                if node:
+                    routing.setdefault(node, []).append(acg_id)
+            names = [index_name] if index_name else None
             if not routing:
                 outcome = FanoutOutcome()
             else:
-                names = [index_name] if index_name else None
                 # Index Nodes serve their share in parallel (Figure 6);
                 # network fan-out overlaps too, which clock.parallel
                 # models.  ``parallel=True`` tells the profiler these
@@ -445,10 +900,13 @@ class PropellerClient:
                         clock, routing,
                         lambda n: self.rpc.call(
                             n, "search", routing[n], predicate, names,
-                            local=self.local))
+                            local=self.local, epoch=self._route_epoch))
                     if outcome.degraded:
                         span.set_attribute(
                             "unreachable", sorted(outcome.unreachable))
+            if (outcome.stale or outcome.unreachable
+                    or outcome.max_node_epoch() > self._route_epoch):
+                outcome = self._retry_search(clock, outcome, predicate, names)
             results = list(outcome.results)
         self.last_outcome = outcome
         if self.registry is not None:
@@ -461,6 +919,40 @@ class PropellerClient:
             self.registry.histogram("cluster.client.search_latency_s").observe(
                 clock.now() - start)
         return results
+
+    def _retry_search(self, clock, outcome: FanoutOutcome,
+                      predicate: Predicate,
+                      names: Optional[List[str]]) -> FanoutOutcome:
+        """One retry round after a stale fan-out: refresh the route table
+        and re-query only the partitions the first round didn't serve."""
+        self._note_nacks(sum(len(v) for v in outcome.stale.values()))
+        try:
+            self._refresh_routes()
+        except DEGRADABLE_ERRORS:
+            return outcome
+        served = {r.acg_id for r in outcome.results}
+        routing: Dict[str, List[int]] = {}
+        for acg_id, node in self._route_nodes.items():
+            if node and acg_id not in served:
+                routing.setdefault(node, []).append(acg_id)
+        if not routing:
+            # Everything still placed was already answered; the failed
+            # legs covered partitions the fresh table no longer lists.
+            return FanoutOutcome(results=list(outcome.results),
+                                 node_epochs=dict(outcome.node_epochs))
+        with self.tracer.span("fanout_retry", parallel=True,
+                              nodes=len(routing)):
+            retry = scatter_gather(
+                clock, routing,
+                lambda n: self.rpc.call(
+                    n, "search", routing[n], predicate, names,
+                    local=self.local, epoch=self._route_epoch))
+        return FanoutOutcome(
+            results=list(outcome.results) + list(retry.results),
+            unreachable=retry.unreachable,
+            errors=retry.errors,
+            stale=retry.stale,
+            node_epochs={**outcome.node_epochs, **retry.node_epochs})
 
     def profile_search(self, query: str,
                        index_name: Optional[str] = None):

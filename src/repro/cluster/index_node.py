@@ -17,11 +17,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.cache import DEFAULT_TIMEOUT_S, IndexCache
-from repro.cluster.messages import Heartbeat, IndexUpdate, SearchResult, UpdateOp
+from repro.cluster.messages import (Heartbeat, IndexUpdate, SearchReply,
+                                    SearchResult, UpdateOp)
 from repro.cluster.wal import WriteAheadLog
 from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
-from repro.errors import ClusterError, UnknownAcg
+from repro.errors import ClusterError, StaleRoute, UnknownAcg
 from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
@@ -178,6 +179,41 @@ class IndexNode:
         # corrupt tails over the node's lifetime.
         self.last_checkpoint_t: float = 0.0
         self.wal_replay_dropped_total = 0
+        self.wal_replay_skipped_total = 0
+        # Routing-epoch state.  ``route_epoch_seen`` is the newest epoch
+        # the Master has told this node about (ownership grants and
+        # migration flips); it is echoed in NACKs and search replies so
+        # stale clients notice.  ``handoff_intents`` maps an ACG this
+        # node transferred out (but has not yet been told to drop) to the
+        # migration target: while the intent stands the node *forwards*
+        # updates there instead of applying them, and WAL replay skips
+        # the ACG's records.  The intent is durable — it survives a crash
+        # exactly like the replicas do — which is what makes a migration
+        # racing a source crash safe.
+        self.route_epoch_seen = 0
+        self.handoff_intents: Dict[int, str] = {}
+        # ACGs this node migrated away and dropped: WAL replay must skip
+        # their records (resurrecting them would double-host data the new
+        # owner serves).  Durable like the intents; cleared the moment
+        # ownership comes back.
+        self.migrated_away: Set[int] = set()
+        # Commit watermark per ACG: how many of the WAL's records for the
+        # ACG have already been committed to the (disk-backed) store.
+        # Replay skips that already-durable prefix — re-applying it is
+        # not idempotent when the log's *tail* was torn off: a committed
+        # upsert replayed over a committed-then-torn delete would
+        # resurrect the deleted file.  Durable like the intents; the
+        # bookkeeping rides on the commit's existing write (zero extra
+        # simulated cost).
+        self._wal_commit_counts: Dict[int, int] = {}
+        self.forwarded_updates = 0
+        self.stale_route_nacks = 0
+        # Updates committed for an ACG while under a handoff intent — the
+        # chaos checker asserts this stays zero (no non-owner applies).
+        self.nonowner_applied = 0
+        # Attached by the service: lets this node forward updates during
+        # a migration's dual-ownership window.
+        self.rpc = None
         self.endpoint = RpcEndpoint(name)
         for method, handler in [
             ("index_update", self.handle_index_update),
@@ -191,6 +227,12 @@ class IndexNode:
             ("heartbeat", self.make_heartbeat),
             ("adopt_acg", self.handle_adopt_acg),
             ("explain", self.handle_explain),
+            ("own_partition", self.handle_own_partition),
+            ("transfer_out", self.handle_transfer_out),
+            ("finish_migration", self.handle_finish_migration),
+            ("cancel_transfer", self.handle_cancel_transfer),
+            ("checkpoint_acg", self.handle_checkpoint_acg),
+            ("locate_file", self.handle_locate_file),
         ]:
             self.endpoint.register(method, handler)
 
@@ -215,6 +257,9 @@ class IndexNode:
             for spec in self._global_specs.values():
                 replica.ensure_index(spec)
             self.replicas[acg_id] = replica
+            # Hosting again: the ACG's migrated-away tombstone (if any)
+            # no longer applies.
+            self.migrated_away.discard(acg_id)
         return replica
 
     # -- residency ---------------------------------------------------------
@@ -266,10 +311,66 @@ class IndexNode:
                 if key is not None:
                     index.insert(key, file_id)
 
+    # -- routing-epoch ownership ---------------------------------------------------
+
+    def owns(self, acg_id: int) -> bool:
+        """Whether this node currently owns an ACG for epoch-stamped
+        traffic: it hosts a replica and has not handed it off."""
+        return acg_id in self.replicas and acg_id not in self.handoff_intents
+
+    def handle_own_partition(self, acg_id: int, epoch: int) -> None:
+        """Master grant: this node owns ``acg_id`` as of ``epoch``.
+
+        Creates an empty replica shell if needed, so epoch-stamped
+        updates and searches are accepted immediately."""
+        self._clear_stale_handoff(acg_id)
+        self.route_epoch_seen = max(self.route_epoch_seen, epoch)
+        self.replica(acg_id, create=True)
+
+    def _clear_stale_handoff(self, acg_id: int) -> None:
+        """Ownership is coming (back) to this node: a replica still held
+        behind an old handoff intent is stale debris — drop it so the
+        incoming copy starts clean."""
+        if acg_id in self.handoff_intents:
+            self.handoff_intents.pop(acg_id, None)
+            self._log_device.append(64)
+            self.handle_drop_partition(acg_id)
+
+    def _forward_updates(self, acg_id: int, updates: Sequence[IndexUpdate],
+                         epoch: Optional[int]) -> int:
+        """Dual-ownership window: relay updates to the migration target.
+
+        The relay stays epoch-stamped so a target that does not own the
+        ACG either (an aborted migration's debris) NACKs instead of
+        silently absorbing updates the Master still routes here."""
+        target = self.handoff_intents[acg_id]
+        if self.rpc is None:
+            self.stale_route_nacks += len(updates)
+            raise StaleRoute(f"{self.name} handed off ACG {acg_id}",
+                             epoch=self.route_epoch_seen)
+        self.forwarded_updates += len(updates)
+        stamp = epoch if epoch is not None else self.route_epoch_seen
+        return self.rpc.call(target, "index_update", acg_id, updates,
+                             epoch=stamp)
+
     # -- update path --------------------------------------------------------------
 
-    def handle_index_update(self, acg_id: int, updates: Sequence[IndexUpdate]) -> int:
-        """WAL + cache; returns number of updates acknowledged."""
+    def handle_index_update(self, acg_id: int, updates: Sequence[IndexUpdate],
+                            epoch: Optional[int] = None) -> int:
+        """WAL + cache; returns number of updates acknowledged.
+
+        Epoch-stamped batches (``epoch`` is not None) are only accepted
+        for ACGs this node owns: a handed-off ACG forwards to the
+        migration target, anything else raises :class:`StaleRoute` so the
+        client refreshes its route cache.  Unstamped batches keep the
+        legacy Master-routed semantics (create-on-demand), except that a
+        handoff intent still forwards — the old owner must never apply."""
+        if acg_id in self.handoff_intents:
+            return self._forward_updates(acg_id, updates, epoch)
+        if epoch is not None and acg_id not in self.replicas:
+            self.stale_route_nacks += len(updates)
+            raise StaleRoute(f"{self.name} does not own ACG {acg_id}",
+                             epoch=self.route_epoch_seen)
         replica = self.replica(acg_id, create=True)
         now = self.machine.clock.now()
         for update in updates:
@@ -282,6 +383,12 @@ class IndexNode:
     def _commit_updates(self, acg_id: int, updates: List[IndexUpdate]) -> None:
         from repro.errors import DiskIOError
 
+        if acg_id in self.handoff_intents:
+            self.nonowner_applied += len(updates)
+        # Advance the durable commit watermark: these records' effects
+        # now live in the store, so a crash-replay must not redo them.
+        self._wal_commit_counts[acg_id] = (
+            self._wal_commit_counts.get(acg_id, 0) + len(updates))
         replica = self.replica(acg_id, create=True)
         try:
             self._ensure_resident(acg_id)
@@ -303,42 +410,90 @@ class IndexNode:
         """Commit timed-out cache buckets (called by the event loop)."""
         committed = self.cache.commit_due(self.machine.clock.now())
         if committed and not len(self.cache):
-            self.wal.truncate()
+            self._truncate_wal()
         return committed
+
+    def _truncate_wal(self) -> None:
+        """Discard the WAL once nothing in it is still pending; the
+        commit watermarks restart with the empty log."""
+        self.wal.truncate()
+        self._wal_commit_counts.clear()
 
     # -- search path ------------------------------------------------------------------
 
-    def handle_search(self, acg_ids: Sequence[int], predicate: Predicate,
-                      index_names: Optional[Sequence[str]] = None) -> List[SearchResult]:
-        """Search the given ACGs; commits their pending updates first."""
-        now = self.machine.clock.now()
-        results: List[SearchResult] = []
-        for acg_id in acg_ids:
-            if acg_id not in self.replicas:
+    def handle_locate_file(self, file_id: int) -> Optional[int]:
+        """Presence probe: which owned ACG holds ``file_id``, if any.
+
+        Serves clients whose file routes were evicted by a full
+        route-table refresh — the Master does not track client-placed
+        membership, so without this probe a DELETE for such a file has
+        nowhere correct to go.  Handed-off replicas are excluded: the
+        migration target answers for those."""
+        for acg_id in sorted(self.replicas):
+            if not self.owns(acg_id):
                 continue
-            self.cache.commit_for_search(acg_id)
-            with self.tracer.span("page_faults", node=self.name, acg=acg_id) as span:
-                span.set_attribute("resident", self.is_resident(acg_id))
-                self._ensure_resident(acg_id)
-            replica = self.replicas[acg_id]
-            specs = [replica.specs[n] for n in (index_names or replica.specs)
-                     if n in replica.specs]
-            with self.tracer.span("plan", node=self.name, acg=acg_id) as span:
-                plans = plan_query_set(predicate, specs, now)
-                span.set_attribute(
-                    "access_path", "; ".join(p.describe() for p in plans))
-            with self.tracer.span("index_scan", node=self.name, acg=acg_id) as span:
-                self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
-                file_ids = execute_plans(plans, predicate, replica.indexes,
-                                         replica.store, now)
-                self.machine.compute(_EXAMINE_OPS * len(file_ids))
-                span.set_attribute("matches", len(file_ids))
-            paths = tuple(sorted(
-                p for p in (replica.store.attrs(f).get("path") for f in file_ids)
-                if p is not None))
-            results.append(SearchResult(node=self.name, acg_id=acg_id,
-                                        file_ids=frozenset(file_ids), paths=paths))
-        return results
+            if file_id in self.replicas[acg_id].store:
+                return acg_id
+            # A just-indexed file can still sit in the pending cache;
+            # the last buffered op for the file decides its presence.
+            last_op = None
+            for update in self.cache._pending.get(acg_id, ()):
+                if update.file_id == file_id:
+                    last_op = update.op
+            if last_op is UpdateOp.UPSERT:
+                return acg_id
+        return None
+
+    def _search_one(self, acg_id: int, predicate: Predicate,
+                    index_names: Optional[Sequence[str]]) -> SearchResult:
+        now = self.machine.clock.now()
+        self.cache.commit_for_search(acg_id)
+        with self.tracer.span("page_faults", node=self.name, acg=acg_id) as span:
+            span.set_attribute("resident", self.is_resident(acg_id))
+            self._ensure_resident(acg_id)
+        replica = self.replicas[acg_id]
+        specs = [replica.specs[n] for n in (index_names or replica.specs)
+                 if n in replica.specs]
+        with self.tracer.span("plan", node=self.name, acg=acg_id) as span:
+            plans = plan_query_set(predicate, specs, now)
+            span.set_attribute(
+                "access_path", "; ".join(p.describe() for p in plans))
+        with self.tracer.span("index_scan", node=self.name, acg=acg_id) as span:
+            self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
+            file_ids = execute_plans(plans, predicate, replica.indexes,
+                                     replica.store, now)
+            self.machine.compute(_EXAMINE_OPS * len(file_ids))
+            span.set_attribute("matches", len(file_ids))
+        paths = tuple(sorted(
+            p for p in (replica.store.attrs(f).get("path") for f in file_ids)
+            if p is not None))
+        return SearchResult(node=self.name, acg_id=acg_id,
+                            file_ids=frozenset(file_ids), paths=paths)
+
+    def handle_search(self, acg_ids: Sequence[int], predicate: Predicate,
+                      index_names: Optional[Sequence[str]] = None,
+                      epoch: Optional[int] = None):
+        """Search the given ACGs; commits their pending updates first.
+
+        Legacy (unstamped) calls silently skip ACGs this node does not
+        host and return a bare result list.  Epoch-stamped calls return a
+        :class:`SearchReply` that also *names* the requested ACGs this
+        node does not own (``not_owned``) — the search-path stale-route
+        NACK — plus the node's own routing epoch."""
+        if epoch is None:
+            return [self._search_one(acg_id, predicate, index_names)
+                    for acg_id in acg_ids if acg_id in self.replicas]
+        reply = SearchReply(node=self.name, epoch=self.route_epoch_seen)
+        not_owned: List[int] = []
+        for acg_id in acg_ids:
+            if not self.owns(acg_id):
+                not_owned.append(acg_id)
+                continue
+            reply.results.append(self._search_one(acg_id, predicate, index_names))
+        if not_owned:
+            self.stale_route_nacks += len(not_owned)
+            reply.not_owned = tuple(sorted(not_owned))
+        return reply
 
     def handle_explain(self, acg_ids: Sequence[int], predicate: Predicate,
                        index_names: Optional[Sequence[str]] = None
@@ -378,11 +533,18 @@ class IndexNode:
         self.machine.compute(50 * max(1, replica.graph.edge_count))
         return tuple(sorted(halves[0])), tuple(sorted(halves[1]))
 
-    def handle_extract_partition(self, acg_id: int, file_ids: Sequence[int]) -> Dict[str, Any]:
-        """Package the state of ``file_ids`` for migration to another node."""
+    def handle_extract_partition(self, acg_id: int,
+                                 file_ids: Optional[Sequence[int]] = None
+                                 ) -> Dict[str, Any]:
+        """Package the state of ``file_ids`` for migration to another node.
+
+        ``file_ids=None`` means *everything this node hosts* for the ACG
+        — the Master uses that for merges, where its own file map may
+        under-count client-placed files."""
         self.cache.commit_for_search(acg_id)
         replica = self.replica(acg_id)
-        moving = set(file_ids)
+        moving = (set(replica.store.file_ids()) if file_ids is None
+                  else set(file_ids))
         payload = {
             "acg_records": replica.graph.subgraph(moving).to_records(),
             "files": [
@@ -398,6 +560,7 @@ class IndexNode:
 
     def handle_install_partition(self, acg_id: int, payload: Dict[str, Any]) -> int:
         """Install a migrated partition as a replica on this node."""
+        self._clear_stale_handoff(acg_id)
         replica = self.replica(acg_id, create=True)
         replica.graph.merge(AccessCausalityGraph.from_records(payload["acg_records"]))
         for file_id, attrs, path in payload["files"]:
@@ -412,15 +575,92 @@ class IndexNode:
         if acg_id in self._resident:
             self._resident_bytes -= self._resident.pop(acg_id)
 
+    # -- online migration (source/target protocol half) ---------------------------
+
+    def _checkpoint_one(self, replica: AcgReplica) -> None:
+        if self.shared_vfs is None:
+            return
+        from repro.cluster.persistence import checkpoint_replica
+
+        checkpoint_replica(self.shared_vfs, self.name, replica)
+        self._shared_device.reset_head()
+        self._shared_device.append(replica.resident_bytes())
+
+    def handle_transfer_out(self, acg_id: int, target: str) -> Dict[str, Any]:
+        """Migration step 1 (source side): drain, checkpoint, package —
+        and durably record the handoff intent.
+
+        Unlike :meth:`handle_extract_partition` this does **not** delete
+        anything: the partition stays queryable here until the Master
+        flips routing, and the intent makes sure updates forward to
+        ``target`` instead of being applied by a no-longer-owner."""
+        self.cache.commit_for_search(acg_id)
+        replica = self.replica(acg_id, create=True)
+        # A fresh shared checkpoint means a source crash before the flip
+        # still fails over with all acknowledged data.
+        self._checkpoint_one(replica)
+        payload = {
+            "acg_records": list(replica.graph.to_records()),
+            "files": [
+                (f, dict(replica.store.attrs(f)), replica.store.attrs(f).get("path"))
+                for f in sorted(replica.store.file_ids())
+            ],
+        }
+        self.handoff_intents[acg_id] = target
+        # The intent is durable (one small log write): a restart after a
+        # crash must keep forwarding and keep WAL replay away from this
+        # ACG, or a lost finish_migration would resurrect handed-off data.
+        self._log_device.append(64)
+        return payload
+
+    def handle_checkpoint_acg(self, acg_id: int) -> None:
+        """Persist one ACG to shared storage right now (migration step 2,
+        target side: the flip must not outrun durability)."""
+        self.cache.commit_for_search(acg_id)
+        self._checkpoint_one(self.replica(acg_id, create=True))
+
+    def handle_finish_migration(self, acg_id: int) -> None:
+        """Migration step 4 (source side): drop the handed-off replica,
+        clear the intent, and remove the stale shared checkpoint so a
+        later failover cannot adopt outdated data."""
+        self.handoff_intents.pop(acg_id, None)
+        self.migrated_away.add(acg_id)
+        self._log_device.append(64)
+        self.handle_drop_partition(acg_id)
+        if self.shared_vfs is not None:
+            from repro.cluster.persistence import remove_checkpoint
+
+            remove_checkpoint(self.shared_vfs, self.name, acg_id)
+
+    def handle_cancel_transfer(self, acg_id: int) -> None:
+        """Migration abort (source side): lift the handoff intent — this
+        node owns the partition again and resumes applying updates."""
+        self.handoff_intents.pop(acg_id, None)
+        self._log_device.append(64)
+
     # -- liveness -----------------------------------------------------------------------------
 
     def make_heartbeat(self) -> Heartbeat:
-        """Build the liveness/status report sent to the Master."""
+        """Build the liveness/status report sent to the Master.
+
+        Per-ACG sizes count committed files plus distinct files still
+        parked in the index cache — the Master's split trigger must see
+        client-placed files before the commit timeout fires."""
+        pending: Dict[int, Set[int]] = {}
+        for acg_id in self.cache.pending_acgs():
+            ids = pending.setdefault(acg_id, set())
+            for update in self.cache._pending.get(acg_id, ()):
+                if update.op is UpdateOp.UPSERT:
+                    ids.add(update.file_id)
+        sizes = {}
+        for acg_id, replica in self.replicas.items():
+            extra = sum(1 for fid in pending.get(acg_id, ())
+                        if fid not in replica.store)
+            sizes[acg_id] = replica.file_count + extra
         return Heartbeat(
             node=self.name,
             timestamp=self.machine.clock.now(),
-            acg_sizes=tuple(sorted((acg_id, replica.file_count)
-                                   for acg_id, replica in self.replicas.items())),
+            acg_sizes=tuple(sorted(sizes.items())),
             free_bytes=self.machine.spec.ram_bytes,
         )
 
@@ -439,6 +679,10 @@ class IndexNode:
         self.cache.commit_all()
         count = 0
         for replica in self.replicas.values():
+            if replica.acg_id in self.handoff_intents:
+                # Handed off: the target owns durability now, and this
+                # node's checkpoint is already scheduled for removal.
+                continue
             checkpoint_replica(self.shared_vfs, self.name, replica)
             # The serialized write costs one sequential transfer on the
             # shared-storage device (not the local index disk).
@@ -461,6 +705,7 @@ class IndexNode:
 
         payload = read_checkpoint(self.shared_vfs, checkpoint_path)
         acg_id = payload["acg_id"]
+        self._clear_stale_handoff(acg_id)
         for spec in payload["specs"]:
             if spec.name not in self._global_specs:
                 self._global_specs[spec.name] = spec
@@ -487,14 +732,35 @@ class IndexNode:
         metric) so every unrecoverable acknowledgement is accounted for.
         """
         recovered = 0
-        for record in self.wal.replay():
+        # Snapshot the pre-crash watermarks: replay's own commits bump
+        # the live counts, which must not shift the skip decision for
+        # records later in the same log.
+        committed_before = dict(self._wal_commit_counts)
+        seen: Dict[int, int] = {}
+
+        def keep(record) -> bool:
+            # Skip records for ACGs this node migrated away (dropped) or
+            # still holds behind a handoff intent — replaying those would
+            # resurrect handed-off data on the old owner.  Also skip each
+            # ACG's already-committed prefix: those effects are durable
+            # in the store, and re-applying them over a torn tail could
+            # resurrect a committed-then-torn delete.  The skips are
+            # counted, not silent.
+            acg_id = record[0]
+            if acg_id in self.migrated_away or acg_id in self.handoff_intents:
+                return False
+            seen[acg_id] = seen.get(acg_id, 0) + 1
+            return seen[acg_id] > committed_before.get(acg_id, 0)
+
+        for record in self.wal.replay(keep):
             acg_id, file_id, op_value, path, attrs = record
             update = IndexUpdate(file_id=file_id, op=UpdateOp(op_value),
                                  attrs=tuple(attrs), path=path)
             self._commit_updates(acg_id, [update])
             recovered += 1
         self.wal_replay_dropped_total += self.wal.replay_dropped
-        self.wal.truncate()
+        self.wal_replay_skipped_total += self.wal.replay_skipped
+        self._truncate_wal()
         return recovered
 
     # -- crash / restart / rejoin lifecycle ----------------------------------------------------
@@ -543,5 +809,7 @@ class IndexNode:
         self.replicas.clear()
         self.cache._pending.clear()
         self.cache._oldest.clear()
-        self.wal.truncate()
+        self._truncate_wal()
+        self.handoff_intents.clear()
+        self.migrated_away.clear()
         self.drop_resident()

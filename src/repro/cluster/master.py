@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.messages import Heartbeat, RouteEntry
+from repro.cluster.messages import (Heartbeat, RouteEntry, RouteTable,
+                                    RouteTableEntry)
 from repro.core.partition_manager import PartitionManager
 from repro.core.partitioner import PartitioningPolicy
 from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
@@ -26,6 +27,9 @@ from repro.sim.rpc import RpcEndpoint, RpcNetwork
 
 _ROUTE_LOOKUP_OPS = 1_500   # one hash probe into the file→ACG map
 _CHECKPOINT_BYTES_PER_FILE = 24
+# How many (epoch, partition) changes the Master retains for the route
+# delta protocol; clients further behind get a full snapshot instead.
+_ROUTE_LOG_CAP = 512
 
 
 @dataclass
@@ -37,6 +41,28 @@ class SplitDecision:
     source_node: str
     target_node: str
     moved_files: int
+
+
+@dataclass
+class MigrationEvent:
+    """Timeline record of one online migration.
+
+    ``t_start`` is when the Master asked the source to start transferring
+    out; ``t_flip`` is when routing flipped to the target (the epoch
+    bump); ``outcome`` tracks the protocol's end state — ``done``,
+    ``aborted`` (rolled back before the flip), or ``finish_deferred``
+    (flipped, but the source could not be told to drop its copy yet; a
+    later heartbeat round retries and flips this to ``done``).
+    """
+
+    acg_id: int
+    source: str
+    target: str
+    t_start: float
+    t_flip: float = 0.0
+    epoch: int = 0
+    moved_files: int = 0
+    outcome: str = "pending"
 
 
 @dataclass
@@ -84,6 +110,20 @@ class MasterNode:
         self.heartbeats: Dict[str, Heartbeat] = {}
         self.splits: List[SplitDecision] = []
         self.failover_log: List[FailoverEvent] = []
+        self.migration_log: List[MigrationEvent] = []
+        # Routing-epoch change log: (epoch, acg_id) per bump, so clients
+        # at epoch E can be answered with just the partitions that moved
+        # since E instead of a full snapshot.
+        self._route_log: List[Tuple[int, int]] = []
+        # Latest per-ACG file counts as reported by Index Node heartbeats.
+        # Clients place files without telling the Master (that is the
+        # whole point of the route cache), so the Master's own file map
+        # under-counts; every load/size decision uses the max of both.
+        self._reported_sizes: Dict[int, int] = {}
+        # Migration debris: protocol steps that failed mid-flight and are
+        # retried on later heartbeat rounds (see migrate_partition).
+        self._pending_finishes: Dict[Tuple[str, int], MigrationEvent] = {}
+        self._pending_cancels: Set[Tuple[str, int]] = set()
         self.checkpoints_written = 0
         self.endpoint = RpcEndpoint("master")
         for method, handler in [
@@ -91,6 +131,8 @@ class MasterNode:
             ("create_index", self.create_index),
             ("route_updates", self.route_updates),
             ("route_search", self.route_search),
+            ("route_table", self.route_table),
+            ("allocate_partitions", self.allocate_partitions),
             ("file_created", self.file_created),
             ("file_deleted", self.file_deleted),
             ("lookup_file", self.lookup_file),
@@ -121,6 +163,124 @@ class MasterNode:
         for node in self.index_nodes:
             self.rpc.call(node, "create_index", spec)
 
+    # -- routing epochs -------------------------------------------------------------
+    #
+    # Every change to the partition→node map (placement, split, merge,
+    # migration, failover) bumps a monotonic routing epoch and logs which
+    # partition changed.  Clients cache a versioned route table and only
+    # come back when an Index Node NACKs their epoch — taking the Master
+    # off the per-batch hot path.
+
+    def _count_route_rpc(self) -> None:
+        """One client↔Master routing round-trip (the hot-path cost the
+        epoch protocol exists to shrink)."""
+        self.registry.counter("cluster.master.route_rpcs").inc()
+
+    def _bump_routing(self, acg_id: int) -> int:
+        """Advance the routing epoch for one partition's change."""
+        epoch = self.partitions.bump_epoch()
+        self._route_log.append((epoch, acg_id))
+        if len(self._route_log) > _ROUTE_LOG_CAP:
+            del self._route_log[:len(self._route_log) - _ROUTE_LOG_CAP]
+        return epoch
+
+    def _notify_owner(self, node: Optional[str], acg_id: int, epoch: int) -> None:
+        """Tell an Index Node it now owns a partition (best-effort).
+
+        A lost notification is safe: the node NACKs epoch-stamped updates
+        it doesn't know about, the client falls back to Master-routed
+        (unstamped) sends, and the node's create-on-demand path heals the
+        ownership gap."""
+        if node is None:
+            return
+        try:
+            self.rpc.call(node, "own_partition", acg_id, epoch)
+        except ClusterError:
+            pass
+
+    def _effective_size(self, partition) -> int:
+        """The larger of the Master's file map and the owner's reported
+        count (clients place files without telling the Master)."""
+        return max(partition.size,
+                   self._reported_sizes.get(partition.partition_id, 0))
+
+    def _least_loaded_effective(self, candidates: Sequence[str]) -> str:
+        loads = {n: 0 for n in candidates}
+        for p in self.partitions.partitions():
+            if p.node in loads:
+                loads[p.node] += self._effective_size(p)
+        order = list(candidates)
+        return min(order, key=lambda n: (loads[n], order.index(n)))
+
+    def _build_route_table(self, since_epoch: int) -> RouteTable:
+        current = self.partitions.epoch
+        target = self.policy.cluster_target
+        if since_epoch == current:
+            return RouteTable(epoch=current, full=False,
+                              cluster_target=target, fresh=True)
+        by_id = {p.partition_id: p for p in self.partitions.partitions()}
+        # The delta path works iff the change log still covers every
+        # epoch in (since, current]; bumps append exactly one log entry
+        # each, so coverage means the log reaches back to since+1.
+        if (0 < since_epoch < current and self._route_log
+                and self._route_log[0][0] <= since_epoch + 1):
+            changed: List[int] = []
+            seen: Set[int] = set()
+            for epoch, acg_id in self._route_log:
+                if epoch > since_epoch and acg_id not in seen:
+                    seen.add(acg_id)
+                    changed.append(acg_id)
+            entries = []
+            for acg_id in changed:
+                p = by_id.get(acg_id)
+                if p is None:
+                    # Merged away: size -1 tells the client to forget it.
+                    entries.append(RouteTableEntry(acg_id=acg_id, node=None, size=-1))
+                else:
+                    entries.append(RouteTableEntry(
+                        acg_id=acg_id, node=p.node, size=self._effective_size(p)))
+            self.machine.compute(_ROUTE_LOOKUP_OPS * max(1, len(entries)))
+            return RouteTable(epoch=current, full=False, cluster_target=target,
+                              entries=tuple(entries))
+        full_entries = tuple(
+            RouteTableEntry(acg_id=p.partition_id, node=p.node,
+                            size=self._effective_size(p))
+            for p in self.partitions.partitions())
+        self.machine.compute(_ROUTE_LOOKUP_OPS * max(1, len(full_entries)))
+        return RouteTable(epoch=current, full=True, cluster_target=target,
+                          entries=full_entries)
+
+    def route_table(self, since_epoch: int = 0) -> RouteTable:
+        """Versioned routing snapshot: fresh marker, delta, or full table
+        depending on how far behind ``since_epoch`` is."""
+        self._count_route_rpc()
+        return self._build_route_table(since_epoch)
+
+    def allocate_partitions(self, count: int = 1,
+                            since_epoch: int = 0) -> RouteTable:
+        """Create ``count`` empty partitions spread across Index Nodes
+        and return the route-table delta that describes them.
+
+        This is the client's slab allocator: instead of routing every
+        new file through the Master, a client grabs a batch of open
+        partitions once and fills them locally.  Spreading reserves one
+        ``cluster_target`` of capacity per grant so consecutive grants
+        alternate across nodes the way per-file placement would."""
+        self._require_nodes()
+        self._count_route_rpc()
+        loads = {n: 0 for n in self.index_nodes}
+        for p in self.partitions.partitions():
+            if p.node in loads:
+                loads[p.node] += self._effective_size(p)
+        for _ in range(max(1, count)):
+            node = min(self.index_nodes,
+                       key=lambda n: (loads[n], self.index_nodes.index(n)))
+            partition = self.partitions.new_partition(node=node)
+            epoch = self._bump_routing(partition.partition_id)
+            self._notify_owner(node, partition.partition_id, epoch)
+            loads[node] += self.policy.cluster_target
+        return self._build_route_table(since_epoch)
+
     # -- routing --------------------------------------------------------------------
 
     def _assign_new_file(self, file_id: int, hint_file: Optional[int]) -> int:
@@ -137,13 +297,15 @@ class MasterNode:
                 self.partitions.add_file(hinted, file_id)
                 return hinted
         open_partitions = [p for p in self.partitions.partitions()
-                           if p.size < self.policy.cluster_target]
+                           if self._effective_size(p) < self.policy.cluster_target]
         if open_partitions:
-            smallest = min(open_partitions, key=lambda p: p.size)
+            smallest = min(open_partitions, key=self._effective_size)
             self.partitions.add_file(smallest.partition_id, file_id)
             return smallest.partition_id
-        node = self.partitions.least_loaded(self.index_nodes)
+        node = self._least_loaded_effective(self.index_nodes)
         partition = self.partitions.new_partition(files=[file_id], node=node)
+        self._notify_owner(node, partition.partition_id,
+                           self._bump_routing(partition.partition_id))
         return partition.partition_id
 
     def route_updates(self, file_ids: Sequence[int],
@@ -154,6 +316,7 @@ class MasterNode:
         the new ACG and places it on the least-loaded IN).
         """
         hints = hints or {}
+        self._count_route_rpc()
         entries: List[RouteEntry] = []
         for file_id in file_ids:
             self.machine.compute(_ROUTE_LOOKUP_OPS)
@@ -162,7 +325,9 @@ class MasterNode:
                 acg_id = self._assign_new_file(file_id, hints.get(file_id))
             partition = self.partitions.get(acg_id)
             if partition.node is None:
-                partition.node = self.partitions.least_loaded(self.index_nodes)
+                partition.node = self._least_loaded_effective(self.index_nodes)
+                self._notify_owner(partition.node, acg_id,
+                                   self._bump_routing(acg_id))
             entries.append(RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node))
         return entries
 
@@ -172,9 +337,13 @@ class MasterNode:
             from repro.errors import UnknownIndexName
 
             raise UnknownIndexName(index_name)
+        self._count_route_rpc()
         routing: Dict[str, List[int]] = {}
         for partition in self.partitions.partitions():
-            if partition.node is None or not partition.files:
+            # Every placed partition is searched: with client-side
+            # placement the Master cannot tell an empty partition from
+            # one whose files it simply never heard about.
+            if partition.node is None:
                 continue
             self.machine.compute(_ROUTE_LOOKUP_OPS)
             routing.setdefault(partition.node, []).append(partition.partition_id)
@@ -190,7 +359,8 @@ class MasterNode:
             acg_id = self._assign_new_file(file_id, hint_file)
         partition = self.partitions.get(acg_id)
         if partition.node is None:
-            partition.node = self.partitions.least_loaded(self.index_nodes)
+            partition.node = self._least_loaded_effective(self.index_nodes)
+            self._notify_owner(partition.node, acg_id, self._bump_routing(acg_id))
         return RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node)
 
     def lookup_file(self, file_id: int) -> Optional[int]:
@@ -213,8 +383,14 @@ class MasterNode:
     # -- heartbeats and background maintenance ---------------------------------------------
 
     def report_heartbeat(self, heartbeat: Heartbeat) -> None:
-        """Record one Index Node's heartbeat."""
+        """Record one Index Node's heartbeat (and its per-ACG counts —
+        the Master's only view of client-placed files)."""
         self.heartbeats[heartbeat.node] = heartbeat
+        by_id = {p.partition_id: p for p in self.partitions.partitions()}
+        for acg_id, size in heartbeat.acg_sizes:
+            partition = by_id.get(acg_id)
+            if partition is not None and partition.node == heartbeat.node:
+                self._reported_sizes[acg_id] = size
 
     def poll_heartbeats(self) -> List[str]:
         """Pull a heartbeat from every Index Node, then act on oversized
@@ -244,6 +420,7 @@ class MasterNode:
                 # Leave it to staleness detection.
                 continue
             self.report_heartbeat(heartbeat)
+        self._retry_migration_debris()
         failed_over: List[str] = []
         if self.auto_failover:
             suspects = set(conclusively_down)
@@ -260,6 +437,39 @@ class MasterNode:
                 failed_over.append(node)
         self.maybe_split()
         return failed_over
+
+    def _retry_migration_debris(self) -> None:
+        """Re-drive migration protocol steps that failed mid-flight.
+
+        A ``finish_migration`` the source never heard leaves it holding a
+        handed-off replica behind a durable handoff intent (it forwards,
+        never applies); a ``cancel_transfer`` the source never heard
+        leaves it NACKing its own partition.  Both are safe states —
+        retried here until the node answers or leaves the cluster."""
+        by_id = {p.partition_id: p for p in self.partitions.partitions()}
+        for (node, acg_id), event in list(self._pending_finishes.items()):
+            partition = by_id.get(acg_id)
+            if node not in self.index_nodes or (
+                    partition is not None and partition.node == node):
+                # The node left the cluster, or ownership has since come
+                # back to it (re-migration/failover) — the debris is moot.
+                del self._pending_finishes[(node, acg_id)]
+                continue
+            try:
+                self.rpc.call(node, "finish_migration", acg_id)
+            except ClusterError:
+                continue
+            del self._pending_finishes[(node, acg_id)]
+            event.outcome = "done"
+        for (node, acg_id) in list(self._pending_cancels):
+            if node not in self.index_nodes:
+                self._pending_cancels.discard((node, acg_id))
+                continue
+            try:
+                self.rpc.call(node, "cancel_transfer", acg_id)
+            except ClusterError:
+                continue
+            self._pending_cancels.discard((node, acg_id))
 
     def detect_failed_nodes(self, timeout_s: float = 15.0) -> List[str]:
         """Index Nodes whose last heartbeat is older than ``timeout_s``
@@ -317,9 +527,9 @@ class MasterNode:
                     if not candidates:
                         stranded += 1
                         break
-                    target = self.partitions.least_loaded(candidates)
+                    target = self._least_loaded_effective(candidates)
                     try:
-                        self.rpc.call(target, "adopt_acg", path)
+                        adopted = self.rpc.call(target, "adopt_acg", path)
                     except FileSystemError:
                         # The victim never checkpointed this ACG: its
                         # data is gone with the node.  Leave the
@@ -327,6 +537,8 @@ class MasterNode:
                         # it instead of crashing the whole failover.
                         partition.node = None
                         lost_ids.append(partition.partition_id)
+                        self._reported_sizes.pop(partition.partition_id, None)
+                        self._bump_routing(partition.partition_id)
                         self.registry.counter(
                             "cluster.master.partitions_lost").inc()
                         placed = True
@@ -334,7 +546,14 @@ class MasterNode:
                         unreachable.add(target)
                     else:
                         partition.node = target
+                        # The adopter's heartbeat hasn't fired yet; seed
+                        # the reported size so load-aware placement sees
+                        # the restored files immediately.
+                        self._reported_sizes[partition.partition_id] = adopted
                         moved_ids.append(partition.partition_id)
+                        self._notify_owner(
+                            target, partition.partition_id,
+                            self._bump_routing(partition.partition_id))
                         placed = True
             span.set_attribute("moved", len(moved_ids))
             span.set_attribute("stranded", stranded)
@@ -367,7 +586,8 @@ class MasterNode:
 
         decisions = []
         for partition in list(self.partitions.partitions()):
-            if partition.size > self.policy.split_threshold and partition.node:
+            if (self._effective_size(partition) > self.policy.split_threshold
+                    and partition.node):
                 try:
                     decisions.append(self._split_partition(partition.partition_id))
                 except (NodeDown, RpcTimeout):
@@ -385,6 +605,12 @@ class MasterNode:
                                source: str) -> SplitDecision:
         halves = self.rpc.call(source, "compute_split", acg_id, self.policy)
         stay, move = set(halves[0]), set(halves[1])
+        # Clients place files into partitions without telling the Master;
+        # the split is the moment those become visible.  Adopt them into
+        # the authoritative map before reconciling.
+        for file_id in sorted(stay | move):
+            if self.partitions.partition_of(file_id) is None:
+                self.partitions.add_file(acg_id, file_id)
         # The IN's ACG may lag the MN's file map (weak ACG consistency);
         # reconcile against the authoritative mapping.
         known = set(partition.files)
@@ -392,12 +618,18 @@ class MasterNode:
         move &= known
         for orphan in sorted(known - stay - move):
             (stay if len(stay) <= len(move) else move).add(orphan)
-        target = self.partitions.least_loaded(
+        target = self._least_loaded_effective(
             [n for n in self.index_nodes if n != source] or self.index_nodes)
         new_partition = self.partitions.split(acg_id, [stay, move], new_node=target)[1]
         payload = self.rpc.call(source, "extract_partition", acg_id, tuple(sorted(move)))
         moved = self.rpc.call(target, "install_partition",
                               new_partition.partition_id, payload)
+        # Both halves changed shape: clients must drop their per-file
+        # routes for the source ACG and learn the new one.
+        self._reported_sizes.pop(acg_id, None)
+        self._bump_routing(acg_id)
+        self._notify_owner(target, new_partition.partition_id,
+                           self._bump_routing(new_partition.partition_id))
         decision = SplitDecision(acg_id=acg_id, new_acg_id=new_partition.partition_id,
                                  source_node=source, target_node=target,
                                  moved_files=moved)
@@ -413,7 +645,31 @@ class MasterNode:
     # MasterNode".  Splits are handled above; these two cover the rest.
 
     def migrate_partition(self, acg_id: int, target: str) -> int:
-        """Move one ACG to another Index Node; returns files moved."""
+        """Move one ACG to another Index Node *online*; returns files moved.
+
+        The protocol keeps the partition writable throughout:
+
+        1. ``transfer_out`` — the source commits its cache, checkpoints
+           the replica to shared storage, packages its full contents
+           **without deleting them**, and durably records a *handoff
+           intent*: from here on it forwards updates for this ACG to the
+           target instead of applying them, and its WAL replay skips
+           this ACG's records (a crashed source must not resurrect data
+           it handed off).
+        2. ``install_partition`` + ``checkpoint_acg`` — the target takes
+           the contents and immediately checkpoints them, so a target
+           crash right after the flip still fails over with the data.
+        3. The Master flips routing (epoch bump + ``own_partition``).
+           Clients with the old route get forwarded during the brief
+           dual-ownership window, then refresh on the next NACK.
+        4. ``finish_migration`` — the source drops its replica, clears
+           the intent, and removes its now-stale shared checkpoint.
+
+        A failure before the flip rolls back (``cancel_transfer``); a
+        failure after the flip leaves only cleanup pending.  Either
+        cleanup RPC failing parks the step in a debris map retried on
+        every heartbeat round — both intermediate states are safe.
+        """
         partition = self.partitions.get(acg_id)
         source = partition.node
         if source is None:
@@ -422,11 +678,59 @@ class MasterNode:
             raise UnknownIndexNode(target)
         if source == target:
             return 0
-        payload = self.rpc.call(source, "extract_partition", acg_id,
-                                tuple(sorted(partition.files)))
-        moved = self.rpc.call(target, "install_partition", acg_id, payload)
-        self.rpc.call(source, "drop_partition", acg_id)
-        partition.node = target
+        if any(k[1] == acg_id for k in self._pending_finishes) or \
+                any(k[1] == acg_id for k in self._pending_cancels):
+            self._retry_migration_debris()
+            if any(k[1] == acg_id for k in self._pending_finishes) or \
+                    any(k[1] == acg_id for k in self._pending_cancels):
+                raise ClusterError(
+                    f"partition {acg_id} has unresolved migration debris")
+        event = MigrationEvent(acg_id=acg_id, source=source, target=target,
+                               t_start=self.machine.clock.now())
+        self.migration_log.append(event)
+        with self.tracer.span("migrate", acg=acg_id, source=source,
+                              target=target):
+            try:
+                payload = self.rpc.call(source, "transfer_out", acg_id, target)
+            except ClusterError:
+                event.outcome = "aborted"
+                self.registry.counter("cluster.master.migrations_aborted").inc()
+                raise
+            try:
+                moved = self.rpc.call(target, "install_partition", acg_id, payload)
+                self.rpc.call(target, "checkpoint_acg", acg_id)
+            except ClusterError:
+                # The target never (durably) took ownership: undo the
+                # target's partial install if we can, and lift the
+                # source's handoff intent (deferring if it is down).
+                try:
+                    self.rpc.call(target, "drop_partition", acg_id)
+                except ClusterError:
+                    pass
+                try:
+                    self.rpc.call(source, "cancel_transfer", acg_id)
+                except ClusterError:
+                    self._pending_cancels.add((source, acg_id))
+                event.outcome = "aborted"
+                self.registry.counter("cluster.master.migrations_aborted").inc()
+                raise
+            # Point of no return: flip routing to the target.
+            partition.node = target
+            epoch = self._bump_routing(acg_id)
+            event.t_flip = self.machine.clock.now()
+            event.epoch = epoch
+            event.moved_files = moved
+            self._notify_owner(target, acg_id, epoch)
+            self.registry.counter("cluster.master.migrations").inc()
+            try:
+                self.rpc.call(source, "finish_migration", acg_id)
+            except ClusterError:
+                event.outcome = "finish_deferred"
+                self._pending_finishes[(source, acg_id)] = event
+                self.registry.counter(
+                    "cluster.master.migration_finish_deferred").inc()
+            else:
+                event.outcome = "done"
         return moved
 
     def rebalance(self, tolerance: float = 0.25) -> int:
@@ -441,19 +745,22 @@ class MasterNode:
             return 0
         moves = 0
         while True:
-            loads = {n: self.partitions.node_load(n) for n in self.index_nodes}
+            loads = {n: 0 for n in self.index_nodes}
+            for p in self.partitions.partitions():
+                if p.node in loads:
+                    loads[p.node] += self._effective_size(p)
             mean = sum(loads.values()) / len(loads)
             heavy = max(loads, key=lambda n: loads[n])
             light = min(loads, key=lambda n: loads[n])
             if mean == 0 or loads[heavy] <= mean * (1 + tolerance):
                 return moves
             candidates = [p for p in self.partitions.partitions()
-                          if p.node == heavy and p.files]
+                          if p.node == heavy and self._effective_size(p)]
             if not candidates:
                 return moves
-            victim = min(candidates, key=lambda p: p.size)
+            victim = min(candidates, key=self._effective_size)
             # Moving must not just swap the imbalance around.
-            if loads[light] + victim.size >= loads[heavy]:
+            if loads[light] + self._effective_size(victim) >= loads[heavy]:
                 return moves
             self.migrate_partition(victim.partition_id, light)
             moves += 1
@@ -468,13 +775,23 @@ class MasterNode:
         absorb = self.partitions.get(absorb_id)
         if keep.node is None or absorb.node is None:
             raise ClusterError("both partitions must be placed before merging")
-        payload = self.rpc.call(absorb.node, "extract_partition", absorb_id,
-                                tuple(sorted(absorb.files)))
+        # file_ids=None extracts everything the node hosts, including
+        # client-placed files the Master never heard about.
+        payload = self.rpc.call(absorb.node, "extract_partition", absorb_id, None)
         moved = self.rpc.call(keep.node, "install_partition", keep_id, payload)
         self.rpc.call(absorb.node, "drop_partition", absorb_id)
         for file_id in list(absorb.files):
             self.partitions.add_file(keep_id, file_id)
+        for file_id, _attrs, _path in payload["files"]:
+            if self.partitions.partition_of(file_id) is None:
+                self.partitions.add_file(keep_id, file_id)
         self.partitions.drop_partition(absorb_id)
+        self._reported_sizes.pop(absorb_id, None)
+        self._reported_sizes.pop(keep_id, None)
+        # Two visible routing changes: the absorbed id disappears (size
+        # -1 in deltas) and the survivor's contents changed shape.
+        self._bump_routing(absorb_id)
+        self._bump_routing(keep_id)
         return moved
 
     def merge_small_partitions(self, min_size: Optional[int] = None) -> int:
@@ -485,8 +802,8 @@ class MasterNode:
         merges = 0
         while True:
             small = sorted((p for p in self.partitions.partitions()
-                            if p.files and p.size < threshold and p.node),
-                           key=lambda p: p.size)
+                            if 0 < self._effective_size(p) < threshold and p.node),
+                           key=self._effective_size)
             if len(small) < 2:
                 return merges
             keep, absorb = small[0], small[1]

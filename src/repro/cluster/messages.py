@@ -57,6 +57,41 @@ class RouteEntry:
     node: str
 
 
+@dataclass(frozen=True)
+class RouteTableEntry:
+    """One partition's place in a versioned route table.
+
+    ``node`` is None for a partition that currently has no owner (lost in
+    a failover and not yet re-placed).  ``size`` is the Master's view of
+    the partition's file count; ``size == -1`` marks a partition that was
+    *dropped* (merged away) so delta consumers can forget it.
+    """
+
+    acg_id: int
+    node: Optional[str]
+    size: int
+
+
+@dataclass(frozen=True)
+class RouteTable:
+    """A versioned snapshot (or delta) of the cluster's routing state.
+
+    The Master serves this instead of per-batch routing: ``epoch`` is the
+    routing epoch the table is current as of, ``full`` says whether
+    ``entries`` describe the whole cluster or only the partitions that
+    changed since the client's epoch, and ``fresh`` short-circuits the
+    common case — the client was already up to date and ``entries`` is
+    empty.  ``cluster_target`` ships the placement policy's open-partition
+    bound so clients can mirror the Master's placement rule locally.
+    """
+
+    epoch: int
+    full: bool
+    cluster_target: int
+    entries: Tuple[RouteTableEntry, ...] = ()
+    fresh: bool = False
+
+
 @dataclass
 class SearchResult:
     """One Index Node's (partial) answer to a search."""
@@ -65,6 +100,24 @@ class SearchResult:
     acg_id: int
     file_ids: FrozenSet[int] = frozenset()
     paths: Tuple[str, ...] = ()
+
+
+@dataclass
+class SearchReply:
+    """An Index Node's answer to an epoch-stamped search leg.
+
+    ``results`` covers the ACGs the node owns; ``not_owned`` names the
+    requested ACGs it does *not* own (the search-path equivalent of a
+    stale-route NACK — the client refreshes its route table and retries
+    just those partitions); ``epoch`` is the node's latest known routing
+    epoch, letting a behind-the-times client detect that partitions it
+    has never heard of may exist.
+    """
+
+    node: str
+    epoch: int
+    results: List[SearchResult] = field(default_factory=list)
+    not_owned: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,17 @@ def read_checkpoint(vfs: VirtualFileSystem, path: str) -> Dict[str, Any]:
     return load_replica_payload(vfs.read_bytes(path))
 
 
+def remove_checkpoint(vfs: VirtualFileSystem, node_name: str, acg_id: int) -> bool:
+    """Delete one ACG's checkpoint (after a completed migration the old
+    owner's copy is stale and must not be adopted in a later failover).
+    Returns whether a file was actually removed."""
+    path = replica_path(node_name, acg_id)
+    if not vfs.exists(path):
+        return False
+    vfs.unlink(path)
+    return True
+
+
 def list_checkpoints(vfs: VirtualFileSystem, node_name: str) -> List[str]:
     """All checkpoint paths a node has written (empty if none)."""
     base = f"{PROPELLER_ROOT}/{node_name}"

@@ -75,6 +75,9 @@ class PropellerService:
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
+            # Migration forwarding: a node holding a handoff intent
+            # forwards stamped updates to the new owner over RPC.
+            node.rpc = self.rpc
             self.rpc.add_endpoint(node.endpoint)
             self.master.register_index_node(name)
             self.index_nodes[name] = node
@@ -109,6 +112,21 @@ class PropellerService:
                      lambda: len(self.master.splits))
         reg.gauge_fn("cluster.master.checkpoints_written",
                      lambda: self.master.checkpoints_written)
+        # Routing-epoch health: the current epoch, how many routing
+        # round-trips the Master served per indexed update (the hot-path
+        # cost the epoch protocol shrinks), how well client route caches
+        # hit, and how far behind the most-stale client cache runs.
+        reg.gauge_fn("cluster.master.epoch",
+                     lambda: self.master.partitions.epoch)
+        reg.gauge_fn("cluster.master.migrations_completed",
+                     lambda: sum(1 for e in self.master.migration_log
+                                 if e.outcome == "done"))
+        reg.gauge_fn("cluster.master.route_rpcs_per_update",
+                     self._route_rpcs_per_update)
+        reg.gauge_fn("cluster.client.route_cache_hit_rate",
+                     self._route_cache_hit_rate)
+        reg.gauge_fn("cluster.client.route_epoch_age",
+                     self._route_epoch_age)
         network = self.cluster.network
         reg.gauge_fn("cluster.network.messages",
                      lambda: network.stats.messages)
@@ -133,6 +151,14 @@ class PropellerService:
         reg.gauge_fn(f"{prefix}.wal.bytes", lambda n=node: len(n.wal))
         reg.gauge_fn(f"{prefix}.wal.replay_dropped",
                      lambda n=node: n.wal_replay_dropped_total)
+        reg.gauge_fn(f"{prefix}.wal.replay_skipped",
+                     lambda n=node: n.wal_replay_skipped_total)
+        reg.gauge_fn(f"{prefix}.forwarded_updates",
+                     lambda n=node: n.forwarded_updates)
+        reg.gauge_fn(f"{prefix}.stale_route_nacks",
+                     lambda n=node: n.stale_route_nacks)
+        reg.gauge_fn(f"{prefix}.route_epoch_seen",
+                     lambda n=node: n.route_epoch_seen)
         reg.gauge_fn(f"{prefix}.disk.reads",
                      lambda n=node: n.machine.disk.stats.reads)
         reg.gauge_fn(f"{prefix}.disk.writes",
@@ -241,6 +267,25 @@ class PropellerService:
 
     def _failover_count(self) -> int:
         return self._counter_value("cluster.master.failovers")
+
+    def _route_rpcs_per_update(self) -> float:
+        """Master routing round-trips per update actually indexed — the
+        Figure-9 hot-path cost; the epoch protocol drives it toward
+        1/batch-size ÷ slab-size territory."""
+        updates = sum(c.updates_sent for c in self._clients)
+        return self._counter_value("cluster.master.route_rpcs") / max(1, updates)
+
+    def _route_cache_hit_rate(self) -> float:
+        hits = sum(c.route_cache_hits for c in self._clients)
+        misses = sum(c.route_cache_misses for c in self._clients)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def _route_epoch_age(self) -> int:
+        """How many epochs behind the most-stale client cache runs."""
+        current = self.master.partitions.epoch
+        if not self._clients:
+            return 0
+        return max(current - c._route_epoch for c in self._clients)
 
     def _counter_value(self, name: str) -> int:
         return self.registry.value(name) if name in self.registry else 0

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import WalCorruption
 from repro.indexstructures.serialization import dump_value, load_value
@@ -38,6 +38,10 @@ class WriteAheadLog:
         # Recovery paths accumulate these into longer-lived counters.
         self.replay_dropped = 0
         self.replay_dropped_bytes = 0
+        # Intact records the most recent replay() deliberately skipped
+        # via its ``keep`` predicate (e.g. records for partitions the
+        # node handed off in a migration before the crash).
+        self.replay_skipped = 0
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -51,7 +55,8 @@ class WriteAheadLog:
         if self._disk is not None:
             self._disk.append(len(frame))
 
-    def replay(self) -> Iterator[Tuple[Any, ...]]:
+    def replay(self, keep: Optional[Callable[[Tuple[Any, ...]], bool]] = None
+               ) -> Iterator[Tuple[Any, ...]]:
         """Yield every intact record in append order.
 
         A torn tail (partial header or body) and a *final* record that
@@ -60,9 +65,16 @@ class WriteAheadLog:
         :attr:`replay_dropped_bytes` instead of vanishing silently.
         Corruption that is not at the tail means the log is damaged, not
         torn, and raises :class:`WalCorruption`.
+
+        ``keep`` (optional) filters intact records: records it rejects
+        are counted in :attr:`replay_skipped` instead of being yielded.
+        Recovery uses this to skip records for partitions the node no
+        longer owns (a completed migration must not resurrect its data
+        on the old owner).
         """
         self.replay_dropped = 0
         self.replay_dropped_bytes = 0
+        self.replay_skipped = 0
         data = bytes(self._buffer)
         offset = 0
         while offset < len(data):
@@ -86,7 +98,10 @@ class WriteAheadLog:
             value, consumed = load_value(body, 0)
             if consumed != length:
                 raise WalCorruption(f"bad record length at offset {offset}")
-            yield value
+            if keep is not None and not keep(value):
+                self.replay_skipped += 1
+            else:
+                yield value
             offset = body_end
 
     def _drop_tail(self, nbytes: int) -> None:

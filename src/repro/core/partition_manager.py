@@ -37,6 +37,22 @@ class PartitionManager:
         self._ids = itertools.count(1)
         self._partitions: Dict[int, Partition] = {}
         self._file_to_partition: Dict[int, int] = {}
+        # Routing epoch: bumped on every event that changes *where*
+        # requests must be sent (split, merge, migrate, rebalance,
+        # failover, new-partition placement).  Adding files to an
+        # existing partition does not bump — membership changes don't
+        # invalidate cached node routes.
+        self._epoch = 1
+
+    @property
+    def epoch(self) -> int:
+        """The current routing epoch (monotonically increasing)."""
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the routing epoch; returns the new value."""
+        self._epoch += 1
+        return self._epoch
 
     # -- queries --------------------------------------------------------------
 

@@ -71,6 +71,22 @@ class NodeDown(ClusterError):
     """An RPC was sent to a node that is marked failed."""
 
 
+class StaleRoute(ClusterError):
+    """An epoch-stamped request hit an Index Node that no longer (or not
+    yet) owns the partition it was routed to.
+
+    This is the routing layer's NACK: it is *not* transient, so the RPC
+    retry loop lets it escape immediately — the correct reaction is to
+    refresh the cached route table and re-route, not to resend the same
+    request to the same node.  ``epoch`` carries the responding node's
+    latest known routing epoch so the caller can tell how stale it is.
+    """
+
+    def __init__(self, message: str, epoch: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
 class RpcTimeout(ClusterError):
     """An RPC request or response was lost and the caller's timer fired.
 

@@ -142,11 +142,19 @@ class FanoutOutcome:
     is ``degraded`` exactly when at least one leg failed — the caller got
     a correct but possibly incomplete answer and can name what is
     missing.
+
+    Epoch-stamped legs add two routing-health signals: ``stale`` maps a
+    node to the ACGs it declined because it no longer owns them (the
+    client should refresh its route table and retry those partitions),
+    and ``node_epochs`` records each answering node's routing epoch so a
+    behind-the-times client can notice the cluster has moved on.
     """
 
     results: List[Any] = field(default_factory=list)
     unreachable: Dict[str, List[int]] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    stale: Dict[str, List[int]] = field(default_factory=dict)
+    node_epochs: Dict[str, int] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -156,6 +164,15 @@ class FanoutOutcome:
     def unreachable_partitions(self) -> List[int]:
         """Every partition id the answer is missing, sorted."""
         return sorted(acg for acgs in self.unreachable.values() for acg in acgs)
+
+    @property
+    def stale_partitions(self) -> List[int]:
+        """Every partition a node declined as not-owned, sorted."""
+        return sorted(acg for acgs in self.stale.values() for acg in acgs)
+
+    def max_node_epoch(self) -> int:
+        """The highest routing epoch any answering node reported."""
+        return max(self.node_epochs.values(), default=0)
 
 
 def scatter_gather(clock, routing: Mapping[str, Sequence[int]],
@@ -183,6 +200,13 @@ def scatter_gather(clock, routing: Mapping[str, Sequence[int]],
         if error is not None:
             outcome.unreachable[node] = sorted(routing[node])
             outcome.errors[node] = f"{type(error).__name__}: {error}"
+        elif hasattr(batch, "results") and hasattr(batch, "not_owned"):
+            # An epoch-stamped SearchReply: unpack results and record the
+            # routing-health signals the client's retry round consumes.
+            outcome.results.extend(batch.results)
+            outcome.node_epochs[node] = batch.epoch
+            if batch.not_owned:
+                outcome.stale[node] = sorted(batch.not_owned)
         else:
             outcome.results.extend(batch)
     return outcome

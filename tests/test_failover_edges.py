@@ -25,11 +25,21 @@ def chain_files(service, client, n, pid=7):
     client.flush_updates()
 
 
+def hosted_files(service, p):
+    """Files a partition's owner actually holds (the Master only learns
+    sizes from heartbeats now, so tests read the node side directly)."""
+    node = service.index_nodes.get(p.node) if p.node else None
+    replica = node.replicas.get(p.partition_id) if node else None
+    return replica.file_count if replica else 0
+
+
 def test_split_of_partition_on_down_node_is_deferred():
     service, client = build()
     chain_files(service, client, 60)       # one oversized partition
-    big = max(service.master.partitions.partitions(), key=lambda p: p.size)
-    assert big.size > 40
+    service.commit_all()
+    big = max(service.master.partitions.partitions(),
+              key=lambda p: hosted_files(service, p))
+    assert hosted_files(service, big) > 40
     service.fail_node(big.node)
     # The heartbeat round must not blow up on the dead owner...
     service.master.poll_heartbeats()
@@ -43,26 +53,30 @@ def test_split_of_partition_on_down_node_is_deferred():
 def test_failover_without_checkpoint_leaves_partition_unplaced():
     service, client = build()
     chain_files(service, client, 30)
-    victim = max(service.master.index_nodes,
-                 key=service.master.partitions.node_load)
+    service.commit_all()
+    victim = max(service.index_nodes,
+                 key=lambda n: sum(r.file_count
+                                   for r in service.index_nodes[n].replicas.values()))
     # No checkpoint ever written: the victim's data is unrecoverable.
     service.fail_node(victim)
     moved = service.failover(victim)
     assert moved == 0
     orphaned = [p for p in service.master.partitions.partitions()
-                if p.files and p.node is None]
+                if p.node is None]
     assert orphaned
     # The cluster still serves (the orphaned data is lost, not the service).
     assert client.search("size>1000000") == []
-    # New updates re-place the orphaned partition on a survivor.
+    # New updates re-place the orphaned files on a survivor.
     for path, inode in list(service.vfs.namespace.files("/d")):
         client.index_path(path, pid=1)
     client.flush_updates()
-    placed = [p for p in service.master.partitions.partitions()
-              if p.files and p.node is not None]
-    assert placed
     got = client.search("size>0")
     assert len(got) == 30
+    hosted = sum(r.file_count
+                 for name, node in service.index_nodes.items()
+                 if node.endpoint.up
+                 for r in node.replicas.values())
+    assert hosted == 30
 
 
 def test_background_timer_survives_node_failure():

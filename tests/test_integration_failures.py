@@ -68,9 +68,12 @@ def test_search_degrades_when_node_down():
     service, client = build(nodes=2)
     populate(service, client, n=60)
     full = client.search("size>0")
+    # The search fans out to every *placed* partition (the Master no
+    # longer tracks per-file membership), so every partition routed to
+    # the dead node is reported unreachable.
     dead_partitions = sorted(
         p.partition_id for p in service.master.partitions.partitions()
-        if p.node == "in1" and p.files)
+        if p.node == "in1")
     service.index_nodes["in1"].endpoint.fail()
     answer = client.search_detailed("size>0")
     assert answer.degraded

@@ -119,9 +119,13 @@ class TestFailoverMetrics:
         index_files(service, client, 30, pid=7)
         index_files(service, client, 30, pid=8)
         service._checkpoint_all()
+        # One heartbeat round teaches the Master the node loads, so each
+        # failover adopts onto a genuinely idle survivor.
+        service.master.poll_heartbeats()
         reg = service.registry
         victims = [n for n in service.master.index_nodes
-                   if service.master.partitions.node_load(n) > 0][:2]
+                   if any(r.file_count
+                          for r in service.index_nodes[n].replicas.values())][:2]
         total_moved = 0
         for victim in victims:
             service.fail_node(victim)

@@ -85,7 +85,9 @@ class TestTracedSearch:
         client.search("size>1m")
         root = service.tracer.last_root("search")
         assert root is not None and root.end is not None
-        for stage in ("rpc:route_search", "fanout", "rpc:search",
+        # Routing comes from the client's cached route table — no
+        # route_search RPC appears on the search path any more.
+        for stage in ("fanout", "rpc:search",
                       "cache_commit", "plan", "index_scan"):
             assert root.find(stage), f"missing stage: {stage}"
         # Fan-out legs are marked parallel, one rpc:search per targeted node.

@@ -178,7 +178,9 @@ def test_updates_after_checkpoint_are_lost_on_failover():
     client.index_path("/d/late", pid=1)
     client.flush_updates()
     service.commit_all()
-    route = service.master.partitions.partition_of(vfs.stat("/d/late").ino)
+    # The client placed the update, so its route cache — not the Master's
+    # file map — knows which partition holds the late file.
+    route = client._file_routes[vfs.stat("/d/late").ino]
     victim = service.master.partitions.get(route).node
     service.fail_node(victim)
     service.failover(victim)

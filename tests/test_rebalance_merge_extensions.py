@@ -49,15 +49,30 @@ def populate(service, client, n=120, files_per_process=30):
 
 # -- migration / rebalance / merge ----------------------------------------------
 
+def hosted_files(service, p):
+    """Files a partition's owner actually holds.  The Master only learns
+    sizes from heartbeats now, so tests read the node side directly."""
+    node = service.index_nodes.get(p.node) if p.node else None
+    replica = node.replicas.get(p.partition_id) if node else None
+    return replica.file_count if replica else 0
+
+
+def node_files(service, name):
+    return sum(r.file_count
+               for r in service.index_nodes[name].replicas.values())
+
+
 def test_migrate_partition_moves_data_and_serves():
     service, client = build()
     populate(service, client)
-    partition = next(p for p in service.master.partitions.partitions() if p.files)
+    partition = next(p for p in service.master.partitions.partitions()
+                     if hosted_files(service, p))
+    size = hosted_files(service, partition)
     source = partition.node
     target = next(n for n in service.master.index_nodes if n != source)
     before = client.search("size>0")
     moved = service.master.migrate_partition(partition.partition_id, target)
-    assert moved == partition.size
+    assert moved == size
     assert partition.node == target
     assert partition.partition_id not in service.index_nodes[source].replicas
     assert client.search("size>0") == before
@@ -66,7 +81,8 @@ def test_migrate_partition_moves_data_and_serves():
 def test_migrate_to_same_node_is_noop():
     service, client = build()
     populate(service, client)
-    partition = next(p for p in service.master.partitions.partitions() if p.files)
+    partition = next(p for p in service.master.partitions.partitions()
+                     if hosted_files(service, p))
     assert service.master.migrate_partition(partition.partition_id,
                                             partition.node) == 0
 
@@ -86,15 +102,18 @@ def test_rebalance_levels_loads():
     # Skew everything onto one node first.
     heavy = master.index_nodes[0]
     for partition in master.partitions.partitions():
-        if partition.node != heavy and partition.files:
+        if partition.node != heavy and hosted_files(service, partition):
             master.migrate_partition(partition.partition_id, heavy)
-    assert master.partitions.node_load(heavy) == 150
+    assert node_files(service, heavy) == 150
     before = client.search("size>0")
+    # Rebalancing works off heartbeat-reported sizes; drive one round.
+    master.poll_heartbeats()
     moves = master.rebalance(tolerance=0.25)
     assert moves >= 1
-    loads = [master.partitions.node_load(n) for n in master.index_nodes]
-    assert max(loads) <= (sum(loads) / len(loads)) * 1.25 + max(
-        p.size for p in master.partitions.partitions())
+    loads = [node_files(service, n) for n in master.index_nodes]
+    biggest = max(hosted_files(service, p)
+                  for p in master.partitions.partitions())
+    assert max(loads) <= (sum(loads) / len(loads)) * 1.25 + biggest
     assert client.search("size>0") == before
 
 
@@ -107,10 +126,13 @@ def test_rebalance_single_node_is_noop():
 def test_merge_partitions_absorbs_and_serves():
     service, client = build()
     populate(service, client)
-    parts = [p for p in service.master.partitions.partitions() if p.files]
+    parts = [p for p in service.master.partitions.partitions()
+             if hosted_files(service, p)]
     assert len(parts) >= 2
     keep, absorb = parts[0], parts[1]
-    absorbed_files = set(absorb.files)
+    absorbed_files = set(
+        service.index_nodes[absorb.node]
+        .replicas[absorb.partition_id].store.file_ids())
     before = client.search("size>0")
     moved = service.master.merge_partitions(keep.partition_id, absorb.partition_id)
     assert moved == len(absorbed_files)
