@@ -103,6 +103,7 @@ def _run(cfg: BenchConfig):
     sql_up, sql_search = run_minisql(total_files, config)
 
     ratio = sql_up.mean() / prop_up.mean()
+    cache_hit_rate = service.registry.value("search.result_cache_hit_rate")
     rows = [
         ["Propeller", format_duration(prop_up.mean()),
          format_duration(prop_up.maximum()),
@@ -119,12 +120,12 @@ def _run(cfg: BenchConfig):
         title=f"Figure 10 — mixed workload ({n_updates} updates, search "
               "every 1024, commit every 500; dataset scaled 1:1000)")
     return (table, prop_up, prop_search, sql_up, sql_search, ratio,
-            service, total_files, n_updates)
+            cache_hit_rate, service, total_files, n_updates)
 
 
 def run(cfg: BenchConfig):
     (table, prop_up, prop_search, sql_up, sql_search, ratio,
-     service, total_files, n_updates) = _run(cfg)
+     cache_hit_rate, service, total_files, n_updates) = _run(cfg)
     latency = {
         "prop_update_mean_s": prop_up.mean(),
         "prop_update_max_s": prop_up.maximum(),
@@ -143,13 +144,14 @@ def run(cfg: BenchConfig):
         "latency_s": latency,
         "series": service.timeline.to_dict()["series"] if service.timeline.enabled else {},
         "staleness": service.freshness.summary() if service.freshness.enabled else {},
+        "metrics": {"search.result_cache_hit_rate": cache_hit_rate},
         "extra": {"update_ratio": ratio},
     }
 
 
 def test_fig10_mixed_workload(benchmark, record_result):
-    (table, prop_up, _, sql_up, _, ratio,
-     _, _, _) = _run(default_cfg(instrument=False))
+    (table, prop_up, prop_search, sql_up, _, ratio,
+     cache_hit_rate, _, _, _) = _run(default_cfg(instrument=False))
     record_result("fig10_mixed_workload", table)
 
     # Propeller's update path is microseconds; MiniSQL's is milliseconds.
@@ -157,6 +159,11 @@ def test_fig10_mixed_workload(benchmark, record_result):
     assert sql_up.mean() > 500e-6
     # The paper's headline factor: two orders of magnitude or more.
     assert ratio > 50
+    # Repeated identical searches between commits are served from the
+    # watermark-keyed result cache (default tier runs several searches
+    # against the same query string).
+    if len(prop_search) > 1:
+        assert cache_hit_rate >= 0.5, cache_hit_rate
 
     small = MixedWorkloadConfig(n_updates=512, search_every=1024,
                                 commit_every=500, query=QUERY)

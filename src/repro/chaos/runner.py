@@ -48,6 +48,10 @@ _REPORT_COUNTERS = (
     "cluster.master.migrations_aborted",
     "cluster.master.migration_finish_deferred",
     "cluster.freshness.expired",
+    "search.prune_attempts",
+    "search.partitions_pruned",
+    "search.partitions_searched",
+    "cluster.client.summary_refreshes",
 )
 
 
@@ -124,7 +128,7 @@ class ChaosRunner:
                 if file_id in node.replicas[acg_id].store:
                     return acg_id
             for acg_id in sorted(node.cache.pending_acgs()):
-                for update in node.cache._pending.get(acg_id, ()):
+                for update in node.cache.pending_ops(acg_id):
                     if update.file_id == file_id and update.op is UpdateOp.UPSERT:
                         return acg_id
         return None
@@ -214,6 +218,41 @@ class ChaosRunner:
                     "step": -1, "kind": "search_phantom_path",
                     "detail": f"mid-chaos search returned unknown {path}"})
                 break
+        self._check_prune_recall()
+
+    def _check_prune_recall(self) -> None:
+        """Pruned-vs-unpruned recall oracle, interleaved with the faults.
+
+        ``chaos`` values are monotonic, so a newest-window query is
+        exactly the selective shape summaries prune: every partition
+        whose zone-map high sits below the cutoff can be skipped.  The
+        same query re-run with pruning disabled is the ground truth —
+        any difference (when neither run was degraded) means pruning
+        dropped a matching file, which must be impossible.
+        """
+        cutoff = max(0, self._next_file - 8)
+        query = f"chaos>={cutoff}"
+        try:
+            pruned_run = self.client.search_detailed(query)
+            self.client.prune_searches = False
+            try:
+                full_run = self.client.search_detailed(query)
+            finally:
+                self.client.prune_searches = True
+        except ClusterError:
+            self.client.prune_searches = True
+            self.aborted_ops += 1
+            return
+        if pruned_run.degraded or full_run.degraded:
+            # A leg failed in one of the runs: the answers may diverge
+            # for availability reasons, not pruning ones.
+            return
+        if set(pruned_run.paths) != set(full_run.paths):
+            self.violations.append({
+                "step": -1, "kind": "prune_recall_loss",
+                "detail": (f"query {query!r}: pruned fan-out returned "
+                           f"{sorted(pruned_run.paths)} but the unpruned "
+                           f"fan-out returned {sorted(full_run.paths)}")})
 
     def _do_migrate(self, pick: int, target_ordinal: int) -> None:
         """Online-migrate one placed partition to a (live) target node.

@@ -57,6 +57,14 @@ class IndexCache:
         """ACG ids that currently have uncommitted updates."""
         return list(self._pending)
 
+    def pending_ops(self, acg_id: int) -> tuple:
+        """The uncommitted updates parked for one ACG (empty if none).
+
+        Public read-only view — callers (locate probes, heartbeat
+        builders, prune validation) must not reach into ``_pending``.
+        """
+        return tuple(self._pending.get(acg_id, ()))
+
     def add(self, acg_id: int, update: IndexUpdate, now: float) -> None:
         """Park one update; records arrival time for the timeout."""
         bucket = self._pending.setdefault(acg_id, [])

@@ -25,6 +25,7 @@ from repro.fs.vfs import VirtualFileSystem
 from repro.indexstructures.base import IndexKind
 from repro.query.ast import Predicate
 from repro.query.executor import DEGRADABLE_ERRORS, FanoutOutcome, scatter_gather
+from repro.query.summary import SummarySnapshot, summary_may_match
 from repro.query.parser import parse_query, parse_query_directory
 from repro.query.planner import IndexSpec
 from repro.sim.rpc import RpcNetwork
@@ -38,6 +39,11 @@ _INODE_ATTRS = ("size", "mtime", "ctime", "uid")
 # the Master spreads each slab across Index Nodes exactly the way its
 # own per-file placement would.
 _ALLOC_BATCH = 4
+
+# Minimum virtual seconds between summary-table polls.  Summaries only
+# change on heartbeat delivery (every ~5 s), so polling faster buys
+# nothing; the fresh-marker protocol makes the poll itself nearly free.
+_SUMMARY_REFRESH_MIN_S = 5.0
 
 
 @dataclass
@@ -103,6 +109,19 @@ class PropellerClient:
         self.route_cache_misses = 0
         self.stale_route_nacks = 0
         self.route_refreshes = 0
+        # -- summary cache (the search-pruning layer) ------------------------
+        # Partition summaries (Bloom + zone maps) fetched from the
+        # Master's versioned summary table; a search leg whose summary
+        # proves it cannot match is *asked to be skipped* — the owning
+        # node validates the skip against its live watermark, so a stale
+        # entry here costs a fallback search, never a missed result.
+        self._summaries: Dict[int, SummarySnapshot] = {}
+        self._summary_version = 0
+        self._summary_fetch_t: Optional[float] = None
+        self.summary_refreshes = 0
+        # Ops/testing knob: False forces every leg to be searched (the
+        # unpruned fan-out), which oracles prove pruning lossless against.
+        self.prune_searches = True
         self.searches_issued = 0
         self.updates_sent = 0
         self.updates_requeued = 0
@@ -196,6 +215,30 @@ class PropellerClient:
         if self.registry is not None:
             self.registry.counter("cluster.client.route_refreshes").inc()
         self._apply_route_table(table)
+
+    def _refresh_summaries(self) -> None:
+        """Throttled poll of the Master's partition-summary table.
+
+        Best-effort: a failed or skipped poll just leaves the cache as
+        is — pruning decisions degrade to "search everything", which is
+        always safe."""
+        now = self.vfs.clock.now()
+        if (self._summary_fetch_t is not None
+                and now - self._summary_fetch_t < _SUMMARY_REFRESH_MIN_S):
+            return
+        try:
+            table = self.rpc.call(self.master, "summary_table",
+                                  self._summary_version, local=self.local)
+        except DEGRADABLE_ERRORS:
+            return
+        self._summary_fetch_t = now
+        self.summary_refreshes += 1
+        if self.registry is not None:
+            self.registry.counter("cluster.client.summary_refreshes").inc()
+        if table.fresh:
+            return
+        self._summary_version = table.version
+        self._summaries = {s.acg_id: s for s in table.entries}
 
     def _learn_route(self, file_id: int, acg_id: int,
                      node: Optional[str] = None) -> None:
@@ -370,22 +413,47 @@ class PropellerClient:
         try:
             self.rpc.call(target_node, "index_update", target_acg,
                           [IndexUpdate.delete(inode.ino)], local=self.local)
-        except DEGRADABLE_ERRORS:
-            self.lost_deletes.append(inode.ino)
-            self.freshness.forget(inode.ino)
             self._forget_file(inode.ino)
-            if self.registry is not None:
-                self.registry.counter("cluster.client.lost_deletes").inc()
+            return
+        except DEGRADABLE_ERRORS:
+            pass
         except StaleRoute:
             # Mid-migration debris NACKed the delete: queue it for the
             # batched path, which refreshes routes and retries.
-            self._note_nacks(1)
-            self._pending.append((-1, IndexUpdate.delete(inode.ino)))
-            self.updates_requeued += 1
-            if self.registry is not None:
-                self.registry.counter("cluster.client.requeued_updates").inc()
-        else:
-            self._forget_file(inode.ino)
+            self._queue_nacked_delete(inode.ino)
+            return
+        # The cached owner was unreachable — a failover may already have
+        # re-homed the partition.  One route refresh, then retry the new
+        # owner before recording the entry as debt.
+        try:
+            self._refresh_routes()
+        except DEGRADABLE_ERRORS:
+            pass
+        new_node = self._route_nodes.get(target_acg)
+        if new_node and new_node != target_node:
+            try:
+                self.rpc.call(new_node, "index_update", target_acg,
+                              [IndexUpdate.delete(inode.ino)],
+                              local=self.local)
+                self._forget_file(inode.ino)
+                return
+            except StaleRoute:
+                self._queue_nacked_delete(inode.ino)
+                return
+            except DEGRADABLE_ERRORS:
+                pass
+        self.lost_deletes.append(inode.ino)
+        self.freshness.forget(inode.ino)
+        self._forget_file(inode.ino)
+        if self.registry is not None:
+            self.registry.counter("cluster.client.lost_deletes").inc()
+
+    def _queue_nacked_delete(self, file_id: int) -> None:
+        self._note_nacks(1)
+        self._pending.append((-1, IndexUpdate.delete(file_id)))
+        self.updates_requeued += 1
+        if self.registry is not None:
+            self.registry.counter("cluster.client.requeued_updates").inc()
 
     def _on_rename(self, old_path: str, new_path: str, inode: Inode) -> None:
         """A rename keeps the inode but changes the path — and therefore
@@ -877,15 +945,38 @@ class PropellerClient:
                     self._refresh_routes()
                 except DEGRADABLE_ERRORS:
                     pass
+            self._refresh_summaries()
             # Fan out along the cached route table — every placed
             # partition, since even a zero-size one may have absorbed
-            # updates since the table was fetched.
+            # updates since the table was fetched.  Partitions whose
+            # cached summary *proves* they cannot match are asked to be
+            # skipped instead of searched: the skip request carries the
+            # summary's watermark and the owning node only honours it
+            # after re-validating (exact watermark, nothing pending), so
+            # pruning can never lose a result — a Bloom false positive
+            # or stale summary just costs a searched leg.
+            now = clock.now()
             routing: Dict[str, List[int]] = {}
+            pruned: Dict[str, Dict[int, Tuple[str, int, int]]] = {}
             for acg_id, node in self._route_nodes.items():
-                if node:
+                if not node:
+                    continue
+                snap = (self._summaries.get(acg_id)
+                        if self.prune_searches else None)
+                if (snap is not None and not snap.dirty
+                        and not summary_may_match(snap, predicate, now)):
+                    pruned.setdefault(node, {})[acg_id] = snap.watermark
+                else:
                     routing.setdefault(node, []).append(acg_id)
+            prune_attempts = sum(len(v) for v in pruned.values())
+            # Per-node leg accounting: a failed leg's *pruned* partitions
+            # count as unserved too (their skip was never validated), so
+            # the retry round re-covers them.
+            legs: Dict[str, List[int]] = {n: list(a) for n, a in routing.items()}
+            for node, skips in pruned.items():
+                legs.setdefault(node, []).extend(sorted(skips))
             names = [index_name] if index_name else None
-            if not routing:
+            if not legs:
                 outcome = FanoutOutcome()
             else:
                 # Index Nodes serve their share in parallel (Figure 6);
@@ -895,12 +986,14 @@ class PropellerClient:
                 # sum.  Legs that fail transiently after retries degrade
                 # the answer instead of failing it (scatter_gather).
                 with self.tracer.span("fanout", parallel=True,
-                                      nodes=len(routing)) as span:
+                                      nodes=len(legs)) as span:
                     outcome = scatter_gather(
-                        clock, routing,
+                        clock, legs,
                         lambda n: self.rpc.call(
-                            n, "search", routing[n], predicate, names,
-                            local=self.local, epoch=self._route_epoch))
+                            n, "search", routing.get(n, []), predicate,
+                            names, local=self.local,
+                            epoch=self._route_epoch,
+                            pruned=pruned.get(n) or None))
                     if outcome.degraded:
                         span.set_attribute(
                             "unreachable", sorted(outcome.unreachable))
@@ -916,6 +1009,13 @@ class PropellerClient:
                 self.registry.counter(
                     "cluster.client.unreachable_partitions").inc(
                         len(outcome.unreachable_partitions))
+            if prune_attempts:
+                self.registry.counter("search.prune_attempts").inc(
+                    prune_attempts)
+            self.registry.counter("search.partitions_pruned").inc(
+                len(outcome.pruned_ok))
+            self.registry.counter("search.partitions_searched").inc(
+                len(results))
             self.registry.histogram("cluster.client.search_latency_s").observe(
                 clock.now() - start)
         return results
@@ -924,13 +1024,17 @@ class PropellerClient:
                       predicate: Predicate,
                       names: Optional[List[str]]) -> FanoutOutcome:
         """One retry round after a stale fan-out: refresh the route table
-        and re-query only the partitions the first round didn't serve."""
+        and re-query only the partitions the first round didn't serve.
+
+        Validated skips (``pruned_ok``) count as served; the retry round
+        itself never prunes — after a stale first round the summaries
+        are suspect, so it fails open and searches everything left."""
         self._note_nacks(sum(len(v) for v in outcome.stale.values()))
         try:
             self._refresh_routes()
         except DEGRADABLE_ERRORS:
             return outcome
-        served = {r.acg_id for r in outcome.results}
+        served = {r.acg_id for r in outcome.results} | outcome.pruned_ok
         routing: Dict[str, List[int]] = {}
         for acg_id, node in self._route_nodes.items():
             if node and acg_id not in served:
@@ -939,7 +1043,8 @@ class PropellerClient:
             # Everything still placed was already answered; the failed
             # legs covered partitions the fresh table no longer lists.
             return FanoutOutcome(results=list(outcome.results),
-                                 node_epochs=dict(outcome.node_epochs))
+                                 node_epochs=dict(outcome.node_epochs),
+                                 pruned_ok=set(outcome.pruned_ok))
         with self.tracer.span("fanout_retry", parallel=True,
                               nodes=len(routing)):
             retry = scatter_gather(
@@ -952,7 +1057,8 @@ class PropellerClient:
             unreachable=retry.unreachable,
             errors=retry.errors,
             stale=retry.stale,
-            node_epochs={**outcome.node_epochs, **retry.node_epochs})
+            node_epochs={**outcome.node_epochs, **retry.node_epochs},
+            pruned_ok=outcome.pruned_ok | retry.pruned_ok)
 
     def profile_search(self, query: str,
                        index_name: Optional[str] = None):

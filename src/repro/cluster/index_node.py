@@ -27,7 +27,9 @@ from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
+from repro.query.canonical import canonicalize, is_time_dependent
 from repro.query.executor import AttributeStore, execute, execute_plans, tokenize_path
+from repro.query.summary import PartitionSummary, SummarySnapshot
 from repro.query.planner import (
     KEYWORD_ATTR,
     IndexSpec,
@@ -42,18 +44,35 @@ from repro.sim.rpc import RpcEndpoint
 _CACHE_ADD_OPS = 2_000          # hash insert into the in-memory cache
 _COMMIT_UPDATE_OPS = 8_000      # apply one update to one index
 _EXAMINE_OPS = 500              # residual-filter one candidate
+_REBUILD_OPS_PER_FILE = 100     # re-observe one file during summary rebuild
+
+# Per-node result cache entries (each is one ACG's answer to one
+# canonical predicate at one commit watermark).
+_RESULT_CACHE_CAP = 256
 
 
 class AcgReplica:
     """Everything one Index Node keeps for one ACG."""
 
-    def __init__(self, acg_id: int, machine: Machine) -> None:
+    def __init__(self, acg_id: int, machine: Machine,
+                 incarnation: int = 0) -> None:
         self.acg_id = acg_id
         self.machine = machine
         self.graph = AccessCausalityGraph()
         self.store = AttributeStore()
         self.indexes: Dict[str, Index] = {}
         self.specs: Dict[str, IndexSpec] = {}
+        # Commit-watermark pieces: ``incarnation`` is a per-node counter
+        # stamped at replica creation (a dropped-then-recreated replica
+        # can reach the same applied count with different content, so
+        # the count alone is not a safe version), ``applied`` bumps once
+        # per committed update.  Together with the node name they form
+        # the watermark that versions summaries and the result cache.
+        self.incarnation = incarnation
+        self.applied = 0
+        # Pruning summary, widened in lock-step with every apply() — the
+        # bookkeeping rides on the commit's existing CPU charge.
+        self.summary = PartitionSummary()
 
     # On-disk footprint multiplier: the attribute store plus roughly one
     # serialized structure per index (B+tree, hash, serialized KD-tree).
@@ -113,14 +132,23 @@ class AcgReplica:
     def apply(self, update: IndexUpdate) -> None:
         """Apply one committed update to the store and every index."""
         self.machine.compute(_COMMIT_UPDATE_OPS * max(1, len(self.specs)))
+        self.applied += 1
         if update.op is UpdateOp.DELETE:
             self._deindex(update.file_id)
             self.store.drop(update.file_id)
             self.graph.remove_file(update.file_id)
+            # Deletes leave the summary wide (safe direction); rebuild
+            # deterministically once the slack passes the live set size.
+            self.summary.note_delete()
+            if self.summary.needs_rebuild(len(self.store)):
+                self.machine.compute(
+                    _REBUILD_OPS_PER_FILE * max(1, len(self.store)))
+                self.summary.rebuild(self.store)
             return
         self._deindex(update.file_id)
         self.store.put(update.file_id, update.attr_dict, path=update.path)
         attrs = self.store.attrs(update.file_id)
+        self.summary.observe(attrs, self.store.keywords(update.file_id))
         for name, spec in self.specs.items():
             index = self.indexes[name]
             if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
@@ -173,6 +201,25 @@ class IndexNode:
         self.freshness = NULL_FRESHNESS
         self.replicas: Dict[int, AcgReplica] = {}
         self._global_specs: Dict[str, IndexSpec] = {}
+        # Monotonic replica-incarnation counter: every replica this node
+        # ever creates gets a distinct incarnation, making commit
+        # watermarks identity-scoped (see AcgReplica.__init__).
+        self._next_incarnation = 0
+        # Per-ACG query result cache: (acg_id, canonical predicate,
+        # index-name tuple) -> (watermark-tail, SearchResult).  Entries
+        # are valid only while the replica's (incarnation, applied) pair
+        # still matches — a commit invalidates by watermark advance, for
+        # free.  Time-dependent predicates are never cached.
+        self._result_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        # Ops/benchmarking knob: False bypasses the result cache so every
+        # search pays the real plan/scan cost (e.g. to measure residency).
+        self.result_caching = True
+        # Prune-validation outcomes (client-requested skips this node
+        # confirmed vs. had to search anyway).
+        self.prunes_validated = 0
+        self.prune_fallbacks = 0
         # Crash-consistency bookkeeping: when this node last persisted
         # its ACGs to shared storage (failover restores that snapshot),
         # and how many WAL records recovery has had to drop at torn or
@@ -253,7 +300,9 @@ class IndexNode:
         if replica is None:
             if not create:
                 raise UnknownAcg(f"{self.name} does not host ACG {acg_id}")
-            replica = AcgReplica(acg_id, self.machine)
+            self._next_incarnation += 1
+            replica = AcgReplica(acg_id, self.machine,
+                                 incarnation=self._next_incarnation)
             for spec in self._global_specs.values():
                 replica.ensure_index(spec)
             self.replicas[acg_id] = replica
@@ -317,6 +366,14 @@ class IndexNode:
         """Whether this node currently owns an ACG for epoch-stamped
         traffic: it hosts a replica and has not handed it off."""
         return acg_id in self.replicas and acg_id not in self.handoff_intents
+
+    def watermark(self, acg_id: int) -> Tuple[str, int, int]:
+        """The commit watermark of one hosted replica: (node, replica
+        incarnation, applied-update count).  Identity-scoped, so a
+        watermark taken from a previous life of the ACG — on this node
+        or any other — can never equal the current one."""
+        replica = self.replicas[acg_id]
+        return (self.name, replica.incarnation, replica.applied)
 
     def handle_own_partition(self, acg_id: int, epoch: int) -> None:
         """Master grant: this node owns ``acg_id`` as of ``epoch``.
@@ -437,17 +494,39 @@ class IndexNode:
             # A just-indexed file can still sit in the pending cache;
             # the last buffered op for the file decides its presence.
             last_op = None
-            for update in self.cache._pending.get(acg_id, ()):
+            for update in self.cache.pending_ops(acg_id):
                 if update.file_id == file_id:
                     last_op = update.op
             if last_op is UpdateOp.UPSERT:
                 return acg_id
         return None
 
+    def _purge_result_cache(self, acg_id: int) -> None:
+        for key in [k for k in self._result_cache if k[0] == acg_id]:
+            del self._result_cache[key]
+
     def _search_one(self, acg_id: int, predicate: Predicate,
                     index_names: Optional[Sequence[str]]) -> SearchResult:
         now = self.machine.clock.now()
         self.cache.commit_for_search(acg_id)
+        # Result cache: checked *after* the forced commit, so any pending
+        # updates have already advanced the watermark and a stale entry
+        # cannot hit.  Time-dependent predicates (symbolic RelativeAge
+        # bounds) are excluded — their answer can change with no commit.
+        cache_key = None
+        if self.result_caching and not is_time_dependent(predicate):
+            replica = self.replicas[acg_id]
+            cache_key = (acg_id, canonicalize(predicate),
+                         tuple(index_names) if index_names else None)
+            entry = self._result_cache.get(cache_key)
+            if entry is not None:
+                tail, cached = entry
+                if tail == (replica.incarnation, replica.applied):
+                    self._result_cache.move_to_end(cache_key)
+                    self.result_cache_hits += 1
+                    self.machine.compute(_EXAMINE_OPS)  # lookup, no scan
+                    return cached
+            self.result_cache_misses += 1
         with self.tracer.span("page_faults", node=self.name, acg=acg_id) as span:
             span.set_attribute("resident", self.is_resident(acg_id))
             self._ensure_resident(acg_id)
@@ -467,24 +546,59 @@ class IndexNode:
         paths = tuple(sorted(
             p for p in (replica.store.attrs(f).get("path") for f in file_ids)
             if p is not None))
-        return SearchResult(node=self.name, acg_id=acg_id,
-                            file_ids=frozenset(file_ids), paths=paths)
+        result = SearchResult(node=self.name, acg_id=acg_id,
+                              file_ids=frozenset(file_ids), paths=paths)
+        if cache_key is not None:
+            self._result_cache[cache_key] = (
+                (replica.incarnation, replica.applied), result)
+            self._result_cache.move_to_end(cache_key)
+            while len(self._result_cache) > _RESULT_CACHE_CAP:
+                self._result_cache.popitem(last=False)
+        return result
 
     def handle_search(self, acg_ids: Sequence[int], predicate: Predicate,
                       index_names: Optional[Sequence[str]] = None,
-                      epoch: Optional[int] = None):
+                      epoch: Optional[int] = None,
+                      pruned: Optional[Dict[int, Tuple[str, int, int]]] = None):
         """Search the given ACGs; commits their pending updates first.
 
         Legacy (unstamped) calls silently skip ACGs this node does not
         host and return a bare result list.  Epoch-stamped calls return a
         :class:`SearchReply` that also *names* the requested ACGs this
         node does not own (``not_owned``) — the search-path stale-route
-        NACK — plus the node's own routing epoch."""
+        NACK — plus the node's own routing epoch.
+
+        ``pruned`` maps ACG ids the client wants to *skip* to the summary
+        watermark its skip decision was based on.  The skip is honoured
+        only when this node can prove it safe: it owns the ACG, nothing
+        is pending in the index cache, and the watermark matches the
+        replica's current one exactly.  Anything else — stale summary,
+        pending updates, recreated replica — fails open and is searched
+        like a normal leg.  This is what makes pruning false negatives
+        impossible: the node, which has ground truth, gets the last word.
+        """
         if epoch is None:
+            # Legacy path has no validation protocol: never honour skips,
+            # just search the pruned ACGs along with the rest.
+            ids = list(acg_ids) + [a for a in sorted(pruned or ())
+                                   if a not in acg_ids]
             return [self._search_one(acg_id, predicate, index_names)
-                    for acg_id in acg_ids if acg_id in self.replicas]
+                    for acg_id in ids if acg_id in self.replicas]
         reply = SearchReply(node=self.name, epoch=self.route_epoch_seen)
         not_owned: List[int] = []
+        pruned_ok: List[int] = []
+        for acg_id, watermark in sorted((pruned or {}).items()):
+            if not self.owns(acg_id):
+                not_owned.append(acg_id)
+                continue
+            if (not self.cache.pending_ops(acg_id)
+                    and tuple(watermark) == self.watermark(acg_id)):
+                pruned_ok.append(acg_id)
+                self.prunes_validated += 1
+            else:
+                self.prune_fallbacks += 1
+                reply.results.append(
+                    self._search_one(acg_id, predicate, index_names))
         for acg_id in acg_ids:
             if not self.owns(acg_id):
                 not_owned.append(acg_id)
@@ -493,17 +607,22 @@ class IndexNode:
         if not_owned:
             self.stale_route_nacks += len(not_owned)
             reply.not_owned = tuple(sorted(not_owned))
+        reply.pruned_ok = tuple(sorted(pruned_ok))
         return reply
 
     def handle_explain(self, acg_ids: Sequence[int], predicate: Predicate,
                        index_names: Optional[Sequence[str]] = None
                        ) -> List[Tuple[int, List[str]]]:
         """EXPLAIN: the access path(s) each ACG would use for a query,
-        without executing it (and without forcing cache commits)."""
+        without executing it (and without forcing cache commits).
+
+        Uses the same ownership test as the search path: a handed-off
+        (migrated-away) replica must not report plans for an ACG this
+        node no longer answers for."""
         now = self.machine.clock.now()
         out: List[Tuple[int, List[str]]] = []
         for acg_id in acg_ids:
-            if acg_id not in self.replicas:
+            if not self.owns(acg_id):
                 continue
             replica = self.replicas[acg_id]
             specs = [replica.specs[n] for n in (index_names or replica.specs)
@@ -572,6 +691,7 @@ class IndexNode:
     def handle_drop_partition(self, acg_id: int) -> None:
         """Forget a migrated-away ACG entirely."""
         self.replicas.pop(acg_id, None)
+        self._purge_result_cache(acg_id)
         if acg_id in self._resident:
             self._resident_bytes -= self._resident.pop(acg_id)
 
@@ -649,19 +769,34 @@ class IndexNode:
         pending: Dict[int, Set[int]] = {}
         for acg_id in self.cache.pending_acgs():
             ids = pending.setdefault(acg_id, set())
-            for update in self.cache._pending.get(acg_id, ()):
+            for update in self.cache.pending_ops(acg_id):
                 if update.op is UpdateOp.UPSERT:
                     ids.add(update.file_id)
         sizes = {}
+        summaries: List[SummarySnapshot] = []
         for acg_id, replica in self.replicas.items():
             extra = sum(1 for fid in pending.get(acg_id, ())
                         if fid not in replica.store)
             sizes[acg_id] = replica.file_count + extra
+            if acg_id in self.handoff_intents:
+                # Handed off: the migration target's summary is the one
+                # that will validate after the flip — don't advertise a
+                # watermark no future search can match.
+                continue
+            summaries.append(replica.summary.snapshot(
+                acg_id=acg_id,
+                watermark=self.watermark(acg_id),
+                # Any uncommitted update (upsert *or* delete) marks the
+                # snapshot dirty: clients must not prune on it.
+                dirty=bool(self.cache.pending_ops(acg_id)),
+                file_count=replica.file_count,
+            ))
         return Heartbeat(
             node=self.name,
             timestamp=self.machine.clock.now(),
             acg_sizes=tuple(sorted(sizes.items())),
             free_bytes=self.machine.spec.ram_bytes,
+            summaries=tuple(sorted(summaries, key=lambda s: s.acg_id)),
         )
 
     # -- shared-storage persistence ----------------------------------------------------------
@@ -778,9 +913,10 @@ class IndexNode:
         """
         pending = sorted({u.file_id
                           for acg in self.cache.pending_acgs()
-                          for u in self.cache._pending[acg]})
+                          for u in self.cache.pending_ops(acg)})
         self.cache._pending.clear()
         self.cache._oldest.clear()
+        self._result_cache.clear()
         self.drop_resident()
         if torn_tail_bytes > 0:
             self.wal.simulate_torn_tail(torn_tail_bytes)
@@ -809,6 +945,7 @@ class IndexNode:
         self.replicas.clear()
         self.cache._pending.clear()
         self.cache._oldest.clear()
+        self._result_cache.clear()
         self._truncate_wal()
         self.handoff_intents.clear()
         self.migrated_away.clear()

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.messages import (Heartbeat, RouteEntry, RouteTable,
-                                    RouteTableEntry)
+                                    RouteTableEntry, SummaryTable)
 from repro.core.partition_manager import PartitionManager
 from repro.core.partitioner import PartitioningPolicy
 from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
@@ -26,6 +26,7 @@ from repro.sim.machine import Machine
 from repro.sim.rpc import RpcEndpoint, RpcNetwork
 
 _ROUTE_LOOKUP_OPS = 1_500   # one hash probe into the file→ACG map
+_SUMMARY_COPY_OPS = 300     # hand one summary snapshot to a client
 _CHECKPOINT_BYTES_PER_FILE = 24
 # How many (epoch, partition) changes the Master retains for the route
 # delta protocol; clients further behind get a full snapshot instead.
@@ -124,6 +125,12 @@ class MasterNode:
         # retried on later heartbeat rounds (see migrate_partition).
         self._pending_finishes: Dict[Tuple[str, int], MigrationEvent] = {}
         self._pending_cancels: Set[Tuple[str, int]] = set()
+        # Partition-summary cache, fed by heartbeat piggybacks: acg_id →
+        # latest SummarySnapshot from the partition's current owner.
+        # ``_summary_version`` bumps whenever any stored snapshot changes
+        # so clients can poll cheaply (fresh marker, no payload).
+        self._summaries: Dict[int, Any] = {}
+        self._summary_version = 0
         self.checkpoints_written = 0
         self.endpoint = RpcEndpoint("master")
         for method, handler in [
@@ -137,6 +144,7 @@ class MasterNode:
             ("file_deleted", self.file_deleted),
             ("lookup_file", self.lookup_file),
             ("report_heartbeat", self.report_heartbeat),
+            ("summary_table", self.summary_table),
         ]:
             self.endpoint.register(method, handler)
         rpc.add_endpoint(self.endpoint)
@@ -391,6 +399,34 @@ class MasterNode:
             partition = by_id.get(acg_id)
             if partition is not None and partition.node == heartbeat.node:
                 self._reported_sizes[acg_id] = size
+        # Partition-summary piggyback: accept a snapshot only from the
+        # partition's *current* owner (a stale ex-owner's summary could
+        # otherwise mask the live replica) and bump the version only on
+        # real changes so quiescent clusters stay on the fresh path.
+        for snapshot in getattr(heartbeat, "summaries", ()):
+            partition = by_id.get(snapshot.acg_id)
+            if partition is None or partition.node != heartbeat.node:
+                continue
+            if self._summaries.get(snapshot.acg_id) != snapshot:
+                self._summaries[snapshot.acg_id] = snapshot
+                self._summary_version += 1
+
+    def _drop_summary(self, acg_id: int) -> None:
+        if self._summaries.pop(acg_id, None) is not None:
+            self._summary_version += 1
+
+    def summary_table(self, since_version: int = 0) -> SummaryTable:
+        """Versioned dump of the partition-summary cache.
+
+        Not a routing RPC (and not counted as one): clients poll this on
+        their own throttle; the fresh marker makes the common quiescent
+        poll nearly free."""
+        if since_version == self._summary_version:
+            return SummaryTable(version=self._summary_version, fresh=True)
+        entries = tuple(self._summaries[acg_id]
+                        for acg_id in sorted(self._summaries))
+        self.machine.compute(_SUMMARY_COPY_OPS * max(1, len(entries)))
+        return SummaryTable(version=self._summary_version, entries=entries)
 
     def poll_heartbeats(self) -> List[str]:
         """Pull a heartbeat from every Index Node, then act on oversized
@@ -538,6 +574,7 @@ class MasterNode:
                         partition.node = None
                         lost_ids.append(partition.partition_id)
                         self._reported_sizes.pop(partition.partition_id, None)
+                        self._drop_summary(partition.partition_id)
                         self._bump_routing(partition.partition_id)
                         self.registry.counter(
                             "cluster.master.partitions_lost").inc()
@@ -627,6 +664,7 @@ class MasterNode:
         # Both halves changed shape: clients must drop their per-file
         # routes for the source ACG and learn the new one.
         self._reported_sizes.pop(acg_id, None)
+        self._drop_summary(acg_id)
         self._bump_routing(acg_id)
         self._notify_owner(target, new_partition.partition_id,
                            self._bump_routing(new_partition.partition_id))
@@ -788,6 +826,8 @@ class MasterNode:
         self.partitions.drop_partition(absorb_id)
         self._reported_sizes.pop(absorb_id, None)
         self._reported_sizes.pop(keep_id, None)
+        self._drop_summary(absorb_id)
+        self._drop_summary(keep_id)
         # Two visible routing changes: the absorbed id disappears (size
         # -1 in deltas) and the survivor's contents changed shape.
         self._bump_routing(absorb_id)

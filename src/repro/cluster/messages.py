@@ -118,6 +118,11 @@ class SearchReply:
     epoch: int
     results: List[SearchResult] = field(default_factory=list)
     not_owned: Tuple[int, ...] = ()
+    # ACGs the client asked to skip whose skip the node *validated*
+    # (summary watermark exact, no pending updates): served-with-empty-
+    # answer, proven by the node.  Unvalidated skips are searched anyway
+    # and come back in ``results`` instead.
+    pruned_ok: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -128,3 +133,24 @@ class Heartbeat:
     timestamp: float
     acg_sizes: Tuple[Tuple[int, int], ...] = ()   # (acg_id, file count)
     free_bytes: int = 0
+    # Partition summary snapshots for the ACGs this node answers for
+    # (repro.query.summary.SummarySnapshot) — piggybacked so summary
+    # distribution costs zero extra RPCs.
+    summaries: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class SummaryTable:
+    """A versioned dump of the Master's partition-summary cache.
+
+    Mirrors :class:`RouteTable`'s fresh/full protocol: ``version`` is a
+    Master-local counter bumped whenever any stored summary changes;
+    ``fresh`` short-circuits the already-up-to-date case with an empty
+    payload.  Deleted partitions simply stop appearing — clients replace
+    their cache wholesale on a non-fresh response, so no tombstones are
+    needed.
+    """
+
+    version: int
+    entries: Tuple[Any, ...] = ()   # SummarySnapshot tuple
+    fresh: bool = False

@@ -11,6 +11,7 @@ cost* — the mechanism behind Figure 2(a).
 """
 
 from repro.indexstructures.base import Index, IndexKind, make_index
+from repro.indexstructures.bloom import BloomFilter
 from repro.indexstructures.btree import BPlusTree
 from repro.indexstructures.hashindex import ExtendibleHashIndex
 from repro.indexstructures.kdtree import KDTreeIndex
@@ -19,6 +20,7 @@ __all__ = [
     "Index",
     "IndexKind",
     "make_index",
+    "BloomFilter",
     "BPlusTree",
     "ExtendibleHashIndex",
     "KDTreeIndex",

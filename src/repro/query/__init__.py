@@ -19,9 +19,12 @@ from repro.query.ast import (
     attributes_referenced,
     matches,
 )
+from repro.query.canonical import canonicalize, is_time_dependent
 from repro.query.executor import AttributeStore, execute, tokenize_path
 from repro.query.parser import parse_query, parse_query_directory
 from repro.query.planner import IndexSpec, Plan, plan_query
+from repro.query.summary import (PartitionSummary, SummarySnapshot,
+                                 summary_may_match)
 
 __all__ = [
     "And",
@@ -41,4 +44,9 @@ __all__ = [
     "IndexSpec",
     "Plan",
     "plan_query",
+    "canonicalize",
+    "is_time_dependent",
+    "PartitionSummary",
+    "SummarySnapshot",
+    "summary_may_match",
 ]

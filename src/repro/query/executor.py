@@ -51,6 +51,7 @@ class AttributeStore:
     def __init__(self) -> None:
         self._attrs: Dict[int, Dict[str, Any]] = {}
         self._keywords: Dict[int, FrozenSet[str]] = {}
+        self._bytes = 0  # running estimated_bytes: 64/entry + 16/attr
 
     def __len__(self) -> int:
         return len(self._attrs)
@@ -60,15 +61,22 @@ class AttributeStore:
 
     def put(self, file_id: int, attrs: Mapping[str, Any], path: Optional[str] = None) -> None:
         """Insert/refresh one file's attributes (and path keywords)."""
-        entry = self._attrs.setdefault(file_id, {})
+        entry = self._attrs.get(file_id)
+        if entry is None:
+            entry = self._attrs[file_id] = {}
+            self._bytes += 64
+        before = len(entry)
         entry.update(attrs)
         if path is not None:
             entry["path"] = path
             self._keywords[file_id] = tokenize_path(path)
+        self._bytes += 16 * (len(entry) - before)
 
     def drop(self, file_id: int) -> None:
         """Forget one file entirely."""
-        self._attrs.pop(file_id, None)
+        entry = self._attrs.pop(file_id, None)
+        if entry is not None:
+            self._bytes -= 64 + 16 * len(entry)
         self._keywords.pop(file_id, None)
 
     def attrs(self, file_id: int) -> Dict[str, Any]:
@@ -84,8 +92,13 @@ class AttributeStore:
         return iter(self._attrs)
 
     def estimated_bytes(self) -> int:
-        """Rough serialized size, used by the page-cache cost model."""
-        return sum(64 + 16 * len(a) for a in self._attrs.values())
+        """Rough serialized size, used by the page-cache cost model.
+
+        O(1): a running counter maintained by put/drop — this runs
+        inside every residency check, so a per-call sweep over every
+        entry would dominate large partitions.
+        """
+        return self._bytes
 
 
 def _candidates(plan: Plan, indexes: Mapping[str, Index],
@@ -155,6 +168,10 @@ class FanoutOutcome:
     errors: Dict[str, str] = field(default_factory=dict)
     stale: Dict[str, List[int]] = field(default_factory=dict)
     node_epochs: Dict[str, int] = field(default_factory=dict)
+    # Partitions the owning node *validated* as skippable (summary
+    # watermark matched, nothing pending) — these count as served even
+    # though no SearchResult came back for them.
+    pruned_ok: Set[int] = field(default_factory=set)
 
     @property
     def degraded(self) -> bool:
@@ -207,6 +224,7 @@ def scatter_gather(clock, routing: Mapping[str, Sequence[int]],
             outcome.node_epochs[node] = batch.epoch
             if batch.not_owned:
                 outcome.stale[node] = sorted(batch.not_owned)
+            outcome.pruned_ok.update(getattr(batch, "pruned_ok", ()))
         else:
             outcome.results.extend(batch)
     return outcome
