@@ -1,0 +1,241 @@
+"""Replication tail tolerance — hedged search legs and promotion failover.
+
+Two figures of merit for the RF=2 replication subsystem:
+
+* **Tail latency under stragglers** — one Index Node intermittently
+  pays a large per-message latency tax (the classic p99-ruining shape:
+  most messages fast, a few very slow).  The same search workload runs
+  with hedged legs off and on; hedging should collapse the p99/p50
+  ratio (the p50 barely moves — hedges only launch past the delay — but
+  the tail is served by the straggler's followers).  Every answer, in
+  both modes, must be byte-identical to an unpruned RF=1 oracle: a
+  hedge may never trade correctness for latency.
+
+* **Promotion vs checkpoint-adoption failover** — promotion is an epoch
+  bump plus a dictionary move on an already-caught-up follower, so its
+  cost stays flat as the dataset grows 10x; checkpoint adoption re-reads
+  the victim's checkpoint from shared storage and scales with data
+  volume.  The replay baseline is kept side by side.
+
+The artifact's ``extra["p99_over_p50"]`` feeds the harness comparison
+guard: a new run whose tail ratio grows past the threshold fails
+``repro bench --compare`` even when mean latency looks fine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from benchmarks.common import build_propeller
+from benchmarks.harness import BenchConfig, default_cfg
+from repro.chaos.faults import FaultInjector
+from repro.cluster import PropellerService
+from repro.core.partitioner import PartitioningPolicy
+from repro.fs.vfs import VirtualFileSystem
+from repro.indexstructures import IndexKind
+from repro.metrics.reporting import render_table
+
+QUERY = "size>=0"
+STRAGGLE_EXTRA_S = 0.25
+STRAGGLE_PROBABILITY = 0.08
+FAULT_SEED = 7
+GROUP_SIZE = 10
+SPLIT_THRESHOLD = 20
+
+STANDARD_INDICES = (("by_size", IndexKind.BTREE, ["size"]),)
+
+
+def _build_replicated(files: int, rf: int = 2, nodes: int = 3,
+                      partitions_target: int = 0):
+    """An indexed, replication-converged deployment (paths returned).
+
+    ``partitions_target`` pins the approximate partition count
+    regardless of ``files`` — the failover sweep uses it so 10x data
+    growth means 10x *per-partition* volume, not 10x more partitions."""
+    if partitions_target:
+        cluster_target = max(GROUP_SIZE, files // partitions_target)
+        split_threshold = 2 * cluster_target
+    else:
+        cluster_target, split_threshold = GROUP_SIZE, SPLIT_THRESHOLD
+    service = PropellerService(
+        num_index_nodes=nodes, replication_factor=rf,
+        policy=PartitioningPolicy(split_threshold=split_threshold,
+                                  cluster_target=cluster_target))
+    client = service.make_client()
+    for name, kind, attrs in STANDARD_INDICES:
+        client.create_index(name, kind, attrs)
+    vfs = service.vfs
+    vfs.mkdir("/data")
+    paths = []
+    for i in range(files):
+        path = f"/data/f{i:05d}.bin"
+        vfs.write_file(path, 1024 * (i + 1), pid=1)
+        paths.append(path)
+    client.index_paths(paths, pid=1)
+    client.flush_updates()
+    service.advance(10.0)
+    if rf > 1:
+        service.sync_replication()
+    client.prune_searches = False
+    return service, client, paths
+
+
+def _percentile(sorted_vals: List[float], p: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(p * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _tail_run(files: int, searches: int, hedging: bool
+              ) -> Tuple[Dict[str, float], List[str], Dict[str, float]]:
+    """One straggler workload: (percentiles, answer paths, counters)."""
+    service, client, _ = _build_replicated(files)
+    if client.hedging is not None:
+        client.hedging.enabled = hedging
+    # Warm the route cache (and its replica map) before injecting
+    # faults, so both modes start from the same routing state.
+    answer = sorted(client.search(QUERY))
+    faults = FaultInjector(seed=FAULT_SEED, registry=service.registry)
+    service.rpc.faults = faults
+    straggler = sorted({p.node for p in service.master.partitions.partitions()
+                        if p.node})[0]
+    faults.slow_node(straggler, STRAGGLE_EXTRA_S,
+                     probability=STRAGGLE_PROBABILITY)
+    samples = []
+    for _ in range(searches):
+        span = service.clock.span()
+        got = client.search(QUERY)
+        samples.append(span.elapsed())
+        assert sorted(got) == answer  # hedges never change the answer
+    samples.sort()
+    percentiles = {
+        "p50": _percentile(samples, 0.50),
+        "p95": _percentile(samples, 0.95),
+        "p99": _percentile(samples, 0.99),
+    }
+    counters = {
+        "hedges": service.registry.counter("cluster.client.hedges").value,
+        "hedge_wins":
+            service.registry.counter("cluster.client.hedge_wins").value,
+    }
+    return percentiles, answer, counters
+
+
+def _oracle_paths(files: int) -> List[str]:
+    """The unpruned single-owner answer the hedged modes must match."""
+    service, client, _ = _build_replicated(files, rf=1)
+    return sorted(client.search(QUERY))
+
+
+FAILOVER_PARTITIONS = 12
+
+
+def _failover_time(files: int, rf: int) -> float:
+    """Virtual seconds one failover takes at the given RF.
+
+    The partition count is pinned so growing ``files`` grows each
+    partition's data (and its WAL/checkpoint) rather than the number of
+    partitions being failed over."""
+    service, client, _ = _build_replicated(
+        files, rf=rf, partitions_target=FAILOVER_PARTITIONS)
+    if rf == 1:
+        # The adoption path restores from the victim's checkpoint.
+        service._checkpoint_all()
+    victim = sorted({p.node for p in service.master.partitions.partitions()
+                     if p.node})[0]
+    service.fail_node(victim)
+    span = service.clock.span()
+    service.failover(victim)
+    return span.elapsed()
+
+
+def _sweep(cfg: BenchConfig):
+    files = cfg.scale(240, 600)
+    searches = cfg.scale(80, 150)
+    off, answer_off, _ = _tail_run(files, searches, hedging=False)
+    on, answer_on, counters = _tail_run(files, searches, hedging=True)
+    oracle = _oracle_paths(files)
+    oracle_match = answer_off == oracle and answer_on == oracle
+    ratios = {
+        "hedging_off": off["p99"] / off["p50"] if off["p50"] else 0.0,
+        "hedging_on": on["p99"] / on["p50"] if on["p50"] else 0.0,
+    }
+
+    base_files = cfg.scale(120, 200)
+    grown_files = base_files * 10
+    failover = {
+        "promote_1x": _failover_time(base_files, rf=2),
+        "promote_10x": _failover_time(grown_files, rf=2),
+        "adopt_1x": _failover_time(base_files, rf=1),
+        "adopt_10x": _failover_time(grown_files, rf=1),
+    }
+
+    rows = [
+        ["hedging off", f"{off['p50'] * 1e3:.2f}", f"{off['p95'] * 1e3:.2f}",
+         f"{off['p99'] * 1e3:.2f}", f"{ratios['hedging_off']:.1f}"],
+        ["hedging on", f"{on['p50'] * 1e3:.2f}", f"{on['p95'] * 1e3:.2f}",
+         f"{on['p99'] * 1e3:.2f}", f"{ratios['hedging_on']:.1f}"],
+    ]
+    table = render_table(
+        ["mode", "p50 (ms)", "p95 (ms)", "p99 (ms)", "p99/p50"], rows,
+        title=f"search tail under an intermittent straggler "
+              f"({files} files, {searches} searches)")
+    frows = [
+        ["promotion (RF=2)", f"{failover['promote_1x'] * 1e3:.2f}",
+         f"{failover['promote_10x'] * 1e3:.2f}",
+         f"{failover['promote_10x'] / failover['promote_1x']:.2f}"],
+        ["checkpoint adoption (RF=1)", f"{failover['adopt_1x'] * 1e3:.2f}",
+         f"{failover['adopt_10x'] * 1e3:.2f}",
+         f"{failover['adopt_10x'] / failover['adopt_1x']:.2f}"],
+    ]
+    ftable = render_table(
+        ["failover path", f"{base_files} files (ms)",
+         f"{grown_files} files (ms)", "growth"], frows,
+        title="failover time vs data volume (10x growth)")
+    text = table + "\n\n" + ftable
+    return (off, on, ratios, oracle_match, counters, failover, text,
+            files, searches, base_files, grown_files)
+
+
+def run(cfg: BenchConfig):
+    (off, on, ratios, oracle_match, counters, failover, text,
+     files, searches, base_files, grown_files) = _sweep(cfg)
+    latency = {
+        "search_p50_hedging_off": off["p50"],
+        "search_p99_hedging_off": off["p99"],
+        "search_p50_hedging_on": on["p50"],
+        "search_p99_hedging_on": on["p99"],
+        **failover,
+    }
+    return {
+        "name": "replication_tail",
+        "params": {"files": files, "searches": searches,
+                   "base_files": base_files, "grown_files": grown_files,
+                   "straggle_extra_s": STRAGGLE_EXTRA_S,
+                   "straggle_probability": STRAGGLE_PROBABILITY,
+                   "query": QUERY},
+        "texts": {"replication_tail": text},
+        "latency_s": latency,
+        "metrics": counters,
+        "extra": {"p99_over_p50": ratios, "oracle_match": oracle_match},
+    }
+
+
+def test_hedging_collapses_tail_and_matches_oracle(record_result):
+    cfg = default_cfg()
+    (off, on, ratios, oracle_match, counters, failover, text,
+     *_rest) = _sweep(cfg)
+    record_result("replication_tail", text)
+    # Hedged answers are byte-identical to the unpruned RF=1 oracle.
+    assert oracle_match
+    # Hedges actually launched and won against the straggler.
+    assert counters["hedges"] > 0
+    assert counters["hedge_wins"] > 0
+    # The BENCH guard: hedging cuts the p99/p50 tail ratio >= 3x.
+    assert ratios["hedging_off"] / ratios["hedging_on"] >= 3.0, ratios
+    # Promotion time stays flat across 10x data growth while the replay
+    # (checkpoint adoption) baseline grows with the data.
+    assert failover["promote_10x"] < 2.0 * failover["promote_1x"], failover
+    assert (failover["adopt_10x"] / failover["adopt_1x"]
+            > failover["promote_10x"] / failover["promote_1x"]), failover

@@ -155,6 +155,12 @@ def compare_artifacts(old: Dict[str, Any], new: Dict[str, Any],
     ``latency_s`` entry where new exceeds old by more than ``threshold``
     (relative).  Simulated latencies are deterministic, so any excess is
     a real code-path change, not noise.
+
+    Artifacts carrying ``extra["p99_over_p50"]`` (tail-latency ratios,
+    see ``bench_replication_tail``) are guarded the same way: a tail
+    ratio growing past the threshold is a regression even when every
+    scalar latency stayed flat — exactly the failure mode hedged reads
+    exist to prevent.
     """
     regressions = []
     old_lat = old.get("latency_s", {})
@@ -166,6 +172,15 @@ def compare_artifacts(old: Dict[str, Any], new: Dict[str, Any],
         ratio = n / o
         if ratio > 1.0 + threshold:
             regressions.append((key, o, n, ratio))
+    old_tail = old.get("extra", {}).get("p99_over_p50", {})
+    new_tail = new.get("extra", {}).get("p99_over_p50", {})
+    for key in sorted(set(old_tail) & set(new_tail)):
+        o, n = float(old_tail[key]), float(new_tail[key])
+        if o <= 0:
+            continue
+        ratio = n / o
+        if ratio > 1.0 + threshold:
+            regressions.append((f"p99_over_p50:{key}", o, n, ratio))
     return regressions
 
 

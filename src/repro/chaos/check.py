@@ -31,6 +31,14 @@ Invariants (with their principled excuses):
    (migration debris must sit behind a durable handoff intent), and no
    node ever *applied* an update to a partition it was handing off —
    stamped updates must be forwarded or NACKed, never absorbed.
+6. **Replicas converge** (RF > 1 only) — for every partition with a live
+   primary, each live follower the Master lists has applied the
+   primary's full replication log (applied seq == log last seq) and its
+   follower store holds exactly the primary store's file-id set.
+   Follower replicas are volatile, so a settle point *drives* catch-up
+   first (``sync_replication``); what this invariant rules out is silent
+   divergence — a follower that claims the primary's watermark while
+   holding different data.
 """
 
 from __future__ import annotations
@@ -241,4 +249,54 @@ class InvariantChecker:
                     violate("ownership_divergence",
                             f"{name} holds data for partition {acg_id} which "
                             f"the Master routes to {routed}")
+
+        # 6. Replicas converge (RF > 1).
+        if getattr(self.service, "replication_factor", 1) > 1:
+            self._check_replica_convergence(known, violate)
         return violations
+
+    def _check_replica_convergence(self, known, violate) -> None:
+        """Every live follower matches its live primary's log watermark
+        *and* store contents (seq-equal but content-divergent replicas
+        are exactly the bug class this exists to catch)."""
+        replica_sets = self.service.master.replica_sets
+        if replica_sets is None:
+            return
+        for acg_id in replica_sets.partitions():
+            partition = known.get(acg_id)
+            if partition is None or not partition.node:
+                continue
+            primary = self.service.index_nodes.get(partition.node)
+            if primary is None or not primary.endpoint.up:
+                continue
+            state = primary.repl.get(acg_id)
+            rs = replica_sets.state(acg_id)
+            if state is None or rs is None:
+                continue
+            replica = primary.replicas.get(acg_id)
+            primary_ids = (set(replica.store.file_ids())
+                           if replica is not None else set())
+            for follower in sorted(rs.followers):
+                fnode = self.service.index_nodes.get(follower)
+                if fnode is None or not fnode.endpoint.up:
+                    continue
+                fstate = fnode.followers.get(acg_id)
+                if fstate is None:
+                    violate("replica_divergence",
+                            f"partition {acg_id}: {follower} is listed as "
+                            f"follower but holds no replica")
+                    continue
+                if fstate.applied_seq != state.log.last_seq:
+                    violate("replica_divergence",
+                            f"partition {acg_id}: follower {follower} "
+                            f"applied seq {fstate.applied_seq} != primary "
+                            f"{partition.node} log seq {state.log.last_seq}")
+                    continue
+                follower_ids = set(fstate.replica.store.file_ids())
+                if follower_ids != primary_ids:
+                    extra = sorted(follower_ids - primary_ids)[:5]
+                    missing = sorted(primary_ids - follower_ids)[:5]
+                    violate("replica_divergence",
+                            f"partition {acg_id}: follower {follower} store "
+                            f"differs from primary {partition.node} "
+                            f"(extra={extra}, missing={missing})")

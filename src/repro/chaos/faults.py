@@ -48,6 +48,10 @@ class FaultInjector:
         self.delay_s = 0.05
         self.disk_error_rate = 0.0
         self.slow_nodes: Dict[str, float] = {}
+        # Per-node probability the straggler tax applies to one message
+        # (absent = always).  Intermittent stragglers are the tail-latency
+        # shape hedged reads exist for.
+        self.slow_probability: Dict[str, float] = {}
         # Armed one-shot fates: (target, method) → how many of the next
         # matching messages meet the armed fate.  Unlike the random
         # rates these hit immune targets too — they exist so tests can
@@ -73,15 +77,27 @@ class FaultInjector:
         """Back to a healthy network (stragglers and armed fates too)."""
         self.set_message_faults()
         self.slow_nodes.clear()
+        self.slow_probability.clear()
         self.armed.clear()
 
-    def slow_node(self, node: str, extra_s: float) -> None:
-        """Make one node a straggler: every message to it pays extra."""
+    def slow_node(self, node: str, extra_s: float,
+                  probability: float = 1.0) -> None:
+        """Make one node a straggler: messages to it pay ``extra_s``.
+
+        ``probability`` < 1 makes the straggle intermittent — each
+        message to the node independently draws whether it pays the tax,
+        which is the classic p99-ruining tail shape hedged search legs
+        are built to absorb."""
         self.slow_nodes[node] = extra_s
+        if probability < 1.0:
+            self.slow_probability[node] = probability
+        else:
+            self.slow_probability.pop(node, None)
 
     def clear_slow(self, node: str) -> None:
         """Stop straggling one node."""
         self.slow_nodes.pop(node, None)
+        self.slow_probability.pop(node, None)
 
     def set_disk_error_rate(self, rate: float) -> None:
         """Probability an attached disk's read hits a medium error."""
@@ -141,8 +157,18 @@ class FaultInjector:
         return "ok"
 
     def extra_latency_s(self, node: str) -> float:
-        """Straggler tax for one message to ``node`` (0 when healthy)."""
-        return self.slow_nodes.get(node, 0.0)
+        """Straggler tax for one message to ``node`` (0 when healthy).
+
+        The RNG is consulted only for *intermittent* stragglers
+        (``probability`` < 1), so schedules that never use them draw the
+        byte-identical random stream they always did."""
+        extra = self.slow_nodes.get(node, 0.0)
+        if not extra:
+            return 0.0
+        probability = self.slow_probability.get(node)
+        if probability is not None and self.rng.random() >= probability:
+            return 0.0
+        return extra
 
     def disk_read_fails(self) -> bool:
         """Whether the next disk read hits an injected medium error."""

@@ -52,6 +52,10 @@ _REPORT_COUNTERS = (
     "search.partitions_pruned",
     "search.partitions_searched",
     "cluster.client.summary_refreshes",
+    "cluster.master.promotions",
+    "cluster.master.failover_deferred",
+    "cluster.client.hedges",
+    "cluster.client.hedge_wins",
 )
 
 
@@ -60,10 +64,12 @@ class ChaosRunner:
 
     def __init__(self, seed: int, steps: int = 50, nodes: int = 3,
                  settle_every: int = 10,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rf: int = 1) -> None:
         self.seed = seed
         self.steps = steps
         self.nodes = nodes
+        self.rf = rf
         self.settle_every = max(1, settle_every)
         self.schedule: List[ChaosStep] = build_schedule(seed, steps, nodes)
         # Splits are disabled (huge threshold): the interplay of mid-split
@@ -79,6 +85,7 @@ class ChaosRunner:
             rpc_seed=seed,
             auto_failover=True,
             heartbeat_timeout_s=15.0,
+            replication_factor=rf,
         )
         self.faults = FaultInjector(seed + 1, registry=self.service.registry,
                                     immune=frozenset({"master"}))
@@ -160,6 +167,14 @@ class ChaosRunner:
                                    f"failover_of_{event.node}")
             self.ledger.add_window(event.lost, _NEVER,
                                    f"partition_lost_with_{event.node}")
+            # Promotion's durability boundary is much tighter than the
+            # checkpoint: the promoted follower held everything its
+            # primary had streamed as of the victim's last heartbeat
+            # (promotion viability is checked against that watermark), so
+            # only acks *after* that heartbeat may be missing.
+            self.ledger.add_window(getattr(event, "promoted", ()),
+                                   getattr(event, "victim_heartbeat_t", 0.0),
+                                   f"promotion_from_{event.node}")
             # Whatever was pending on the victim at its crash died with
             # its WAL; the windows above already cover post-checkpoint
             # acks, so no separate excuse is needed here.
@@ -363,6 +378,10 @@ class ChaosRunner:
                 node.cache.commit_all()
         self._sync_acks()
         self._observe_failovers()
+        # Replica catch-up is incremental in steady state; drive it to a
+        # fixpoint so the replicas-converge invariant sees the settled
+        # picture rather than a stream mid-flight.
+        self.service.sync_replication()
         self.violations.extend(self.checker.check(step_index))
 
     # -- the run --------------------------------------------------------------
@@ -393,6 +412,7 @@ class ChaosRunner:
             "seed": self.seed,
             "steps": self.steps,
             "nodes": self.nodes,
+            "rf": self.rf,
             "virtual_time_s": round(self._now(), 6),
             "files_created": len(ledger.files),
             "files_acked_live": len(live),
@@ -419,8 +439,8 @@ class ChaosRunner:
 
 
 def run_chaos(seed: int, steps: int = 50, nodes: int = 3,
-              settle_every: int = 10) -> Dict[str, Any]:
+              settle_every: int = 10, rf: int = 1) -> Dict[str, Any]:
     """Convenience: one fresh runner, one full run, one report."""
     runner = ChaosRunner(seed, steps=steps, nodes=nodes,
-                         settle_every=settle_every)
+                         settle_every=settle_every, rf=rf)
     return runner.run()

@@ -114,7 +114,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(render_registry(service.registry, prefix="cluster.client",
                           title="client metrics"))
+    tail = _render_tail_latency(service.registry)
+    if tail:
+        print()
+        print(tail)
     return 0
+
+
+def _render_tail_latency(registry) -> str:
+    """p50/p95/p99 across every latency histogram in the registry —
+    the tail-tolerance readout (hedged search legs live or die by p99)."""
+    from repro.obs.export import _format_observation
+    from repro.obs.metrics import Histogram
+
+    rows = []
+    for name, instrument in registry.items(""):
+        if not isinstance(instrument, Histogram) or not instrument.count:
+            continue
+        fmt = lambda v: _format_observation(v, instrument.unit)
+        rows.append([name, int(instrument.count), fmt(instrument.p50),
+                     fmt(instrument.p95), fmt(instrument.p99)])
+    if not rows:
+        return ""
+    return render_table(["histogram", "n", "p50", "p95", "p99"], rows,
+                        title="tail latency")
 
 
 def cmd_partition(args: argparse.Namespace) -> int:
@@ -311,7 +334,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reports = []
     for attempt in range(2):
         runner = ChaosRunner(args.seed, steps=args.steps, nodes=args.nodes,
-                             settle_every=args.settle_every)
+                             settle_every=args.settle_every, rf=args.rf)
         runner.run()
         reports.append(runner.report_json())
     report = json.loads(reports[0])
@@ -320,7 +343,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         counters = report["counters"]
         print(f"chaos seed={report['seed']} steps={report['steps']} "
-              f"nodes={report['nodes']}")
+              f"nodes={report['nodes']} rf={report.get('rf', 1)}")
         print(f"  virtual time      {report['virtual_time_s']:.1f}s")
         print(f"  files             {report['files_created']} created, "
               f"{report['files_deleted']} deleted, "
@@ -335,6 +358,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  failovers         {counters['cluster.master.failovers']:.0f} "
               f"({counters['cluster.master.auto_failovers']:.0f} automatic), "
               f"{counters['cluster.master.rejoins']:.0f} rejoins")
+        if report.get("rf", 1) > 1:
+            print(f"  replication       "
+                  f"{counters.get('cluster.master.promotions', 0):.0f} promotions, "
+                  f"{counters.get('cluster.master.failover_deferred', 0):.0f} deferred, "
+                  f"{counters.get('cluster.client.hedges', 0):.0f} hedges "
+                  f"({counters.get('cluster.client.hedge_wins', 0):.0f} wins)")
         print(f"  degraded queries  {report['queries_degraded']}")
         print(f"  wal replay drops  {report['wal_replay_dropped']}")
         print(f"  violations        {len(report['violations'])}")
@@ -444,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="index node count (default 3)")
     chaos.add_argument("--settle-every", type=int, default=10,
                        help="steps between invariant audits (default 10)")
+    chaos.add_argument("--rf", type=int, default=1,
+                       help="partition replication factor (default 1; "
+                            "2/3 enable replica sets, promotion failover "
+                            "and the replicas-converge invariant)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.set_defaults(func=cmd_chaos)

@@ -28,7 +28,8 @@ from repro.query.executor import DEGRADABLE_ERRORS, FanoutOutcome, scatter_gathe
 from repro.query.summary import SummarySnapshot, summary_may_match
 from repro.query.parser import parse_query, parse_query_directory
 from repro.query.planner import IndexSpec
-from repro.sim.rpc import RpcNetwork
+from repro.replication.hedging import HedgedReply, HedgePolicy
+from repro.sim.rpc import CallOutcome, HedgedOutcome, RpcNetwork
 
 DEFAULT_BATCH_SIZE = 128
 
@@ -54,12 +55,21 @@ class SearchAnswer:
     share after retries; ``unreachable_partitions`` then names exactly
     which ACGs the answer is missing, and ``unreachable_nodes`` which
     nodes failed.  A non-degraded answer is complete.
+
+    ``partial`` is True only under the opt-in ``deadline_s`` semantics:
+    a hedged leg was answered by a follower replica that had not yet
+    applied this client's latest acknowledged writes.  The answer is a
+    consistent-but-stale view of ``lagging_partitions``; everything else
+    is current.  Without a deadline a lagging replica is never used, so
+    ``partial`` stays False.
     """
 
     paths: List[str] = field(default_factory=list)
     degraded: bool = False
     unreachable_partitions: List[int] = field(default_factory=list)
     unreachable_nodes: List[str] = field(default_factory=list)
+    partial: bool = False
+    lagging_partitions: List[int] = field(default_factory=list)
 
 
 class PropellerClient:
@@ -69,12 +79,17 @@ class PropellerClient:
                  master: str = "master", batch_size: int = DEFAULT_BATCH_SIZE,
                  pid_filter: Optional[Set[int]] = None,
                  local: bool = False,
-                 pump: Optional[Callable[[], None]] = None) -> None:
+                 pump: Optional[Callable[[], None]] = None,
+                 hedging: Optional[HedgePolicy] = None) -> None:
         self.vfs = vfs
         self.rpc = rpc
         self.master = master
         self.batch_size = batch_size
         self.local = local
+        # Tail-tolerant search (RF > 1): a policy object makes each
+        # search leg race a follower replica after a p95-derived timer.
+        # None (the default) keeps the fan-out single-copy.
+        self.hedging = hedging
         # Background timers (cache commits, heartbeats, checkpoints) fire
         # when virtual time advances (service.advance / pump) — never
         # inside a request, because background I/O runs concurrently with
@@ -102,6 +117,18 @@ class PropellerClient:
         self._cluster_target = 0
         self._route_nodes: Dict[int, Optional[str]] = {}
         self._route_sizes: Dict[int, int] = {}
+        # Follower replicas per partition (RF > 1): the candidate targets
+        # a search leg may hedge to.  Staleness is harmless — a wrong
+        # entry just costs a failed hedge leg, never a wrong answer.
+        self._route_replicas: Dict[int, Tuple[str, ...]] = {}
+        # Read-your-writes watermark: the newest replication sequence
+        # each partition's primary acked to *this* client.  A follower
+        # answer below this mark is "lagging" and only usable under the
+        # opt-in partial-results deadline.
+        self._repl_seq_seen: Dict[int, int] = {}
+        # Partitions the most recent search answered from a lagging
+        # replica (deadline opt-in only) — surfaced by search_detailed.
+        self._last_lagging: List[int] = []
         self._file_routes: Dict[int, int] = {}
         self._acg_files: Dict[int, Set[int]] = {}
         self._stale_files: Set[int] = set()
@@ -164,6 +191,17 @@ class PropellerClient:
         if self.registry is not None:
             self.registry.counter("cluster.client.stale_route_nacks").inc(count)
 
+    def _learn_ack(self, ack: Any) -> None:
+        """Record the replication watermark from an index_update ack.
+
+        Last-ack-wins on purpose (not max): a partition's replication log
+        restarts after splits/merges/adoption, so the *newest* acked
+        sequence — not the largest ever seen — is this client's
+        read-your-writes mark for hedged follower reads."""
+        seq = getattr(ack, "seq", 0)
+        if seq:
+            self._repl_seq_seen[ack.acg_id] = seq
+
     def _apply_route_table(self, table: RouteTable) -> None:
         if table.fresh:
             self._route_epoch = max(self._route_epoch, table.epoch)
@@ -175,6 +213,7 @@ class PropellerClient:
             # from the Master on their next flush.
             self._route_nodes.clear()
             self._route_sizes.clear()
+            self._route_replicas.clear()
             self._stale_files.update(self._file_routes)
             self._file_routes.clear()
             self._acg_files.clear()
@@ -183,6 +222,8 @@ class PropellerClient:
                     continue
                 self._route_nodes[entry.acg_id] = entry.node
                 self._route_sizes[entry.acg_id] = entry.size
+                if entry.replicas:
+                    self._route_replicas[entry.acg_id] = entry.replicas
             self._route_epoch = table.epoch
             return
         for entry in table.entries:
@@ -191,6 +232,7 @@ class PropellerClient:
                 # its files went.
                 self._route_nodes.pop(entry.acg_id, None)
                 self._route_sizes.pop(entry.acg_id, None)
+                self._route_replicas.pop(entry.acg_id, None)
                 self._invalidate_acg(entry.acg_id)
                 continue
             known = entry.acg_id in self._route_sizes
@@ -201,6 +243,10 @@ class PropellerClient:
                 self._invalidate_acg(entry.acg_id)
             self._route_nodes[entry.acg_id] = entry.node
             self._route_sizes[entry.acg_id] = entry.size
+            if entry.replicas:
+                self._route_replicas[entry.acg_id] = entry.replicas
+            else:
+                self._route_replicas.pop(entry.acg_id, None)
         self._route_epoch = table.epoch
 
     def _invalidate_acg(self, acg_id: int) -> None:
@@ -411,8 +457,9 @@ class PropellerClient:
         # even after retries the unlink itself must not fail — the
         # stale entry is recorded as debt instead.
         try:
-            self.rpc.call(target_node, "index_update", target_acg,
-                          [IndexUpdate.delete(inode.ino)], local=self.local)
+            self._learn_ack(self.rpc.call(
+                target_node, "index_update", target_acg,
+                [IndexUpdate.delete(inode.ino)], local=self.local))
             self._forget_file(inode.ino)
             return
         except DEGRADABLE_ERRORS:
@@ -432,9 +479,9 @@ class PropellerClient:
         new_node = self._route_nodes.get(target_acg)
         if new_node and new_node != target_node:
             try:
-                self.rpc.call(new_node, "index_update", target_acg,
-                              [IndexUpdate.delete(inode.ino)],
-                              local=self.local)
+                self._learn_ack(self.rpc.call(
+                    new_node, "index_update", target_acg,
+                    [IndexUpdate.delete(inode.ino)], local=self.local))
                 self._forget_file(inode.ino)
                 return
             except StaleRoute:
@@ -590,12 +637,13 @@ class PropellerClient:
             return 0
         node, acg_id = target
         try:
-            self.rpc.call(node, "index_update", acg_id, [update],
-                          local=self.local,
-                          request_bytes=update.wire_bytes())
+            ack = self.rpc.call(node, "index_update", acg_id, [update],
+                                local=self.local,
+                                request_bytes=update.wire_bytes())
         except (StaleRoute,) + DEGRADABLE_ERRORS:
             self._requeue([update], {})
             return 0
+        self._learn_ack(ack)
         return self._sent([update])
 
     def _requeue(self, updates: Sequence[IndexUpdate],
@@ -624,16 +672,17 @@ class PropellerClient:
         unreachable: List[Tuple[str, int, List[IndexUpdate]]] = []
         for (node, acg_id), updates in stamped.items():
             try:
-                self.rpc.call(node, "index_update", acg_id, updates,
-                              local=self.local,
-                              request_bytes=sum(u.wire_bytes() for u in updates),
-                              epoch=self._route_epoch)
+                ack = self.rpc.call(node, "index_update", acg_id, updates,
+                                    local=self.local,
+                                    request_bytes=sum(u.wire_bytes() for u in updates),
+                                    epoch=self._route_epoch)
             except StaleRoute:
                 self._note_nacks(len(updates))
                 nacked.append((node, acg_id, updates))
             except DEGRADABLE_ERRORS:
                 unreachable.append((node, acg_id, updates))
             else:
+                self._learn_ack(ack)
                 delivered += self._sent(updates)
         if not nacked and not unreachable:
             return delivered
@@ -649,17 +698,18 @@ class PropellerClient:
                 # The route genuinely moved (migration or failover):
                 # resend under the fresh epoch.
                 try:
-                    self.rpc.call(new_node, "index_update", acg_id, updates,
-                                  local=self.local,
-                                  request_bytes=sum(u.wire_bytes()
-                                                    for u in updates),
-                                  epoch=self._route_epoch)
+                    ack = self.rpc.call(new_node, "index_update", acg_id,
+                                        updates, local=self.local,
+                                        request_bytes=sum(u.wire_bytes()
+                                                          for u in updates),
+                                        epoch=self._route_epoch)
                 except StaleRoute:
                     self._note_nacks(len(updates))
                     self._requeue(updates, hint_of)
                 except DEGRADABLE_ERRORS:
                     self._requeue(updates, hint_of)
                 else:
+                    self._learn_ack(ack)
                     delivered += self._sent(updates)
             else:
                 # Same route even after a refresh: the node most likely
@@ -670,14 +720,15 @@ class PropellerClient:
             new_node = self._route_nodes.get(acg_id)
             if refreshed and new_node and new_node != old_node:
                 try:
-                    self.rpc.call(new_node, "index_update", acg_id, updates,
-                                  local=self.local,
-                                  request_bytes=sum(u.wire_bytes()
-                                                    for u in updates),
-                                  epoch=self._route_epoch)
+                    ack = self.rpc.call(new_node, "index_update", acg_id,
+                                        updates, local=self.local,
+                                        request_bytes=sum(u.wire_bytes()
+                                                          for u in updates),
+                                        epoch=self._route_epoch)
                 except (StaleRoute,) + DEGRADABLE_ERRORS:
                     self._requeue(updates, hint_of)
                 else:
+                    self._learn_ack(ack)
                     delivered += self._sent(updates)
             else:
                 # The node is down and routing hasn't moved yet; the
@@ -723,10 +774,10 @@ class PropellerClient:
         delivered = 0
         for (node, acg_id), target_updates in by_target.items():
             try:
-                self.rpc.call(node, "index_update", acg_id, target_updates,
-                              local=self.local,
-                              request_bytes=sum(u.wire_bytes()
-                                                for u in target_updates))
+                ack = self.rpc.call(node, "index_update", acg_id,
+                                    target_updates, local=self.local,
+                                    request_bytes=sum(u.wire_bytes()
+                                                      for u in target_updates))
             except StaleRoute:
                 self._note_nacks(len(target_updates))
                 self._requeue(target_updates, hint_of)
@@ -734,6 +785,7 @@ class PropellerClient:
             except DEGRADABLE_ERRORS:
                 self._requeue(target_updates, hint_of)
                 continue
+            self._learn_ack(ack)
             delivered += self._sent(target_updates)
         return delivered
 
@@ -804,15 +856,22 @@ class PropellerClient:
 
     def search(self, query: str, index_name: Optional[str] = None,
                sort_by: Optional[str] = None, descending: bool = False,
-               limit: Optional[int] = None) -> List[str]:
+               limit: Optional[int] = None,
+               deadline_s: Optional[float] = None) -> List[str]:
         """Run an API-form query; returns matching file paths.
 
         Default order is lexicographic by path.  ``sort_by`` orders by an
         attribute instead (files missing it sort last), ``descending``
         flips the order, and ``limit`` truncates — the result-shaping
         analytics pipelines need ("the 10 biggest segments of the hour").
+
+        ``deadline_s`` opts into partial results under replication: when
+        a partition's primary cannot answer, a *lagging* follower's
+        answer is accepted instead of failing the leg — use
+        :meth:`search_detailed` to see which partitions were stale.
         """
-        results = self._search_raw(parse_query(query), index_name, query=query)
+        results = self._search_raw(parse_query(query), index_name,
+                                   query=query, deadline_s=deadline_s)
         if sort_by is None:
             paths = sorted({p for r in results for p in r.paths})
             return paths[:limit] if limit is not None else paths
@@ -833,17 +892,23 @@ class PropellerClient:
         return ordered[:limit] if limit is not None else ordered
 
     def search_detailed(self, query: str,
-                        index_name: Optional[str] = None) -> SearchAnswer:
+                        index_name: Optional[str] = None,
+                        deadline_s: Optional[float] = None) -> SearchAnswer:
         """Like :meth:`search`, but the answer carries its availability
-        verdict: whether the fan-out degraded, and which partitions and
-        nodes the result set is missing when it did."""
-        paths = self.search(query, index_name=index_name)
+        verdict: whether the fan-out degraded, which partitions and nodes
+        the result set is missing when it did, and — under the
+        ``deadline_s`` opt-in — which partitions were answered from a
+        lagging replica (``partial``/``lagging_partitions``)."""
+        paths = self.search(query, index_name=index_name,
+                            deadline_s=deadline_s)
         outcome = self.last_outcome
         return SearchAnswer(
             paths=paths,
             degraded=outcome.degraded,
             unreachable_partitions=outcome.unreachable_partitions,
             unreachable_nodes=sorted(outcome.unreachable),
+            partial=bool(self._last_lagging),
+            lagging_partitions=list(self._last_lagging),
         )
 
     def _attribute_values(self, results: Sequence[SearchResult],
@@ -932,9 +997,13 @@ class PropellerClient:
 
     def _search_raw(self, predicate: Predicate,
                     index_name: Optional[str],
-                    query: Optional[str] = None) -> List[SearchResult]:
+                    query: Optional[str] = None,
+                    deadline_s: Optional[float] = None) -> List[SearchResult]:
         clock = self.vfs.clock
         start = clock.now()
+        # Per-search hedge bookkeeping, filled in by the leg closures:
+        # which partitions a lagging replica ended up answering for.
+        hedge_ctx: Dict[str, Set[int]] = {"lagging": set()}
         with self.tracer.span("search", query=query) as root:
             # Any pending updates of ours must be visible to our own search.
             with self.tracer.span("flush_updates"):
@@ -989,21 +1058,23 @@ class PropellerClient:
                                       nodes=len(legs)) as span:
                     outcome = scatter_gather(
                         clock, legs,
-                        lambda n: self.rpc.call(
-                            n, "search", routing.get(n, []), predicate,
-                            names, local=self.local,
-                            epoch=self._route_epoch,
-                            pruned=pruned.get(n) or None))
+                        lambda n: self._call_search_leg(
+                            n, routing.get(n, []), pruned.get(n) or None,
+                            predicate, names, hedge_ctx, deadline_s))
                     if outcome.degraded:
                         span.set_attribute(
                             "unreachable", sorted(outcome.unreachable))
             if (outcome.stale or outcome.unreachable
                     or outcome.max_node_epoch() > self._route_epoch):
-                outcome = self._retry_search(clock, outcome, predicate, names)
+                outcome = self._retry_search(clock, outcome, predicate, names,
+                                             hedge_ctx, deadline_s)
             results = list(outcome.results)
         self.last_outcome = outcome
+        self._last_lagging = sorted(hedge_ctx["lagging"])
         if self.registry is not None:
             self.registry.counter("cluster.client.searches").inc()
+            if self._last_lagging:
+                self.registry.counter("cluster.client.partial_searches").inc()
             if outcome.degraded:
                 self.registry.counter("cluster.client.degraded_searches").inc()
                 self.registry.counter(
@@ -1020,15 +1091,131 @@ class PropellerClient:
                 clock.now() - start)
         return results
 
+    def _call_search_leg(self, node: str, acg_ids: List[int],
+                         pruned: Optional[Dict[int, Tuple[str, int, int]]],
+                         predicate: Predicate, names: Optional[List[str]],
+                         hedge_ctx: Dict[str, Set[int]],
+                         deadline_s: Optional[float]):
+        """One search leg, hedged to a follower replica when possible.
+
+        Without a hedging policy (RF = 1) this is exactly the historical
+        single call.  With one, the primary's call races a follower: the
+        hedge launches only if the primary is still outstanding after
+        the policy's p95-derived delay, and the first *sound* answer
+        wins.  The follower searches the pruned partitions too (it
+        cannot validate summary skips), so a follower answer is always
+        oracle-equal to an unpruned primary answer."""
+        policy = self.hedging
+        leg_acgs = sorted(set(acg_ids) | set(pruned or ()))
+        secondary = (self._hedge_secondary(node, leg_acgs)
+                     if policy is not None and policy.enabled else None)
+        clock = self.vfs.clock
+        leg_start = clock.now()
+        if secondary is None:
+            reply = self.rpc.call(node, "search", acg_ids, predicate,
+                                  names, local=self.local,
+                                  epoch=self._route_epoch, pruned=pruned)
+            if policy is not None:
+                policy.observe(clock.now() - leg_start)
+            return reply
+        min_seqs = {a: self._repl_seq_seen[a] for a in leg_acgs
+                    if self._repl_seq_seen.get(a)}
+        out = self.rpc.hedged_call(
+            node, secondary, "search", policy.delay_s(),
+            acg_ids, predicate, names,
+            secondary_method="search_replica",
+            secondary_args=(leg_acgs, predicate, names, min_seqs),
+            secondary_kwargs={"local": self.local},
+            local=self.local, epoch=self._route_epoch, pruned=pruned)
+        if not out.hedged and not out.primary.ok:
+            # The primary failed *before* the hedge timer (a dead node
+            # fails instantly without a retry policy), so the race never
+            # launched the follower — rescue-call it directly: it is the
+            # only path left to an answer for this leg.
+            try:
+                value = self.rpc.call(secondary, "search_replica",
+                                      leg_acgs, predicate, names, min_seqs,
+                                      local=self.local)
+            except ClusterError:
+                pass  # leg degrades on the primary's original error
+            else:
+                out = HedgedOutcome(
+                    primary=out.primary,
+                    secondary=CallOutcome(ok=True, value=value),
+                    primary_end=out.primary_end,
+                    secondary_end=clock.now(), hedged=True)
+        return self._resolve_hedge(clock, leg_start, out, policy,
+                                   hedge_ctx, deadline_s)
+
+    def _hedge_secondary(self, primary: str,
+                         acg_ids: List[int]) -> Optional[str]:
+        """The follower node to hedge a leg to: one that (per the cached
+        route table) follows *every* partition in the leg — a partial
+        cover would come back ``missing`` and be unusable anyway."""
+        if not acg_ids:
+            return None
+        counts: Dict[str, int] = {}
+        for acg_id in acg_ids:
+            for replica in self._route_replicas.get(acg_id, ()):
+                if replica != primary:
+                    counts[replica] = counts.get(replica, 0) + 1
+        full = sorted(n for n, c in counts.items() if c == len(acg_ids))
+        return full[0] if full else None
+
+    def _resolve_hedge(self, clock, leg_start: float, out, policy,
+                       hedge_ctx: Dict[str, Set[int]],
+                       deadline_s: Optional[float]):
+        """Pick the leg's answer from a hedged race.
+
+        Soundness order: the primary's answer is always sound; a
+        follower's is sound when it covers every requested partition at
+        or above this client's acked watermark.  The first sound
+        finisher wins (the loser's remaining time is not waited for).  A
+        *lagging* follower answer is a last resort, accepted only under
+        the ``deadline_s`` opt-in when the primary failed outright — and
+        recorded in ``hedge_ctx`` so the caller can mark the answer
+        partial."""
+        primary = out.primary
+        if primary.ok:
+            policy.observe(out.primary_end - leg_start)
+        if not out.hedged:
+            if primary.ok:
+                return primary.value
+            raise primary.error
+        secondary = out.secondary
+        reply = secondary.value if secondary.ok else None
+        covers = reply is not None and not reply.missing
+        sound = covers and not reply.lagging
+        if primary.ok and (not sound
+                           or out.primary_end <= out.secondary_end):
+            clock.advance_to(out.primary_end)
+            return primary.value
+        if sound:
+            clock.advance_to(out.secondary_end)
+            return HedgedReply(node=reply.node, epoch=reply.epoch,
+                               results=reply.results, from_replica=True)
+        if covers and deadline_s is not None:
+            clock.advance_to(out.secondary_end)
+            hedge_ctx["lagging"].update(reply.lagging)
+            return HedgedReply(node=reply.node, epoch=reply.epoch,
+                               results=reply.results, from_replica=True,
+                               lagging=tuple(reply.lagging))
+        raise primary.error
+
     def _retry_search(self, clock, outcome: FanoutOutcome,
                       predicate: Predicate,
-                      names: Optional[List[str]]) -> FanoutOutcome:
+                      names: Optional[List[str]],
+                      hedge_ctx: Dict[str, Set[int]],
+                      deadline_s: Optional[float] = None) -> FanoutOutcome:
         """One retry round after a stale fan-out: refresh the route table
         and re-query only the partitions the first round didn't serve.
 
         Validated skips (``pruned_ok``) count as served; the retry round
         itself never prunes — after a stale first round the summaries
-        are suspect, so it fails open and searches everything left."""
+        are suspect, so it fails open and searches everything left.  The
+        retry legs go through the same hedged path as the first round:
+        the refreshed route table carries the current replica sets, so a
+        leg whose primary is down can still be rescued by a follower."""
         self._note_nacks(sum(len(v) for v in outcome.stale.values()))
         try:
             self._refresh_routes()
@@ -1049,9 +1236,9 @@ class PropellerClient:
                               nodes=len(routing)):
             retry = scatter_gather(
                 clock, routing,
-                lambda n: self.rpc.call(
-                    n, "search", routing[n], predicate, names,
-                    local=self.local, epoch=self._route_epoch))
+                lambda n: self._call_search_leg(
+                    n, routing[n], None, predicate, names,
+                    hedge_ctx, deadline_s))
         return FanoutOutcome(
             results=list(outcome.results) + list(retry.results),
             unreachable=retry.unreachable,

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.cache import DEFAULT_TIMEOUT_S, IndexCache
-from repro.cluster.messages import (Heartbeat, IndexUpdate, SearchReply,
-                                    SearchResult, UpdateOp)
+from repro.cluster.messages import (Heartbeat, IndexUpdate, ReplicaSearchReply,
+                                    SearchReply, SearchResult, UpdateAck,
+                                    UpdateOp)
 from repro.cluster.wal import WriteAheadLog
 from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
@@ -28,7 +29,9 @@ from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
 from repro.query.canonical import canonicalize, is_time_dependent
-from repro.query.executor import AttributeStore, execute, execute_plans, tokenize_path
+from repro.query.executor import (DEGRADABLE_ERRORS, AttributeStore, execute,
+                                  execute_plans, tokenize_path)
+from repro.replication.log import ReplicationLog
 from repro.query.summary import PartitionSummary, SummarySnapshot
 from repro.query.planner import (
     KEYWORD_ATTR,
@@ -165,6 +168,37 @@ class AcgReplica:
         return len(self.store)
 
 
+@dataclass
+class PrimaryReplState:
+    """What a primary keeps per replicated partition it owns (RF > 1).
+
+    ``acked`` maps a follower to the highest sequence it confirmed
+    applying; ``-1`` marks a follower assigned but not yet installed
+    (the catch-up path bootstraps it with a snapshot first).
+    """
+
+    repl_epoch: int = 1
+    log: ReplicationLog = field(default_factory=ReplicationLog)
+    followers: Tuple[str, ...] = ()
+    acked: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class FollowerState:
+    """An in-memory follower replica of a partition primaried elsewhere.
+
+    Purely volatile: a follower crash loses it (the primary re-installs
+    on catch-up) and it never counts toward the node's owned replicas —
+    ownership, heartbeat sizes, and chaos presence checks all ignore it.
+    """
+
+    primary: str
+    repl_epoch: int
+    replica: AcgReplica
+    applied_seq: int = 0
+    last_apply_t: float = 0.0
+
+
 class IndexNode:
     """One Propeller Index Node."""
 
@@ -261,6 +295,15 @@ class IndexNode:
         # Attached by the service: lets this node forward updates during
         # a migration's dual-ownership window.
         self.rpc = None
+        # Replication (RF > 1).  ``repl`` holds per-partition primary
+        # state (log + follower ack map) for partitions this node owns;
+        # ``followers`` holds the in-memory follower replicas it keeps
+        # for partitions primaried elsewhere.  Both empty at RF=1, so
+        # replication costs nothing when it is off.
+        self.repl: Dict[int, PrimaryReplState] = {}
+        self.followers: Dict[int, FollowerState] = {}
+        self.repl_streamed = 0
+        self.repl_catchups = 0
         self.endpoint = RpcEndpoint(name)
         for method, handler in [
             ("index_update", self.handle_index_update),
@@ -280,6 +323,14 @@ class IndexNode:
             ("cancel_transfer", self.handle_cancel_transfer),
             ("checkpoint_acg", self.handle_checkpoint_acg),
             ("locate_file", self.handle_locate_file),
+            ("set_followers", self.handle_set_followers),
+            ("replicate_apply", self.handle_replicate_apply),
+            ("install_follower", self.handle_install_follower),
+            ("replica_watermark", self.handle_replica_watermark),
+            ("promote_replica", self.handle_promote_replica),
+            ("drop_follower", self.handle_drop_follower),
+            ("reset_follower_ack", self.handle_reset_follower_ack),
+            ("search_replica", self.handle_search_replica),
         ]:
             self.endpoint.register(method, handler)
 
@@ -349,16 +400,22 @@ class IndexNode:
         """Register a user-defined index; existing replicas backfill."""
         self._global_specs[spec.name] = spec
         for replica in self.replicas.values():
-            index = replica.ensure_index(spec)
-            for file_id in replica.store.file_ids():
-                attrs = replica.store.attrs(file_id)
-                if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
-                    for token in replica.store.keywords(file_id):
-                        index.insert(token, file_id)
-                    continue
-                key = replica._index_key(spec, attrs)
-                if key is not None:
-                    index.insert(key, file_id)
+            self._backfill_index(replica, spec)
+        for follower in self.followers.values():
+            self._backfill_index(follower.replica, spec)
+
+    @staticmethod
+    def _backfill_index(replica: AcgReplica, spec: IndexSpec) -> None:
+        index = replica.ensure_index(spec)
+        for file_id in replica.store.file_ids():
+            attrs = replica.store.attrs(file_id)
+            if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
+                for token in replica.store.keywords(file_id):
+                    index.insert(token, file_id)
+                continue
+            key = replica._index_key(spec, attrs)
+            if key is not None:
+                index.insert(key, file_id)
 
     # -- routing-epoch ownership ---------------------------------------------------
 
@@ -435,7 +492,19 @@ class IndexNode:
                              update.path, update.attrs))
             self.machine.compute(_CACHE_ADD_OPS)
             self.cache.add(acg_id, update, now)
-        return len(updates)
+        state = self.repl.get(acg_id)
+        if state is None:
+            return len(updates)
+        # Replicated partition: sequence the batch in the replication log
+        # and stream it to installed followers before acking.  A follower
+        # that cannot be reached just falls behind (its ack watermark
+        # stays put); the periodic catch-up re-sends the suffix — the
+        # client's ack never hinges on follower liveness.
+        for update in updates:
+            state.log.append(update)
+        self._stream_to_followers(acg_id, state)
+        return UpdateAck(len(updates), acg_id=acg_id, seq=state.log.last_seq,
+                         repl_epoch=state.repl_epoch)
 
     def _commit_updates(self, acg_id: int, updates: List[IndexUpdate]) -> None:
         from repro.errors import DiskIOError
@@ -468,6 +537,11 @@ class IndexNode:
         committed = self.cache.commit_due(self.machine.clock.now())
         if committed and not len(self.cache):
             self._truncate_wal()
+        for acg_id in sorted(self.repl):
+            state = self.repl[acg_id]
+            if any(state.acked.get(f, -1) < state.log.last_seq
+                   for f in state.followers):
+                self._sync_followers(acg_id)
         return committed
 
     def _truncate_wal(self) -> None:
@@ -675,6 +749,9 @@ class IndexNode:
         # (apply(delete) also drops the ACG vertex).
         for file_id in sorted(moving):
             replica.apply(IndexUpdate.delete(file_id))
+        # The deletes above never entered the replication log, so any
+        # followers now describe the pre-extraction store.
+        self._reset_repl(acg_id)
         return payload
 
     def handle_install_partition(self, acg_id: int, payload: Dict[str, Any]) -> int:
@@ -686,11 +763,15 @@ class IndexNode:
             attrs = dict(attrs)
             attrs.pop("path", None)
             replica.apply(IndexUpdate.upsert(file_id, attrs, path=path))
+        # Installed content bypassed the replication log: force followers
+        # back through a snapshot bootstrap.
+        self._reset_repl(acg_id)
         return len(payload["files"])
 
     def handle_drop_partition(self, acg_id: int) -> None:
         """Forget a migrated-away ACG entirely."""
         self.replicas.pop(acg_id, None)
+        self.repl.pop(acg_id, None)
         self._purge_result_cache(acg_id)
         if acg_id in self._resident:
             self._resident_bytes -= self._resident.pop(acg_id)
@@ -758,6 +839,281 @@ class IndexNode:
         self.handoff_intents.pop(acg_id, None)
         self._log_device.append(64)
 
+    # -- replication (RF > 1): primary half --------------------------------------------------
+
+    def handle_set_followers(self, acg_id: int, followers: Sequence[str],
+                             repl_epoch: int) -> None:
+        """Master: this node primaries ``acg_id`` with these followers.
+
+        Idempotent and epoch-fenced: a stale (lower-epoch) assignment is
+        ignored so a delayed duplicate cannot resurrect old membership.
+        Newly assigned followers start un-installed (``acked == -1``) and
+        are bootstrapped by the synchronous catch-up that follows.
+        """
+        if acg_id not in self.replicas:
+            raise UnknownAcg(f"{self.name} does not host ACG {acg_id}")
+        state = self.repl.get(acg_id)
+        if state is None:
+            state = self.repl[acg_id] = PrimaryReplState(repl_epoch=repl_epoch)
+        elif repl_epoch < state.repl_epoch:
+            return
+        state.repl_epoch = repl_epoch
+        state.followers = tuple(followers)
+        state.acked = {f: state.acked.get(f, -1) for f in state.followers}
+        self._sync_followers(acg_id)
+
+    def _reset_repl(self, acg_id: int) -> None:
+        """Partition content changed outside the replication stream
+        (split, merge, adoption): the log no longer describes the store,
+        so every follower is marked for a fresh snapshot bootstrap."""
+        state = self.repl.get(acg_id)
+        if state is None:
+            return
+        state.log = ReplicationLog()
+        state.acked = {f: -1 for f in state.followers}
+
+    def _stream_to_followers(self, acg_id: int,
+                             state: PrimaryReplState) -> None:
+        """Send each installed follower the log suffix past its ack.
+
+        Best-effort: a transient failure detaches nothing — the ack
+        watermark simply stays behind and the next tick's catch-up
+        retries.  Un-installed followers (``acked == -1``) are skipped;
+        bootstrap happens on the catch-up path, not the hot ack path.
+        """
+        if self.rpc is None:
+            return
+        for follower in state.followers:
+            acked = state.acked.get(follower, -1)
+            if acked < 0 or acked >= state.log.last_seq:
+                continue
+            records = state.log.since(acked)
+            if records is None:
+                state.acked[follower] = -1  # trimmed past it: re-install
+                continue
+            try:
+                applied = self.rpc.call(follower, "replicate_apply", acg_id,
+                                        state.repl_epoch, records)
+            except DEGRADABLE_ERRORS:
+                continue
+            except ClusterError:
+                state.acked[follower] = -1  # lost its state: re-install
+                continue
+            state.acked[follower] = applied
+            self.repl_streamed += len(records)
+
+    def _sync_followers(self, acg_id: int) -> None:
+        """Catch-up: query each follower's watermark, bootstrap or stream.
+
+        Called from ``set_followers`` (synchronously, so a quiesced
+        cluster converges in one round) and from :meth:`tick` while any
+        follower lags.  All failures are absorbed — catch-up is a
+        background duty that must never take the node down with it.
+        """
+        state = self.repl.get(acg_id)
+        if state is None or self.rpc is None:
+            return
+        for follower in state.followers:
+            try:
+                if state.acked.get(follower, -1) < 0:
+                    self._install_follower(acg_id, state, follower)
+                self._stream_one(acg_id, state, follower)
+            except ClusterError:
+                # Covers transients (NodeDown, RpcTimeout) and a follower
+                # that lost its state mid-stream alike: retried next tick.
+                continue
+        self.repl_catchups += 1
+
+    def _install_follower(self, acg_id: int, state: PrimaryReplState,
+                          follower: str) -> None:
+        """Bootstrap one follower with a snapshot of the partition.
+
+        The forced commit makes the store reflect every acked update, so
+        the snapshot is exactly consistent with ``log.last_seq``.
+        """
+        self.cache.commit_for_search(acg_id)
+        replica = self.replica(acg_id)
+        files = [
+            (f, dict(replica.store.attrs(f)), replica.store.attrs(f).get("path"))
+            for f in sorted(replica.store.file_ids())
+        ]
+        for entry in files:
+            entry[1].pop("path", None)
+        seq = self.rpc.call(
+            follower, "install_follower", acg_id, self.name,
+            state.repl_epoch, state.log.last_seq,
+            list(replica.specs.values()), files)
+        state.acked[follower] = seq
+
+    def _stream_one(self, acg_id: int, state: PrimaryReplState,
+                    follower: str) -> None:
+        acked = state.acked.get(follower, -1)
+        if acked < 0 or acked >= state.log.last_seq:
+            return
+        records = state.log.since(acked)
+        if records is None:
+            state.acked[follower] = -1
+            self._install_follower(acg_id, state, follower)
+            return
+        applied = self.rpc.call(follower, "replicate_apply", acg_id,
+                                state.repl_epoch, records)
+        state.acked[follower] = applied
+        self.repl_streamed += len(records)
+
+    # -- replication (RF > 1): follower half -------------------------------------------------
+
+    def handle_install_follower(self, acg_id: int, primary: str,
+                                repl_epoch: int, seq: int,
+                                specs: Sequence[IndexSpec],
+                                files: Sequence[Tuple[int, Dict[str, Any], Optional[str]]]
+                                ) -> int:
+        """Bootstrap (or replace) this node's follower replica of an ACG.
+
+        Idempotent: re-installation simply rebuilds the follower from the
+        fresh snapshot.  Returns the applied sequence (= ``seq``).
+        """
+        self._next_incarnation += 1
+        replica = AcgReplica(acg_id, self.machine,
+                             incarnation=self._next_incarnation)
+        for spec in specs:
+            replica.ensure_index(spec)
+        for spec in self._global_specs.values():
+            replica.ensure_index(spec)
+        for file_id, attrs, path in files:
+            replica.apply(IndexUpdate.upsert(file_id, dict(attrs), path=path))
+        self.followers[acg_id] = FollowerState(
+            primary=primary, repl_epoch=repl_epoch, replica=replica,
+            applied_seq=seq)
+        return seq
+
+    def handle_replicate_apply(self, acg_id: int, repl_epoch: int,
+                               records: Sequence[Tuple[int, IndexUpdate]]) -> int:
+        """Apply a log suffix to the follower replica; returns applied seq.
+
+        Idempotent by sequence contiguity: records at or below the
+        applied watermark are skipped (duplicate delivery, primary
+        re-sends after a lost ack), a gap stops the apply so the primary
+        re-streams from the returned watermark.  A lower ``repl_epoch``
+        than the follower knows is a deposed primary and is rejected.
+        """
+        st = self.followers.get(acg_id)
+        if st is None:
+            raise UnknownAcg(f"{self.name} has no follower replica of ACG {acg_id}")
+        if repl_epoch < st.repl_epoch:
+            raise ClusterError(
+                f"{self.name}: stale repl epoch {repl_epoch} < {st.repl_epoch} "
+                f"for ACG {acg_id}")
+        st.repl_epoch = repl_epoch
+        for seq, update in records:
+            if seq <= st.applied_seq:
+                continue
+            if seq != st.applied_seq + 1:
+                break
+            st.replica.apply(update)
+            st.applied_seq = seq
+            st.last_apply_t = self.machine.clock.now()
+        return st.applied_seq
+
+    def handle_replica_watermark(self, acg_id: int) -> Tuple[int, int]:
+        """(repl_epoch, applied_seq) of this node's follower replica."""
+        st = self.followers.get(acg_id)
+        if st is None:
+            raise UnknownAcg(f"{self.name} has no follower replica of ACG {acg_id}")
+        return (st.repl_epoch, st.applied_seq)
+
+    def handle_promote_replica(self, acg_id: int, repl_epoch: int) -> Tuple[int, int]:
+        """Failover promotion: the follower replica becomes the owned one.
+
+        An epoch bump and a dictionary move — no WAL replay, no
+        checkpoint read, which is why promotion time stays flat as the
+        data volume grows.  The promoted replica gets a fresh incarnation
+        (a new watermark identity, preserving the summary/result-cache
+        soundness argument) and this node becomes the partition's primary
+        at ``repl_epoch``, continuing the sequence from its applied
+        watermark.  Returns (applied_seq, file_count).
+        """
+        st = self.followers.pop(acg_id, None)
+        if st is None:
+            raise UnknownAcg(f"{self.name} has no follower replica of ACG {acg_id}")
+        self._next_incarnation += 1
+        st.replica.incarnation = self._next_incarnation
+        for spec in self._global_specs.values():
+            if spec.name not in st.replica.specs:
+                self._backfill_index(st.replica, spec)
+        self.replicas[acg_id] = st.replica
+        self.migrated_away.discard(acg_id)
+        self._purge_result_cache(acg_id)
+        self.repl[acg_id] = PrimaryReplState(
+            repl_epoch=repl_epoch, log=ReplicationLog(base=st.applied_seq))
+        return (st.applied_seq, st.replica.file_count)
+
+    def handle_drop_follower(self, acg_id: int) -> None:
+        """Forget this node's follower replica of an ACG."""
+        self.followers.pop(acg_id, None)
+
+    def handle_reset_follower_ack(self, acg_id: int, follower: str) -> None:
+        """Void one follower's acked watermark (Master-directed).
+
+        Sent when the Master notices a follower stopped reporting its
+        replica (crash-restart lost it): the stale watermark here would
+        otherwise keep this primary from ever re-streaming.  The next
+        tick's catch-up pass re-installs the follower from snapshot."""
+        state = self.repl.get(acg_id)
+        if state is not None and follower in state.acked:
+            state.acked[follower] = -1
+
+    def handle_search_replica(self, acg_ids: Sequence[int], predicate: Predicate,
+                              index_names: Optional[Sequence[str]] = None,
+                              min_seqs: Optional[Dict[int, int]] = None
+                              ) -> ReplicaSearchReply:
+        """Serve a hedged search leg from follower replicas.
+
+        Followers apply streamed updates immediately, so no cache commit
+        is needed; ``min_seqs`` carries the client's read-your-writes
+        watermark per ACG — an ACG whose applied sequence sits below it
+        is still answered but flagged ``lagging`` (usable only under the
+        client's opt-in partial-results deadline).  ACGs with no follower
+        replica here come back in ``missing``.
+        """
+        reply = ReplicaSearchReply(node=self.name, epoch=self.route_epoch_seen)
+        applied: List[Tuple[int, int]] = []
+        lagging: List[int] = []
+        missing: List[int] = []
+        for acg_id in sorted(acg_ids):
+            st = self.followers.get(acg_id)
+            if st is None:
+                missing.append(acg_id)
+                continue
+            reply.results.append(
+                self._search_follower(st, predicate, index_names))
+            applied.append((acg_id, st.applied_seq))
+            if min_seqs and st.applied_seq < min_seqs.get(acg_id, 0):
+                lagging.append(acg_id)
+        reply.applied = tuple(applied)
+        reply.lagging = tuple(lagging)
+        reply.missing = tuple(missing)
+        return reply
+
+    def _search_follower(self, st: FollowerState, predicate: Predicate,
+                         index_names: Optional[Sequence[str]]) -> SearchResult:
+        """One follower replica's answer — the :meth:`_search_one` core
+        without commit forcing, result caching, or residency I/O (the
+        follower store is memory-resident by construction)."""
+        now = self.machine.clock.now()
+        replica = st.replica
+        specs = [replica.specs[n] for n in (index_names or replica.specs)
+                 if n in replica.specs]
+        plans = plan_query_set(predicate, specs, now)
+        self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
+        file_ids = execute_plans(plans, predicate, replica.indexes,
+                                 replica.store, now)
+        self.machine.compute(_EXAMINE_OPS * len(file_ids))
+        paths = tuple(sorted(
+            p for p in (replica.store.attrs(f).get("path") for f in file_ids)
+            if p is not None))
+        return SearchResult(node=self.name, acg_id=replica.acg_id,
+                            file_ids=frozenset(file_ids), paths=paths)
+
     # -- liveness -----------------------------------------------------------------------------
 
     def make_heartbeat(self) -> Heartbeat:
@@ -791,12 +1147,24 @@ class IndexNode:
                 dirty=bool(self.cache.pending_ops(acg_id)),
                 file_count=replica.file_count,
             ))
+        replication: List[Any] = []
+        for acg_id in sorted(self.repl):
+            state = self.repl[acg_id]
+            replication.append((
+                "p", acg_id, state.repl_epoch, state.log.last_seq,
+                tuple(sorted((f, seq) for f, seq in state.acked.items()
+                             if seq >= 0))))
+        for acg_id in sorted(self.followers):
+            follower = self.followers[acg_id]
+            replication.append(
+                ("f", acg_id, follower.repl_epoch, follower.applied_seq))
         return Heartbeat(
             node=self.name,
             timestamp=self.machine.clock.now(),
             acg_sizes=tuple(sorted(sizes.items())),
             free_bytes=self.machine.spec.ram_bytes,
             summaries=tuple(sorted(summaries, key=lambda s: s.acg_id)),
+            replication=tuple(replication),
         )
 
     # -- shared-storage persistence ----------------------------------------------------------
@@ -853,6 +1221,9 @@ class IndexNode:
         # Loading the checkpoint is one sequential read from shared storage.
         self._shared_device.reset_head()
         self._shared_device.read((acg_id % 4096) << 24, replica.resident_bytes())
+        # Adopted content bypassed the replication log: force followers
+        # back through a snapshot bootstrap.
+        self._reset_repl(acg_id)
         return len(payload["files"])
 
     # -- crash recovery ----------------------------------------------------------------------
@@ -917,6 +1288,12 @@ class IndexNode:
         self.cache._pending.clear()
         self.cache._oldest.clear()
         self._result_cache.clear()
+        # Replication state is volatile on both halves: the primary's log
+        # and ack map die with the process (followers are re-installed on
+        # restart's catch-up), and hosted follower replicas are gone — a
+        # promotion can only use a *live* follower's copy.
+        self.repl.clear()
+        self.followers.clear()
         self.drop_resident()
         if torn_tail_bytes > 0:
             self.wal.simulate_torn_tail(torn_tail_bytes)
@@ -949,4 +1326,6 @@ class IndexNode:
         self._truncate_wal()
         self.handoff_intents.clear()
         self.migrated_away.clear()
+        self.repl.clear()
+        self.followers.clear()
         self.drop_resident()

@@ -74,6 +74,17 @@ class FailoverEvent:
     (updates acknowledged after the victim's last checkpoint die with it)
     apart from genuine bugs: a file is excused only if its partition
     appears here and its ack time postdates the victim's checkpoint.
+
+    ``outcome`` distinguishes how the round ended: ``"adopted"`` (the
+    historical checkpoint-replay path did the work), ``"promoted"``
+    (replica promotion placed every partition that moved), or
+    ``"deferred"`` — nothing could be placed this round because every
+    candidate adopter/replica was unreachable or itself lagging, and the
+    next heartbeat poll will retry.  ``promoted`` names the partitions
+    that were promoted rather than adopted, ``watermarks`` records the
+    chosen (or, for deferred rounds, best-known) replica's applied
+    sequence per partition, and ``victim_heartbeat_t`` is when the dead
+    node last heartbeated — the promotion excuse-window anchor.
     """
 
     t: float
@@ -81,6 +92,11 @@ class FailoverEvent:
     moved: Tuple[int, ...]
     lost: Tuple[int, ...]
     auto: bool = False
+    outcome: str = "adopted"
+    promoted: Tuple[int, ...] = ()
+    deferred: Tuple[int, ...] = ()
+    watermarks: Tuple[Tuple[int, int], ...] = ()
+    victim_heartbeat_t: float = 0.0
 
 
 class MasterNode:
@@ -90,10 +106,27 @@ class MasterNode:
                  policy: PartitioningPolicy = PartitioningPolicy(),
                  registry: Optional[MetricsRegistry] = None,
                  auto_failover: bool = False,
-                 heartbeat_timeout_s: float = 15.0) -> None:
+                 heartbeat_timeout_s: float = 15.0,
+                 replication_factor: int = 1) -> None:
         self.machine = machine
         self.rpc = rpc
         self.policy = policy
+        # RF > 1 gives every partition follower replicas: heartbeats
+        # carry watermark reports, failover tries promotion first, and
+        # route tables advertise the followers for hedged reads.  RF=1
+        # (the default) leaves every replication path dormant.
+        self.replication_factor = replication_factor
+        if replication_factor > 1:
+            from repro.replication import ReplicaSetManager
+
+            self.replica_sets: Optional[Any] = ReplicaSetManager(replication_factor)
+        else:
+            self.replica_sets = None
+        # Partitions whose follower assignment needs (re)driving: primary
+        # unreachable at assignment time, primary restarted and lost its
+        # replication state, or membership changed.  Retried every
+        # heartbeat round, mirroring the migration-debris pattern.
+        self._pending_follower_syncs: Set[int] = set()
         # When on, the heartbeat poll itself fails silent nodes over —
         # off by default so explicit-failover deployments keep control.
         self.auto_failover = auto_failover
@@ -206,6 +239,63 @@ class MasterNode:
         except ClusterError:
             pass
 
+    # -- replica sets (RF > 1) --------------------------------------------------------
+
+    def _follower_nodes(self, primary: str) -> Tuple[str, ...]:
+        """Ring placement: the rf-1 live nodes after ``primary`` in
+        registration order (deterministic, spreads follower load)."""
+        if self.replica_sets is None or primary not in self.index_nodes:
+            return ()
+        start = self.index_nodes.index(primary)
+        ring = [self.index_nodes[(start + i) % len(self.index_nodes)]
+                for i in range(1, len(self.index_nodes))]
+        return tuple(ring[:self.replica_sets.rf - 1])
+
+    def _assign_followers(self, acg_id: int) -> None:
+        """(Re)install a partition's follower set on its primary.
+
+        Best-effort: an unreachable primary parks the partition in the
+        follower-sync debris set, retried every heartbeat round.
+        Followers dropped from the set are told to forget their replica
+        so a stale copy cannot linger behind a changed membership.
+        """
+        if self.replica_sets is None:
+            return
+        try:
+            partition = self.partitions.get(acg_id)
+        except ClusterError:
+            self._pending_follower_syncs.discard(acg_id)
+            return
+        primary = partition.node
+        if primary is None:
+            return
+        state = self.replica_sets.get(acg_id)
+        before = set(state.followers) if state else set()
+        followers = self._follower_nodes(primary)
+        epoch = self.replica_sets.set_followers(acg_id, followers)
+        for removed in sorted(before - set(followers)):
+            if removed in self.index_nodes:
+                try:
+                    self.rpc.call(removed, "drop_follower", acg_id)
+                except ClusterError:
+                    pass
+        try:
+            self.rpc.call(primary, "set_followers", acg_id, followers, epoch)
+        except ClusterError:
+            self._pending_follower_syncs.add(acg_id)
+        else:
+            self._pending_follower_syncs.discard(acg_id)
+
+    def _retry_follower_syncs(self) -> None:
+        for acg_id in sorted(self._pending_follower_syncs):
+            self._assign_followers(acg_id)
+
+    def _route_replicas_of(self, acg_id: int) -> Tuple[str, ...]:
+        if self.replica_sets is None:
+            return ()
+        state = self.replica_sets.get(acg_id)
+        return state.followers if state is not None else ()
+
     def _effective_size(self, partition) -> int:
         """The larger of the Master's file map and the owner's reported
         count (clients place files without telling the Master)."""
@@ -246,13 +336,15 @@ class MasterNode:
                     entries.append(RouteTableEntry(acg_id=acg_id, node=None, size=-1))
                 else:
                     entries.append(RouteTableEntry(
-                        acg_id=acg_id, node=p.node, size=self._effective_size(p)))
+                        acg_id=acg_id, node=p.node, size=self._effective_size(p),
+                        replicas=self._route_replicas_of(acg_id)))
             self.machine.compute(_ROUTE_LOOKUP_OPS * max(1, len(entries)))
             return RouteTable(epoch=current, full=False, cluster_target=target,
                               entries=tuple(entries))
         full_entries = tuple(
             RouteTableEntry(acg_id=p.partition_id, node=p.node,
-                            size=self._effective_size(p))
+                            size=self._effective_size(p),
+                            replicas=self._route_replicas_of(p.partition_id))
             for p in self.partitions.partitions())
         self.machine.compute(_ROUTE_LOOKUP_OPS * max(1, len(full_entries)))
         return RouteTable(epoch=current, full=True, cluster_target=target,
@@ -286,6 +378,7 @@ class MasterNode:
             partition = self.partitions.new_partition(node=node)
             epoch = self._bump_routing(partition.partition_id)
             self._notify_owner(node, partition.partition_id, epoch)
+            self._assign_followers(partition.partition_id)
             loads[node] += self.policy.cluster_target
         return self._build_route_table(since_epoch)
 
@@ -314,6 +407,7 @@ class MasterNode:
         partition = self.partitions.new_partition(files=[file_id], node=node)
         self._notify_owner(node, partition.partition_id,
                            self._bump_routing(partition.partition_id))
+        self._assign_followers(partition.partition_id)
         return partition.partition_id
 
     def route_updates(self, file_ids: Sequence[int],
@@ -336,6 +430,7 @@ class MasterNode:
                 partition.node = self._least_loaded_effective(self.index_nodes)
                 self._notify_owner(partition.node, acg_id,
                                    self._bump_routing(acg_id))
+                self._assign_followers(acg_id)
             entries.append(RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node))
         return entries
 
@@ -369,6 +464,7 @@ class MasterNode:
         if partition.node is None:
             partition.node = self._least_loaded_effective(self.index_nodes)
             self._notify_owner(partition.node, acg_id, self._bump_routing(acg_id))
+            self._assign_followers(acg_id)
         return RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node)
 
     def lookup_file(self, file_id: int) -> Optional[int]:
@@ -410,6 +506,51 @@ class MasterNode:
             if self._summaries.get(snapshot.acg_id) != snapshot:
                 self._summaries[snapshot.acg_id] = snapshot
                 self._summary_version += 1
+        # Replication piggyback (RF > 1): fold watermark reports into the
+        # replica-set state, and notice primaries that *stopped* reporting
+        # replication for a partition they own — a crash-restart lost the
+        # in-memory log and follower map, so the assignment is re-driven.
+        if self.replica_sets is not None:
+            primaried: Set[int] = set()
+            for record in getattr(heartbeat, "replication", ()):
+                if record[0] == "p":
+                    _, acg_id, repl_epoch, last_seq, acked = record
+                    partition = by_id.get(acg_id)
+                    if partition is not None and partition.node == heartbeat.node:
+                        self.replica_sets.record_primary(
+                            acg_id, repl_epoch, last_seq, acked)
+                        primaried.add(acg_id)
+                elif record[0] == "f":
+                    _, acg_id, repl_epoch, applied = record
+                    self.replica_sets.record_follower(
+                        acg_id, heartbeat.node, repl_epoch, applied)
+            for acg_id, _size in heartbeat.acg_sizes:
+                partition = by_id.get(acg_id)
+                if (partition is not None and partition.node == heartbeat.node
+                        and acg_id not in primaried):
+                    self._pending_follower_syncs.add(acg_id)
+            # The symmetric heal: a node this Master lists as *follower*
+            # of a partition but which reports no follower replica for it
+            # lost that replica (crash-restart — follower state is
+            # memory-only).  Its primary still carries a stale acked
+            # watermark and would never re-stream, so void it explicitly;
+            # the primary's next tick re-installs from snapshot.
+            followed = {acg_id for acg_id in self.replica_sets.partitions()
+                        if heartbeat.node in
+                        (self.replica_sets.state(acg_id).followers or ())}
+            reported = {record[1]
+                        for record in getattr(heartbeat, "replication", ())
+                        if record[0] == "f"}
+            for acg_id in sorted(followed - reported):
+                partition = by_id.get(acg_id)
+                if partition is None or not partition.node:
+                    continue
+                self._pending_follower_syncs.add(acg_id)
+                try:
+                    self.rpc.call(partition.node, "reset_follower_ack",
+                                  acg_id, heartbeat.node)
+                except ClusterError:
+                    pass  # pending sync retries next poll
 
     def _drop_summary(self, acg_id: int) -> None:
         if self._summaries.pop(acg_id, None) is not None:
@@ -457,6 +598,7 @@ class MasterNode:
                 continue
             self.report_heartbeat(heartbeat)
         self._retry_migration_debris()
+        self._retry_follower_syncs()
         failed_over: List[str] = []
         if self.auto_failover:
             suspects = set(conclusively_down)
@@ -550,18 +692,36 @@ class MasterNode:
             raise ClusterError("no surviving index nodes to fail over to")
         moved_ids: List[int] = []
         lost_ids: List[int] = []
-        stranded = 0
+        promoted_ids: List[int] = []
+        watermarks: List[Tuple[int, int]] = []
+        # Best lagging promotion candidate per partition — reported on a
+        # deferred round so the operator can see *how far* behind the
+        # would-be adopter was.
+        lag_watermarks: Dict[int, Tuple[str, int]] = {}
+        stranded_ids: List[int] = []
         unreachable: Set[str] = set()
+        victim_hb = self.heartbeats.get(failed_node)
+        victim_heartbeat_t = victim_hb.timestamp if victim_hb is not None else 0.0
         with self.tracer.span("failover", failed_node=failed_node) as span:
             for partition in self.partitions.partitions():
                 if partition.node != failed_node:
+                    continue
+                # Promotion first (RF > 1): a caught-up live follower
+                # takes over with an epoch bump — no checkpoint read, no
+                # WAL replay.  Only when no follower is viable does the
+                # partition fall back to checkpoint adoption below.
+                promoted_seq = self._try_promote(partition, unreachable,
+                                                 lag_watermarks)
+                if promoted_seq is not None:
+                    promoted_ids.append(partition.partition_id)
+                    watermarks.append((partition.partition_id, promoted_seq))
                     continue
                 path = replica_path(failed_node, partition.partition_id)
                 placed = False
                 while not placed:
                     candidates = [n for n in survivors if n not in unreachable]
                     if not candidates:
-                        stranded += 1
+                        stranded_ids.append(partition.partition_id)
                         break
                     target = self._least_loaded_effective(candidates)
                     try:
@@ -593,25 +753,106 @@ class MasterNode:
                             self._bump_routing(partition.partition_id))
                         placed = True
             span.set_attribute("moved", len(moved_ids))
-            span.set_attribute("stranded", stranded)
-        if stranded and not moved_ids and not lost_ids:
-            # Nothing could be done this round; leave every bit of state
-            # untouched and let the next heartbeat poll retry.
+            span.set_attribute("promoted", len(promoted_ids))
+            span.set_attribute("stranded", len(stranded_ids))
+        if stranded_ids and not moved_ids and not lost_ids and not promoted_ids:
+            # Nothing could be placed this round: every survivor was
+            # unreachable and every replica candidate was down or itself
+            # lagging.  Name the deferral (instead of the old silent
+            # retry) so stranded partitions are visible in the log, then
+            # leave state untouched for the next heartbeat poll to retry.
+            self.registry.counter("cluster.master.failover_deferred").inc()
+            self.failover_log.append(FailoverEvent(
+                t=self.machine.clock.now(), node=failed_node,
+                moved=(), lost=(), auto=auto, outcome="deferred",
+                deferred=tuple(sorted(stranded_ids)),
+                watermarks=tuple(sorted(
+                    (acg, seq) for acg, (_node, seq) in lag_watermarks.items())),
+                victim_heartbeat_t=victim_heartbeat_t))
             raise ClusterError(
                 f"no reachable survivor could adopt {failed_node}'s partitions")
-        if not stranded:
+        if not stranded_ids:
             self.index_nodes.remove(failed_node)
             self.heartbeats.pop(failed_node, None)
+            if self.replica_sets is not None:
+                # Partitions that used the dead node as a *follower* need
+                # their replica sets rebuilt on the next round.
+                for acg_id in self.replica_sets.partitions():
+                    state = self.replica_sets.get(acg_id)
+                    if state is not None and failed_node in state.followers:
+                        self._pending_follower_syncs.add(acg_id)
         self.registry.counter("cluster.master.failovers").inc()
         if auto:
             self.registry.counter("cluster.master.auto_failovers").inc()
         self.failover_log.append(FailoverEvent(
             t=self.machine.clock.now(), node=failed_node,
             moved=tuple(sorted(moved_ids)), lost=tuple(sorted(lost_ids)),
-            auto=auto))
+            auto=auto,
+            outcome="promoted" if promoted_ids and not moved_ids else "adopted",
+            promoted=tuple(sorted(promoted_ids)),
+            watermarks=tuple(sorted(watermarks)),
+            victim_heartbeat_t=victim_heartbeat_t))
         self.registry.counter(
-            "cluster.master.reassigned_partitions").inc(len(moved_ids))
-        return len(moved_ids)
+            "cluster.master.reassigned_partitions").inc(
+                len(moved_ids) + len(promoted_ids))
+        return len(moved_ids) + len(promoted_ids)
+
+    def _try_promote(self, partition, unreachable: Set[str],
+                     lag_watermarks: Dict[int, Tuple[str, int]]) -> Optional[int]:
+        """Promote a caught-up live follower of one partition, if any.
+
+        Viability is checked against the primary's last *known* committed
+        sequence with a live watermark query (heartbeat state may lag).
+        Returns the promoted replica's applied sequence, or None when no
+        follower is viable — lagging candidates leave their best
+        watermark in ``lag_watermarks`` for the deferred-event report.
+        """
+        from repro.errors import NodeDown, RpcTimeout
+
+        if self.replica_sets is None:
+            return None
+        acg_id = partition.partition_id
+        state = self.replica_sets.get(acg_id)
+        if state is None or not state.followers:
+            return None
+        target_seq = state.primary_seq
+        for follower, _reported in self.replica_sets.promotion_candidates(acg_id):
+            if (follower not in self.index_nodes or follower == partition.node
+                    or follower in unreachable):
+                continue
+            try:
+                _epoch, applied = self.rpc.call(follower, "replica_watermark",
+                                                acg_id)
+            except (NodeDown, RpcTimeout):
+                unreachable.add(follower)
+                continue
+            except ClusterError:
+                continue  # lost its follower state (crash-restarted)
+            if applied < target_seq:
+                best = lag_watermarks.get(acg_id)
+                if best is None or applied > best[1]:
+                    lag_watermarks[acg_id] = (follower, applied)
+                continue
+            new_epoch = self.replica_sets.bump_epoch(acg_id)
+            try:
+                applied_seq, file_count = self.rpc.call(
+                    follower, "promote_replica", acg_id, new_epoch)
+            except (NodeDown, RpcTimeout):
+                unreachable.add(follower)
+                continue
+            except ClusterError:
+                continue
+            with self.tracer.span("promote", acg=acg_id,
+                                  target=follower) as span:
+                span.set_attribute("applied_seq", applied_seq)
+            partition.node = follower
+            self._reported_sizes[acg_id] = file_count
+            self._drop_summary(acg_id)
+            self._notify_owner(follower, acg_id, self._bump_routing(acg_id))
+            self._pending_follower_syncs.add(acg_id)
+            self.registry.counter("cluster.master.promotions").inc()
+            return applied_seq
+        return None
 
     def maybe_split(self) -> List[SplitDecision]:
         """Split every partition that outgrew the policy threshold.
@@ -668,6 +909,10 @@ class MasterNode:
         self._bump_routing(acg_id)
         self._notify_owner(target, new_partition.partition_id,
                            self._bump_routing(new_partition.partition_id))
+        # Both halves changed content outside the replication stream; the
+        # primaries re-bootstrap their followers from fresh snapshots.
+        self._assign_followers(acg_id)
+        self._assign_followers(new_partition.partition_id)
         decision = SplitDecision(acg_id=acg_id, new_acg_id=new_partition.partition_id,
                                  source_node=source, target_node=target,
                                  moved_files=moved)
@@ -759,6 +1004,7 @@ class MasterNode:
             event.epoch = epoch
             event.moved_files = moved
             self._notify_owner(target, acg_id, epoch)
+            self._assign_followers(acg_id)
             self.registry.counter("cluster.master.migrations").inc()
             try:
                 self.rpc.call(source, "finish_migration", acg_id)
@@ -832,6 +1078,17 @@ class MasterNode:
         # -1 in deltas) and the survivor's contents changed shape.
         self._bump_routing(absorb_id)
         self._bump_routing(keep_id)
+        if self.replica_sets is not None:
+            state = self.replica_sets.get(absorb_id)
+            for follower in (state.followers if state else ()):
+                if follower in self.index_nodes:
+                    try:
+                        self.rpc.call(follower, "drop_follower", absorb_id)
+                    except ClusterError:
+                        pass
+            self.replica_sets.drop(absorb_id)
+            self._pending_follower_syncs.discard(absorb_id)
+            self._assign_followers(keep_id)
         return moved
 
     def merge_small_partitions(self, min_size: Optional[int] = None) -> int:

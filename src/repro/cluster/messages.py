@@ -48,6 +48,30 @@ class IndexUpdate:
         return 24 + 16 * len(self.attrs) + (len(self.path) if self.path else 0)
 
 
+class UpdateAck(int):
+    """An Index Node's ack for one ``index_update`` batch.
+
+    Subclasses ``int`` (the accepted-update count) so every legacy call
+    site that treats the ack as a plain count keeps working; replication-
+    aware clients additionally read the partition's committed replication
+    sequence (``seq``) to maintain their read-your-writes watermark for
+    hedged follower reads.  ``seq == 0`` means the node is not running
+    replication for the partition.
+    """
+
+    acg_id: int
+    seq: int
+    repl_epoch: int
+
+    def __new__(cls, n: int, acg_id: int = -1, seq: int = 0,
+                repl_epoch: int = 0) -> "UpdateAck":
+        ack = super().__new__(cls, n)
+        ack.acg_id = acg_id
+        ack.seq = seq
+        ack.repl_epoch = repl_epoch
+        return ack
+
+
 @dataclass(frozen=True)
 class RouteEntry:
     """Master Node's answer for one file: which ACG on which Index Node."""
@@ -70,6 +94,10 @@ class RouteTableEntry:
     acg_id: int
     node: Optional[str]
     size: int
+    # Follower replicas (RF > 1): alternate nodes a client may hedge a
+    # search leg to.  Empty when replication is off — the default keeps
+    # the wire format compatible with pre-replication route tables.
+    replicas: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -125,6 +153,26 @@ class SearchReply:
     pruned_ok: Tuple[int, ...] = ()
 
 
+@dataclass
+class ReplicaSearchReply:
+    """A follower's answer to a hedged search leg.
+
+    ``results`` covers the requested ACGs the node follows; ``missing``
+    names requested ACGs it holds no follower replica for (the hedge is
+    unusable for those).  ``applied`` reports the follower's applied
+    replication sequence per answered ACG, and ``lagging`` the subset
+    that sat *below* the client's read watermark — those answers are
+    only usable under the client's opt-in partial-results deadline.
+    """
+
+    node: str
+    epoch: int
+    results: List[SearchResult] = field(default_factory=list)
+    applied: Tuple[Tuple[int, int], ...] = ()
+    lagging: Tuple[int, ...] = ()
+    missing: Tuple[int, ...] = ()
+
+
 @dataclass(frozen=True)
 class Heartbeat:
     """Index Node → Master Node liveness + ACG status report."""
@@ -137,6 +185,12 @@ class Heartbeat:
     # (repro.query.summary.SummarySnapshot) — piggybacked so summary
     # distribution costs zero extra RPCs.
     summaries: Tuple[Any, ...] = ()
+    # Replication status records, piggybacked the same way (RF > 1 only):
+    #   ("p", acg_id, repl_epoch, last_seq, ((follower, acked_seq), ...))
+    # for partitions this node primaries, and
+    #   ("f", acg_id, repl_epoch, applied_seq)
+    # for partitions it follows.
+    replication: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -44,9 +44,15 @@ class PropellerService:
                  retry_policy: Optional[RetryPolicy] = None,
                  rpc_seed: int = 0,
                  auto_failover: bool = False,
-                 heartbeat_timeout_s: float = 15.0) -> None:
+                 heartbeat_timeout_s: float = 15.0,
+                 replication_factor: int = 1) -> None:
         if num_index_nodes < 1:
             raise ValueError("need at least one index node")
+        if replication_factor > num_index_nodes:
+            raise ValueError(
+                f"replication factor {replication_factor} needs at least "
+                f"that many index nodes (have {num_index_nodes})")
+        self.replication_factor = replication_factor
         self.policy = policy if policy is not None else PartitioningPolicy()
         self.single_node = single_node and num_index_nodes == 1
         index_node_names = [f"in{i}" for i in range(1, num_index_nodes + 1)]
@@ -71,7 +77,8 @@ class PropellerService:
         self.master = MasterNode(master_machine, self.rpc, policy=self.policy,
                                  registry=self.registry,
                                  auto_failover=auto_failover,
-                                 heartbeat_timeout_s=heartbeat_timeout_s)
+                                 heartbeat_timeout_s=heartbeat_timeout_s,
+                                 replication_factor=replication_factor)
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -176,6 +183,15 @@ class PropellerService:
         reg.gauge_fn(f"{prefix}.prune_fallbacks",
                      lambda n=node: n.prune_fallbacks)
         reg.gauge_fn(f"{prefix}.up", lambda n=node: n.endpoint.up)
+        # Replication health (all zero at RF = 1): follower replicas
+        # hosted here, records streamed out as a primary, and catch-up
+        # rounds (snapshot installs or log re-sends) this node ran.
+        reg.gauge_fn(f"{prefix}.repl.followers",
+                     lambda n=node: len(n.followers))
+        reg.gauge_fn(f"{prefix}.repl.streamed",
+                     lambda n=node: n.repl_streamed)
+        reg.gauge_fn(f"{prefix}.repl.catchups",
+                     lambda n=node: n.repl_catchups)
 
     def _wire_tracer(self, tracer) -> None:
         self.tracer = tracer
@@ -393,13 +409,22 @@ class PropellerService:
 
     def make_client(self, pid_filter: Optional[Set[int]] = None,
                     batch_size: int = 128) -> PropellerClient:
-        """Attach a new client to the shared VFS and cluster."""
+        """Attach a new client to the shared VFS and cluster.
+
+        Under replication (RF > 1) the client gets a hedging policy, so
+        its search legs race follower replicas after a p95-derived timer.
+        """
+        hedging = None
+        if self.replication_factor > 1:
+            from repro.replication import HedgePolicy
+            hedging = HedgePolicy(self.registry)
         client = PropellerClient(
             self.vfs, self.rpc,
             batch_size=batch_size,
             pid_filter=pid_filter,
             local=self.single_node,
             pump=self.pump,
+            hedging=hedging,
         )
         client.tracer = self.tracer
         client.registry = self.registry
@@ -433,6 +458,25 @@ class PropellerService:
             client.flush_updates()
         for node in self.index_nodes.values():
             node.cache.commit_all()
+
+    def sync_replication(self) -> None:
+        """Drive follower replicas to convergence (no-op at RF = 1).
+
+        Deterministic: retries any follower-set assignments the Master
+        could not deliver, then has every live primary bootstrap/stream
+        each of its replicated partitions in sorted order.  The chaos
+        harness calls this before checking the ``replicas-converge``
+        invariant — steady-state heartbeats and ticks do the same work
+        incrementally."""
+        if self.replication_factor <= 1:
+            return
+        self.master._retry_follower_syncs()
+        for name in sorted(self.index_nodes):
+            node = self.index_nodes[name]
+            if not node.endpoint.up:
+                continue
+            for acg_id in sorted(node.repl):
+                node._sync_followers(acg_id)
 
     # Registry-name → stats()-key mapping for one Index Node: stats() is
     # now a *view* over the metrics registry, so operators, exporters and

@@ -168,6 +168,21 @@ class Histogram:
         rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil without math
         return ordered[min(rank, len(ordered)) - 1]
 
+    @property
+    def p50(self) -> float:
+        """Median over the reservoir."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile over the reservoir."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile over the reservoir."""
+        return self.percentile(99)
+
     def reservoir_values(self) -> List[float]:
         """The retained sample, sorted — enough to draw an empirical CDF."""
         return sorted(self._reservoir)
@@ -178,9 +193,9 @@ class Histogram:
             "count": self.count,
             "mean": self.mean,
             "min": self.minimum,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "max": self.maximum,
         }
 

@@ -1,0 +1,108 @@
+"""Master-side replica-set membership and watermark bookkeeping.
+
+One :class:`ReplicaSetState` per partition records who the followers are,
+the replication epoch (bumped on every membership change or promotion, so
+a deposed primary's late stream is rejected), and the applied/acked
+sequence watermarks the heartbeat loop reports.  The
+:class:`ReplicaSetManager` owns the map and the promotion-candidate
+logic: a follower is *viable* for promotion exactly when its applied
+sequence has caught up to the last sequence the dead primary was known to
+have committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ReplicaSetState:
+    """Replication status of one partition, as the Master last heard it."""
+
+    acg_id: int
+    followers: Tuple[str, ...] = ()
+    repl_epoch: int = 1
+    # Last committed sequence the primary reported (its log's last_seq).
+    primary_seq: int = 0
+    # follower node -> applied sequence, from follower heartbeats.
+    applied: Dict[str, int] = field(default_factory=dict)
+    # follower node -> acked sequence, from the primary's heartbeat (what
+    # the primary believes it has successfully streamed).
+    acked: Dict[str, int] = field(default_factory=dict)
+
+
+class ReplicaSetManager:
+    """Tracks replica sets for every partition when RF > 1."""
+
+    def __init__(self, rf: int) -> None:
+        if rf < 2:
+            raise ValueError(f"replica sets need rf >= 2, got {rf}")
+        self.rf = rf
+        self._sets: Dict[int, ReplicaSetState] = {}
+
+    def state(self, acg_id: int) -> ReplicaSetState:
+        """Get or create the partition's replica-set state."""
+        st = self._sets.get(acg_id)
+        if st is None:
+            st = self._sets[acg_id] = ReplicaSetState(acg_id)
+        return st
+
+    def get(self, acg_id: int) -> Optional[ReplicaSetState]:
+        return self._sets.get(acg_id)
+
+    def drop(self, acg_id: int) -> None:
+        """Forget a partition (merged away)."""
+        self._sets.pop(acg_id, None)
+
+    def set_followers(self, acg_id: int, followers: Tuple[str, ...]) -> int:
+        """Install a new follower tuple; bumps and returns the repl epoch.
+
+        A no-op (same followers) keeps the current epoch so steady-state
+        reassignment retries do not churn epochs.
+        """
+        st = self.state(acg_id)
+        if st.followers != followers:
+            st.followers = followers
+            st.repl_epoch += 1
+            st.applied = {f: st.applied.get(f, 0) for f in followers}
+            st.acked = {f: st.acked.get(f, 0) for f in followers}
+        return st.repl_epoch
+
+    def record_primary(self, acg_id: int, repl_epoch: int, last_seq: int,
+                       acked: Tuple[Tuple[str, int], ...]) -> None:
+        """Fold a primary's heartbeat report into the state."""
+        st = self.state(acg_id)
+        if repl_epoch < st.repl_epoch:
+            return  # stale primary (pre-promotion) — ignore
+        st.primary_seq = max(st.primary_seq, last_seq)
+        for follower, seq in acked:
+            if seq > st.acked.get(follower, 0):
+                st.acked[follower] = seq
+
+    def record_follower(self, acg_id: int, node: str, repl_epoch: int,
+                        applied_seq: int) -> None:
+        """Fold a follower's heartbeat report into the state."""
+        st = self.state(acg_id)
+        if repl_epoch < st.repl_epoch:
+            return
+        if applied_seq > st.applied.get(node, 0):
+            st.applied[node] = applied_seq
+
+    def promotion_candidates(self, acg_id: int) -> List[Tuple[str, int]]:
+        """Followers ordered most-caught-up first as (node, applied_seq)."""
+        st = self._sets.get(acg_id)
+        if st is None:
+            return []
+        return sorted(((f, st.applied.get(f, 0)) for f in st.followers),
+                      key=lambda pair: (-pair[1], pair[0]))
+
+    def bump_epoch(self, acg_id: int) -> int:
+        """Force a repl-epoch bump (promotion fences the old primary)."""
+        st = self.state(acg_id)
+        st.repl_epoch += 1
+        return st.repl_epoch
+
+    def partitions(self) -> List[int]:
+        """Every tracked partition id, sorted."""
+        return sorted(self._sets)

@@ -69,8 +69,61 @@ class SimClock:
         self._now = start + longest
         return results
 
+    def race(self, primary, secondary, secondary_delay_s: float) -> "RaceOutcome":
+        """Run ``primary`` and, if it is still outstanding after
+        ``secondary_delay_s``, launch ``secondary`` concurrently — the
+        hedged-request shape from "The Tail at Scale".
+
+        The primary runs from ``start``; if it finishes within the delay
+        the secondary never launches.  Otherwise the secondary runs from
+        ``start + delay`` and the clock lands at the *earlier* finish
+        time — the caller took the first answer and cancelled the loser.
+        When the caller nonetheless needs the loser's answer (the winner
+        turned out unusable), it pays the difference via
+        :meth:`advance_to` with the loser's end time.
+
+        Thunks must catch their own exceptions and return error values;
+        an escaping exception would leave the clock mid-rewind.
+        """
+        if secondary_delay_s < 0:
+            raise SimulationError(
+                f"hedge delay cannot be negative: {secondary_delay_s}")
+        start = self._now
+        primary_result = primary()
+        primary_end = self._now
+        if primary_end - start <= secondary_delay_s:
+            self._now = primary_end
+            return RaceOutcome(primary_result, None, primary_end, None, False)
+        self._now = start + secondary_delay_s
+        secondary_result = secondary()
+        secondary_end = self._now
+        self._now = min(primary_end, secondary_end)
+        return RaceOutcome(primary_result, secondary_result,
+                           primary_end, secondary_end, True)
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f})"
+
+
+class RaceOutcome:
+    """Result of :meth:`SimClock.race`.
+
+    ``secondary_result``/``secondary_end`` are ``None`` when the hedge
+    never launched (``launched`` is False).  End times are absolute
+    virtual timestamps so the caller can ``advance_to`` the loser's end
+    if it ends up needing that answer.
+    """
+
+    __slots__ = ("primary_result", "secondary_result",
+                 "primary_end", "secondary_end", "launched")
+
+    def __init__(self, primary_result, secondary_result,
+                 primary_end: float, secondary_end, launched: bool) -> None:
+        self.primary_result = primary_result
+        self.secondary_result = secondary_result
+        self.primary_end = primary_end
+        self.secondary_end = secondary_end
+        self.launched = launched
 
 
 class ClockSpan:

@@ -81,6 +81,23 @@ class CallOutcome:
     error: Optional[Exception] = None
 
 
+@dataclass
+class HedgedOutcome:
+    """Result of :meth:`RpcNetwork.hedged_call`.
+
+    ``primary`` always holds the primary leg's :class:`CallOutcome`;
+    ``secondary`` is ``None`` unless the hedge launched (``hedged``).
+    End times are absolute virtual timestamps — the caller advances to
+    the loser's end only if it must consume the loser's answer.
+    """
+
+    primary: CallOutcome
+    secondary: Optional[CallOutcome] = None
+    primary_end: float = 0.0
+    secondary_end: Optional[float] = None
+    hedged: bool = False
+
+
 class RpcEndpoint:
     """A named set of RPC handlers living on one machine."""
 
@@ -240,6 +257,52 @@ class RpcNetwork:
                     spent += backoff
                     attempt += 1
                     self._count("cluster.rpc.retries")
+
+    def hedged_call(self, primary: str, secondary: str, method: str,
+                    hedge_delay_s: float, *args: Any,
+                    secondary_method: Optional[str] = None,
+                    secondary_args: Optional[tuple] = None,
+                    secondary_kwargs: Optional[dict] = None,
+                    **kwargs: Any) -> "HedgedOutcome":
+        """One logical call raced against a replica after a hedge timer.
+
+        The call goes to ``primary`` first; if it is still outstanding
+        after ``hedge_delay_s`` of virtual time the same call (or
+        ``secondary_method``/``secondary_args``, when the replica speaks
+        a different method) is issued to ``secondary``.  The first
+        answer wins and the loser is *cancelled* — its remaining work is
+        not waited for, which is what collapses the leg's tail.  Both
+        legs run under the normal retry policy; transient errors
+        (:class:`NodeDown`, :class:`RpcTimeout`) surface as the leg's
+        ``CallOutcome`` instead of escaping, so the caller can decide
+        which answers are usable.  ``cluster.client.hedges`` /
+        ``hedge_wins`` / ``hedge_cancelled`` count launches, secondary
+        wins, and loser cancellations.
+        """
+        clock = self.network.clock
+        s_method = secondary_method if secondary_method is not None else method
+        s_args = secondary_args if secondary_args is not None else args
+        s_kwargs = secondary_kwargs if secondary_kwargs is not None else kwargs
+
+        def leg(target: str, m: str, a: tuple, kw: dict) -> CallOutcome:
+            try:
+                return CallOutcome(ok=True, value=self.call(target, m, *a, **kw))
+            except _RETRIABLE as exc:
+                return CallOutcome(ok=False, error=exc)
+
+        race = clock.race(lambda: leg(primary, method, args, kwargs),
+                          lambda: leg(secondary, s_method, s_args, s_kwargs),
+                          hedge_delay_s)
+        outcome = HedgedOutcome(
+            primary=race.primary_result, secondary=race.secondary_result,
+            primary_end=race.primary_end, secondary_end=race.secondary_end,
+            hedged=race.launched)
+        if race.launched:
+            self._count("cluster.client.hedges")
+            if race.secondary_end < race.primary_end:
+                self._count("cluster.client.hedge_wins")
+            self._count("cluster.client.hedge_cancelled")
+        return outcome
 
     def multicall(self, targets: list, method: str, *args: Any,
                   request_bytes: int = _DEFAULT_MSG_BYTES,
