@@ -60,8 +60,9 @@ class SearchAnswer:
     a hedged leg was answered by a follower replica that had not yet
     applied this client's latest acknowledged writes.  The answer is a
     consistent-but-stale view of ``lagging_partitions``; everything else
-    is current.  Without a deadline a lagging replica is never used, so
-    ``partial`` stays False.
+    is current.  A lagging answer is only accepted if it arrived within
+    ``deadline_s`` of the search's start; without a deadline (or past
+    it) a lagging replica is never used, so ``partial`` stays False.
     """
 
     paths: List[str] = field(default_factory=list)
@@ -867,7 +868,13 @@ class PropellerClient:
 
         ``deadline_s`` opts into partial results under replication: when
         a partition's primary cannot answer, a *lagging* follower's
-        answer is accepted instead of failing the leg — use
+        answer is accepted instead of failing the leg — but only if it
+        arrived within ``deadline_s`` (virtual seconds, measured from
+        the start of the search); a partial answer that misses the
+        deadline is refused and the leg degrades as if no opt-in were
+        given.  The deadline never truncates *sound* answers (a live
+        primary or a caught-up follower) — it bounds how late stale data
+        may be accepted, not how long the search may run.  Use
         :meth:`search_detailed` to see which partitions were stale.
         """
         results = self._search_raw(parse_query(query), index_name,
@@ -1001,6 +1008,10 @@ class PropellerClient:
                     deadline_s: Optional[float] = None) -> List[SearchResult]:
         clock = self.vfs.clock
         start = clock.now()
+        # The partial-answer opt-in is enforced as an *absolute* virtual
+        # time: a lagging replica's answer is only accepted if it landed
+        # by this instant.  None means "never accept stale data".
+        deadline_t = (start + deadline_s) if deadline_s is not None else None
         # Per-search hedge bookkeeping, filled in by the leg closures:
         # which partitions a lagging replica ended up answering for.
         hedge_ctx: Dict[str, Set[int]] = {"lagging": set()}
@@ -1060,14 +1071,14 @@ class PropellerClient:
                         clock, legs,
                         lambda n: self._call_search_leg(
                             n, routing.get(n, []), pruned.get(n) or None,
-                            predicate, names, hedge_ctx, deadline_s))
+                            predicate, names, hedge_ctx, deadline_t))
                     if outcome.degraded:
                         span.set_attribute(
                             "unreachable", sorted(outcome.unreachable))
             if (outcome.stale or outcome.unreachable
                     or outcome.max_node_epoch() > self._route_epoch):
                 outcome = self._retry_search(clock, outcome, predicate, names,
-                                             hedge_ctx, deadline_s)
+                                             hedge_ctx, deadline_t)
             results = list(outcome.results)
         self.last_outcome = outcome
         self._last_lagging = sorted(hedge_ctx["lagging"])
@@ -1095,7 +1106,7 @@ class PropellerClient:
                          pruned: Optional[Dict[int, Tuple[str, int, int]]],
                          predicate: Predicate, names: Optional[List[str]],
                          hedge_ctx: Dict[str, Set[int]],
-                         deadline_s: Optional[float]):
+                         deadline_t: Optional[float]):
         """One search leg, hedged to a follower replica when possible.
 
         Without a hedging policy (RF = 1) this is exactly the historical
@@ -1145,7 +1156,7 @@ class PropellerClient:
                     primary_end=out.primary_end,
                     secondary_end=clock.now(), hedged=True)
         return self._resolve_hedge(clock, leg_start, out, policy,
-                                   hedge_ctx, deadline_s)
+                                   hedge_ctx, deadline_t)
 
     def _hedge_secondary(self, primary: str,
                          acg_ids: List[int]) -> Optional[str]:
@@ -1164,7 +1175,7 @@ class PropellerClient:
 
     def _resolve_hedge(self, clock, leg_start: float, out, policy,
                        hedge_ctx: Dict[str, Set[int]],
-                       deadline_s: Optional[float]):
+                       deadline_t: Optional[float]):
         """Pick the leg's answer from a hedged race.
 
         Soundness order: the primary's answer is always sound; a
@@ -1172,9 +1183,12 @@ class PropellerClient:
         or above this client's acked watermark.  The first sound
         finisher wins (the loser's remaining time is not waited for).  A
         *lagging* follower answer is a last resort, accepted only under
-        the ``deadline_s`` opt-in when the primary failed outright — and
-        recorded in ``hedge_ctx`` so the caller can mark the answer
-        partial."""
+        the partial-results opt-in when the primary failed outright,
+        and only if it arrived by ``deadline_t`` (the absolute
+        virtual-time deadline derived from the search's ``deadline_s``)
+        — stale data that also missed the deadline has no value left.
+        Accepted lagging answers are recorded in ``hedge_ctx`` so the
+        caller can mark the answer partial."""
         primary = out.primary
         if primary.ok:
             policy.observe(out.primary_end - leg_start)
@@ -1194,7 +1208,8 @@ class PropellerClient:
             clock.advance_to(out.secondary_end)
             return HedgedReply(node=reply.node, epoch=reply.epoch,
                                results=reply.results, from_replica=True)
-        if covers and deadline_s is not None:
+        if (covers and deadline_t is not None
+                and out.secondary_end <= deadline_t):
             clock.advance_to(out.secondary_end)
             hedge_ctx["lagging"].update(reply.lagging)
             return HedgedReply(node=reply.node, epoch=reply.epoch,
@@ -1206,7 +1221,7 @@ class PropellerClient:
                       predicate: Predicate,
                       names: Optional[List[str]],
                       hedge_ctx: Dict[str, Set[int]],
-                      deadline_s: Optional[float] = None) -> FanoutOutcome:
+                      deadline_t: Optional[float] = None) -> FanoutOutcome:
         """One retry round after a stale fan-out: refresh the route table
         and re-query only the partitions the first round didn't serve.
 
@@ -1238,7 +1253,7 @@ class PropellerClient:
                 clock, routing,
                 lambda n: self._call_search_leg(
                     n, routing[n], None, predicate, names,
-                    hedge_ctx, deadline_s))
+                    hedge_ctx, deadline_t))
         return FanoutOutcome(
             results=list(outcome.results) + list(retry.results),
             unreachable=retry.unreachable,

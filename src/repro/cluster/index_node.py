@@ -23,7 +23,8 @@ from repro.cluster.messages import (Heartbeat, IndexUpdate, ReplicaSearchReply,
 from repro.cluster.wal import WriteAheadLog
 from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
-from repro.errors import ClusterError, StaleRoute, UnknownAcg
+from repro.errors import (ClusterError, StaleReplEpoch, StaleRoute,
+                          UnknownAcg)
 from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.tracing import NULL_TRACER
@@ -304,6 +305,9 @@ class IndexNode:
         self.followers: Dict[int, FollowerState] = {}
         self.repl_streamed = 0
         self.repl_catchups = 0
+        # Times this node noticed it was deposed as a partition's primary
+        # (a follower rejected its stream/install with a newer epoch).
+        self.repl_deposed = 0
         self.endpoint = RpcEndpoint(name)
         for method, handler in [
             ("index_update", self.handle_index_update),
@@ -857,18 +861,60 @@ class IndexNode:
             state = self.repl[acg_id] = PrimaryReplState(repl_epoch=repl_epoch)
         elif repl_epoch < state.repl_epoch:
             return
+        refresh = repl_epoch > state.repl_epoch
         state.repl_epoch = repl_epoch
         state.followers = tuple(followers)
         state.acked = {f: state.acked.get(f, -1) for f in state.followers}
+        if refresh:
+            self._refresh_follower_epochs(acg_id, state)
         self._sync_followers(acg_id)
+
+    def _refresh_follower_epochs(self, acg_id: int,
+                                 state: PrimaryReplState) -> None:
+        """Push a freshly assigned epoch to already-installed followers.
+
+        A membership-only epoch bump does not restart the log, so a
+        retained follower has nothing to stream — but it must still
+        learn the new epoch, or its heartbeats and live
+        ``replica_watermark`` answers keep carrying the old one and the
+        Master's promotion-viability check (same epoch, caught-up)
+        would refuse a genuinely viable replica.  An empty apply
+        carries the epoch; transient failures are absorbed (the next
+        stream or install retries).
+        """
+        if self.rpc is None:
+            return
+        for follower in state.followers:
+            if state.acked.get(follower, -1) < 0:
+                continue  # bootstrap install carries the epoch itself
+            try:
+                self.rpc.call(follower, "replicate_apply", acg_id,
+                              state.repl_epoch, ())
+            except DEGRADABLE_ERRORS:
+                continue
+            except StaleReplEpoch:
+                self._depose(acg_id)
+                return
+            except ClusterError:
+                state.acked[follower] = -1  # lost its state: re-install
 
     def _reset_repl(self, acg_id: int) -> None:
         """Partition content changed outside the replication stream
         (split, merge, adoption): the log no longer describes the store,
-        so every follower is marked for a fresh snapshot bootstrap."""
+        so every follower is marked for a fresh snapshot bootstrap.
+
+        The restart begins a new log *generation*, so the replication
+        epoch bumps with it: sequence numbers are only comparable within
+        one epoch, and without the bump a follower still holding the old
+        generation's high watermark could later be mistaken for caught-up
+        and promoted with pre-reset data.  The Master bumps its own copy
+        in lock-step (forced ``set_followers``) and adopts this one from
+        the next heartbeat if its bump was lost.
+        """
         state = self.repl.get(acg_id)
         if state is None:
             return
+        state.repl_epoch += 1
         state.log = ReplicationLog()
         state.acked = {f: -1 for f in state.followers}
 
@@ -880,6 +926,8 @@ class IndexNode:
         watermark simply stays behind and the next tick's catch-up
         retries.  Un-installed followers (``acked == -1``) are skipped;
         bootstrap happens on the catch-up path, not the hot ack path.
+        A stale-epoch rejection means a newer primary owns the partition
+        — this node self-deposes instead of retrying.
         """
         if self.rpc is None:
             return
@@ -896,11 +944,27 @@ class IndexNode:
                                         state.repl_epoch, records)
             except DEGRADABLE_ERRORS:
                 continue
+            except StaleReplEpoch:
+                self._depose(acg_id)
+                return
             except ClusterError:
                 state.acked[follower] = -1  # lost its state: re-install
                 continue
             state.acked[follower] = applied
             self.repl_streamed += len(records)
+
+    def _depose(self, acg_id: int) -> None:
+        """Stop acting as a partition's replication primary.
+
+        Called when a follower fenced this node's stream or install with
+        a newer epoch: the partition was failed over (or re-assigned)
+        while this node was out of the loop, so its log and ack map are
+        another generation's state.  The replica itself stays queryable
+        until routing catches up — exactly the migration dual-ownership
+        tolerance — but no further streams or installs leave this node.
+        """
+        self.repl.pop(acg_id, None)
+        self.repl_deposed += 1
 
     def _sync_followers(self, acg_id: int) -> None:
         """Catch-up: query each follower's watermark, bootstrap or stream.
@@ -918,6 +982,13 @@ class IndexNode:
                 if state.acked.get(follower, -1) < 0:
                     self._install_follower(acg_id, state, follower)
                 self._stream_one(acg_id, state, follower)
+            except StaleReplEpoch:
+                # A follower fenced us with a newer epoch: this node was
+                # deposed as the partition's primary while silent.  Stop
+                # replicating it entirely — retrying would just hammer
+                # the fence.
+                self._depose(acg_id)
+                return
             except ClusterError:
                 # Covers transients (NodeDown, RpcTimeout) and a follower
                 # that lost its state mid-stream alike: retried next tick.
@@ -971,7 +1042,29 @@ class IndexNode:
 
         Idempotent: re-installation simply rebuilds the follower from the
         fresh snapshot.  Returns the applied sequence (= ``seq``).
+
+        Epoch-fenced like :meth:`handle_replicate_apply`: a deposed
+        primary (failed over while silent) must not overwrite a
+        current-epoch replica with a stale snapshot — that would rewind
+        the fence itself and let the new primary's next stream apply a
+        suffix over a divergent base.  Rejected when the snapshot's
+        epoch is below this node's follower state, or at-or-below an
+        epoch at which this node itself primaries the partition.
         """
+        existing = self.followers.get(acg_id)
+        if existing is not None and repl_epoch < existing.repl_epoch:
+            raise StaleReplEpoch(
+                f"{self.name}: stale install epoch {repl_epoch} < "
+                f"{existing.repl_epoch} for ACG {acg_id}")
+        mine = self.repl.get(acg_id)
+        if mine is not None:
+            if repl_epoch <= mine.repl_epoch:
+                raise StaleReplEpoch(
+                    f"{self.name}: primaries ACG {acg_id} at epoch "
+                    f"{mine.repl_epoch}, rejecting follower install at "
+                    f"{repl_epoch}")
+            # A newer primary exists: this node's primary claim is stale.
+            self.repl.pop(acg_id, None)
         self._next_incarnation += 1
         replica = AcgReplica(acg_id, self.machine,
                              incarnation=self._next_incarnation)
@@ -1000,7 +1093,7 @@ class IndexNode:
         if st is None:
             raise UnknownAcg(f"{self.name} has no follower replica of ACG {acg_id}")
         if repl_epoch < st.repl_epoch:
-            raise ClusterError(
+            raise StaleReplEpoch(
                 f"{self.name}: stale repl epoch {repl_epoch} < {st.repl_epoch} "
                 f"for ACG {acg_id}")
         st.repl_epoch = repl_epoch

@@ -125,8 +125,12 @@ class MasterNode:
         # Partitions whose follower assignment needs (re)driving: primary
         # unreachable at assignment time, primary restarted and lost its
         # replication state, or membership changed.  Retried every
-        # heartbeat round, mirroring the migration-debris pattern.
-        self._pending_follower_syncs: Set[int] = set()
+        # heartbeat round, mirroring the migration-debris pattern.  The
+        # value is a *force* flag: True when the retry must bump the
+        # replication epoch because the primary's log generation
+        # restarted (crash-restart detected), False when re-delivering
+        # an already-fenced assignment.
+        self._pending_follower_syncs: Dict[int, bool] = {}
         # When on, the heartbeat poll itself fails silent nodes over —
         # off by default so explicit-failover deployments keep control.
         self.auto_failover = auto_failover
@@ -251,20 +255,26 @@ class MasterNode:
                 for i in range(1, len(self.index_nodes))]
         return tuple(ring[:self.replica_sets.rf - 1])
 
-    def _assign_followers(self, acg_id: int) -> None:
+    def _assign_followers(self, acg_id: int, force: bool = False) -> None:
         """(Re)install a partition's follower set on its primary.
 
         Best-effort: an unreachable primary parks the partition in the
         follower-sync debris set, retried every heartbeat round.
         Followers dropped from the set are told to forget their replica
         so a stale copy cannot linger behind a changed membership.
+
+        ``force`` bumps the replication epoch even when membership is
+        unchanged — required after any content change outside the
+        replication stream (split, merge, adoption, re-placement), where
+        the primary's log generation restarts and old-epoch watermarks
+        stop being comparable.
         """
         if self.replica_sets is None:
             return
         try:
             partition = self.partitions.get(acg_id)
         except ClusterError:
-            self._pending_follower_syncs.discard(acg_id)
+            self._pending_follower_syncs.pop(acg_id, None)
             return
         primary = partition.node
         if primary is None:
@@ -272,7 +282,8 @@ class MasterNode:
         state = self.replica_sets.get(acg_id)
         before = set(state.followers) if state else set()
         followers = self._follower_nodes(primary)
-        epoch = self.replica_sets.set_followers(acg_id, followers)
+        epoch = self.replica_sets.set_followers(acg_id, followers,
+                                                force=force)
         for removed in sorted(before - set(followers)):
             if removed in self.index_nodes:
                 try:
@@ -282,13 +293,16 @@ class MasterNode:
         try:
             self.rpc.call(primary, "set_followers", acg_id, followers, epoch)
         except ClusterError:
-            self._pending_follower_syncs.add(acg_id)
+            # The epoch bump (and any generation fence) is already
+            # recorded master-side, so the retry only re-delivers it.
+            self._pending_follower_syncs[acg_id] = False
         else:
-            self._pending_follower_syncs.discard(acg_id)
+            self._pending_follower_syncs.pop(acg_id, None)
 
     def _retry_follower_syncs(self) -> None:
         for acg_id in sorted(self._pending_follower_syncs):
-            self._assign_followers(acg_id)
+            self._assign_followers(
+                acg_id, force=self._pending_follower_syncs.get(acg_id, False))
 
     def _route_replicas_of(self, acg_id: int) -> Tuple[str, ...]:
         if self.replica_sets is None:
@@ -430,7 +444,9 @@ class MasterNode:
                 partition.node = self._least_loaded_effective(self.index_nodes)
                 self._notify_owner(partition.node, acg_id,
                                    self._bump_routing(acg_id))
-                self._assign_followers(acg_id)
+                # Re-placing a lost partition starts an empty store and a
+                # fresh log; fence any followers surviving from before.
+                self._assign_followers(acg_id, force=True)
             entries.append(RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node))
         return entries
 
@@ -464,7 +480,9 @@ class MasterNode:
         if partition.node is None:
             partition.node = self._least_loaded_effective(self.index_nodes)
             self._notify_owner(partition.node, acg_id, self._bump_routing(acg_id))
-            self._assign_followers(acg_id)
+            # Fresh placement of a previously-lost partition: fence any
+            # followers surviving from the old generation.
+            self._assign_followers(acg_id, force=True)
         return RouteEntry(file_id=file_id, acg_id=acg_id, node=partition.node)
 
     def lookup_file(self, file_id: int) -> Optional[int]:
@@ -528,7 +546,11 @@ class MasterNode:
                 partition = by_id.get(acg_id)
                 if (partition is not None and partition.node == heartbeat.node
                         and acg_id not in primaried):
-                    self._pending_follower_syncs.add(acg_id)
+                    # Crash-restart lost the in-memory log: the primary
+                    # will start a fresh generation, so the reassignment
+                    # must bump the epoch (force) to invalidate every
+                    # old-generation watermark.
+                    self._pending_follower_syncs[acg_id] = True
             # The symmetric heal: a node this Master lists as *follower*
             # of a partition but which reports no follower replica for it
             # lost that replica (crash-restart — follower state is
@@ -545,7 +567,9 @@ class MasterNode:
                 partition = by_id.get(acg_id)
                 if partition is None or not partition.node:
                     continue
-                self._pending_follower_syncs.add(acg_id)
+                # Same-generation heal (the primary's log is intact):
+                # re-deliver the assignment, no epoch bump needed.
+                self._pending_follower_syncs.setdefault(acg_id, False)
                 try:
                     self.rpc.call(partition.node, "reset_follower_ack",
                                   acg_id, heartbeat.node)
@@ -751,6 +775,14 @@ class MasterNode:
                         self._notify_owner(
                             target, partition.partition_id,
                             self._bump_routing(partition.partition_id))
+                        # Checkpoint adoption starts a new log generation
+                        # on the adopter: fence immediately (force bump)
+                        # so surviving old-generation followers can never
+                        # qualify for promotion against the restored
+                        # copy.  A dead node picked into the new ring
+                        # self-heals on the next heartbeat round.
+                        self._assign_followers(partition.partition_id,
+                                               force=True)
                         placed = True
             span.set_attribute("moved", len(moved_ids))
             span.set_attribute("promoted", len(promoted_ids))
@@ -780,7 +812,7 @@ class MasterNode:
                 for acg_id in self.replica_sets.partitions():
                     state = self.replica_sets.get(acg_id)
                     if state is not None and failed_node in state.followers:
-                        self._pending_follower_syncs.add(acg_id)
+                        self._pending_follower_syncs.setdefault(acg_id, False)
         self.registry.counter("cluster.master.failovers").inc()
         if auto:
             self.registry.counter("cluster.master.auto_failovers").inc()
@@ -802,10 +834,15 @@ class MasterNode:
         """Promote a caught-up live follower of one partition, if any.
 
         Viability is checked against the primary's last *known* committed
-        sequence with a live watermark query (heartbeat state may lag).
-        Returns the promoted replica's applied sequence, or None when no
-        follower is viable — lagging candidates leave their best
-        watermark in ``lag_watermarks`` for the deferred-event report.
+        sequence with a live watermark query (heartbeat state may lag),
+        and only within the current replication epoch: a follower whose
+        live epoch differs belongs to an older log generation or
+        membership, so its applied sequence is not comparable — promoting
+        on it could resurrect split-away files or drop every post-restart
+        acked write.  Returns the promoted replica's applied sequence, or
+        None when no follower is viable — same-epoch lagging candidates
+        leave their best watermark in ``lag_watermarks`` for the
+        deferred-event report.
         """
         from repro.errors import NodeDown, RpcTimeout
 
@@ -821,13 +858,15 @@ class MasterNode:
                     or follower in unreachable):
                 continue
             try:
-                _epoch, applied = self.rpc.call(follower, "replica_watermark",
-                                                acg_id)
+                follower_epoch, applied = self.rpc.call(
+                    follower, "replica_watermark", acg_id)
             except (NodeDown, RpcTimeout):
                 unreachable.add(follower)
                 continue
             except ClusterError:
                 continue  # lost its follower state (crash-restarted)
+            if follower_epoch != state.repl_epoch:
+                continue  # stale generation/membership: not comparable
             if applied < target_seq:
                 best = lag_watermarks.get(acg_id)
                 if best is None or applied > best[1]:
@@ -849,7 +888,10 @@ class MasterNode:
             self._reported_sizes[acg_id] = file_count
             self._drop_summary(acg_id)
             self._notify_owner(follower, acg_id, self._bump_routing(acg_id))
-            self._pending_follower_syncs.add(acg_id)
+            # Promotion continues the log generation (the new primary's
+            # log is based at its applied watermark), so the rebuild of
+            # its follower ring needs no forced generation bump.
+            self._pending_follower_syncs.setdefault(acg_id, False)
             self.registry.counter("cluster.master.promotions").inc()
             return applied_seq
         return None
@@ -910,9 +952,10 @@ class MasterNode:
         self._notify_owner(target, new_partition.partition_id,
                            self._bump_routing(new_partition.partition_id))
         # Both halves changed content outside the replication stream; the
-        # primaries re-bootstrap their followers from fresh snapshots.
-        self._assign_followers(acg_id)
-        self._assign_followers(new_partition.partition_id)
+        # primaries re-bootstrap their followers from fresh snapshots,
+        # and the forced epoch bump fences every pre-split watermark.
+        self._assign_followers(acg_id, force=True)
+        self._assign_followers(new_partition.partition_id, force=True)
         decision = SplitDecision(acg_id=acg_id, new_acg_id=new_partition.partition_id,
                                  source_node=source, target_node=target,
                                  moved_files=moved)
@@ -1004,7 +1047,9 @@ class MasterNode:
             event.epoch = epoch
             event.moved_files = moved
             self._notify_owner(target, acg_id, epoch)
-            self._assign_followers(acg_id)
+            # The target's copy starts a fresh replication log: force the
+            # epoch bump so old-generation follower watermarks are fenced.
+            self._assign_followers(acg_id, force=True)
             self.registry.counter("cluster.master.migrations").inc()
             try:
                 self.rpc.call(source, "finish_migration", acg_id)
@@ -1087,8 +1132,10 @@ class MasterNode:
                     except ClusterError:
                         pass
             self.replica_sets.drop(absorb_id)
-            self._pending_follower_syncs.discard(absorb_id)
-            self._assign_followers(keep_id)
+            self._pending_follower_syncs.pop(absorb_id, None)
+            # The survivor absorbed content outside the replication
+            # stream: new log generation, forced fence.
+            self._assign_followers(keep_id, force=True)
         return moved
 
     def merge_small_partitions(self, min_size: Optional[int] = None) -> int:

@@ -87,6 +87,18 @@ class StaleRoute(ClusterError):
         self.epoch = epoch
 
 
+class StaleReplEpoch(ClusterError):
+    """A replication message carried an older replication epoch than the
+    receiver's state.
+
+    This is the replication layer's fence: a deposed primary (failed
+    over while silent) or a pre-generation-restart stream must not
+    overwrite state it no longer owns.  Not transient — the correct
+    reaction on the sender is to stop acting as primary for the
+    partition, not to resend.
+    """
+
+
 class RpcTimeout(ClusterError):
     """An RPC request or response was lost and the caller's timer fired.
 

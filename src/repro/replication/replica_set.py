@@ -1,13 +1,21 @@
 """Master-side replica-set membership and watermark bookkeeping.
 
 One :class:`ReplicaSetState` per partition records who the followers are,
-the replication epoch (bumped on every membership change or promotion, so
-a deposed primary's late stream is rejected), and the applied/acked
-sequence watermarks the heartbeat loop reports.  The
-:class:`ReplicaSetManager` owns the map and the promotion-candidate
-logic: a follower is *viable* for promotion exactly when its applied
-sequence has caught up to the last sequence the dead primary was known to
-have committed.
+the replication epoch (bumped on every membership change, promotion, or
+log-generation restart, so a deposed primary's late stream is rejected),
+and the applied/acked sequence watermarks the heartbeat loop reports.
+The :class:`ReplicaSetManager` owns the map and the promotion-candidate
+logic: a follower is *viable* for promotion exactly when it is in the
+current replication epoch and its applied sequence has caught up to the
+last sequence the dead primary was known to have committed.
+
+Sequence numbers are only comparable **within one epoch**: a split,
+merge, adoption, or install restarts the primary's replication log at
+zero, so every epoch bump zeroes ``primary_seq`` and the per-follower
+watermark maps instead of carrying stale-generation maxima forward.
+(Promotion is the one exception — the promoted primary continues the
+old sequence from its applied watermark — so ``bump_epoch`` fences
+without zeroing.)
 """
 
 from __future__ import annotations
@@ -55,19 +63,45 @@ class ReplicaSetManager:
         """Forget a partition (merged away)."""
         self._sets.pop(acg_id, None)
 
-    def set_followers(self, acg_id: int, followers: Tuple[str, ...]) -> int:
+    def set_followers(self, acg_id: int, followers: Tuple[str, ...],
+                      force: bool = False) -> int:
         """Install a new follower tuple; bumps and returns the repl epoch.
 
         A no-op (same followers) keeps the current epoch so steady-state
-        reassignment retries do not churn epochs.
+        reassignment retries do not churn epochs — unless ``force`` is
+        set, which callers use after a content change outside the
+        replication stream (split, merge, adoption, install): the
+        primary's log restarted, so the old epoch's watermarks are no
+        longer comparable and a bump is mandatory even with unchanged
+        membership.  Every bump zeroes the watermark state: sequences
+        from the previous epoch must never gate (or satisfy) promotion
+        in the new one.
         """
         st = self.state(acg_id)
-        if st.followers != followers:
+        if force or st.followers != followers:
             st.followers = followers
             st.repl_epoch += 1
-            st.applied = {f: st.applied.get(f, 0) for f in followers}
-            st.acked = {f: st.acked.get(f, 0) for f in followers}
+            st.primary_seq = 0
+            st.applied = {f: 0 for f in followers}
+            st.acked = {f: 0 for f in followers}
         return st.repl_epoch
+
+    def _enter_epoch(self, st: ReplicaSetState, repl_epoch: int) -> None:
+        """Adopt a newer epoch reported by a node.
+
+        A report from a higher epoch than recorded means the primary
+        restarted its log generation (``_reset_repl`` self-bumps) before
+        this Master's own bump landed, or a bump raced a heartbeat.
+        Old-generation watermarks are not comparable to the new log's
+        sequences, so they are dropped rather than kept as maxima —
+        keeping them would both unsoundly qualify stale replicas for
+        promotion and permanently over-raise the viability bar.
+        """
+        if repl_epoch > st.repl_epoch:
+            st.repl_epoch = repl_epoch
+            st.primary_seq = 0
+            st.applied = {f: 0 for f in st.followers}
+            st.acked = {f: 0 for f in st.followers}
 
     def record_primary(self, acg_id: int, repl_epoch: int, last_seq: int,
                        acked: Tuple[Tuple[str, int], ...]) -> None:
@@ -75,6 +109,7 @@ class ReplicaSetManager:
         st = self.state(acg_id)
         if repl_epoch < st.repl_epoch:
             return  # stale primary (pre-promotion) — ignore
+        self._enter_epoch(st, repl_epoch)
         st.primary_seq = max(st.primary_seq, last_seq)
         for follower, seq in acked:
             if seq > st.acked.get(follower, 0):
@@ -86,6 +121,7 @@ class ReplicaSetManager:
         st = self.state(acg_id)
         if repl_epoch < st.repl_epoch:
             return
+        self._enter_epoch(st, repl_epoch)
         if applied_seq > st.applied.get(node, 0):
             st.applied[node] = applied_seq
 
@@ -98,7 +134,11 @@ class ReplicaSetManager:
                       key=lambda pair: (-pair[1], pair[0]))
 
     def bump_epoch(self, acg_id: int) -> int:
-        """Force a repl-epoch bump (promotion fences the old primary)."""
+        """Force a repl-epoch bump (promotion fences the old primary).
+
+        Unlike :meth:`set_followers`, this keeps the watermark state: a
+        promoted primary *continues* the sequence from its applied
+        watermark, so promotion does not start a new log generation."""
         st = self.state(acg_id)
         st.repl_epoch += 1
         return st.repl_epoch

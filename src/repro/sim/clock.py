@@ -84,6 +84,16 @@ class SimClock:
 
         Thunks must catch their own exceptions and return error values;
         an escaping exception would leave the clock mid-rewind.
+
+        Caveat — causality is approximate: the primary thunk runs *to
+        completion* before the secondary starts, so the secondary
+        observes all of the primary's side effects (index state, cache
+        fills) even for virtual instants when the two are "concurrent",
+        and the primary observes none of the secondary's.  This is the
+        same single-threaded interleaving approximation as
+        :meth:`parallel`; it models latency overlap, not state races.
+        Racing two thunks whose *correctness* depends on interleaved
+        mutation of shared state is outside this model.
         """
         if secondary_delay_s < 0:
             raise SimulationError(

@@ -195,6 +195,185 @@ def test_failover_deferred_when_followers_lag():
     assert deferred == 1
 
 
+# -- replication epochs are log generations -----------------------------------
+
+def test_set_followers_force_bump_zeroes_watermarks():
+    from repro.replication import ReplicaSetManager
+
+    mgr = ReplicaSetManager(rf=2)
+    epoch = mgr.set_followers(1, ("in2",))
+    mgr.record_primary(1, epoch, 40, (("in2", 40),))
+    mgr.record_follower(1, "in2", epoch, 40)
+    st = mgr.state(1)
+    assert st.primary_seq == 40 and st.applied["in2"] == 40
+    # Same membership without force: steady-state retries don't churn.
+    assert mgr.set_followers(1, ("in2",)) == epoch
+    assert st.primary_seq == 40
+    # Forced bump = new log generation: the old watermarks are not
+    # comparable to the new log's sequences and must go, not max-fold.
+    assert mgr.set_followers(1, ("in2",), force=True) == epoch + 1
+    assert st.primary_seq == 0
+    assert st.applied == {"in2": 0} and st.acked == {"in2": 0}
+    # Late old-generation reports are rejected outright.
+    mgr.record_primary(1, epoch, 40, (("in2", 40),))
+    mgr.record_follower(1, "in2", epoch, 40)
+    assert st.primary_seq == 0 and st.applied["in2"] == 0
+
+
+def test_node_side_epoch_bump_resets_master_watermarks():
+    from repro.replication import ReplicaSetManager
+
+    mgr = ReplicaSetManager(rf=2)
+    epoch = mgr.set_followers(1, ("in2",))
+    mgr.record_primary(1, epoch, 40, (("in2", 40),))
+    mgr.record_follower(1, "in2", epoch, 40)
+    # The primary restarted its log generation (self-bump in
+    # ``_reset_repl``) and its heartbeat reached the Master before the
+    # Master's own forced bump: the newer epoch is adopted and the old
+    # generation's maxima dropped wholesale.
+    mgr.record_primary(1, epoch + 1, 2, (("in2", 2),))
+    st = mgr.state(1)
+    assert st.repl_epoch == epoch + 1
+    assert st.primary_seq == 2
+    assert st.applied == {"in2": 0}
+    assert st.acked == {"in2": 2}
+
+
+def test_failover_never_promotes_stale_generation_follower():
+    service, client, paths = make_replicated()
+    victim = "in1"
+    owned = [p.partition_id for p in service.master.partitions.partitions()
+             if p.node == victim]
+    assert owned
+    primary = service.index_nodes[victim]
+    # The primary restarts its partitions' log generations (what a
+    # split/merge/adoption does) and the self-bump reaches the Master
+    # via a heartbeat.  The followers still hold high watermarks of the
+    # *previous* generation — numerically "caught up", semantically
+    # stale.
+    for acg_id in owned:
+        primary._reset_repl(acg_id)
+    service.master.report_heartbeat(primary.make_heartbeat())
+    for acg_id in owned:
+        rs = service.master.replica_sets.state(acg_id)
+        assert rs.primary_seq == 0, "old-generation primary_seq survived"
+    service.fail_node(victim)
+    try:
+        service.failover(victim)
+    except ClusterError:
+        pass  # an all-deferred round raises; the point is no promotion
+    event = service.master.failover_log[-1]
+    assert not event.promoted
+    assert service.registry.counter("cluster.master.promotions").value == 0
+
+
+def test_install_follower_fenced_below_current_epoch():
+    from repro.cluster.index_node import IndexNode
+    from repro.errors import StaleReplEpoch
+
+    node = IndexNode("f1", Machine(SimClock()))
+    node.handle_install_follower(1, "p1", 3, 5, [], [(1, {"size": 1}, "/a")])
+    before = node.followers[1]
+    # A deposed primary's stale snapshot must not rewind the replica.
+    with pytest.raises(StaleReplEpoch):
+        node.handle_install_follower(1, "p0", 2, 0, [], [])
+    assert node.followers[1] is before
+    assert before.repl_epoch == 3 and before.applied_seq == 5
+    # Same-epoch re-install stays allowed: the live primary re-bootstraps
+    # within a generation (e.g. after trimming past a follower's ack).
+    node.handle_install_follower(1, "p1", 3, 7, [], [])
+    assert node.followers[1].applied_seq == 7
+
+
+def test_install_follower_fenced_against_own_primary_claim():
+    from repro.cluster.index_node import IndexNode, PrimaryReplState
+    from repro.errors import StaleReplEpoch
+
+    node = IndexNode("n1", Machine(SimClock()))
+    node.repl[1] = PrimaryReplState(repl_epoch=4)
+    # At or below the node's own primary epoch the installer is the
+    # stale one — rejected, claim kept.
+    with pytest.raises(StaleReplEpoch):
+        node.handle_install_follower(1, "p0", 4, 0, [], [])
+    assert 1 in node.repl
+    # Strictly above it, this node's claim is the stale one: it cedes
+    # the partition and becomes a follower of the newer primary.
+    node.handle_install_follower(1, "p2", 5, 3, [], [])
+    assert 1 not in node.repl
+    assert node.followers[1].repl_epoch == 5
+
+
+def test_membership_bump_refreshes_retained_follower_epochs():
+    service, client, paths = make_replicated(nodes=4, rf=3)
+    oracle = sorted(client.search("size>=0"))
+    # Knock one node out and rebuild every ring it belonged to.  Rings
+    # that merely *changed membership* bump the epoch without restarting
+    # the log, so the retained follower has nothing to stream — it must
+    # still be told the new epoch (empty apply), or its heartbeats and
+    # live watermark answers would keep the old epoch and promotion
+    # would refuse a genuinely caught-up replica.
+    victim = "in1"
+    service.fail_node(victim)
+    service.failover(victim)
+    service.sync_replication()
+    for acg_id in service.master.replica_sets.partitions():
+        rs = service.master.replica_sets.state(acg_id)
+        for follower in rs.followers:
+            fstate = service.index_nodes[follower].followers.get(acg_id)
+            if fstate is not None:
+                assert fstate.repl_epoch >= rs.repl_epoch, (acg_id, follower)
+    # After heartbeats re-report at the refreshed epoch, a retained
+    # follower is fully viable again: the next primary death promotes.
+    service.advance(2 * HEARTBEAT_PERIOD_S)
+    victim2 = sorted({p.node for p in service.master.partitions.partitions()
+                      if p.node})[0]
+    service.fail_node(victim2)
+    service.failover(victim2)
+    assert service.master.failover_log[-1].outcome == "promoted"
+    assert sorted(client.search("size>=0")) == oracle
+
+
+def test_deposed_primary_self_fences_instead_of_clobbering():
+    service, client, paths = make_replicated(nodes=4, rf=3)
+    victim = "in1"
+    owned = [p.partition_id for p in service.master.partitions.partitions()
+             if p.node == victim]
+    assert owned
+    victim_node = service.index_nodes[victim]
+    assert any(a in victim_node.repl for a in owned)
+    # Partition the primary away (endpoint down, state intact), promote
+    # a follower, and rebuild the new primaries' replica rings.
+    service.fail_node(victim)
+    service.failover(victim)
+    assert service.master.failover_log[-1].outcome == "promoted"
+    service.sync_replication()
+    # The deposed primary comes back still believing it owns the
+    # partitions and runs its catch-up duty; forcing every ack slot to
+    # -1 drives the snapshot-install path — the exact shape that used
+    # to blindly overwrite the new generation's replicas.
+    victim_node.endpoint.recover()
+    deposed_before = victim_node.repl_deposed
+    stale_acgs = [a for a in sorted(victim_node.repl) if a in owned]
+    assert stale_acgs
+    for acg_id in stale_acgs:
+        st = victim_node.repl[acg_id]
+        for follower in st.followers:
+            st.acked[follower] = -1
+        victim_node._sync_followers(acg_id)
+    # Every stale claim was fenced and dropped, not retried.
+    assert victim_node.repl_deposed >= deposed_before + len(stale_acgs)
+    for acg_id in stale_acgs:
+        assert acg_id not in victim_node.repl
+    # No current-generation replica was rewound below the Master's epoch.
+    for acg_id in owned:
+        rs = service.master.replica_sets.state(acg_id)
+        for follower in rs.followers:
+            fstate = service.index_nodes[follower].followers.get(acg_id)
+            if fstate is not None:
+                assert fstate.repl_epoch >= rs.repl_epoch
+    assert_converged(service)
+
+
 # -- hedged search ------------------------------------------------------------
 
 def test_hedged_search_beats_straggling_primary():
@@ -280,12 +459,18 @@ def test_resolve_hedge_lagging_needs_deadline_opt_in():
     with pytest.raises(NodeDown):
         client._resolve_hedge(_FakeClock(), 0.0, out, policy,
                               {"lagging": set()}, None)
-    # With a deadline the lagging answer is accepted and recorded.
+    # An in-deadline lagging answer is accepted and recorded.
     ctx = {"lagging": set()}
     got = client._resolve_hedge(_FakeClock(), 0.0, out, policy, ctx, 1.0)
     assert isinstance(got, HedgedReply)
     assert got.lagging == (4,)
     assert ctx["lagging"] == {4}
+    # The deadline is a real time bound, not just an opt-in flag: a
+    # lagging answer that landed after it (0.2 > 0.15) is refused too.
+    ctx = {"lagging": set()}
+    with pytest.raises(NodeDown):
+        client._resolve_hedge(_FakeClock(), 0.0, out, policy, ctx, 0.15)
+    assert ctx["lagging"] == set()
 
 
 def test_search_deadline_marks_answer_partial():
