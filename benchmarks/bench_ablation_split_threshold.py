@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import STANDARD_INDICES
+from benchmarks.common import STANDARD_INDICES, observe
 from repro.cluster import PropellerService
 from repro.core.partitioner import PartitioningPolicy
 from repro.indexstructures import IndexKind
@@ -30,10 +30,10 @@ THRESHOLDS = (50, 200, 800, 3200)
 
 
 def run_threshold(threshold: int, thrift_scale: float = 0.5):
-    service = PropellerService(
+    service = observe(PropellerService(
         num_index_nodes=4,
         policy=PartitioningPolicy(split_threshold=threshold,
-                                  cluster_target=min(threshold, 100)))
+                                  cluster_target=min(threshold, 100))))
     client = service.make_client()
     for name, kind, attrs in STANDARD_INDICES:
         client.create_index(name, kind, attrs)

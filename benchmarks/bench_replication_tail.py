@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from benchmarks.common import build_propeller
+from benchmarks.common import build_propeller, observe
 from benchmarks.harness import BenchConfig, default_cfg
 from repro.chaos.faults import FaultInjector
 from repro.cluster import PropellerService
@@ -57,10 +57,10 @@ def _build_replicated(files: int, rf: int = 2, nodes: int = 3,
         split_threshold = 2 * cluster_target
     else:
         cluster_target, split_threshold = GROUP_SIZE, SPLIT_THRESHOLD
-    service = PropellerService(
+    service = observe(PropellerService(
         num_index_nodes=nodes, replication_factor=rf,
         policy=PartitioningPolicy(split_threshold=split_threshold,
-                                  cluster_target=cluster_target))
+                                  cluster_target=cluster_target)))
     client = service.make_client()
     for name, kind, attrs in STANDARD_INDICES:
         client.create_index(name, kind, attrs)

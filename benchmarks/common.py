@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.baselines.sqldb import MiniSQL
 from repro.cluster import PropellerClient, PropellerService
@@ -17,6 +17,43 @@ STANDARD_INDICES = [
     ("by_mtime", IndexKind.BTREE, ["mtime"]),
     ("by_kw", IndexKind.HASH, ["keyword"]),
 ]
+
+# Services built during the current bench run, oldest first.  The
+# harness resets this before each bench and embeds the last service's
+# SLO summary + journal digest into the artifact envelope, so every
+# BENCH_*.json carries the observability sections without each bench
+# threading its service out to the return statement.
+_OBSERVED: List[PropellerService] = []
+
+
+def reset_observed() -> None:
+    """Forget services built by previous benches (harness calls this)."""
+    _OBSERVED.clear()
+
+
+def observe(service: PropellerService) -> PropellerService:
+    """Register a hand-built deployment for the artifact's obs sections
+    (benches that construct ``PropellerService`` directly call this)."""
+    _OBSERVED.append(service)
+    return service
+
+
+def obs_sections(service: Optional[PropellerService] = None,
+                 ) -> Dict[str, Dict[str, Any]]:
+    """The ``slo`` / ``journal`` artifact sections for one deployment.
+
+    With no explicit service, uses the one most recently built via
+    :func:`build_propeller` — for sweep benches that is the largest
+    configuration, the one whose tail behaviour the bench reports.
+    Returns empty sections when no cluster was built (baseline-only
+    benches)."""
+    if service is None:
+        service = _OBSERVED[-1] if _OBSERVED else None
+    if service is None:
+        return {"slo": {}, "journal": {}}
+    service.slos.sample_if_due()
+    return {"slo": service.slos.summary(),
+            "journal": service.journal.digest()}
 
 
 def build_propeller(num_index_nodes: int = 1, total_files: int = 0,
@@ -42,6 +79,7 @@ def build_propeller(num_index_nodes: int = 1, total_files: int = 0,
         client.index_paths(paths, pid=1)
         client.flush_updates()
         service.commit_all()
+    _OBSERVED.append(service)
     return service, client, paths
 
 

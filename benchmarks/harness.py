@@ -14,7 +14,10 @@ Each ``bench_*.py`` module exposes ``run(cfg) -> dict`` returning:
 * ``staleness`` — a freshness summary (see ``repro.obs.freshness``);
 * ``metrics`` — registry counters worth keeping;
 * ``params`` / ``extra`` — the run's configuration and any other
-  figures-of-merit.
+  figures-of-merit;
+* ``slo`` / ``journal`` — optional observability sections; when absent
+  the harness fills them from the last Propeller deployment the bench
+  built (SLO summary + event-journal digest, see ``repro.obs``).
 
 The harness wraps that in an envelope (schema, tier, wall-clock) and
 writes ``BENCH_<key>.json`` — ``key`` is the stem minus ``bench_`` — at
@@ -97,10 +100,21 @@ def discover() -> Dict[str, Any]:
 # -- running -----------------------------------------------------------------
 
 def run_bench(name: str, module: Any, cfg: BenchConfig) -> Dict[str, Any]:
-    """Run one bench and wrap its result in the artifact envelope."""
+    """Run one bench and wrap its result in the artifact envelope.
+
+    Every artifact carries ``slo`` / ``journal`` sections: a bench can
+    return them explicitly, otherwise the harness embeds the summary of
+    the last Propeller deployment the bench built (empty sections for
+    baseline-only benches).  ``compare_artifacts`` ignores both, so the
+    sections never turn an observability change into a regression.
+    """
+    from benchmarks import common
+
+    common.reset_observed()
     wall_start = time.perf_counter()
     result = module.run(cfg)
     wall = time.perf_counter() - wall_start
+    obs = common.obs_sections()
     return {
         "schema": SCHEMA,
         "name": result.get("name", f"bench_{name}"),
@@ -112,6 +126,8 @@ def run_bench(name: str, module: Any, cfg: BenchConfig) -> Dict[str, Any]:
         "staleness": result.get("staleness", {}),
         "metrics": result.get("metrics", {}),
         "extra": result.get("extra", {}),
+        "slo": result.get("slo", obs["slo"]),
+        "journal": result.get("journal", obs["journal"]),
         "texts": result.get("texts", {}),
         "wall_clock_s": wall,
     }

@@ -38,10 +38,17 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int = 0, registry=None,
-                 immune: Optional[frozenset] = None) -> None:
+                 immune: Optional[frozenset] = None,
+                 journal=None) -> None:
         self.rng = random.Random(seed)
         self.registry = registry
         self.immune = frozenset(immune or ())
+        # Every configuration change journals a chaos.fault_injected
+        # event so a chaos run's journal shows what was done to the
+        # cluster next to what the cluster did about it.
+        from repro.obs.journal import NULL_JOURNAL
+
+        self.journal = journal if journal is not None else NULL_JOURNAL
         self.drop_rate = 0.0
         self.duplicate_rate = 0.0
         self.delay_rate = 0.0
@@ -72,6 +79,10 @@ class FaultInjector:
         self.duplicate_rate = duplicate
         self.delay_rate = delay
         self.delay_s = delay_s
+        if drop or duplicate or delay:
+            self.journal.emit("chaos.fault_injected", fault="message_faults",
+                              drop=drop, duplicate=duplicate, delay=delay,
+                              delay_s=delay_s)
 
     def clear_message_faults(self) -> None:
         """Back to a healthy network (stragglers and armed fates too)."""
@@ -93,6 +104,9 @@ class FaultInjector:
             self.slow_probability[node] = probability
         else:
             self.slow_probability.pop(node, None)
+        self.journal.emit("chaos.fault_injected", node=node,
+                          fault="straggler", extra_s=extra_s,
+                          probability=probability)
 
     def clear_slow(self, node: str) -> None:
         """Stop straggling one node."""
@@ -102,6 +116,9 @@ class FaultInjector:
     def set_disk_error_rate(self, rate: float) -> None:
         """Probability an attached disk's read hits a medium error."""
         self.disk_error_rate = rate
+        if rate:
+            self.journal.emit("chaos.fault_injected", fault="disk_errors",
+                              rate=rate)
 
     def arm_method_fault(self, target: str, method: str, count: int = 1) -> None:
         """Drop the next ``count`` messages of one (target, method) pair.
@@ -109,6 +126,8 @@ class FaultInjector:
         Deterministic surgical injection for protocol tests: the armed
         fate fires regardless of the random rates and of immunity."""
         self.armed[(target, method)] = self.armed.get((target, method), 0) + count
+        self.journal.emit("chaos.fault_injected", node=target,
+                          fault="armed_drop", method=method, count=count)
 
     @property
     def quiescent(self) -> bool:

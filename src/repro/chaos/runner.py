@@ -56,6 +56,7 @@ _REPORT_COUNTERS = (
     "cluster.master.failover_deferred",
     "cluster.client.hedges",
     "cluster.client.hedge_wins",
+    "cluster.client.hedge_rescues",
 )
 
 
@@ -88,7 +89,8 @@ class ChaosRunner:
             replication_factor=rf,
         )
         self.faults = FaultInjector(seed + 1, registry=self.service.registry,
-                                    immune=frozenset({"master"}))
+                                    immune=frozenset({"master"}),
+                                    journal=self.service.journal)
         self.service.rpc.faults = self.faults
         for node in self.service.index_nodes.values():
             node.machine.disk.faults = self.faults
@@ -297,6 +299,8 @@ class ChaosRunner:
         if not node.endpoint.up or self._live_count() <= 1:
             self.skipped += 1
             return
+        self.service.journal.emit("chaos.fault_injected", node=name,
+                                  fault="crash", torn_tail_bytes=torn)
         pending = node.crash(torn_tail_bytes=torn)
         self._crashed_pending.setdefault(name, []).extend(pending)
 
@@ -304,6 +308,9 @@ class ChaosRunner:
         name = self._node_name(ordinal)
         node = self.service.index_nodes[name]
         if node.endpoint.up:
+            self.service.journal.emit("chaos.fault_injected", node=name,
+                                      fault="crash_restart",
+                                      torn_tail_bytes=torn)
             pending = node.crash(torn_tail_bytes=torn)
             self._crashed_pending.setdefault(name, []).extend(pending)
             node.restart()
@@ -422,6 +429,9 @@ class ChaosRunner:
             "steps_skipped": self.skipped,
             "wal_replay_dropped": wal_drops,
             "injected": self.faults.summary(),
+            "journal": self.service.journal.digest(),
+            "slo": {"breaches": self.service.slos.breach_count(),
+                    "breached_now": self.service.slos.breached()},
             "counters": {name: self._counter(name)
                          for name in _REPORT_COUNTERS},
             "excuse_windows": len(ledger.windows),

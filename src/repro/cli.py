@@ -17,6 +17,11 @@ Main subcommands::
     repro chaos      [--seed S] [--steps K] [--nodes N] [--json]
                                                       deterministic fault injection
                                                       + crash-consistency audit
+    repro status     [--nodes N] [--rf R] [--chaos-seed S] [--json]
+                                                      health dashboard: verdicts,
+                                                      gauges, SLOs, recent events
+    repro events     [--type T] [--since T] [--partition P] [--json]
+                                                      the cluster event journal
 
 ``main(argv)`` returns a process exit code and prints to stdout, so the
 CLI is unit-testable without subprocesses.
@@ -108,7 +113,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(_json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        out = profile.to_dict()
+        out["trace"] = {"roots_dropped": service.tracer.roots_dropped}
+        print(_json.dumps(out, indent=2, sort_keys=True))
         return 0
     print(profile.render())
     print()
@@ -118,26 +125,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if tail:
         print()
         print(tail)
+    dropped = getattr(service.tracer, "roots_dropped", 0)
+    if dropped:
+        print()
+        print(f"trace: {dropped} root span(s) dropped (ring full — "
+              "raise Tracer max_roots to retain them)")
     return 0
 
 
 def _render_tail_latency(registry) -> str:
     """p50/p95/p99 across every latency histogram in the registry —
-    the tail-tolerance readout (hedged search legs live or die by p99)."""
+    the tail-tolerance readout (hedged search legs live or die by p99).
+
+    The search-latency row also shows how many hedged legs fired, how
+    many won the race, and how many rescue calls replaced a dead leg:
+    the knobs that shape that histogram's tail."""
     from repro.obs.export import _format_observation
     from repro.obs.metrics import Histogram
 
+    counters = {name: instrument.value
+                for name, instrument in registry.items("cluster.client")
+                if instrument.kind == "counter"}
     rows = []
     for name, instrument in registry.items(""):
         if not isinstance(instrument, Histogram) or not instrument.count:
             continue
         fmt = lambda v: _format_observation(v, instrument.unit)
+        hedges = rescues = ""
+        if name == "cluster.client.search_latency_s":
+            won = counters.get("cluster.client.hedge_wins", 0)
+            hedges = (f"{counters.get('cluster.client.hedges', 0):.0f} "
+                      f"({won:.0f} won)")
+            rescues = f"{counters.get('cluster.client.hedge_rescues', 0):.0f}"
         rows.append([name, int(instrument.count), fmt(instrument.p50),
-                     fmt(instrument.p95), fmt(instrument.p99)])
+                     fmt(instrument.p95), fmt(instrument.p99),
+                     hedges, rescues])
     if not rows:
         return ""
-    return render_table(["histogram", "n", "p50", "p95", "p99"], rows,
-                        title="tail latency")
+    return render_table(
+        ["histogram", "n", "p50", "p95", "p99", "hedges", "rescues"], rows,
+        title="tail latency")
 
 
 def cmd_partition(args: argparse.Namespace) -> int:
@@ -382,6 +409,118 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_service(args: argparse.Namespace):
+    """A deployment with a populated journal for ``status`` / ``events``.
+
+    Default: a fresh demo cluster (placement events only — a healthy
+    baseline).  With ``--chaos-seed`` the cluster is first driven through
+    a seeded fault program, so the journal shows crashes, fences,
+    failovers, and the health verdict transitions they caused.
+    """
+    if args.chaos_seed is not None:
+        from repro.chaos import ChaosRunner
+
+        runner = ChaosRunner(args.chaos_seed, steps=args.chaos_steps,
+                             nodes=args.nodes, rf=args.rf)
+        runner.run()
+        return runner.service
+    service = PropellerService(num_index_nodes=args.nodes,
+                               replication_factor=args.rf)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    paths = populate_namespace(service.vfs, args.files, seed=1)
+    client.index_paths(paths, pid=1)
+    client.flush_updates()
+    service.commit_all()
+    service.advance(2.0)
+    return service
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: the live health plane as one snapshot dashboard.
+
+    Exit code mirrors the verdict: 0 healthy, 1 degraded, 2 critical —
+    so scripts can gate on cluster health directly.
+    """
+    from repro.obs.export import render_journal, render_slo
+
+    service = _observed_service(args)
+    status = service.status(events_tail=args.events)
+    verdict = status["health"]["verdict"]
+    code = {"healthy": 0, "degraded": 1, "critical": 2}.get(verdict, 2)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return code
+    health = status["health"]
+    print(f"cluster: 1 master + {args.nodes} index node(s), rf={args.rf}; "
+          f"{service.total_indexed_files()} files in "
+          f"{service.acg_count()} ACGs; t={service.clock.now():.1f}s")
+    causes = f"  ({', '.join(health['causes'])})" if health["causes"] else ""
+    print(f"health: {verdict.upper()}{causes}")
+    print()
+    rows = [[name, n["verdict"], ", ".join(n["causes"]) or "-"]
+            for name, n in sorted(health["nodes"].items())]
+    print(render_table(["node", "verdict", "causes"], rows, title="nodes"))
+    print()
+    gauges = health["gauges"]
+    print(render_table(["gauge", "value"],
+                       [[name, gauges[name]] for name in sorted(gauges)],
+                       title="health gauges"))
+    print()
+    print(render_slo(service.slos))
+    print()
+    print(render_journal(service.journal, tail=args.events))
+    return code
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """``repro events``: the cluster event journal, filtered."""
+    from repro.obs.export import _event_context
+
+    service = _observed_service(args)
+    events = service.journal.events(type=args.type, since=args.since,
+                                    acg_id=args.partition, node=args.node)
+    if args.tail > 0:
+        events = events[-args.tail:]
+    if args.json:
+        print(json.dumps({"digest": service.journal.digest(),
+                          "events": [e.to_dict() for e in events]},
+                         indent=2, sort_keys=True))
+        return 0
+    for event in events:
+        d = event.to_dict()
+        context = _event_context(d)
+        detail = " ".join(f"{k}={v}"
+                          for k, v in d.get("detail", {}).items())
+        line = f"{d['seq']:>5d}  {d['t']:>9.3f}s  {d['type']:<24}"
+        if context:
+            line += f"  [{context}]"
+        if detail:
+            line += f"  {detail}"
+        print(line)
+    digest = service.journal.digest()
+    print(f"# {len(events)} shown / {digest['retained']} retained / "
+          f"{digest['total']} total ({digest['truncated']} evicted)")
+    return 0
+
+
+def _add_observed_cluster_args(parser: argparse.ArgumentParser) -> None:
+    """Shared cluster-shape flags for ``status`` and ``events``."""
+    parser.add_argument("--nodes", type=int, default=3,
+                        help="index node count (default 3)")
+    parser.add_argument("--files", type=int, default=500,
+                        help="namespace size for the demo build "
+                             "(default 500; ignored with --chaos-seed)")
+    parser.add_argument("--rf", type=int, default=2,
+                        help="partition replication factor (default 2)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="drive the cluster through a seeded fault "
+                             "program first (eventful journal)")
+    parser.add_argument("--chaos-steps", type=int, default=30,
+                        help="fault-program length for --chaos-seed "
+                             "(default 30)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -480,6 +619,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.set_defaults(func=cmd_chaos)
+
+    status = sub.add_parser(
+        "status", help="snapshot health dashboard: verdicts, gauges, "
+                       "SLO burn rates, recent events")
+    _add_observed_cluster_args(status)
+    status.add_argument("--events", type=int, default=15,
+                        help="journal tail length to show (default 15)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the full status snapshot as JSON")
+    status.set_defaults(func=cmd_status)
+
+    events = sub.add_parser(
+        "events", help="dump the cluster event journal, filtered")
+    _add_observed_cluster_args(events)
+    events.add_argument("--type", default=None,
+                        help="event type, exact or dotted prefix "
+                             "(e.g. failover, repl.fence)")
+    events.add_argument("--since", type=float, default=None,
+                        help="only events at/after this virtual time (s)")
+    events.add_argument("--partition", type=int, default=None,
+                        help="only events for this partition (ACG id)")
+    events.add_argument("--node", default=None,
+                        help="only events from this node")
+    events.add_argument("--tail", type=int, default=0,
+                        help="only the most recent N matches (default all)")
+    events.add_argument("--json", action="store_true",
+                        help="emit digest + events as JSON")
+    events.set_defaults(func=cmd_events)
     return parser
 
 

@@ -19,6 +19,7 @@ from repro.cluster.messages import (IndexUpdate, RouteEntry, RouteTable,
 from repro.errors import ClusterError, StaleRoute
 from repro.fs.interceptor import FileAccessManager
 from repro.obs.freshness import NULL_FRESHNESS
+from repro.obs.journal import NULL_JOURNAL
 from repro.obs.tracing import NULL_TRACER
 from repro.fs.namespace import Inode
 from repro.fs.vfs import VirtualFileSystem
@@ -165,6 +166,7 @@ class PropellerClient:
         self.tracer = NULL_TRACER
         self.registry = None
         self.freshness = NULL_FRESHNESS
+        self.journal = NULL_JOURNAL
         # Namespace integration: listing "/scope/?query" on the VFS runs
         # the search through this client's File Query Engine.
         vfs.set_query_handler(self.search_directory)
@@ -573,6 +575,7 @@ class PropellerClient:
         """
         if not self._pending:
             return 0
+        flush_t0 = self.vfs.clock.now()
         pending, self._pending = self._pending, []
         hint_of: Dict[int, int] = {}
         for h, u in pending:
@@ -609,6 +612,13 @@ class PropellerClient:
         for update in unrouted_deletes:
             delivered += self._send_unrouted_delete(update)
         delivered += self._send_via_master(via_master, hint_of)
+        if delivered > 0 and self.registry is not None:
+            # Batch acknowledgement latency — what the update_ack SLO
+            # watches.  Only acknowledged flushes observe: an all-requeued
+            # round has no ack to time.
+            self.registry.histogram(
+                "cluster.client.update_ack_latency_s").observe(
+                    self.vfs.clock.now() - flush_t0)
         return delivered
 
     def _send_unrouted_delete(self, update: IndexUpdate) -> int:
@@ -1082,6 +1092,15 @@ class PropellerClient:
             results = list(outcome.results)
         self.last_outcome = outcome
         self._last_lagging = sorted(hedge_ctx["lagging"])
+        if self._last_lagging:
+            self.journal.emit("search.partial",
+                              lagging=list(self._last_lagging))
+        if outcome.degraded:
+            self.journal.emit(
+                "search.degraded",
+                unreachable_partitions=sorted(
+                    outcome.unreachable_partitions),
+                unreachable_nodes=sorted(outcome.unreachable))
         if self.registry is not None:
             self.registry.counter("cluster.client.searches").inc()
             if self._last_lagging:
@@ -1150,6 +1169,8 @@ class PropellerClient:
             except ClusterError:
                 pass  # leg degrades on the primary's original error
             else:
+                if self.registry is not None:
+                    self.registry.counter("cluster.client.hedge_rescues").inc()
                 out = HedgedOutcome(
                     primary=out.primary,
                     secondary=CallOutcome(ok=True, value=value),

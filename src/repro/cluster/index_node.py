@@ -27,6 +27,7 @@ from repro.errors import (ClusterError, StaleReplEpoch, StaleRoute,
                           UnknownAcg)
 from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
+from repro.obs.journal import NULL_JOURNAL
 from repro.obs.tracing import NULL_TRACER
 from repro.query.ast import Predicate
 from repro.query.canonical import canonicalize, is_time_dependent
@@ -234,6 +235,9 @@ class IndexNode:
         self.cache = IndexCache(self._commit_updates, timeout_s=cache_timeout_s)
         self.tracer = NULL_TRACER
         self.freshness = NULL_FRESHNESS
+        # Cluster event journal (lifecycle, fences, deposals); wired by
+        # the deployment, inert by default.
+        self.journal = NULL_JOURNAL
         self.replicas: Dict[int, AcgReplica] = {}
         self._global_specs: Dict[str, IndexSpec] = {}
         # Monotonic replica-incarnation counter: every replica this node
@@ -965,6 +969,7 @@ class IndexNode:
         """
         self.repl.pop(acg_id, None)
         self.repl_deposed += 1
+        self.journal.emit("repl.depose", node=self.name, acg_id=acg_id)
 
     def _sync_followers(self, acg_id: int) -> None:
         """Catch-up: query each follower's watermark, bootstrap or stream.
@@ -1053,12 +1058,21 @@ class IndexNode:
         """
         existing = self.followers.get(acg_id)
         if existing is not None and repl_epoch < existing.repl_epoch:
+            self.journal.emit("repl.fence", node=self.name, acg_id=acg_id,
+                              repl_epoch=existing.repl_epoch,
+                              stale_epoch=repl_epoch, rpc="install_follower",
+                              primary=primary)
             raise StaleReplEpoch(
                 f"{self.name}: stale install epoch {repl_epoch} < "
                 f"{existing.repl_epoch} for ACG {acg_id}")
         mine = self.repl.get(acg_id)
         if mine is not None:
             if repl_epoch <= mine.repl_epoch:
+                self.journal.emit("repl.fence", node=self.name, acg_id=acg_id,
+                                  repl_epoch=mine.repl_epoch,
+                                  stale_epoch=repl_epoch,
+                                  rpc="install_follower",
+                                  primary=primary, reason="own_primary_claim")
                 raise StaleReplEpoch(
                     f"{self.name}: primaries ACG {acg_id} at epoch "
                     f"{mine.repl_epoch}, rejecting follower install at "
@@ -1093,6 +1107,9 @@ class IndexNode:
         if st is None:
             raise UnknownAcg(f"{self.name} has no follower replica of ACG {acg_id}")
         if repl_epoch < st.repl_epoch:
+            self.journal.emit("repl.fence", node=self.name, acg_id=acg_id,
+                              repl_epoch=st.repl_epoch,
+                              stale_epoch=repl_epoch, rpc="replicate_apply")
             raise StaleReplEpoch(
                 f"{self.name}: stale repl epoch {repl_epoch} < {st.repl_epoch} "
                 f"for ACG {acg_id}")
@@ -1391,6 +1408,9 @@ class IndexNode:
         if torn_tail_bytes > 0:
             self.wal.simulate_torn_tail(torn_tail_bytes)
         self.endpoint.fail()
+        self.journal.emit("node.crash", node=self.name,
+                          pending_files=len(pending),
+                          torn_tail_bytes=torn_tail_bytes)
         return pending
 
     def restart(self) -> int:
@@ -1402,6 +1422,8 @@ class IndexNode:
         """
         recovered = self.recover_from_wal()
         self.endpoint.recover()
+        self.journal.emit("node.restart", node=self.name,
+                          recovered_records=recovered)
         return recovered
 
     def reset(self) -> None:

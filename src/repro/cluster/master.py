@@ -19,6 +19,7 @@ from repro.cluster.messages import (Heartbeat, RouteEntry, RouteTable,
 from repro.core.partition_manager import PartitionManager
 from repro.core.partitioner import PartitioningPolicy
 from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.query.planner import IndexSpec
@@ -107,10 +108,17 @@ class MasterNode:
                  registry: Optional[MetricsRegistry] = None,
                  auto_failover: bool = False,
                  heartbeat_timeout_s: float = 15.0,
-                 replication_factor: int = 1) -> None:
+                 replication_factor: int = 1,
+                 journal: Optional[EventJournal] = None) -> None:
         self.machine = machine
         self.rpc = rpc
         self.policy = policy
+        # A Master always has a *real* journal (never the null object):
+        # the failover_log / migration_log properties are views over
+        # journal payloads, so emission must retain events even on a
+        # standalone Master.  Deployments pass the shared journal in.
+        self.journal = journal if journal is not None \
+            else EventJournal(machine.clock)
         # RF > 1 gives every partition follower replicas: heartbeats
         # carry watermark reports, failover tries promotion first, and
         # route tables advertise the followers for hedged reads.  RF=1
@@ -120,6 +128,7 @@ class MasterNode:
             from repro.replication import ReplicaSetManager
 
             self.replica_sets: Optional[Any] = ReplicaSetManager(replication_factor)
+            self.replica_sets.journal = self.journal
         else:
             self.replica_sets = None
         # Partitions whose follower assignment needs (re)driving: primary
@@ -147,8 +156,6 @@ class MasterNode:
         self.index_specs: Dict[str, IndexSpec] = {}
         self.heartbeats: Dict[str, Heartbeat] = {}
         self.splits: List[SplitDecision] = []
-        self.failover_log: List[FailoverEvent] = []
-        self.migration_log: List[MigrationEvent] = []
         # Routing-epoch change log: (epoch, acg_id) per bump, so clients
         # at epoch E can be answered with just the partitions that moved
         # since E instead of a full snapshot.
@@ -185,6 +192,26 @@ class MasterNode:
         ]:
             self.endpoint.register(method, handler)
         rpc.add_endpoint(self.endpoint)
+
+    # -- event-journal views ------------------------------------------------------
+    #
+    # The ad-hoc event lists from PRs 3–6 survive as *views* over the
+    # unified journal: appends became journal emissions carrying the
+    # record object as payload, so consumers (chaos invariant checker,
+    # tests) read the same list-of-records shape as before, while the
+    # journal is the single source of truth.
+
+    @property
+    def failover_log(self) -> List[FailoverEvent]:
+        """Every failover round's record, oldest first (journal view)."""
+        return self.journal.payloads("failover")
+
+    @property
+    def migration_log(self) -> List[MigrationEvent]:
+        """Every migration's record, oldest first (journal view; records
+        mutate in place as the protocol progresses, exactly as the old
+        list's entries did)."""
+        return self.journal.payloads("migration.start")
 
     # -- cluster membership -----------------------------------------------------
 
@@ -227,6 +254,8 @@ class MasterNode:
         self._route_log.append((epoch, acg_id))
         if len(self._route_log) > _ROUTE_LOG_CAP:
             del self._route_log[:len(self._route_log) - _ROUTE_LOG_CAP]
+        self.journal.emit("route.epoch_bump", node="master", acg_id=acg_id,
+                          route_epoch=epoch)
         return epoch
 
     def _notify_owner(self, node: Optional[str], acg_id: int, epoch: int) -> None:
@@ -663,6 +692,9 @@ class MasterNode:
                 continue
             del self._pending_finishes[(node, acg_id)]
             event.outcome = "done"
+            self.journal.emit("migration.done", node=event.target,
+                              acg_id=acg_id, retried=True,
+                              moved_files=event.moved_files)
         for (node, acg_id) in list(self._pending_cancels):
             if node not in self.index_nodes:
                 self._pending_cancels.discard((node, acg_id))
@@ -794,13 +826,16 @@ class MasterNode:
             # retry) so stranded partitions are visible in the log, then
             # leave state untouched for the next heartbeat poll to retry.
             self.registry.counter("cluster.master.failover_deferred").inc()
-            self.failover_log.append(FailoverEvent(
+            deferred_event = FailoverEvent(
                 t=self.machine.clock.now(), node=failed_node,
                 moved=(), lost=(), auto=auto, outcome="deferred",
                 deferred=tuple(sorted(stranded_ids)),
                 watermarks=tuple(sorted(
                     (acg, seq) for acg, (_node, seq) in lag_watermarks.items())),
-                victim_heartbeat_t=victim_heartbeat_t))
+                victim_heartbeat_t=victim_heartbeat_t)
+            self.journal.emit("failover.deferred", node=failed_node,
+                              payload=deferred_event, auto=auto,
+                              deferred=list(deferred_event.deferred))
             raise ClusterError(
                 f"no reachable survivor could adopt {failed_node}'s partitions")
         if not stranded_ids:
@@ -816,14 +851,18 @@ class MasterNode:
         self.registry.counter("cluster.master.failovers").inc()
         if auto:
             self.registry.counter("cluster.master.auto_failovers").inc()
-        self.failover_log.append(FailoverEvent(
+        outcome = "promoted" if promoted_ids and not moved_ids else "adopted"
+        event = FailoverEvent(
             t=self.machine.clock.now(), node=failed_node,
             moved=tuple(sorted(moved_ids)), lost=tuple(sorted(lost_ids)),
-            auto=auto,
-            outcome="promoted" if promoted_ids and not moved_ids else "adopted",
+            auto=auto, outcome=outcome,
             promoted=tuple(sorted(promoted_ids)),
             watermarks=tuple(sorted(watermarks)),
-            victim_heartbeat_t=victim_heartbeat_t))
+            victim_heartbeat_t=victim_heartbeat_t)
+        self.journal.emit(f"failover.{outcome}", node=failed_node,
+                          payload=event, auto=auto,
+                          moved=list(event.moved), lost=list(event.lost),
+                          promoted=list(event.promoted))
         self.registry.counter(
             "cluster.master.reassigned_partitions").inc(
                 len(moved_ids) + len(promoted_ids))
@@ -1013,13 +1052,16 @@ class MasterNode:
                     f"partition {acg_id} has unresolved migration debris")
         event = MigrationEvent(acg_id=acg_id, source=source, target=target,
                                t_start=self.machine.clock.now())
-        self.migration_log.append(event)
         with self.tracer.span("migrate", acg=acg_id, source=source,
                               target=target):
+            self.journal.emit("migration.start", node=source, acg_id=acg_id,
+                              payload=event, target=target)
             try:
                 payload = self.rpc.call(source, "transfer_out", acg_id, target)
             except ClusterError:
                 event.outcome = "aborted"
+                self.journal.emit("migration.aborted", node=source,
+                                  acg_id=acg_id, stage="transfer_out")
                 self.registry.counter("cluster.master.migrations_aborted").inc()
                 raise
             try:
@@ -1038,6 +1080,8 @@ class MasterNode:
                 except ClusterError:
                     self._pending_cancels.add((source, acg_id))
                 event.outcome = "aborted"
+                self.journal.emit("migration.aborted", node=source,
+                                  acg_id=acg_id, stage="install")
                 self.registry.counter("cluster.master.migrations_aborted").inc()
                 raise
             # Point of no return: flip routing to the target.
@@ -1056,10 +1100,15 @@ class MasterNode:
             except ClusterError:
                 event.outcome = "finish_deferred"
                 self._pending_finishes[(source, acg_id)] = event
+                self.journal.emit("migration.finish_deferred", node=source,
+                                  acg_id=acg_id, route_epoch=epoch)
                 self.registry.counter(
                     "cluster.master.migration_finish_deferred").inc()
             else:
                 event.outcome = "done"
+                self.journal.emit("migration.done", node=target,
+                                  acg_id=acg_id, route_epoch=epoch,
+                                  moved_files=moved)
         return moved
 
     def rebalance(self, tolerance: float = 0.25) -> int:

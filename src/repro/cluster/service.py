@@ -20,7 +20,10 @@ from repro.cluster.master import MasterNode
 from repro.core.partitioner import PartitioningPolicy
 from repro.fs.vfs import VirtualFileSystem
 from repro.obs.freshness import NULL_FRESHNESS, FreshnessTracker
+from repro.obs.health import HealthMonitor
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloTracker
 from repro.obs.timeline import NULL_TIMELINE, TimelineRecorder
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
@@ -73,18 +76,25 @@ class PropellerService:
         self.tracer = NULL_TRACER
         self.timeline = NULL_TIMELINE
         self.freshness = NULL_FRESHNESS
+        # The health plane is always on: the journal, SLO tracker, and
+        # health monitor charge zero simulated time and draw no
+        # randomness, so they can never change a benchmark's numbers or
+        # break the chaos determinism contract.
+        self.journal = EventJournal(self.clock)
         master_machine = self.cluster["in1"] if self.single_node else self.cluster["mn"]
         self.master = MasterNode(master_machine, self.rpc, policy=self.policy,
                                  registry=self.registry,
                                  auto_failover=auto_failover,
                                  heartbeat_timeout_s=heartbeat_timeout_s,
-                                 replication_factor=replication_factor)
+                                 replication_factor=replication_factor,
+                                 journal=self.journal)
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
             # Migration forwarding: a node holding a handoff intent
             # forwards stamped updates to the new owner over RPC.
             node.rpc = self.rpc
+            node.journal = self.journal
             self.rpc.add_endpoint(node.endpoint)
             self.master.register_index_node(name)
             self.index_nodes[name] = node
@@ -97,6 +107,13 @@ class PropellerService:
             PeriodicTask(self.loop, HEARTBEAT_PERIOD_S, self.master.poll_heartbeats),
             PeriodicTask(self.loop, CHECKPOINT_PERIOD_S, self._checkpoint_all),
         ]
+        # Health monitor before the SLO tracker: its gauge registrations
+        # (cluster.health.repl_lag_max) are what the replication-lag SLO
+        # spec reads.
+        self.health = HealthMonitor(self.clock, self.registry, self.master,
+                                    self.index_nodes, journal=self.journal)
+        self.health.slos = self.slos = SloTracker(
+            self.clock, self.registry, journal=self.journal)
         self._register_metrics()
         if tracing:
             self.enable_tracing()
@@ -198,6 +215,10 @@ class PropellerService:
         self.rpc.tracer = tracer
         self.master.tracer = tracer
         self.master.machine.disk.tracer = tracer
+        # The journal stamps the active span id onto every event, and
+        # the SLO tracker wraps its alerts in a span of their own.
+        self.journal.tracer = tracer
+        self.slos.tracer = tracer
         for node in self.index_nodes.values():
             node.set_tracer(tracer)
         for client in self._clients:
@@ -209,7 +230,8 @@ class PropellerService:
         Tracing charges zero simulated time — only Python-side
         bookkeeping — so enabling it never changes benchmark numbers.
         """
-        tracer = tracer if tracer is not None else Tracer(self.clock)
+        tracer = tracer if tracer is not None else Tracer(
+            self.clock, registry=self.registry)
         self._wire_tracer(tracer)
         return tracer
 
@@ -346,6 +368,9 @@ class PropellerService:
         """Kill one Index Node (fault injection); its ACGs stay on shared
         storage until :meth:`failover` reassigns them."""
         self.index_nodes[name].endpoint.fail()
+        # Endpoint-only kill (process state survives) — distinct from
+        # IndexNode.crash(), which journals its own node.crash.
+        self.journal.emit("node.crash", node=name, mode="endpoint_down")
 
     def failover(self, name: str) -> int:
         """Checkpoint-based failover of a dead node's partitions."""
@@ -376,6 +401,7 @@ class PropellerService:
         node.reset()
         node.endpoint.recover()
         self.master.register_index_node(name)
+        self.journal.emit("node.rejoin", node=name)
         self.registry.counter("cluster.master.rejoins").inc()
         return 0
 
@@ -383,6 +409,8 @@ class PropellerService:
         """Let background timers that are due fire (no time advance)."""
         self.loop.run_due()
         self.timeline.sample_if_due()
+        self.slos.sample_if_due()
+        self.health.sample_if_due()
 
     def advance(self, seconds: float) -> None:
         """Advance virtual time, firing background work along the way.
@@ -390,7 +418,9 @@ class PropellerService:
         With a timeline enabled the advance is chunked at sample-interval
         boundaries so long sleeps still produce evenly spaced points;
         each chunk is the same ``run_until`` a plain advance performs, so
-        the simulated timeline of events is identical either way.
+        the simulated timeline of events is identical either way.  The
+        SLO/health sampling hooks charge zero simulated time, so they
+        never alter the event schedule either.
         """
         target = self.clock.now() + seconds
         if self.timeline.enabled:
@@ -401,9 +431,13 @@ class PropellerService:
                 chunk = max(self.clock.now(), min(target, self.clock.now() + step))
                 self.loop.run_until(chunk)
                 self.timeline.sample_if_due()
+                self.slos.sample_if_due()
+                self.health.sample_if_due()
             self.timeline.sample_if_due()
         else:
             self.loop.run_until(target)
+        self.slos.sample_if_due()
+        self.health.sample_if_due()
 
     # -- clients -------------------------------------------------------------------
 
@@ -428,6 +462,7 @@ class PropellerService:
         )
         client.tracer = self.tracer
         client.registry = self.registry
+        client.journal = self.journal
         client.set_freshness(self.freshness)
         self._clients.append(client)
         return client
@@ -520,4 +555,17 @@ class PropellerService:
             "network_messages": value("cluster.network.messages"),
             "network_bytes": value("cluster.network.bytes_sent"),
             "nodes": nodes,
+        }
+
+    def status(self, events_tail: int = 10) -> Dict[str, object]:
+        """The health-plane snapshot ``repro status`` renders: cluster
+        verdict + gauges, per-SLO burn state, deployment stats, and the
+        journal's most recent events.  JSON-ready."""
+        self.slos.sample_if_due()
+        return {
+            "health": self.health.summary(),
+            "slo": self.slos.summary(),
+            "stats": self.stats(),
+            "journal": self.journal.digest(),
+            "events": [e.to_dict() for e in self.journal.tail(events_tail)],
         }

@@ -14,6 +14,13 @@ from repro.metrics.reporting import format_duration, render_table
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracing import Span
 
+__all__ = [
+    "journal_to_dict", "journal_to_json", "render_journal",
+    "registry_to_dict", "registry_to_json", "render_registry",
+    "render_span_tree", "slo_to_dict", "slo_to_json", "render_slo",
+    "span_to_dict", "span_to_json",
+]
+
 
 # -- span trees ---------------------------------------------------------------
 
@@ -109,3 +116,86 @@ def render_registry(registry: MetricsRegistry, prefix: str = "",
         else:
             rows.append([name, instrument.kind, instrument.value])
     return render_table(["metric", "kind", "value"], rows, title=title)
+
+
+# -- event journal ------------------------------------------------------------
+
+def journal_to_dict(journal, tail: int = 0) -> Dict[str, Any]:
+    """The journal as JSON-ready dicts: digest (cumulative per-type
+    counts + the ``truncated`` eviction marker) and the retained events
+    (all of them, or the most recent ``tail``)."""
+    events = journal.tail(tail) if tail > 0 else list(journal)
+    return {
+        "digest": journal.digest(),
+        "events": [e.to_dict() for e in events],
+    }
+
+
+def journal_to_json(journal, tail: int = 0, indent: int = 2) -> str:
+    """The journal serialized as a JSON string."""
+    return json.dumps(journal_to_dict(journal, tail=tail),
+                      indent=indent, sort_keys=True)
+
+
+def _event_context(event_dict: Dict[str, Any]) -> str:
+    """The compact context column: node, partition, epochs, span id."""
+    parts = []
+    if event_dict.get("node"):
+        parts.append(event_dict["node"])
+    if event_dict.get("acg_id") is not None:
+        parts.append(f"acg={event_dict['acg_id']}")
+    if event_dict.get("repl_epoch") is not None:
+        parts.append(f"re={event_dict['repl_epoch']}")
+    if event_dict.get("route_epoch") is not None:
+        parts.append(f"rte={event_dict['route_epoch']}")
+    if event_dict.get("span_id") is not None:
+        parts.append(f"span={event_dict['span_id']}")
+    return " ".join(parts)
+
+
+def render_journal(journal, tail: int = 20,
+                   title: str = "events") -> str:
+    """The most recent journal events as a fixed-width table."""
+    rows = []
+    for event in journal.tail(tail):
+        d = event.to_dict()
+        detail = " ".join(f"{k}={v}" for k, v in d.get("detail", {}).items())
+        rows.append([d["seq"], f"{d['t']:.3f}", d["type"],
+                     _event_context(d), detail])
+    digest = journal.digest()
+    suffix = (f" (showing {len(rows)}/{digest['retained']} retained, "
+              f"{digest['truncated']} evicted, {digest['total']} total)")
+    return render_table(["seq", "t", "type", "where", "detail"], rows,
+                        title=title + suffix)
+
+
+# -- SLOs ---------------------------------------------------------------------
+
+def slo_to_dict(slos) -> Dict[str, Any]:
+    """The tracker summary, already JSON-ready (kept as an exporter for
+    symmetry with the other sections bench artifacts embed)."""
+    return slos.summary()
+
+
+def slo_to_json(slos, indent: int = 2) -> str:
+    """The SLO summary serialized as a JSON string."""
+    return json.dumps(slo_to_dict(slos), indent=indent, sort_keys=True)
+
+
+def render_slo(slos, title: str = "slos") -> str:
+    """Per-SLO state as a fixed-width table: target vs observed, burn
+    rates over both windows, breach counts."""
+    summary = slos.summary()
+    rows = []
+    for name, s in summary["specs"].items():
+        fmt = lambda v: _format_observation(v, s["unit"])
+        status = "BREACHED" if s["breached"] else "ok"
+        rows.append([
+            name, fmt(s["target"]), fmt(s["observed"]),
+            f"{s['fast_burn_rate']:.2f}", f"{s['slow_burn_rate']:.2f}",
+            s["breaches"], status,
+        ])
+    return render_table(
+        ["slo", "target", "observed", "burn(fast)", "burn(slow)",
+         "breaches", "status"],
+        rows, title=title)

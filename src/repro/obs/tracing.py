@@ -50,10 +50,11 @@ class Span:
     """
 
     __slots__ = ("name", "start", "end", "attributes", "metrics",
-                 "children", "status", "error")
+                 "children", "status", "error", "span_id")
 
     def __init__(self, name: str, start: float,
-                 attributes: Optional[Dict[str, Any]] = None) -> None:
+                 attributes: Optional[Dict[str, Any]] = None,
+                 span_id: Optional[int] = None) -> None:
         self.name = name
         self.start = start
         self.end: Optional[float] = None
@@ -62,6 +63,9 @@ class Span:
         self.children: List[Span] = []
         self.status = "ok"
         self.error: Optional[str] = None
+        # Monotonic per-tracer id, the correlation key the event journal
+        # stamps onto events emitted while this span is open.
+        self.span_id = span_id
 
     @property
     def duration(self) -> float:
@@ -119,19 +123,29 @@ class Tracer:
 
     The tracer reads the shared virtual clock for span bounds and is
     otherwise pure bookkeeping — it charges **zero simulated time**.
-    Finished root spans are kept (most recent last) up to ``max_roots``.
+    Finished root spans are kept (most recent last) up to ``max_roots``;
+    evicting past that is no longer silent: :attr:`roots_dropped` counts
+    every lost root, mirrored into the registry (when one is attached)
+    as the ``trace.roots_dropped`` counter so ``repro profile`` can show
+    when the window was too small for the run it profiled.
     """
 
     enabled = True
 
-    def __init__(self, clock: "SimClock", max_roots: int = DEFAULT_MAX_ROOTS) -> None:
+    def __init__(self, clock: "SimClock", max_roots: int = DEFAULT_MAX_ROOTS,
+                 registry=None) -> None:
         self.clock = clock
+        self.registry = registry
         self._stack: List[Span] = []
         self.roots: Deque[Span] = deque(maxlen=max_roots)
+        self.roots_dropped = 0
+        self._next_span_id = 0
 
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """Open a child of the innermost open span (or a new root)."""
-        span = Span(name, self.clock.now(), attributes or None)
+        self._next_span_id += 1
+        span = Span(name, self.clock.now(), attributes or None,
+                    span_id=self._next_span_id)
         self._stack.append(span)
         return _SpanContext(self, span)
 
@@ -145,6 +159,10 @@ class Tracer:
         if self._stack:
             self._stack[-1].children.append(span)
         else:
+            if len(self.roots) == self.roots.maxlen:
+                self.roots_dropped += 1
+                if self.registry is not None:
+                    self.registry.counter("trace.roots_dropped").inc()
             self.roots.append(span)
 
     @property
@@ -186,6 +204,7 @@ class _NullSpan:
     duration = 0.0
     status = "ok"
     error = None
+    span_id = None
     attributes: Dict[str, Any] = {}
     metrics: Dict[str, float] = {}
     children: List[Span] = []

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.journal import NULL_JOURNAL
+
 
 @dataclass
 class ReplicaSetState:
@@ -48,6 +50,9 @@ class ReplicaSetManager:
             raise ValueError(f"replica sets need rf >= 2, got {rf}")
         self.rf = rf
         self._sets: Dict[int, ReplicaSetState] = {}
+        # Epoch bumps are fencing events worth a journal entry; the
+        # owning Master points this at the deployment's journal.
+        self.journal = NULL_JOURNAL
 
     def state(self, acg_id: int) -> ReplicaSetState:
         """Get or create the partition's replica-set state."""
@@ -84,6 +89,10 @@ class ReplicaSetManager:
             st.primary_seq = 0
             st.applied = {f: 0 for f in followers}
             st.acked = {f: 0 for f in followers}
+            self.journal.emit("repl.epoch_bump", acg_id=acg_id,
+                              repl_epoch=st.repl_epoch,
+                              reason="forced" if force else "membership",
+                              followers=list(followers))
         return st.repl_epoch
 
     def _enter_epoch(self, st: ReplicaSetState, repl_epoch: int) -> None:
@@ -141,6 +150,9 @@ class ReplicaSetManager:
         watermark, so promotion does not start a new log generation."""
         st = self.state(acg_id)
         st.repl_epoch += 1
+        self.journal.emit("repl.epoch_bump", acg_id=acg_id,
+                          repl_epoch=st.repl_epoch, reason="promotion",
+                          followers=list(st.followers))
         return st.repl_epoch
 
     def partitions(self) -> List[int]:

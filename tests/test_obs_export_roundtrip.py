@@ -7,14 +7,22 @@ import json
 import pytest
 
 from repro.obs.export import (
+    journal_to_dict,
+    journal_to_json,
     registry_to_dict,
     registry_to_json,
+    render_journal,
     render_registry,
+    render_slo,
     render_span_tree,
+    slo_to_dict,
+    slo_to_json,
     span_to_dict,
     span_to_json,
 )
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloSpec, SloTracker
 from repro.obs.tracing import Tracer
 from repro.sim.clock import SimClock
 
@@ -111,3 +119,84 @@ class TestRegistryRoundTrip:
         # ...while count-valued ones stay plain numbers (no "12.0s").
         assert "12.0s" not in text
         assert "page_faults" in text
+
+
+class TestJournalRoundTrip:
+    def build_journal(self, maxlen=8192):
+        clock = SimClock()
+        journal = EventJournal(clock, maxlen=maxlen)
+        journal.emit("node.crash", node="in2", torn_tail_bytes=17)
+        clock.charge(1.0)
+        journal.emit("repl.epoch_bump", acg_id=3, repl_epoch=2,
+                     reason="promotion", followers=["in1"])
+        clock.charge(0.5)
+        journal.emit("route.epoch_bump", node="master", acg_id=3,
+                     route_epoch=5)
+        return journal
+
+    def test_json_round_trip_is_lossless(self):
+        journal = self.build_journal()
+        d = journal_to_dict(journal)
+        assert json.loads(journal_to_json(journal)) == json.loads(
+            json.dumps(d, sort_keys=True))
+        assert json.loads(json.dumps(d)) == d
+
+    def test_dict_carries_digest_and_ordered_events(self):
+        d = journal_to_dict(self.build_journal())
+        assert d["digest"]["total"] == 3 and d["digest"]["truncated"] == 0
+        assert [e["seq"] for e in d["events"]] == [1, 2, 3]
+        assert d["events"][1]["detail"]["reason"] == "promotion"
+        # tail= keeps the digest but trims the events.
+        tailed = journal_to_dict(self.build_journal(), tail=1)
+        assert len(tailed["events"]) == 1
+        assert tailed["digest"]["total"] == 3
+
+    def test_truncation_marker_survives_round_trip_and_render(self):
+        journal = self.build_journal(maxlen=2)
+        d = json.loads(journal_to_json(journal))
+        assert d["digest"]["truncated"] == 1
+        assert d["digest"]["retained"] == 2
+        assert d["digest"]["by_type"]["node.crash"] == 1  # evicted, counted
+        text = render_journal(journal, tail=10)
+        assert "1 evicted" in text and "3 total" in text
+
+    def test_render_journal_shows_context_and_detail(self):
+        text = render_journal(self.build_journal(), title="events")
+        assert "repl.epoch_bump" in text
+        assert "acg=3" in text and "re=2" in text and "rte=5" in text
+        assert "reason=promotion" in text
+
+
+class TestSloRoundTrip:
+    def build_tracker(self):
+        clock = SimClock()
+        registry = MetricsRegistry()
+        spec = SloSpec("lat", "svc.latency_s", target=1.0, budget=0.01,
+                       fast_window_s=10.0, slow_window_s=60.0)
+        tracker = SloTracker(clock, registry, specs=(spec,))
+        hist = registry.histogram("svc.latency_s")
+        tracker.sample()
+        for _ in range(5):
+            hist.observe(4.0)
+        clock.charge(1.0)
+        tracker.sample()
+        return tracker
+
+    def test_json_round_trip_is_lossless(self):
+        tracker = self.build_tracker()
+        d = slo_to_dict(tracker)
+        assert json.loads(slo_to_json(tracker)) == json.loads(
+            json.dumps(d, sort_keys=True))
+        assert json.loads(json.dumps(d)) == d
+
+    def test_dict_matches_tracker_state(self):
+        tracker = self.build_tracker()
+        d = slo_to_dict(tracker)
+        assert d["breached_now"] == ["lat"]
+        assert d["specs"]["lat"]["breaches"] == 1
+        assert d["specs"]["lat"]["observed"] == 4.0
+
+    def test_render_slo_marks_breaches(self):
+        text = render_slo(self.build_tracker())
+        assert "BREACHED" in text
+        assert "lat" in text and "burn(fast)" in text
