@@ -1,0 +1,202 @@
+"""Master failover — unavailability window, fencing, and epoch continuity.
+
+Figures of merit for the control-plane failover subsystem (meta-WAL +
+warm standby + term fencing):
+
+* **Unavailability window** — virtual seconds between the acting
+  Master's crash and a (promoted) acting Master answering again.  The
+  standby promotes after three missed 2s lease ticks, so the window is
+  bounded by the 10s lease timeout; the bench asserts the *measured*
+  window stays under that bound.  The restart path (no promotion —
+  the crashed Master replays its meta-WAL and resumes the same term)
+  is measured side by side.
+
+* **Epoch continuity** — the routing epoch observed by a client never
+  regresses across a promotion or a replayed restart: the standby's
+  tailed meta-log (and the meta-WAL snapshot) carry the epoch forward,
+  so no client is forced into a refresh storm by a reset epoch.
+
+* **Fencing** — after the deposed ex-Master restarts believing it is
+  still acting, its first term-stamped heartbeat round is rejected by
+  the Index Nodes (``master.fence`` journaled) and it self-deposes into
+  a standby; the bench asserts at least one fence fired and exactly one
+  Master is acting at the end.
+
+The artifact's ``extra`` carries ``unavailability_window_s``,
+``lease_timeout_s`` and ``route_epoch_monotonic`` — the CI bench-smoke
+guard reads them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from benchmarks.common import observe
+from benchmarks.harness import BenchConfig, default_cfg
+from repro.cluster import PropellerService
+from repro.cluster.master import MASTER_LEASE_TIMEOUT_S
+from repro.core.partitioner import PartitioningPolicy
+from repro.indexstructures import IndexKind
+from repro.metrics.reporting import render_table
+
+PROBE_STEP_S = 0.5
+PROBE_LIMIT_S = 30.0
+
+
+def _build(files: int):
+    """An indexed RF=2 deployment with a warm standby Master."""
+    service = observe(PropellerService(
+        num_index_nodes=3, replication_factor=2, standby_master=True,
+        policy=PartitioningPolicy(split_threshold=10**9, cluster_target=10)))
+    # 1s sampling: the SLO windows see the steady state around the
+    # outage at the same granularity the chaos harness uses, so one
+    # bounded promotion never reads as a sustained burn.
+    service.enable_timeline(interval_s=1.0)
+    client = service.make_client()
+    client.create_index("by_size", IndexKind.BTREE, ["size"])
+    vfs = service.vfs
+    vfs.mkdir("/data")
+    paths = []
+    for i in range(files):
+        path = f"/data/f{i:05d}.bin"
+        vfs.write_file(path, 1024 * (i + 1), pid=100 + i)
+        paths.append(path)
+        client.index_path(path, pid=100 + i)
+    client.flush_updates()
+    # A realistic healthy runway before the fault: the burn-rate math
+    # compares the outage against surrounding steady state.
+    service.advance(40.0)
+    service.sync_replication()
+    return service, client, paths
+
+
+def _available(service: PropellerService) -> bool:
+    """An acting Master process is up (``service.master`` follows the
+    acting role across promotions)."""
+    return service.master.endpoint.up and service.master.acting
+
+
+def _measure_window(service: PropellerService) -> float:
+    """Crash the acting Master; virtual seconds until an acting Master
+    is back (standby promotion), probed on a fine grid."""
+    service.crash_master()
+    start = service.clock.now()
+    while service.clock.now() - start < PROBE_LIMIT_S:
+        if _available(service):
+            break
+        service.advance(PROBE_STEP_S)
+    return service.clock.now() - start
+
+
+def _epochs(service: PropellerService) -> Tuple[int, int]:
+    return (service.master.partitions.epoch, service.master.term)
+
+
+def _sweep(cfg: BenchConfig):
+    files = cfg.scale(60, 200)
+    service, client, paths = _build(files)
+    epochs: List[Tuple[int, int]] = [_epochs(service)]
+
+    # Promotion path: crash the acting Master, measure until the
+    # standby's promotion restores availability.
+    old_acting = service.master.endpoint.name
+    promotion_window = _measure_window(service)
+    epochs.append(_epochs(service))
+
+    # The client re-homes onto the promoted Master without help.
+    answer = client.search("size>=1")
+    rehomes = client.master_rehomes
+
+    # The deposed ex-Master restarts from its own meta-WAL still
+    # believing it is acting; the next heartbeat round fences it.
+    service.restart_master(old_acting)
+    service.advance(20.0)
+    epochs.append(_epochs(service))
+    status = service.master_status()
+
+    # Restart path (no promotion): crash the *new* acting Master but
+    # bring it straight back — meta-WAL replay, same term.
+    acting = service.master.endpoint.name
+    service.crash_master()
+    restart_start = service.clock.now()
+    service.restart_master(acting)
+    service.advance(PROBE_STEP_S)
+    restart_window = (service.clock.now() - restart_start
+                      if _available(service) else float("inf"))
+    service.advance(20.0)
+    epochs.append(_epochs(service))
+    final_status = service.master_status()
+
+    route_monotonic = all(a[0] <= b[0] for a, b in zip(epochs, epochs[1:]))
+    term_monotonic = all(a[1] <= b[1] for a, b in zip(epochs, epochs[1:]))
+    acting_roles = [r for r in final_status["roles"].values()
+                    if r["role"] == "acting"]
+
+    rows = [
+        ["standby promotion", f"{promotion_window:.2f}",
+         f"{MASTER_LEASE_TIMEOUT_S:.2f}"],
+        ["meta-WAL restart", f"{restart_window:.2f}",
+         f"{MASTER_LEASE_TIMEOUT_S:.2f}"],
+    ]
+    text = render_table(
+        ["failover path", "window (s)", "lease bound (s)"], rows,
+        title=f"master unavailability window ({files} files, rf=2)")
+    return {
+        "files": files,
+        "promotion_window": promotion_window,
+        "restart_window": restart_window,
+        "epochs": epochs,
+        "route_monotonic": route_monotonic,
+        "term_monotonic": term_monotonic,
+        "rehomes": rehomes,
+        "answer_size": len(answer),
+        "fences": status["fences"],
+        "promotions": final_status["promotions"],
+        "acting_count": len(acting_roles),
+        "text": text,
+    }
+
+
+def run(cfg: BenchConfig):
+    r = _sweep(cfg)
+    return {
+        "name": "master_failover",
+        "params": {"files": r["files"], "rf": 2,
+                   "lease_timeout_s": MASTER_LEASE_TIMEOUT_S},
+        "texts": {"master_failover": r["text"]},
+        "latency_s": {"promotion_window": r["promotion_window"],
+                      "restart_window": r["restart_window"]},
+        "metrics": {"master_rehomes": r["rehomes"],
+                    "master_fences": r["fences"],
+                    "promotions": r["promotions"]},
+        "extra": {
+            "unavailability_window_s": r["promotion_window"],
+            "restart_window_s": r["restart_window"],
+            "lease_timeout_s": MASTER_LEASE_TIMEOUT_S,
+            "route_epoch_monotonic": r["route_monotonic"],
+            "term_monotonic": r["term_monotonic"],
+            "epochs": [list(e) for e in r["epochs"]],
+            "acting_masters": r["acting_count"],
+        },
+    }
+
+
+def test_master_failover_window_and_epochs(record_result):
+    cfg = default_cfg()
+    r = _sweep(cfg)
+    record_result("master_failover", r["text"])
+    # The measured outage stays under the lease bound the standby's
+    # promotion schedule promises.
+    assert r["promotion_window"] < MASTER_LEASE_TIMEOUT_S, r
+    assert r["restart_window"] < MASTER_LEASE_TIMEOUT_S, r
+    # Epoch continuity: routing epoch and term never regress across a
+    # promotion, a fence-deposed restart, or a meta-WAL replay.
+    assert r["route_monotonic"], r["epochs"]
+    assert r["term_monotonic"], r["epochs"]
+    # The client re-homed onto the promoted Master and kept answering.
+    assert r["rehomes"] >= 1
+    assert r["answer_size"] > 0
+    # The deposed ex-Master was fenced, and one Master is acting.
+    assert r["fences"] >= 1
+    assert r["promotions"] >= 1
+    assert r["acting_count"] == 1

@@ -39,6 +39,14 @@ Invariants (with their principled excuses):
    first (``sync_replication``); what this invariant rules out is silent
    divergence — a follower that claims the primary's watermark while
    holding different data.
+7. **One acting Master** — at a settle point exactly one live Master
+   process claims the acting role; a deposed-but-alive Master must have
+   been term-fenced by the heartbeat round the settle ran.
+8. **Master term monotonic** — promotions bump the term, meta-WAL
+   replays restore it, nothing rolls it back.
+9. **Routing epoch monotonic across failover** — a promoted standby or
+   replayed restart continues the epoch sequence (clients may never be
+   left trusting a silently stale route table).
 """
 
 from __future__ import annotations
@@ -143,6 +151,11 @@ class InvariantChecker:
         self.service = service
         self.client = client
         self.ledger = ledger
+        # Monotonicity watermarks for the control-plane invariants: the
+        # master term and the routing epoch may only move forward across
+        # settle points, promotions and meta-WAL replays included.
+        self._last_term = 0
+        self._last_route_epoch = 0
 
     def presence(self) -> Dict[int, List[str]]:
         """file id → live nodes hosting it (sorted), from the replica
@@ -253,6 +266,38 @@ class InvariantChecker:
         # 6. Replicas converge (RF > 1).
         if getattr(self.service, "replication_factor", 1) > 1:
             self._check_replica_convergence(known, violate)
+
+        # 7. One acting Master per settle point.  A heartbeat round ran
+        # during settle (6s advance > 5s period), so any deposed-but-
+        # alive Master has been fenced by now; two processes still both
+        # claiming the acting role here is split-brain.
+        masters = getattr(self.service, "masters", [self.service.master])
+        acting = sorted(m.endpoint.name for m in masters
+                        if m.endpoint.up and getattr(m, "acting", True))
+        if len(acting) != 1:
+            violate("acting_master_count",
+                    f"live Masters claiming the acting role: {acting}")
+
+        # 8. Master term is monotonic: promotions bump it, restarts
+        # replay it, nothing ever rolls it back.
+        term = max((getattr(m, "term", 0) for m in masters), default=0)
+        if term < self._last_term:
+            violate("master_term_regressed",
+                    f"term {term} < previously observed {self._last_term}")
+        else:
+            self._last_term = term
+
+        # 9. Routing epoch is monotonic across Master failover: a
+        # promoted standby (or a replayed restart) must continue the
+        # epoch sequence, never restart it — a regressed epoch would let
+        # clients keep serving from silently stale route tables.
+        epoch = self.service.master.partitions.epoch
+        if epoch < self._last_route_epoch:
+            violate("route_epoch_regressed",
+                    f"routing epoch {epoch} < previously observed "
+                    f"{self._last_route_epoch}")
+        else:
+            self._last_route_epoch = epoch
         return violations
 
     def _check_replica_convergence(self, known, violate) -> None:

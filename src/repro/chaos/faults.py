@@ -30,19 +30,23 @@ _DISK_ERRORS = "chaos.disk_errors"
 class FaultInjector:
     """Decides, message by message and read by read, what goes wrong.
 
-    ``immune`` names RPC targets that never suffer message faults — the
-    chaos schedules exempt the Master so the fault model matches the
-    paper's (Index Nodes fail; the metadata server is assumed reachable).
-    Straggler latency still applies to immune targets: a slow master is a
-    performance fault, not a partition.
+    ``immune_targets`` names RPC targets that never suffer *random*
+    message faults — chaos schedules exempt the Master(s) so the random
+    fault model matches the paper's (Index Nodes fail; the metadata
+    server is assumed reachable).  The exemption is explicit plumbing,
+    not a hardcoded name: a schedule that opts into master faults simply
+    passes a different set.  Straggler latency still applies to immune
+    targets (a slow master is a performance fault, not a partition), and
+    so do *targeted* faults — armed one-shot drops and isolation — which
+    exist precisely to fail a specific endpoint on purpose.
     """
 
     def __init__(self, seed: int = 0, registry=None,
-                 immune: Optional[frozenset] = None,
+                 immune_targets: Optional[frozenset] = None,
                  journal=None) -> None:
         self.rng = random.Random(seed)
         self.registry = registry
-        self.immune = frozenset(immune or ())
+        self.immune_targets = frozenset(immune_targets or ())
         # Every configuration change journals a chaos.fault_injected
         # event so a chaos run's journal shows what was done to the
         # cluster next to what the cluster did about it.
@@ -65,6 +69,11 @@ class FaultInjector:
         # fail one *specific* protocol step (e.g. the finish_migration
         # RPC) deterministically.
         self.armed: Dict[Tuple[str, str], int] = {}
+        # Isolated targets: every message to them drops, immunity
+        # notwithstanding — a network partition of one endpoint.  Checked
+        # without consuming a draw so arming/clearing isolation never
+        # desynchronizes the RNG stream.
+        self.isolated: set = set()
         self.dropped = 0
         self.delayed = 0
         self.duplicated = 0
@@ -90,6 +99,10 @@ class FaultInjector:
         self.slow_nodes.clear()
         self.slow_probability.clear()
         self.armed.clear()
+        # Isolation is deliberately *not* cleared here: a partitioned
+        # endpoint stays partitioned until the isolation fault itself is
+        # lifted (clear_isolation), exactly like a crashed node stays
+        # down across a clear_faults step.
 
     def slow_node(self, node: str, extra_s: float,
                   probability: float = 1.0) -> None:
@@ -129,12 +142,28 @@ class FaultInjector:
         self.journal.emit("chaos.fault_injected", node=target,
                           fault="armed_drop", method=method, count=count)
 
+    def isolate(self, target: str) -> None:
+        """Partition one endpoint off the network: every message to it
+        drops until :meth:`clear_isolation`.  Overrides immunity — this
+        is the targeted fault master-isolation chaos uses."""
+        self.isolated.add(target)
+        self.journal.emit("chaos.fault_injected", node=target,
+                          fault="isolation")
+
+    def clear_isolation(self, target: Optional[str] = None) -> None:
+        """Heal one isolation (or all of them when no target given)."""
+        if target is None:
+            self.isolated.clear()
+        else:
+            self.isolated.discard(target)
+
     @property
     def quiescent(self) -> bool:
         """True when no fault of any kind is currently armed."""
         return (self.drop_rate == 0.0 and self.duplicate_rate == 0.0
                 and self.delay_rate == 0.0 and self.disk_error_rate == 0.0
-                and not self.slow_nodes and not self.armed)
+                and not self.slow_nodes and not self.armed
+                and not self.isolated)
 
     # -- decision points (the instrumented layers call these) ----------------
 
@@ -157,7 +186,11 @@ class FaultInjector:
             self.dropped += 1
             self._count(_DROPPED)
             return "drop"
-        if target in self.immune:
+        if target in self.isolated:
+            self.dropped += 1
+            self._count(_DROPPED)
+            return "drop"
+        if target in self.immune_targets:
             return "ok"
         if draw < self.drop_rate:
             self.dropped += 1

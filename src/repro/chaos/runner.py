@@ -57,6 +57,10 @@ _REPORT_COUNTERS = (
     "cluster.client.hedges",
     "cluster.client.hedge_wins",
     "cluster.client.hedge_rescues",
+    "cluster.master.standby_promotions",
+    "cluster.master.deposed",
+    "cluster.master.restarts",
+    "cluster.client.master_rehomes",
 )
 
 
@@ -66,13 +70,15 @@ class ChaosRunner:
     def __init__(self, seed: int, steps: int = 50, nodes: int = 3,
                  settle_every: int = 10,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rf: int = 1) -> None:
+                 rf: int = 1, master_faults: bool = False) -> None:
         self.seed = seed
         self.steps = steps
         self.nodes = nodes
         self.rf = rf
+        self.master_faults = master_faults
         self.settle_every = max(1, settle_every)
-        self.schedule: List[ChaosStep] = build_schedule(seed, steps, nodes)
+        self.schedule: List[ChaosStep] = build_schedule(
+            seed, steps, nodes, master_faults=master_faults)
         # Splits are disabled (huge threshold): the interplay of mid-split
         # faults with metadata mutation is out of the fault model's scope,
         # and a surprise split would make missing-file excuses ambiguous.
@@ -87,9 +93,20 @@ class ChaosRunner:
             auto_failover=True,
             heartbeat_timeout_s=15.0,
             replication_factor=rf,
+            # Master-fault schedules need somewhere for the control plane
+            # to fail over *to*; baseline schedules keep the historical
+            # single-Master deployment so their runs stay byte-identical.
+            standby_master=master_faults,
         )
+        # Random message faults never hit the Master(s): the paper's
+        # fault model assumes a reachable metadata server, and the
+        # master-fault ops fail it *deliberately* (crash / isolation)
+        # instead of by lottery — so the control-plane outage windows a
+        # report shows are the scheduled ones, not rate noise.
+        immune = (frozenset({"master", "master2"}) if master_faults
+                  else frozenset({"master"}))
         self.faults = FaultInjector(seed + 1, registry=self.service.registry,
-                                    immune=frozenset({"master"}),
+                                    immune_targets=immune,
                                     journal=self.service.journal)
         self.service.rpc.faults = self.faults
         for node in self.service.index_nodes.values():
@@ -333,6 +350,48 @@ class ChaosRunner:
         else:
             self._after_restart(name)
 
+    def _do_master_crash(self, down_s: float) -> None:
+        """Kill the acting Master, leave it down for ``down_s``, restart.
+
+        If the outage outlives the standby's lease the standby promotes
+        mid-window and the restarted ex-Master gets fenced back into a
+        standby role at the next heartbeat round; shorter outages replay
+        the meta-WAL and resume the same term.  Skipped unless both
+        Master processes are up — overlapping a crash with an isolation
+        window (or a previous unfinished crash) is outside the
+        single-control-plane-failure fault model."""
+        masters = getattr(self.service, "masters", [])
+        if len(masters) < 2 or not all(m.endpoint.up for m in masters) \
+                or self.faults.isolated:
+            self.skipped += 1
+            return
+        victim = self.service.master.endpoint.name
+        self.service.journal.emit("chaos.fault_injected", node=victim,
+                                  fault="master_crash", down_s=down_s)
+        self.service.crash_master()
+        self.service.advance(down_s)
+        self.service.restart_master(victim)
+
+    def _do_master_isolation(self, duration_s: float) -> None:
+        """Partition the acting Master off the network for a while.
+
+        Unlike a crash its process stays alive and still believes it is
+        acting; if the standby promotes during the window, the healed
+        ex-Master's first term-stamped heartbeat round gets fenced —
+        the split-brain path the term exists for."""
+        masters = getattr(self.service, "masters", [])
+        if len(masters) < 2 or not all(m.endpoint.up for m in masters) \
+                or self.faults.isolated:
+            self.skipped += 1
+            return
+        target = self.service.master.endpoint.name
+        self.service.journal.emit("chaos.fault_injected", node=target,
+                                  fault="master_isolation",
+                                  duration_s=duration_s)
+        self.faults.isolate(target)
+        self.service.advance(duration_s)
+        self.faults.clear_isolation(target)
+
     def _execute(self, step: ChaosStep) -> None:
         p = step.params
         if step.op == "create_files":
@@ -362,6 +421,10 @@ class ChaosRunner:
             self.faults.set_disk_error_rate(p["rate"])
         elif step.op == "migrate_partition":
             self._do_migrate(p["pick"], p["target"])
+        elif step.op == "master_crash":
+            self._do_master_crash(p["down_s"])
+        elif step.op == "master_isolation":
+            self._do_master_isolation(p["duration_s"])
         elif step.op == "flush":
             self.client.flush_updates()
         else:  # pragma: no cover - schedule and runner move in lockstep
@@ -415,11 +478,22 @@ class ChaosRunner:
         live = [r for r in ledger.live_acked()]
         wal_drops = sum(n.wal_replay_dropped_total
                         for n in self.service.index_nodes.values())
+        status = self.service.master_status()
         return {
             "seed": self.seed,
             "steps": self.steps,
             "nodes": self.nodes,
             "rf": self.rf,
+            "master_faults": self.master_faults,
+            "master": {
+                "term": status["term"],
+                "acting": status["acting"],
+                "promotions": status["promotions"],
+                "deposed": status["deposed"],
+                "restarts": status["restarts"],
+                "fences": status["fences"],
+                "standby_lag": status["standby_lag"],
+            },
             "virtual_time_s": round(self._now(), 6),
             "files_created": len(ledger.files),
             "files_acked_live": len(live),
@@ -449,8 +523,10 @@ class ChaosRunner:
 
 
 def run_chaos(seed: int, steps: int = 50, nodes: int = 3,
-              settle_every: int = 10, rf: int = 1) -> Dict[str, Any]:
+              settle_every: int = 10, rf: int = 1,
+              master_faults: bool = False) -> Dict[str, Any]:
     """Convenience: one fresh runner, one full run, one report."""
     runner = ChaosRunner(seed, steps=steps, nodes=nodes,
-                         settle_every=settle_every, rf=rf)
+                         settle_every=settle_every, rf=rf,
+                         master_faults=master_faults)
     return runner.run()

@@ -34,6 +34,15 @@ _WEIGHTED_OPS = [
     ("flush", 2),
 ]
 
+# Extra ops mixed in only when a schedule opts into master faults
+# (``build_schedule(..., master_faults=True)``).  Kept out of the
+# baseline list so every pre-existing seeded schedule keeps drawing the
+# byte-identical program it always did.
+_MASTER_FAULT_OPS = [
+    ("master_crash", 4),
+    ("master_isolation", 3),
+]
+
 
 @dataclass(frozen=True)
 class ChaosStep:
@@ -48,19 +57,24 @@ class ChaosStep:
         return f"[{self.index}] {self.op}({inner})"
 
 
-def build_schedule(seed: int, steps: int, nodes: int) -> List[ChaosStep]:
+def build_schedule(seed: int, steps: int, nodes: int,
+                   master_faults: bool = False) -> List[ChaosStep]:
     """Generate a deterministic ``steps``-long fault program.
 
     ``nodes`` is the Index Node count; node-targeted steps carry a node
     *ordinal* (the runner maps it onto the node list) so the same program
-    is meaningful for any cluster of that size.
+    is meaningful for any cluster of that size.  ``master_faults`` mixes
+    control-plane faults (crash the acting Master, isolate it off the
+    network) into the op pool; off (the default), the generated program
+    is byte-identical to what this function always produced.
     """
     if steps < 1:
         raise ValueError(f"steps must be positive: {steps}")
     if nodes < 1:
         raise ValueError(f"nodes must be positive: {nodes}")
     rng = random.Random(seed)
-    ops = [op for op, weight in _WEIGHTED_OPS for _ in range(weight)]
+    weighted = _WEIGHTED_OPS + (_MASTER_FAULT_OPS if master_faults else [])
+    ops = [op for op, weight in weighted for _ in range(weight)]
     program: List[ChaosStep] = []
     for i in range(steps):
         if i == 0:
@@ -96,5 +110,11 @@ def build_schedule(seed: int, steps: int, nodes: int) -> List[ChaosStep]:
         elif op == "migrate_partition":
             params["pick"] = rng.randrange(1 << 30)
             params["target"] = rng.randrange(nodes)
+        elif op == "master_crash":
+            # Long enough that the standby's lease expires mid-outage
+            # (3 missed 2s ticks against a 10s lease) on most draws.
+            params["down_s"] = round(6.0 + 20.0 * rng.random(), 3)
+        elif op == "master_isolation":
+            params["duration_s"] = round(6.0 + 14.0 * rng.random(), 3)
         program.append(ChaosStep(i, op, params))
     return program

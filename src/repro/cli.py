@@ -361,7 +361,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reports = []
     for attempt in range(2):
         runner = ChaosRunner(args.seed, steps=args.steps, nodes=args.nodes,
-                             settle_every=args.settle_every, rf=args.rf)
+                             settle_every=args.settle_every, rf=args.rf,
+                             master_faults=args.master_faults)
         runner.run()
         reports.append(runner.report_json())
     report = json.loads(reports[0])
@@ -370,7 +371,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         counters = report["counters"]
         print(f"chaos seed={report['seed']} steps={report['steps']} "
-              f"nodes={report['nodes']} rf={report.get('rf', 1)}")
+              f"nodes={report['nodes']} rf={report.get('rf', 1)}"
+              + (" master-faults" if report.get("master_faults") else ""))
         print(f"  virtual time      {report['virtual_time_s']:.1f}s")
         print(f"  files             {report['files_created']} created, "
               f"{report['files_deleted']} deleted, "
@@ -391,6 +393,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   f"{counters.get('cluster.master.failover_deferred', 0):.0f} deferred, "
                   f"{counters.get('cluster.client.hedges', 0):.0f} hedges "
                   f"({counters.get('cluster.client.hedge_wins', 0):.0f} wins)")
+        master = report.get("master", {})
+        if report.get("master_faults") or master.get("promotions"):
+            print(f"  master            term {master.get('term', 1)} "
+                  f"(acting {master.get('acting', 'master')}), "
+                  f"{master.get('promotions', 0):.0f} promotions, "
+                  f"{master.get('deposed', 0):.0f} deposed, "
+                  f"{master.get('restarts', 0):.0f} restarts, "
+                  f"{master.get('fences', 0)} fences")
         print(f"  degraded queries  {report['queries_degraded']}")
         print(f"  wal replay drops  {report['wal_replay_dropped']}")
         print(f"  violations        {len(report['violations'])}")
@@ -421,7 +431,8 @@ def _observed_service(args: argparse.Namespace):
         from repro.chaos import ChaosRunner
 
         runner = ChaosRunner(args.chaos_seed, steps=args.chaos_steps,
-                             nodes=args.nodes, rf=args.rf)
+                             nodes=args.nodes, rf=args.rf,
+                             master_faults=args.master_faults)
         runner.run()
         return runner.service
     service = PropellerService(num_index_nodes=args.nodes,
@@ -452,11 +463,22 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(json.dumps(status, indent=2, sort_keys=True))
         return code
     health = status["health"]
-    print(f"cluster: 1 master + {args.nodes} index node(s), rf={args.rf}; "
+    n_masters = len(getattr(service, "masters", [service.master]))
+    print(f"cluster: {n_masters} master(s) + {args.nodes} index node(s), "
+          f"rf={args.rf}; "
           f"{service.total_indexed_files()} files in "
           f"{service.acg_count()} ACGs; t={service.clock.now():.1f}s")
     causes = f"  ({', '.join(health['causes'])})" if health["causes"] else ""
     print(f"health: {verdict.upper()}{causes}")
+    master = status.get("master", {})
+    roles = " ".join(
+        f"{name}={r['role']}{'' if r['up'] else '(down)'}"
+        for name, r in sorted(master.get("roles", {}).items()))
+    lag = master.get("standby_lag")
+    print(f"master: term {master.get('term')}  {roles}  "
+          f"standby-lag {'-' if lag is None else lag}  "
+          f"promotions {master.get('promotions', 0):.0f}  "
+          f"fences {master.get('fences', 0)}")
     print()
     rows = [[name, n["verdict"], ", ".join(n["causes"]) or "-"]
             for name, n in sorted(health["nodes"].items())]
@@ -519,6 +541,9 @@ def _add_observed_cluster_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chaos-steps", type=int, default=30,
                         help="fault-program length for --chaos-seed "
                              "(default 30)")
+    parser.add_argument("--master-faults", action="store_true",
+                        help="with --chaos-seed: include control-plane "
+                             "faults (standby Master deployed)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -616,6 +641,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partition replication factor (default 1; "
                             "2/3 enable replica sets, promotion failover "
                             "and the replicas-converge invariant)")
+    chaos.add_argument("--master-faults", action="store_true",
+                       help="deploy a warm standby Master and mix "
+                            "master_crash / master_isolation ops into the "
+                            "schedule (control-plane failover chaos)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.set_defaults(func=cmd_chaos)

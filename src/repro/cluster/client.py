@@ -16,7 +16,8 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.cluster.messages import (IndexUpdate, RouteEntry, RouteTable,
                                     SearchResult, UpdateOp)
-from repro.errors import ClusterError, StaleRoute
+from repro.errors import (ClusterError, NodeDown, NotActingMaster,
+                          RpcTimeout, StaleMasterTerm, StaleRoute)
 from repro.fs.interceptor import FileAccessManager
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.journal import NULL_JOURNAL
@@ -82,10 +83,18 @@ class PropellerClient:
                  pid_filter: Optional[Set[int]] = None,
                  local: bool = False,
                  pump: Optional[Callable[[], None]] = None,
-                 hedging: Optional[HedgePolicy] = None) -> None:
+                 hedging: Optional[HedgePolicy] = None,
+                 masters: Optional[Sequence[str]] = None) -> None:
         self.vfs = vfs
         self.rpc = rpc
         self.master = master
+        # Every Master endpoint this client may re-home to.  With a warm
+        # standby deployed, a MasterDown/timeout or a not-acting NACK on
+        # one endpoint retries the call against the others and re-homes
+        # to whichever answered (the acting Master after a promotion).
+        self.master_candidates: Tuple[str, ...] = (
+            tuple(masters) if masters else (master,))
+        self.master_rehomes = 0
         self.batch_size = batch_size
         self.local = local
         # Tail-tolerant search (RF > 1): a policy object makes each
@@ -177,6 +186,38 @@ class PropellerClient:
         self.freshness = tracker
         self.access_manager.freshness = tracker
 
+    # -- master re-homing ---------------------------------------------------------
+
+    def _master_call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call the Master, re-homing across candidates on failure.
+
+        The current home is tried first; a ``NodeDown``/``RpcTimeout``
+        (crashed or partitioned Master, after the RPC layer's own retry
+        budget) or a ``NotActingMaster``/``StaleMasterTerm`` NACK (the
+        endpoint is a standby, or was deposed) moves on to the next
+        candidate.  Success re-homes ``self.master`` so later calls go
+        straight to the acting Master.  With a single candidate (the
+        default deployment) this is exactly one ``rpc.call`` — the same
+        call sequence as before standbys existed."""
+        last_error: Optional[ClusterError] = None
+        for name in (self.master,) + tuple(
+                c for c in self.master_candidates if c != self.master):
+            try:
+                result = self.rpc.call(name, method, *args, **kwargs)
+            except (NodeDown, RpcTimeout, NotActingMaster,
+                    StaleMasterTerm) as exc:
+                last_error = exc
+                continue
+            if name != self.master:
+                self.master = name
+                self.master_rehomes += 1
+                if self.registry is not None:
+                    self.registry.counter(
+                        "cluster.client.master_rehomes").inc()
+            return result
+        assert last_error is not None
+        raise last_error
+
     # -- route cache --------------------------------------------------------------
 
     def _note_route(self, hit: bool) -> None:
@@ -258,8 +299,8 @@ class PropellerClient:
             self._stale_files.add(file_id)
 
     def _refresh_routes(self) -> None:
-        table: RouteTable = self.rpc.call(
-            self.master, "route_table", self._route_epoch, local=self.local)
+        table: RouteTable = self._master_call(
+            "route_table", self._route_epoch, local=self.local)
         self.route_refreshes += 1
         if self.registry is not None:
             self.registry.counter("cluster.client.route_refreshes").inc()
@@ -276,8 +317,8 @@ class PropellerClient:
                 and now - self._summary_fetch_t < _SUMMARY_REFRESH_MIN_S):
             return
         try:
-            table = self.rpc.call(self.master, "summary_table",
-                                  self._summary_version, local=self.local)
+            table = self._master_call("summary_table",
+                                      self._summary_version, local=self.local)
         except DEGRADABLE_ERRORS:
             return
         self._summary_fetch_t = now
@@ -387,8 +428,8 @@ class PropellerClient:
         acg_id = self._pick_open_acg()
         if acg_id is None and not alloc_state.get("failed"):
             try:
-                self._apply_route_table(self.rpc.call(
-                    self.master, "allocate_partitions", _ALLOC_BATCH,
+                self._apply_route_table(self._master_call(
+                    "allocate_partitions", _ALLOC_BATCH,
                     self._route_epoch, local=self.local))
             except DEGRADABLE_ERRORS:
                 alloc_state["failed"] = True
@@ -414,8 +455,8 @@ class PropellerClient:
                          if u.file_id != inode.ino]
         cached_acg = self._file_routes.get(inode.ino)
         try:
-            route: Optional[RouteEntry] = self.rpc.call(
-                self.master, "file_deleted", inode.ino, local=self.local)
+            route: Optional[RouteEntry] = self._master_call(
+                "file_deleted", inode.ino, local=self.local)
         except DEGRADABLE_ERRORS:
             # The Master itself was unreachable: the mapping (and maybe an
             # index entry) survives the file.  Record the debt — the
@@ -528,8 +569,8 @@ class PropellerClient:
         (read-only — unlike route_updates, it never creates a mapping)."""
         if file_id in self._file_routes or file_id in self._stale_files:
             return True
-        return self.rpc.call(self.master, "lookup_file", file_id,
-                             local=self.local) is not None
+        return self._master_call("lookup_file", file_id,
+                                 local=self.local) is not None
 
     def _update_for(self, path: str, pid: int = 0) -> Tuple[IndexUpdate, Optional[int]]:
         inode = self.vfs.stat(path)
@@ -627,8 +668,8 @@ class PropellerClient:
         client-placed files the Master never learned about."""
         target: Optional[Tuple[str, int]] = None
         try:
-            acg_id = self.rpc.call(self.master, "lookup_file",
-                                   update.file_id, local=self.local)
+            acg_id = self._master_call("lookup_file",
+                                       update.file_id, local=self.local)
         except DEGRADABLE_ERRORS:
             self._requeue([update], {})
             return 0
@@ -759,8 +800,8 @@ class PropellerClient:
         hints = {u.file_id: hint_of[u.file_id] for u in updates
                  if hint_of.get(u.file_id, -1) != -1}
         try:
-            routes: List[RouteEntry] = self.rpc.call(
-                self.master, "route_updates", file_ids, hints,
+            routes: List[RouteEntry] = self._master_call(
+                "route_updates", file_ids, hints,
                 local=self.local, request_bytes=8 * len(file_ids))
         except DEGRADABLE_ERRORS:
             # The routing round-trip itself was lost: nothing went out.
@@ -834,8 +875,8 @@ class PropellerClient:
                 self._note_route(hit=False)
                 unknown.append(file_id)
         if unknown:
-            routes: List[RouteEntry] = self.rpc.call(
-                self.master, "route_updates", unknown,
+            routes: List[RouteEntry] = self._master_call(
+                "route_updates", unknown,
                 {f: hints[f] for f in unknown if f in hints},
                 local=self.local, request_bytes=8 * len(unknown))
             for route in routes:
@@ -860,7 +901,7 @@ class PropellerClient:
     def create_index(self, name: str, kind: IndexKind, attrs: Sequence[str]) -> IndexSpec:
         """Create a user-defined index with a globally unique name."""
         spec = IndexSpec(name=name, kind=kind, attrs=tuple(attrs))
-        self.rpc.call(self.master, "create_index", spec, local=self.local)
+        self._master_call("create_index", spec, local=self.local)
         return spec
 
     # -- search API -----------------------------------------------------------------------------
@@ -986,8 +1027,8 @@ class PropellerClient:
         """EXPLAIN a query: ACG id → the access paths its Index Node
         would use.  Nothing is executed or committed."""
         predicate = parse_query(query)
-        routing: Dict[str, List[int]] = self.rpc.call(
-            self.master, "route_search", index_name, local=self.local)
+        routing: Dict[str, List[int]] = self._master_call(
+            "route_search", index_name, local=self.local)
         names = [index_name] if index_name else None
         out: Dict[int, List[str]] = {}
         for node, acg_ids in sorted(routing.items()):

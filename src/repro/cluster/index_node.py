@@ -23,8 +23,8 @@ from repro.cluster.messages import (Heartbeat, IndexUpdate, ReplicaSearchReply,
 from repro.cluster.wal import WriteAheadLog
 from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
-from repro.errors import (ClusterError, StaleReplEpoch, StaleRoute,
-                          UnknownAcg)
+from repro.errors import (ClusterError, StaleMasterTerm, StaleReplEpoch,
+                          StaleRoute, UnknownAcg)
 from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.journal import NULL_JOURNAL
@@ -54,6 +54,21 @@ _REBUILD_OPS_PER_FILE = 100     # re-observe one file during summary rebuild
 # Per-node result cache entries (each is one ACG's answer to one
 # canonical predicate at one commit watermark).
 _RESULT_CACHE_CAP = 256
+
+# RPCs only a Master originates.  Each is registered behind a term
+# fence: the caller stamps its master term and a stamp older than the
+# newest this node has seen is rejected with StaleMasterTerm — a
+# deposed-but-alive Master must not mutate cluster state (the control
+# plane's analogue of the replication epoch fence).  Unstamped calls
+# (term 0, e.g. from tests driving a node directly) bypass the fence.
+_MASTER_RPCS = frozenset({
+    "create_index", "compute_split", "extract_partition",
+    "install_partition", "drop_partition", "heartbeat", "adopt_acg",
+    "own_partition", "transfer_out", "finish_migration",
+    "cancel_transfer", "checkpoint_acg", "set_followers",
+    "replica_watermark", "promote_replica", "drop_follower",
+    "reset_follower_ack",
+})
 
 
 class AcgReplica:
@@ -312,6 +327,10 @@ class IndexNode:
         # Times this node noticed it was deposed as a partition's primary
         # (a follower rejected its stream/install with a newer epoch).
         self.repl_deposed = 0
+        # Master-term fencing: the newest master term any stamped RPC has
+        # carried, and how many stale-term RPCs this node rejected.
+        self.master_term_seen = 0
+        self.master_fences = 0
         self.endpoint = RpcEndpoint(name)
         for method, handler in [
             ("index_update", self.handle_index_update),
@@ -340,7 +359,31 @@ class IndexNode:
             ("reset_follower_ack", self.handle_reset_follower_ack),
             ("search_replica", self.handle_search_replica),
         ]:
+            if method in _MASTER_RPCS:
+                handler = self._with_term_fence(method, handler)
             self.endpoint.register(method, handler)
+
+    def _with_term_fence(self, rpc_name: str, handler) -> Any:
+        """Wrap a Master-originated handler with the master-term fence."""
+        def fenced(*args: Any, term: int = 0, **kwargs: Any) -> Any:
+            self._fence_term(term, rpc_name)
+            return handler(*args, **kwargs)
+        return fenced
+
+    def _fence_term(self, term: int, rpc_name: str) -> None:
+        """Reject an RPC stamped with a master term this node has seen
+        superseded; adopt newer terms.  ``term`` 0 means unstamped."""
+        if term == 0:
+            return
+        if term < self.master_term_seen:
+            self.master_fences += 1
+            self.journal.emit("master.fence", node=self.name, rpc=rpc_name,
+                              stale_term=term, term=self.master_term_seen)
+            raise StaleMasterTerm(
+                f"{self.name}: {rpc_name} from master term {term} behind "
+                f"seen term {self.master_term_seen}",
+                term=self.master_term_seen)
+        self.master_term_seen = term
 
     def set_tracer(self, tracer) -> None:
         """Thread one tracer through this node's cache and devices."""

@@ -16,13 +16,15 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.messages import (Heartbeat, RouteEntry, RouteTable,
                                     RouteTableEntry, SummaryTable)
+from repro.cluster.meta_wal import MetaState, MetaWal
 from repro.core.partition_manager import PartitionManager
 from repro.core.partitioner import PartitioningPolicy
-from repro.errors import ClusterError, FileSystemError, UnknownIndexNode
+from repro.errors import (ClusterError, FileSystemError, NotActingMaster,
+                          StaleMasterTerm, UnknownIndexNode)
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
-from repro.query.planner import IndexSpec
+from repro.query.planner import IndexKind, IndexSpec
 from repro.sim.machine import Machine
 from repro.sim.rpc import RpcEndpoint, RpcNetwork
 
@@ -32,6 +34,15 @@ _CHECKPOINT_BYTES_PER_FILE = 24
 # How many (epoch, partition) changes the Master retains for the route
 # delta protocol; clients further behind get a full snapshot instead.
 _ROUTE_LOG_CAP = 512
+
+# Standby lease protocol: the standby pings (and tails) the acting
+# Master every tick; LEASE_MISSES_TO_PROMOTE consecutive failed pings
+# expire the lease and promote.  Detection therefore lands within
+# roughly tick * misses (plus RPC retry time) — comfortably inside the
+# documented MASTER_LEASE_TIMEOUT_S bound benchmarks guard against.
+STANDBY_TICK_S = 2.0
+LEASE_MISSES_TO_PROMOTE = 3
+MASTER_LEASE_TIMEOUT_S = 10.0
 
 
 @dataclass
@@ -109,10 +120,42 @@ class MasterNode:
                  auto_failover: bool = False,
                  heartbeat_timeout_s: float = 15.0,
                  replication_factor: int = 1,
-                 journal: Optional[EventJournal] = None) -> None:
+                 journal: Optional[EventJournal] = None,
+                 endpoint_name: str = "master",
+                 peer: Optional[str] = None,
+                 acting: bool = True) -> None:
         self.machine = machine
         self.rpc = rpc
         self.policy = policy
+        # Master-term state: every master-originated mutating RPC carries
+        # the term, Index Nodes fence anything below the newest term they
+        # have seen, and the meta-WAL fences below its highest recorded
+        # term — the two authorities that make promotion split-brain
+        # safe.  A standby starts at term 0 / not acting and learns
+        # everything (including the term) by tailing its peer's meta-log.
+        self.acting = acting
+        self.term = 1 if acting else 0
+        self.term_owner = endpoint_name if acting else ""
+        self.peer = peer
+        self.meta_wal = MetaWal()
+        # Standby tail state: the applied watermark into the peer's
+        # meta-log (None → bootstrap from a snapshot image) and the
+        # MetaState accumulated from streamed records, installed wholesale
+        # on promotion.
+        self._tail_seq: Optional[int] = None
+        self._tail_state = MetaState()
+        self._missed_leases = 0
+        # Push-stream arming: the acting Master pushes each meta record
+        # to its standby synchronously (meta_apply), but only once the
+        # standby has bootstrapped via a master_lease pull — serving
+        # that pull arms the stream, any push failure disarms it until
+        # the next successful pull.  Starts disarmed: the peer endpoint
+        # may not even exist yet at construction time.
+        self._push_ok = False
+        # Deployment hook: called with ``self`` right after a promotion
+        # so the service can re-point routing/health at the new acting
+        # Master.
+        self._on_promote: Optional[Any] = None
         # A Master always has a *real* journal (never the null object):
         # the failover_log / migration_log properties are views over
         # journal payloads, so emission must retain events even on a
@@ -176,7 +219,7 @@ class MasterNode:
         self._summaries: Dict[int, Any] = {}
         self._summary_version = 0
         self.checkpoints_written = 0
-        self.endpoint = RpcEndpoint("master")
+        self.endpoint = RpcEndpoint(endpoint_name)
         for method, handler in [
             ("register_index_node", self.register_index_node),
             ("create_index", self.create_index),
@@ -189,9 +232,16 @@ class MasterNode:
             ("lookup_file", self.lookup_file),
             ("report_heartbeat", self.report_heartbeat),
             ("summary_table", self.summary_table),
+            ("master_lease", self.master_lease),
+            ("meta_apply", self.meta_apply),
         ]:
             self.endpoint.register(method, handler)
         rpc.add_endpoint(self.endpoint)
+        if acting:
+            # The term record is always the first durable fact about a
+            # log generation: replay learns who owns the term before any
+            # mutation at that term applies.
+            self._meta("term", self.term, endpoint_name)
 
     # -- event-journal views ------------------------------------------------------
     #
@@ -213,6 +263,324 @@ class MasterNode:
         list's entries did)."""
         return self.journal.payloads("migration.start")
 
+    # -- master term, meta-WAL, lease, and standby ---------------------------------
+    #
+    # The control plane's crash-tolerance machinery.  Every durable
+    # mutation appends a term-prefixed record to the meta-WAL before (or
+    # atomically with) taking effect; every master-originated mutating
+    # RPC is stamped with the term so Index Nodes can fence a deposed
+    # Master; and a warm standby tails the log via the master_lease RPC,
+    # promoting with a term bump when the lease expires.
+
+    def _meta(self, *record: Any) -> None:
+        """Append one durable mutation record at the current term, then
+        stream it to the warm standby (best effort — the periodic
+        master_lease pull reconciles anything the push misses)."""
+        self.meta_wal.append(self.term, record)
+        if self.acting and self.peer is not None and self._push_ok:
+            self._push_meta(record)
+
+    def _push_meta(self, record: Tuple[Any, ...]) -> None:
+        """Synchronously push one apply record to the standby.
+
+        This is what keeps the standby *exactly* current between its 2s
+        pull ticks: in-between a crash can only lose mutations the
+        acting Master never acked, so a promotion installs the full
+        tailed state and routing epochs continue monotonically.  The
+        push is also a fencing channel — a standby that promoted while
+        we were partitioned away answers :class:`StaleMasterTerm`, and
+        we self-depose on the spot instead of waiting to be fenced by
+        an Index Node.  Delivery failures just disarm the stream; the
+        standby's next successful pull re-arms it."""
+        from repro.errors import NodeDown, RpcTimeout
+
+        try:
+            self.rpc.call(self.peer, "meta_apply", self.meta_wal.seq,
+                          (self.term,) + tuple(record))
+        except StaleMasterTerm as exc:
+            self._deposed(exc.term, "meta_apply")
+        except (NodeDown, RpcTimeout):
+            self._push_ok = False
+
+    def meta_apply(self, seq: int, entry: Tuple[Any, ...]) -> None:
+        """Standby-side receiver for one streamed apply record.
+
+        ``entry`` is a term-prefixed meta-WAL record; ``seq`` its
+        sequence number in the pusher's log.  Exactly-once is enforced
+        by the watermark: only ``_tail_seq + 1`` applies — duplicates
+        and gaps are ignored (the periodic pull reconciles).  Fencing
+        runs both ways: a push below our known term is rejected with
+        :class:`StaleMasterTerm` (the pusher was deposed while
+        partitioned), and a push *above* the term of a receiver that
+        believes it is acting deposes the receiver — it missed its own
+        deposal while down."""
+        term = entry[0]
+        known = max(self.term, self.meta_wal.highest_term)
+        if self.acting and term > known:
+            self._deposed(term, "meta_apply")
+            return
+        if term < known or self.acting:
+            raise StaleMasterTerm(
+                f"{self.endpoint.name} has already seen term {known}",
+                term=known)
+        if self._tail_seq is None or seq != self._tail_seq + 1:
+            return
+        self.meta_wal.append(term, tuple(entry[1:]))
+        self._tail_state.apply(tuple(entry))
+        self._tail_seq = seq
+
+    def _require_acting(self) -> None:
+        """Guard for client-facing handlers: only the acting Master may
+        answer (a standby's state lags; serving it would be wrong *and*
+        hide the outage from re-homing clients)."""
+        if not self.acting:
+            raise NotActingMaster(
+                f"{self.endpoint.name} is not the acting master",
+                acting=self.peer or "")
+
+    def _node_call(self, node: str, method: str, *args: Any,
+                   **kwargs: Any) -> Any:
+        """Outbound Index Node RPC, stamped with the master term.
+
+        An Index Node that has seen a newer term answers with
+        :class:`StaleMasterTerm`: this Master was deposed while
+        partitioned.  The reaction is to stop acting — immediately and
+        permanently for this term — then re-raise so the interrupted
+        operation unwinds like any other cluster error."""
+        kwargs.setdefault("term", self.term)
+        try:
+            return self.rpc.call(node, method, *args, **kwargs)
+        except StaleMasterTerm as exc:
+            self._deposed(exc.term, method)
+            raise
+
+    def _deposed(self, newer_term: int, rpc_name: str) -> None:
+        """Self-fence after an Index Node rejected our term."""
+        if not self.acting:
+            return
+        self.acting = False
+        self._missed_leases = 0
+        self._tail_seq = None
+        self._tail_state = MetaState()
+        self.registry.counter("cluster.master.deposed").inc()
+        self.journal.emit("master.depose", node=self.endpoint.name,
+                          term=self.term, newer_term=newer_term,
+                          rpc=rpc_name)
+
+    def _build_meta_state(self) -> MetaState:
+        """The acting Master's live durable state as a MetaState (the
+        checkpoint image and the standby-bootstrap payload)."""
+        state = MetaState()
+        state.term = self.term
+        state.term_owner = self.term_owner
+        state.epoch = self.partitions.epoch
+        state.members = list(self.index_nodes)
+        state.specs = {name: (name, spec.kind.value, tuple(spec.attrs))
+                       for name, spec in self.index_specs.items()}
+        for p in self.partitions.partitions():
+            state.partitions[p.partition_id] = [p.node, set(p.files)]
+            for file_id in p.files:
+                state.file_map[file_id] = p.partition_id
+        state.next_partition_id = self.partitions.next_id
+        if self.replica_sets is not None:
+            for acg_id in self.replica_sets.partitions():
+                st = self.replica_sets.get(acg_id)
+                state.repl[acg_id] = (st.repl_epoch, tuple(st.followers))
+        state.syncs = dict(self._pending_follower_syncs)
+        state.finishes = {(src, acg): (ev.target, ev.moved_files)
+                          for (src, acg), ev in self._pending_finishes.items()}
+        state.cancels = set(self._pending_cancels)
+        return state
+
+    def _install_state(self, state: MetaState) -> None:
+        """Replace every durable structure with a replayed MetaState.
+
+        Epochs, terms, and the partition-id counter continue exactly
+        where the log left them — never reset — so cached client routes
+        stay valid and fences stay sound.  Soft state (heartbeats,
+        reported sizes, summaries, the route-delta log) died with the
+        process and is re-learned from the next heartbeat round; clients
+        behind the empty route-delta log get one full route table."""
+        self.term = state.term
+        self.term_owner = state.term_owner
+        records = [(pid, entry[0], tuple(sorted(entry[1])))
+                   for pid, entry in state.partitions.items()]
+        self.partitions = PartitionManager.from_records(
+            records, epoch=state.epoch, next_id=state.next_partition_id)
+        self.index_nodes = list(state.members)
+        self.index_specs = {
+            name: IndexSpec(name=name, kind=IndexKind(kind),
+                            attrs=tuple(attrs))
+            for name, kind, attrs in state.specs.values()}
+        if self.replica_sets is not None:
+            from repro.replication import ReplicaSetManager
+
+            manager = ReplicaSetManager(self.replication_factor)
+            manager.journal = self.journal
+            for acg_id, (repl_epoch, followers) in state.repl.items():
+                manager.restore(acg_id, repl_epoch, followers)
+            self.replica_sets = manager
+        self._pending_follower_syncs = dict(state.syncs)
+        self._pending_finishes = {
+            (src, acg): MigrationEvent(acg_id=acg, source=src, target=tgt,
+                                       t_start=0.0, moved_files=moved,
+                                       outcome="finish_deferred")
+            for (src, acg), (tgt, moved) in state.finishes.items()}
+        self._pending_cancels = set(state.cancels)
+        self.heartbeats = {}
+        self._reported_sizes = {}
+        self._summaries = {}
+        self._summary_version = 0
+        self._route_log = []
+
+    def crash_restart(self) -> None:
+        """Restart this Master in place after a process crash.
+
+        All in-memory state dies; :meth:`MetaWal.recover` replays the
+        snapshot image plus every surviving log record (a torn tail —
+        the record mid-write at the crash — is dropped and counted, the
+        same discipline as Index Node WAL recovery).  The replayed term
+        record decides the role: if this Master still owns the latest
+        recorded term, no promotion happened while it was down and it
+        resumes acting; otherwise it must rejoin as a standby (the
+        deployment re-points its peer)."""
+        state = self.meta_wal.recover()
+        self._install_state(state)
+        self.acting = (state.term_owner == self.endpoint.name)
+        self._missed_leases = 0
+        self._tail_seq = None
+        self._tail_state = MetaState()
+        self._push_ok = False
+        self.registry.counter("cluster.master.restarts").inc()
+        self.journal.emit("master.restart", node=self.endpoint.name,
+                          term=self.term, acting=self.acting,
+                          route_epoch=self.partitions.epoch,
+                          replay_dropped=self.meta_wal.log.replay_dropped)
+
+    def master_lease(self, since_seq: Optional[int] = None) -> Tuple[Any, ...]:
+        """The standby's combined lease ping and meta-log tail.
+
+        Returns ``(term, seq, payload)`` where payload is
+        ``("records", entries)`` — the decoded apply records past the
+        caller's watermark — or ``("snapshot", image)`` when the caller
+        is bootstrapping (or a checkpoint truncated past its watermark).
+        Only the acting Master holds a lease to extend.  Serving a pull
+        also (re)arms the push stream: once this response lands, the
+        standby's watermark equals ``seq``, so every subsequent record
+        chains onto it."""
+        self._require_acting()
+        self._push_ok = True
+        if since_seq is not None:
+            entries = self.meta_wal.entries_since(since_seq)
+            if entries is not None:
+                return (self.term, self.meta_wal.seq,
+                        ("records", tuple(entries)))
+        return (self.term, self.meta_wal.seq,
+                ("snapshot", self._build_meta_state().snapshot()))
+
+    def standby_tick(self) -> None:
+        """One standby heartbeat: extend the lease and tail the log.
+
+        ``LEASE_MISSES_TO_PROMOTE`` consecutive failures (peer down,
+        timed out, or no longer acting) expire the lease and promote.
+        A tick against a *stale* peer — one whose records carry a term
+        below what this log has seen — counts as a miss too: the meta-WAL
+        fence refuses the records."""
+        if self.acting or self.peer is None:
+            return
+        from repro.errors import NodeDown, RpcTimeout
+
+        try:
+            term, seq, payload = self.rpc.call(self.peer, "master_lease",
+                                               self._tail_seq)
+            kind, body = payload
+            if kind == "snapshot":
+                self.meta_wal.install(body, seq, term)
+                self._tail_state = MetaState.from_snapshot(body)
+            else:
+                for record in body:
+                    self.meta_wal.append(record[0], record[1:])
+                    self._tail_state.apply(record)
+        except (NodeDown, RpcTimeout, NotActingMaster, StaleMasterTerm):
+            self._missed_leases += 1
+            if self._missed_leases >= LEASE_MISSES_TO_PROMOTE:
+                self.promote()
+            return
+        self._missed_leases = 0
+        self._tail_seq = seq
+
+    def promote(self) -> None:
+        """Take over as acting Master with a term bump.
+
+        Installs the tailed MetaState (epochs continue monotonically —
+        the promotion is invisible to cached client routes), bumps the
+        term past everything ever seen, and appends the new term record
+        *first* so the bump is durable before any mutation at the new
+        term.  Index Nodes learn the term from the next term-stamped
+        poll; the deposed peer gets fenced on its next mutating RPC."""
+        state = self._tail_state
+        new_term = max(self.meta_wal.highest_term, state.term, self.term) + 1
+        self._install_state(state)
+        self.term = new_term
+        self.term_owner = self.endpoint.name
+        self.acting = True
+        self._missed_leases = 0
+        # The crashed/partitioned ex-peer must re-bootstrap by pulling;
+        # don't burn a push timeout against it on every mutation.
+        self._push_ok = False
+        self._meta("term", new_term, self.endpoint.name)
+        self.registry.counter("cluster.master.standby_promotions").inc()
+        self.journal.emit("master.promote", node=self.endpoint.name,
+                          term=new_term, route_epoch=self.partitions.epoch,
+                          applied_seq=self.meta_wal.seq)
+        if self._on_promote is not None:
+            self._on_promote(self)
+
+    def demote(self, peer: Optional[str] = None) -> None:
+        """Rejoin as warm standby (an ex-acting Master restarted after
+        its term was superseded while it was down)."""
+        if peer is not None:
+            self.peer = peer
+        self.acting = False
+        self._missed_leases = 0
+        self._tail_seq = None
+        self._tail_state = MetaState()
+
+    # -- durable-intent helpers (meta-WAL-backed dict/set mutations) ---------------
+
+    def _sync_mark(self, acg_id: int, force: bool) -> None:
+        if self._pending_follower_syncs.get(acg_id) == force:
+            return
+        self._pending_follower_syncs[acg_id] = force
+        self._meta("sync", acg_id, int(force))
+
+    def _sync_default(self, acg_id: int) -> None:
+        if acg_id not in self._pending_follower_syncs:
+            self._sync_mark(acg_id, False)
+
+    def _sync_clear(self, acg_id: int) -> None:
+        if self._pending_follower_syncs.pop(acg_id, None) is not None:
+            self._meta("syncclear", acg_id)
+
+    def _finish_pending(self, source: str, acg_id: int,
+                        event: MigrationEvent) -> None:
+        self._pending_finishes[(source, acg_id)] = event
+        self._meta("finish", source, acg_id, event.target, event.moved_files)
+
+    def _finish_clear(self, source: str, acg_id: int) -> None:
+        if self._pending_finishes.pop((source, acg_id), None) is not None:
+            self._meta("finishclear", source, acg_id)
+
+    def _cancel_pending(self, source: str, acg_id: int) -> None:
+        if (source, acg_id) not in self._pending_cancels:
+            self._pending_cancels.add((source, acg_id))
+            self._meta("cancel", source, acg_id)
+
+    def _cancel_clear(self, source: str, acg_id: int) -> None:
+        if (source, acg_id) in self._pending_cancels:
+            self._pending_cancels.discard((source, acg_id))
+            self._meta("cancelclear", source, acg_id)
+
     # -- cluster membership -----------------------------------------------------
 
     def register_index_node(self, name: str) -> None:
@@ -220,6 +588,7 @@ class MasterNode:
         if name in self.index_nodes:
             raise ClusterError(f"index node already registered: {name}")
         self.index_nodes.append(name)
+        self._meta("member", name)
 
     def _require_nodes(self) -> None:
         if not self.index_nodes:
@@ -229,11 +598,13 @@ class MasterNode:
 
     def create_index(self, spec: IndexSpec) -> None:
         """Register a globally-named index and propagate to every IN."""
+        self._require_acting()
         if spec.name in self.index_specs:
             raise ClusterError(f"index name already exists: {spec.name}")
         self.index_specs[spec.name] = spec
+        self._meta("index", spec.name, spec.kind.value, tuple(spec.attrs))
         for node in self.index_nodes:
-            self.rpc.call(node, "create_index", spec)
+            self._node_call(node, "create_index", spec)
 
     # -- routing epochs -------------------------------------------------------------
     #
@@ -251,6 +622,7 @@ class MasterNode:
     def _bump_routing(self, acg_id: int) -> int:
         """Advance the routing epoch for one partition's change."""
         epoch = self.partitions.bump_epoch()
+        self._meta("epoch", epoch, acg_id)
         self._route_log.append((epoch, acg_id))
         if len(self._route_log) > _ROUTE_LOG_CAP:
             del self._route_log[:len(self._route_log) - _ROUTE_LOG_CAP]
@@ -268,7 +640,9 @@ class MasterNode:
         if node is None:
             return
         try:
-            self.rpc.call(node, "own_partition", acg_id, epoch)
+            self._node_call(node, "own_partition", acg_id, epoch)
+        except StaleMasterTerm:
+            raise
         except ClusterError:
             pass
 
@@ -303,7 +677,7 @@ class MasterNode:
         try:
             partition = self.partitions.get(acg_id)
         except ClusterError:
-            self._pending_follower_syncs.pop(acg_id, None)
+            self._sync_clear(acg_id)
             return
         primary = partition.node
         if primary is None:
@@ -313,20 +687,25 @@ class MasterNode:
         followers = self._follower_nodes(primary)
         epoch = self.replica_sets.set_followers(acg_id, followers,
                                                 force=force)
+        self._meta("repl", acg_id, epoch, followers)
         for removed in sorted(before - set(followers)):
             if removed in self.index_nodes:
                 try:
-                    self.rpc.call(removed, "drop_follower", acg_id)
+                    self._node_call(removed, "drop_follower", acg_id)
+                except StaleMasterTerm:
+                    raise
                 except ClusterError:
                     pass
         try:
-            self.rpc.call(primary, "set_followers", acg_id, followers, epoch)
+            self._node_call(primary, "set_followers", acg_id, followers, epoch)
+        except StaleMasterTerm:
+            raise
         except ClusterError:
             # The epoch bump (and any generation fence) is already
             # recorded master-side, so the retry only re-delivers it.
-            self._pending_follower_syncs[acg_id] = False
+            self._sync_mark(acg_id, False)
         else:
-            self._pending_follower_syncs.pop(acg_id, None)
+            self._sync_clear(acg_id)
 
     def _retry_follower_syncs(self) -> None:
         for acg_id in sorted(self._pending_follower_syncs):
@@ -396,6 +775,7 @@ class MasterNode:
     def route_table(self, since_epoch: int = 0) -> RouteTable:
         """Versioned routing snapshot: fresh marker, delta, or full table
         depending on how far behind ``since_epoch`` is."""
+        self._require_acting()
         self._count_route_rpc()
         return self._build_route_table(since_epoch)
 
@@ -409,6 +789,7 @@ class MasterNode:
         partitions once and fills them locally.  Spreading reserves one
         ``cluster_target`` of capacity per grant so consecutive grants
         alternate across nodes the way per-file placement would."""
+        self._require_acting()
         self._require_nodes()
         self._count_route_rpc()
         loads = {n: 0 for n in self.index_nodes}
@@ -419,6 +800,7 @@ class MasterNode:
             node = min(self.index_nodes,
                        key=lambda n: (loads[n], self.index_nodes.index(n)))
             partition = self.partitions.new_partition(node=node)
+            self._meta("newpart", partition.partition_id, node)
             epoch = self._bump_routing(partition.partition_id)
             self._notify_owner(node, partition.partition_id, epoch)
             self._assign_followers(partition.partition_id)
@@ -439,15 +821,19 @@ class MasterNode:
                 # with the producer.  The background split (maybe_split)
                 # bounds partition growth afterwards.
                 self.partitions.add_file(hinted, file_id)
+                self._meta("file", file_id, hinted)
                 return hinted
         open_partitions = [p for p in self.partitions.partitions()
                            if self._effective_size(p) < self.policy.cluster_target]
         if open_partitions:
             smallest = min(open_partitions, key=self._effective_size)
             self.partitions.add_file(smallest.partition_id, file_id)
+            self._meta("file", file_id, smallest.partition_id)
             return smallest.partition_id
         node = self._least_loaded_effective(self.index_nodes)
         partition = self.partitions.new_partition(files=[file_id], node=node)
+        self._meta("newpart", partition.partition_id, node)
+        self._meta("file", file_id, partition.partition_id)
         self._notify_owner(node, partition.partition_id,
                            self._bump_routing(partition.partition_id))
         self._assign_followers(partition.partition_id)
@@ -461,6 +847,7 @@ class MasterNode:
         the new ACG and places it on the least-loaded IN).
         """
         hints = hints or {}
+        self._require_acting()
         self._count_route_rpc()
         entries: List[RouteEntry] = []
         for file_id in file_ids:
@@ -471,6 +858,7 @@ class MasterNode:
             partition = self.partitions.get(acg_id)
             if partition.node is None:
                 partition.node = self._least_loaded_effective(self.index_nodes)
+                self._meta("place", acg_id, partition.node)
                 self._notify_owner(partition.node, acg_id,
                                    self._bump_routing(acg_id))
                 # Re-placing a lost partition starts an empty store and a
@@ -485,6 +873,7 @@ class MasterNode:
             from repro.errors import UnknownIndexName
 
             raise UnknownIndexName(index_name)
+        self._require_acting()
         self._count_route_rpc()
         routing: Dict[str, List[int]] = {}
         for partition in self.partitions.partitions():
@@ -501,6 +890,7 @@ class MasterNode:
 
     def file_created(self, file_id: int, hint_file: Optional[int] = None) -> RouteEntry:
         """Place a newly created file (assigning an ACG if unknown)."""
+        self._require_acting()
         self.machine.compute(_ROUTE_LOOKUP_OPS)
         acg_id = self.partitions.partition_of(file_id)
         if acg_id is None:
@@ -508,6 +898,7 @@ class MasterNode:
         partition = self.partitions.get(acg_id)
         if partition.node is None:
             partition.node = self._least_loaded_effective(self.index_nodes)
+            self._meta("place", acg_id, partition.node)
             self._notify_owner(partition.node, acg_id, self._bump_routing(acg_id))
             # Fresh placement of a previously-lost partition: fence any
             # followers surviving from the old generation.
@@ -518,17 +909,20 @@ class MasterNode:
         """Read-only file→ACG lookup (None when the file is unindexed).
 
         Unlike :meth:`route_updates`, this never assigns anything."""
+        self._require_acting()
         self.machine.compute(_ROUTE_LOOKUP_OPS)
         return self.partitions.partition_of(file_id)
 
     def file_deleted(self, file_id: int) -> Optional[RouteEntry]:
         """Forget a deleted file; returns where it used to live."""
+        self._require_acting()
         self.machine.compute(_ROUTE_LOOKUP_OPS)
         acg_id = self.partitions.partition_of(file_id)
         if acg_id is None:
             return None
         node = self.partitions.get(acg_id).node
         self.partitions.remove_file(file_id)
+        self._meta("unfile", file_id)
         return RouteEntry(file_id=file_id, acg_id=acg_id, node=node or "")
 
     # -- heartbeats and background maintenance ---------------------------------------------
@@ -579,7 +973,7 @@ class MasterNode:
                     # will start a fresh generation, so the reassignment
                     # must bump the epoch (force) to invalidate every
                     # old-generation watermark.
-                    self._pending_follower_syncs[acg_id] = True
+                    self._sync_mark(acg_id, True)
             # The symmetric heal: a node this Master lists as *follower*
             # of a partition but which reports no follower replica for it
             # lost that replica (crash-restart — follower state is
@@ -598,10 +992,10 @@ class MasterNode:
                     continue
                 # Same-generation heal (the primary's log is intact):
                 # re-deliver the assignment, no epoch bump needed.
-                self._pending_follower_syncs.setdefault(acg_id, False)
+                self._sync_default(acg_id)
                 try:
-                    self.rpc.call(partition.node, "reset_follower_ack",
-                                  acg_id, heartbeat.node)
+                    self._node_call(partition.node, "reset_follower_ack",
+                                    acg_id, heartbeat.node)
                 except ClusterError:
                     pass  # pending sync retries next poll
 
@@ -615,6 +1009,7 @@ class MasterNode:
         Not a routing RPC (and not counted as one): clients poll this on
         their own throttle; the fresh marker makes the common quiescent
         poll nearly free."""
+        self._require_acting()
         if since_version == self._summary_version:
             return SummaryTable(version=self._summary_version, fresh=True)
         entries = tuple(self._summaries[acg_id]
@@ -636,10 +1031,12 @@ class MasterNode:
         """
         from repro.errors import NodeDown, RpcTimeout
 
+        if not self.acting:
+            return []
         conclusively_down = []
         for node in list(self.index_nodes):
             try:
-                heartbeat = self.rpc.call(node, "heartbeat")
+                heartbeat = self._node_call(node, "heartbeat")
             except NodeDown:
                 # The endpoint itself is down — process death, not a lost
                 # message (retries already ruled those out).
@@ -649,9 +1046,18 @@ class MasterNode:
                 # Ambiguous: the node may be fine behind a lossy link.
                 # Leave it to staleness detection.
                 continue
+            except StaleMasterTerm:
+                # Fenced: a newer term exists, so this Master was deposed
+                # while partitioned.  _node_call already journaled the
+                # deposal; abort the whole round — a stale Master must
+                # not detect failures, fail anything over, or split.
+                return []
             self.report_heartbeat(heartbeat)
-        self._retry_migration_debris()
-        self._retry_follower_syncs()
+        try:
+            self._retry_migration_debris()
+            self._retry_follower_syncs()
+        except StaleMasterTerm:
+            return []
         failed_over: List[str] = []
         if self.auto_failover:
             suspects = set(conclusively_down)
@@ -661,12 +1067,17 @@ class MasterNode:
                     continue
                 try:
                     self.failover(node, auto=True)
+                except StaleMasterTerm:
+                    return failed_over
                 except ClusterError:
                     # Nobody left to adopt the partitions; keep the node
                     # registered so a later recovery can pick it back up.
                     continue
                 failed_over.append(node)
-        self.maybe_split()
+        try:
+            self.maybe_split()
+        except StaleMasterTerm:
+            return failed_over
         return failed_over
 
     def _retry_migration_debris(self) -> None:
@@ -684,26 +1095,30 @@ class MasterNode:
                     partition is not None and partition.node == node):
                 # The node left the cluster, or ownership has since come
                 # back to it (re-migration/failover) — the debris is moot.
-                del self._pending_finishes[(node, acg_id)]
+                self._finish_clear(node, acg_id)
                 continue
             try:
-                self.rpc.call(node, "finish_migration", acg_id)
+                self._node_call(node, "finish_migration", acg_id)
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 continue
-            del self._pending_finishes[(node, acg_id)]
+            self._finish_clear(node, acg_id)
             event.outcome = "done"
             self.journal.emit("migration.done", node=event.target,
                               acg_id=acg_id, retried=True,
                               moved_files=event.moved_files)
         for (node, acg_id) in list(self._pending_cancels):
             if node not in self.index_nodes:
-                self._pending_cancels.discard((node, acg_id))
+                self._cancel_clear(node, acg_id)
                 continue
             try:
-                self.rpc.call(node, "cancel_transfer", acg_id)
+                self._node_call(node, "cancel_transfer", acg_id)
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 continue
-            self._pending_cancels.discard((node, acg_id))
+            self._cancel_clear(node, acg_id)
 
     def detect_failed_nodes(self, timeout_s: float = 15.0) -> List[str]:
         """Index Nodes whose last heartbeat is older than ``timeout_s``
@@ -781,13 +1196,14 @@ class MasterNode:
                         break
                     target = self._least_loaded_effective(candidates)
                     try:
-                        adopted = self.rpc.call(target, "adopt_acg", path)
+                        adopted = self._node_call(target, "adopt_acg", path)
                     except FileSystemError:
                         # The victim never checkpointed this ACG: its
                         # data is gone with the node.  Leave the
                         # partition unplaced so future updates re-create
                         # it instead of crashing the whole failover.
                         partition.node = None
+                        self._meta("place", partition.partition_id, None)
                         lost_ids.append(partition.partition_id)
                         self._reported_sizes.pop(partition.partition_id, None)
                         self._drop_summary(partition.partition_id)
@@ -799,6 +1215,7 @@ class MasterNode:
                         unreachable.add(target)
                     else:
                         partition.node = target
+                        self._meta("place", partition.partition_id, target)
                         # The adopter's heartbeat hasn't fired yet; seed
                         # the reported size so load-aware placement sees
                         # the restored files immediately.
@@ -840,6 +1257,7 @@ class MasterNode:
                 f"no reachable survivor could adopt {failed_node}'s partitions")
         if not stranded_ids:
             self.index_nodes.remove(failed_node)
+            self._meta("unmember", failed_node)
             self.heartbeats.pop(failed_node, None)
             if self.replica_sets is not None:
                 # Partitions that used the dead node as a *follower* need
@@ -847,7 +1265,7 @@ class MasterNode:
                 for acg_id in self.replica_sets.partitions():
                     state = self.replica_sets.get(acg_id)
                     if state is not None and failed_node in state.followers:
-                        self._pending_follower_syncs.setdefault(acg_id, False)
+                        self._sync_default(acg_id)
         self.registry.counter("cluster.master.failovers").inc()
         if auto:
             self.registry.counter("cluster.master.auto_failovers").inc()
@@ -897,11 +1315,13 @@ class MasterNode:
                     or follower in unreachable):
                 continue
             try:
-                follower_epoch, applied = self.rpc.call(
+                follower_epoch, applied = self._node_call(
                     follower, "replica_watermark", acg_id)
             except (NodeDown, RpcTimeout):
                 unreachable.add(follower)
                 continue
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 continue  # lost its follower state (crash-restarted)
             if follower_epoch != state.repl_epoch:
@@ -912,25 +1332,29 @@ class MasterNode:
                     lag_watermarks[acg_id] = (follower, applied)
                 continue
             new_epoch = self.replica_sets.bump_epoch(acg_id)
+            self._meta("repl", acg_id, new_epoch, state.followers)
             try:
-                applied_seq, file_count = self.rpc.call(
+                applied_seq, file_count = self._node_call(
                     follower, "promote_replica", acg_id, new_epoch)
             except (NodeDown, RpcTimeout):
                 unreachable.add(follower)
                 continue
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 continue
             with self.tracer.span("promote", acg=acg_id,
                                   target=follower) as span:
                 span.set_attribute("applied_seq", applied_seq)
             partition.node = follower
+            self._meta("place", acg_id, follower)
             self._reported_sizes[acg_id] = file_count
             self._drop_summary(acg_id)
             self._notify_owner(follower, acg_id, self._bump_routing(acg_id))
             # Promotion continues the log generation (the new primary's
             # log is based at its applied watermark), so the rebuild of
             # its follower ring needs no forced generation bump.
-            self._pending_follower_syncs.setdefault(acg_id, False)
+            self._sync_default(acg_id)
             self.registry.counter("cluster.master.promotions").inc()
             return applied_seq
         return None
@@ -962,7 +1386,7 @@ class MasterNode:
 
     def _split_partition_inner(self, acg_id: int, partition,
                                source: str) -> SplitDecision:
-        halves = self.rpc.call(source, "compute_split", acg_id, self.policy)
+        halves = self._node_call(source, "compute_split", acg_id, self.policy)
         stay, move = set(halves[0]), set(halves[1])
         # Clients place files into partitions without telling the Master;
         # the split is the moment those become visible.  Adopt them into
@@ -970,6 +1394,7 @@ class MasterNode:
         for file_id in sorted(stay | move):
             if self.partitions.partition_of(file_id) is None:
                 self.partitions.add_file(acg_id, file_id)
+                self._meta("file", file_id, acg_id)
         # The IN's ACG may lag the MN's file map (weak ACG consistency);
         # reconcile against the authoritative mapping.
         known = set(partition.files)
@@ -980,9 +1405,13 @@ class MasterNode:
         target = self._least_loaded_effective(
             [n for n in self.index_nodes if n != source] or self.index_nodes)
         new_partition = self.partitions.split(acg_id, [stay, move], new_node=target)[1]
-        payload = self.rpc.call(source, "extract_partition", acg_id, tuple(sorted(move)))
-        moved = self.rpc.call(target, "install_partition",
-                              new_partition.partition_id, payload)
+        self._meta("newpart", new_partition.partition_id, target)
+        for file_id in sorted(move):
+            self._meta("file", file_id, new_partition.partition_id)
+        payload = self._node_call(source, "extract_partition", acg_id,
+                                  tuple(sorted(move)))
+        moved = self._node_call(target, "install_partition",
+                                new_partition.partition_id, payload)
         # Both halves changed shape: clients must drop their per-file
         # routes for the source ACG and learn the new one.
         self._reported_sizes.pop(acg_id, None)
@@ -1057,7 +1486,7 @@ class MasterNode:
             self.journal.emit("migration.start", node=source, acg_id=acg_id,
                               payload=event, target=target)
             try:
-                payload = self.rpc.call(source, "transfer_out", acg_id, target)
+                payload = self._node_call(source, "transfer_out", acg_id, target)
             except ClusterError:
                 event.outcome = "aborted"
                 self.journal.emit("migration.aborted", node=source,
@@ -1065,20 +1494,27 @@ class MasterNode:
                 self.registry.counter("cluster.master.migrations_aborted").inc()
                 raise
             try:
-                moved = self.rpc.call(target, "install_partition", acg_id, payload)
-                self.rpc.call(target, "checkpoint_acg", acg_id)
+                moved = self._node_call(target, "install_partition", acg_id,
+                                        payload)
+                self._node_call(target, "checkpoint_acg", acg_id)
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 # The target never (durably) took ownership: undo the
                 # target's partial install if we can, and lift the
                 # source's handoff intent (deferring if it is down).
                 try:
-                    self.rpc.call(target, "drop_partition", acg_id)
+                    self._node_call(target, "drop_partition", acg_id)
+                except StaleMasterTerm:
+                    raise
                 except ClusterError:
                     pass
                 try:
-                    self.rpc.call(source, "cancel_transfer", acg_id)
+                    self._node_call(source, "cancel_transfer", acg_id)
+                except StaleMasterTerm:
+                    raise
                 except ClusterError:
-                    self._pending_cancels.add((source, acg_id))
+                    self._cancel_pending(source, acg_id)
                 event.outcome = "aborted"
                 self.journal.emit("migration.aborted", node=source,
                                   acg_id=acg_id, stage="install")
@@ -1086,6 +1522,7 @@ class MasterNode:
                 raise
             # Point of no return: flip routing to the target.
             partition.node = target
+            self._meta("place", acg_id, target)
             epoch = self._bump_routing(acg_id)
             event.t_flip = self.machine.clock.now()
             event.epoch = epoch
@@ -1096,10 +1533,12 @@ class MasterNode:
             self._assign_followers(acg_id, force=True)
             self.registry.counter("cluster.master.migrations").inc()
             try:
-                self.rpc.call(source, "finish_migration", acg_id)
+                self._node_call(source, "finish_migration", acg_id)
+            except StaleMasterTerm:
+                raise
             except ClusterError:
                 event.outcome = "finish_deferred"
-                self._pending_finishes[(source, acg_id)] = event
+                self._finish_pending(source, acg_id, event)
                 self.journal.emit("migration.finish_deferred", node=source,
                                   acg_id=acg_id, route_epoch=epoch)
                 self.registry.counter(
@@ -1155,15 +1594,19 @@ class MasterNode:
             raise ClusterError("both partitions must be placed before merging")
         # file_ids=None extracts everything the node hosts, including
         # client-placed files the Master never heard about.
-        payload = self.rpc.call(absorb.node, "extract_partition", absorb_id, None)
-        moved = self.rpc.call(keep.node, "install_partition", keep_id, payload)
-        self.rpc.call(absorb.node, "drop_partition", absorb_id)
+        payload = self._node_call(absorb.node, "extract_partition",
+                                  absorb_id, None)
+        moved = self._node_call(keep.node, "install_partition", keep_id, payload)
+        self._node_call(absorb.node, "drop_partition", absorb_id)
         for file_id in list(absorb.files):
             self.partitions.add_file(keep_id, file_id)
+            self._meta("file", file_id, keep_id)
         for file_id, _attrs, _path in payload["files"]:
             if self.partitions.partition_of(file_id) is None:
                 self.partitions.add_file(keep_id, file_id)
+                self._meta("file", file_id, keep_id)
         self.partitions.drop_partition(absorb_id)
+        self._meta("droppart", absorb_id)
         self._reported_sizes.pop(absorb_id, None)
         self._reported_sizes.pop(keep_id, None)
         self._drop_summary(absorb_id)
@@ -1177,11 +1620,14 @@ class MasterNode:
             for follower in (state.followers if state else ()):
                 if follower in self.index_nodes:
                     try:
-                        self.rpc.call(follower, "drop_follower", absorb_id)
+                        self._node_call(follower, "drop_follower", absorb_id)
+                    except StaleMasterTerm:
+                        raise
                     except ClusterError:
                         pass
             self.replica_sets.drop(absorb_id)
-            self._pending_follower_syncs.pop(absorb_id, None)
+            self._meta("repldrop", absorb_id)
+            self._sync_clear(absorb_id)
             # The survivor absorbed content outside the replication
             # stream: new log generation, forced fence.
             self._assign_followers(keep_id, force=True)
@@ -1206,12 +1652,21 @@ class MasterNode:
     # -- checkpointing ------------------------------------------------------------------------
 
     def checkpoint(self) -> List[Tuple[int, Optional[str], Tuple[int, ...]]]:
-        """Flush index metadata to shared storage (crash protection)."""
+        """Flush index metadata to shared storage (crash protection).
+
+        Also folds the meta-WAL into a fresh snapshot image, so the log
+        a restarted Master replays (and the tail a standby streams) stays
+        bounded by the checkpoint period.  The durability charge below
+        already covers the metadata image; the meta-WAL itself carries
+        no separate simulated cost.
+        """
         records = self.partitions.to_records()
         nbytes = sum(_CHECKPOINT_BYTES_PER_FILE * (len(r[2]) + 1) for r in records)
         # Metadata checkpoints land on shared storage, not the local disk.
         with self.tracer.span("master_checkpoint", bytes=max(512, nbytes)):
             self._shared_device.append(max(512, nbytes))
+        if self.acting:
+            self.meta_wal.checkpoint(self._build_meta_state().snapshot())
         self.checkpoints_written += 1
         self.registry.counter("cluster.master.checkpoints").inc()
         return records

@@ -1,0 +1,275 @@
+"""Durable Master metadata log: append, checkpoint, deterministic replay.
+
+The Master's partition map, routing epoch, replica-set generations,
+membership, and in-flight migration/failover intents used to live only
+in process memory — a Master crash reset every epoch and forgot every
+durable intent.  :class:`MetaWal` gives the control plane the same
+discipline the Index Node WAL gives the data plane: every mutation is
+appended as one CRC-framed record *before* it takes effect anywhere
+else, a periodic checkpoint folds the log into a snapshot image, and
+crash recovery replays snapshot + surviving records into a
+:class:`MetaState` that rebuilds byte-identical Master state.  Epochs
+and terms therefore continue monotonically across a restart — client
+route caches stay valid, and no refresh storm follows recovery.
+
+Records are term-prefixed tuples ``(term, kind, *payload)``.  The log
+fences stale terms on append (:class:`~repro.errors.StaleMasterTerm`):
+once a record at term *T* is durable, nothing below *T* may append —
+the second authority, alongside Index Node fencing, that keeps a
+deposed-but-alive Master from mutating state it no longer owns.
+
+The warm standby tails this log: ``entries_since(seq)`` hands it the
+decoded records past its applied watermark (or ``None`` when a
+checkpoint truncated past the watermark, telling it to re-bootstrap
+from the snapshot image via :meth:`MetaWal.install`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.wal import WriteAheadLog
+from repro.errors import StaleMasterTerm
+
+# Snapshot image format version (first payload field of the image tuple).
+_SNAP_VERSION = 1
+
+
+class MetaState:
+    """Replayable image of the Master's durable metadata.
+
+    Shared by both consumers of the meta-log: crash recovery (replay the
+    on-log bytes into a state, install it) and the warm standby (apply
+    streamed records as they arrive, install on promotion).  Everything
+    here is *durable* state; soft state — heartbeats, reported sizes,
+    partition summaries, the route-delta log — is deliberately absent
+    and re-learned from the next heartbeat round.
+    """
+
+    def __init__(self) -> None:
+        self.term = 1
+        self.term_owner = ""
+        self.epoch = 1
+        self.members: List[str] = []
+        # index name -> (name, kind value, attrs tuple)
+        self.specs: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {}
+        # acg id -> [node or None, file-id set]
+        self.partitions: Dict[int, List[Any]] = {}
+        self.file_map: Dict[int, int] = {}
+        self.next_partition_id = 1
+        # acg id -> (repl epoch, follower tuple)
+        self.repl: Dict[int, Tuple[int, Tuple[str, ...]]] = {}
+        # acg id -> force flag (pending follower-sync intents)
+        self.syncs: Dict[int, bool] = {}
+        # (source node, acg id) -> (target node, moved files)
+        self.finishes: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        self.cancels: Set[Tuple[str, int]] = set()
+
+    # -- record application ---------------------------------------------------
+
+    def apply(self, record: Tuple[Any, ...]) -> None:
+        """Fold one ``(term, kind, *payload)`` record into the state."""
+        kind = record[1]
+        p = record[2:]
+        if kind == "term":
+            if p[0] >= self.term:
+                self.term = p[0]
+                self.term_owner = p[1]
+        elif kind == "member":
+            if p[0] not in self.members:
+                self.members.append(p[0])
+        elif kind == "unmember":
+            if p[0] in self.members:
+                self.members.remove(p[0])
+        elif kind == "index":
+            self.specs[p[0]] = (p[0], p[1], tuple(p[2]))
+        elif kind == "epoch":
+            self.epoch = max(self.epoch, p[0])
+        elif kind == "newpart":
+            pid, node = p[0], p[1]
+            self.partitions[pid] = [node, set()]
+            self.next_partition_id = max(self.next_partition_id, pid + 1)
+        elif kind == "file":
+            fid, pid = p[0], p[1]
+            old = self.file_map.get(fid)
+            if old != pid:
+                if old is not None and old in self.partitions:
+                    self.partitions[old][1].discard(fid)
+                if pid in self.partitions:
+                    self.partitions[pid][1].add(fid)
+                    self.file_map[fid] = pid
+        elif kind == "unfile":
+            pid = self.file_map.pop(p[0], None)
+            if pid is not None and pid in self.partitions:
+                self.partitions[pid][1].discard(p[0])
+        elif kind == "place":
+            if p[0] in self.partitions:
+                self.partitions[p[0]][0] = p[1]
+        elif kind == "droppart":
+            dropped = self.partitions.pop(p[0], None)
+            if dropped is not None:
+                for fid in dropped[1]:
+                    self.file_map.pop(fid, None)
+        elif kind == "repl":
+            self.repl[p[0]] = (p[1], tuple(p[2]))
+        elif kind == "repldrop":
+            self.repl.pop(p[0], None)
+        elif kind == "sync":
+            self.syncs[p[0]] = bool(p[1])
+        elif kind == "syncclear":
+            self.syncs.pop(p[0], None)
+        elif kind == "finish":
+            self.finishes[(p[0], p[1])] = (p[2], p[3])
+        elif kind == "finishclear":
+            self.finishes.pop((p[0], p[1]), None)
+        elif kind == "cancel":
+            self.cancels.add((p[0], p[1]))
+        elif kind == "cancelclear":
+            self.cancels.discard((p[0], p[1]))
+        # Unknown kinds are skipped, not fatal: a newer Master's log must
+        # stay replayable by the standby one release behind it.
+
+    # -- snapshot image (nested tuples: WAL-serializable primitives) ----------
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Encode the state as one WAL-serializable nested tuple."""
+        return (
+            _SNAP_VERSION,
+            self.term,
+            self.term_owner,
+            self.epoch,
+            tuple(self.members),
+            tuple(self.specs[name] for name in self.specs),
+            tuple((pid, entry[0], tuple(sorted(entry[1])))
+                  for pid, entry in self.partitions.items()),
+            self.next_partition_id,
+            tuple((acg, pair[0], pair[1]) for acg, pair in self.repl.items()),
+            tuple((acg, int(force)) for acg, force in self.syncs.items()),
+            tuple((src, acg, tgt, moved)
+                  for (src, acg), (tgt, moved) in self.finishes.items()),
+            tuple(sorted(self.cancels)),
+        )
+
+    @classmethod
+    def from_snapshot(cls, image: Tuple[Any, ...]) -> "MetaState":
+        """Decode a :meth:`snapshot` image."""
+        state = cls()
+        (_, state.term, state.term_owner, state.epoch, members, specs,
+         partitions, next_id, repl, syncs, finishes, cancels) = image
+        state.members = list(members)
+        state.specs = {name: (name, kind, tuple(attrs))
+                       for name, kind, attrs in specs}
+        for pid, node, files in partitions:
+            state.partitions[pid] = [node, set(files)]
+            for fid in files:
+                state.file_map[fid] = pid
+        state.next_partition_id = next_id
+        state.repl = {acg: (epoch, tuple(followers))
+                      for acg, epoch, followers in repl}
+        state.syncs = {acg: bool(force) for acg, force in syncs}
+        state.finishes = {(src, acg): (tgt, moved)
+                          for src, acg, tgt, moved in finishes}
+        state.cancels = {(src, acg) for src, acg in cancels}
+        return state
+
+
+class MetaWal:
+    """Append-only, term-fenced, torn-tail-tolerant Master metadata log.
+
+    Wraps :class:`WriteAheadLog` with no attached disk: the simulated
+    durability cost of Master metadata already rides the shared-storage
+    checkpoint charge (``MasterNode.checkpoint``), which this class must
+    not double-count.  ``seq`` is a monotonically increasing record
+    count that survives checkpoints (``base`` marks how much of it the
+    snapshot image covers) so standby watermarks stay comparable across
+    truncations.
+    """
+
+    def __init__(self) -> None:
+        self.log = WriteAheadLog(disk=None)
+        self.snapshot: Optional[Tuple[Any, ...]] = None
+        self.base = 0  # records folded into the snapshot image
+        self.seq = 0  # records ever appended (never resets)
+        self.entries: List[Tuple[Any, ...]] = []  # decoded, since base
+        self.highest_term = 0
+        self.checkpoints_taken = 0
+        self.replay_dropped_total = 0
+        self.replay_dropped_bytes_total = 0
+
+    def append(self, term: int, record: Tuple[Any, ...]) -> int:
+        """Durably append one ``(kind, *payload)`` record at ``term``.
+
+        Raises :class:`StaleMasterTerm` when ``term`` is below the
+        highest term already recorded — the log-level fence that stops a
+        deposed Master's mutations at the durability boundary."""
+        if term < self.highest_term:
+            raise StaleMasterTerm(
+                f"meta-wal append at term {term} behind recorded term "
+                f"{self.highest_term}", term=self.highest_term)
+        self.highest_term = term
+        framed = (term,) + tuple(record)
+        self.log.append(framed)
+        self.entries.append(framed)
+        self.seq += 1
+        return self.seq
+
+    def entries_since(self, since_seq: int) -> Optional[List[Tuple[Any, ...]]]:
+        """Decoded records with sequence > ``since_seq``.
+
+        Returns ``None`` when a checkpoint truncated past ``since_seq``:
+        the tail alone can no longer bring the caller current, and it
+        must re-bootstrap from the snapshot image."""
+        if since_seq < self.base:
+            return None
+        return self.entries[since_seq - self.base:]
+
+    def checkpoint(self, image: Tuple[Any, ...]) -> None:
+        """Fold everything appended so far into ``image``; truncate."""
+        self.snapshot = tuple(image)
+        self.base = self.seq
+        self.entries = []
+        self.log.truncate()
+        self.checkpoints_taken += 1
+
+    def install(self, image: Tuple[Any, ...], seq: int, term: int) -> None:
+        """Adopt a peer's checkpoint image (standby bootstrap).
+
+        Term-fenced like :meth:`append`: a snapshot streamed by a stale
+        peer must never roll a newer log back."""
+        if term < self.highest_term:
+            raise StaleMasterTerm(
+                f"meta-wal install at term {term} behind recorded term "
+                f"{self.highest_term}", term=self.highest_term)
+        self.snapshot = tuple(image)
+        self.base = seq
+        self.seq = seq
+        self.entries = []
+        self.log.truncate()
+        self.highest_term = term
+
+    def recover(self) -> MetaState:
+        """Crash recovery: replay snapshot + surviving log bytes.
+
+        Decodes the *on-log bytes* — not the in-memory decode cache,
+        which died with the process — so a torn tail (the record
+        mid-write when the Master crashed) is dropped and counted
+        exactly as Index Node WAL recovery does.  Realigns ``seq`` and
+        ``entries`` to the surviving prefix."""
+        state = (MetaState.from_snapshot(self.snapshot)
+                 if self.snapshot is not None else MetaState())
+        survivors: List[Tuple[Any, ...]] = []
+        highest = state.term
+        for record in self.log.replay():
+            state.apply(record)
+            survivors.append(record)
+            highest = max(highest, record[0])
+        self.replay_dropped_total += self.log.replay_dropped
+        self.replay_dropped_bytes_total += self.log.replay_dropped_bytes
+        self.entries = survivors
+        self.seq = self.base + len(survivors)
+        self.highest_term = highest
+        return state
+
+    def simulate_torn_tail(self, drop_bytes: int) -> None:
+        """Chop bytes off the log tail (crash injection for tests)."""
+        self.log.simulate_torn_tail(drop_bytes)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.client import PropellerClient
 from repro.cluster.index_node import IndexNode
-from repro.cluster.master import MasterNode
+from repro.cluster.master import STANDBY_TICK_S, MasterNode
 from repro.core.partitioner import PartitioningPolicy
 from repro.fs.vfs import VirtualFileSystem
 from repro.obs.freshness import NULL_FRESHNESS, FreshnessTracker
@@ -48,18 +48,25 @@ class PropellerService:
                  rpc_seed: int = 0,
                  auto_failover: bool = False,
                  heartbeat_timeout_s: float = 15.0,
-                 replication_factor: int = 1) -> None:
+                 replication_factor: int = 1,
+                 standby_master: bool = False) -> None:
         if num_index_nodes < 1:
             raise ValueError("need at least one index node")
         if replication_factor > num_index_nodes:
             raise ValueError(
                 f"replication factor {replication_factor} needs at least "
                 f"that many index nodes (have {num_index_nodes})")
+        if standby_master and single_node:
+            raise ValueError("a warm standby needs its own machine "
+                             "(standby_master requires single_node=False)")
         self.replication_factor = replication_factor
         self.policy = policy if policy is not None else PartitioningPolicy()
         self.single_node = single_node and num_index_nodes == 1
+        self.standby_enabled = standby_master
         index_node_names = [f"in{i}" for i in range(1, num_index_nodes + 1)]
         machine_names = index_node_names if self.single_node else (["mn"] + index_node_names)
+        if standby_master:
+            machine_names = machine_names + ["mn2"]
         self.cluster = Cluster(machine_names, spec=spec)
         self.clock: SimClock = self.cluster.clock
         self.loop = EventLoop(self.clock)
@@ -87,7 +94,25 @@ class PropellerService:
                                  auto_failover=auto_failover,
                                  heartbeat_timeout_s=heartbeat_timeout_s,
                                  replication_factor=replication_factor,
-                                 journal=self.journal)
+                                 journal=self.journal,
+                                 peer="master2" if standby_master else None)
+        # ``masters`` lists every Master process, acting first at boot;
+        # ``self.master`` always points at the one the deployment
+        # currently believes is acting (re-pointed on standby promotion).
+        self.masters: List[MasterNode] = [self.master]
+        if standby_master:
+            standby = MasterNode(self.cluster["mn2"], self.rpc,
+                                 policy=self.policy,
+                                 registry=self.registry,
+                                 auto_failover=auto_failover,
+                                 heartbeat_timeout_s=heartbeat_timeout_s,
+                                 replication_factor=replication_factor,
+                                 journal=self.journal,
+                                 endpoint_name="master2", peer="master",
+                                 acting=False)
+            self.masters.append(standby)
+        for m in self.masters:
+            m._on_promote = self._master_promoted
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -98,15 +123,26 @@ class PropellerService:
             self.rpc.add_endpoint(node.endpoint)
             self.master.register_index_node(name)
             self.index_nodes[name] = node
+        if standby_master:
+            # Bootstrap the standby's tail before any client traffic:
+            # the initial pull installs a snapshot of the membership
+            # records above and arms the acting Master's synchronous
+            # push stream, so the standby is exactly current from the
+            # first mutation on — a promotion can never install a
+            # stale (or empty) MetaState, however early the crash.
+            self.masters[1].standby_tick()
         self.vfs = VirtualFileSystem(self.clock)
         for node in self.index_nodes.values():
             node.shared_vfs = self.vfs
         self._clients: List[PropellerClient] = []
         self._tasks = [
             PeriodicTask(self.loop, cache_timeout_s / 2, self._tick_caches),
-            PeriodicTask(self.loop, HEARTBEAT_PERIOD_S, self.master.poll_heartbeats),
+            PeriodicTask(self.loop, HEARTBEAT_PERIOD_S, self._poll_heartbeats),
             PeriodicTask(self.loop, CHECKPOINT_PERIOD_S, self._checkpoint_all),
         ]
+        if standby_master:
+            self._tasks.append(
+                PeriodicTask(self.loop, STANDBY_TICK_S, self._standby_ticks))
         # Health monitor before the SLO tracker: its gauge registrations
         # (cluster.health.repl_lag_max) are what the replication-lag SLO
         # spec reads.
@@ -356,10 +392,100 @@ class PropellerService:
         # (acked, never committed anywhere) so the pending map can't leak.
         self.freshness.expire(self.clock.now())
 
+    def _poll_heartbeats(self) -> List[str]:
+        """One heartbeat round, acting Master first.
+
+        The order is the split-brain settler: the acting Master's
+        term-stamped polls teach every node the newest term, so when a
+        deposed-but-alive Master (restarted from its own log, or back
+        from a partition) polls right after, its stale stamp is fenced
+        and it self-deposes — one heartbeat period bounds the window in
+        which two processes both believe they are acting."""
+        result: List[str] = []
+        if self.master.endpoint.up:
+            result = self.master.poll_heartbeats()
+        for m in self.masters:
+            if m is not self.master and m.acting and m.endpoint.up:
+                m.poll_heartbeats()
+        return result
+
+    def _standby_ticks(self) -> None:
+        """Drive every non-acting Master's lease/tail heartbeat."""
+        for m in self.masters:
+            if not m.acting and m.endpoint.up:
+                m.standby_tick()
+
+    def _master_promoted(self, master: MasterNode) -> None:
+        """Re-point the deployment at a freshly promoted Master."""
+        self.master = master
+        self.health.master = master
+
+    def crash_master(self) -> None:
+        """Kill the acting Master process (fault injection).
+
+        In-memory soft state dies with it; the meta-WAL survives as its
+        durable state.  Clients and the standby see ``NodeDown`` until
+        :meth:`restart_master` (or a standby promotion) brings an acting
+        Master back."""
+        victim = self.master
+        victim.endpoint.fail()
+        self.journal.emit("node.crash", node=victim.endpoint.name,
+                          mode="master_process")
+
+    def restart_master(self, name: Optional[str] = None) -> None:
+        """Restart a crashed Master from its meta-WAL.
+
+        The replayed term record decides its role: if a standby promoted
+        past it while it was down, the restarted Master still *believes*
+        it is acting (its own log says so) — the next term-stamped
+        heartbeat round fences it and it rejoins as a standby.  That is
+        the designed path, not an error: fencing, not the supervisor, is
+        what makes the hand-off safe."""
+        for m in self.masters:
+            if name is not None and m.endpoint.name != name:
+                continue
+            if not m.endpoint.up:
+                m.endpoint.recover()
+                m.crash_restart()
+
+    def _standby_lag(self) -> Optional[int]:
+        """Meta-log records the furthest-behind live standby still has
+        to apply (None when no live standby exists)."""
+        lags = [self.master.meta_wal.seq - (m._tail_seq or 0)
+                for m in self.masters
+                if m is not self.master and not m.acting and m.endpoint.up]
+        return max(lags) if lags else None
+
+    def master_status(self) -> Dict[str, object]:
+        """JSON-ready control-plane snapshot: term, roles, standby lag,
+        and the failover/fencing counters."""
+        fences = sum(n.master_fences for n in self.index_nodes.values())
+        return {
+            "term": self.master.term,
+            "acting": self.master.endpoint.name,
+            "roles": {
+                m.endpoint.name: {
+                    "role": "acting" if m.acting else "standby",
+                    "up": m.endpoint.up,
+                    "term": m.term,
+                }
+                for m in self.masters
+            },
+            "meta_wal_seq": self.master.meta_wal.seq,
+            "standby_lag": self._standby_lag(),
+            "promotions": self._counter_value(
+                "cluster.master.standby_promotions"),
+            "deposed": self._counter_value("cluster.master.deposed"),
+            "restarts": self._counter_value("cluster.master.restarts"),
+            "fences": fences,
+        }
+
     def _checkpoint_all(self) -> None:
-        """Periodic durability: Master metadata plus every node's ACGs
-        go to the shared file system."""
-        self.master.checkpoint()
+        """Periodic durability: Master metadata (partition records plus
+        the meta-WAL snapshot — see ``MasterNode.checkpoint``) and every
+        node's ACGs go to the shared file system."""
+        if self.master.endpoint.up and self.master.acting:
+            self.master.checkpoint()
         for node in self.index_nodes.values():
             if node.endpoint.up:
                 node.checkpoint_to_shared()
@@ -454,11 +580,13 @@ class PropellerService:
             hedging = HedgePolicy(self.registry)
         client = PropellerClient(
             self.vfs, self.rpc,
+            master=self.master.endpoint.name,
             batch_size=batch_size,
             pid_filter=pid_filter,
             local=self.single_node,
             pump=self.pump,
             hedging=hedging,
+            masters=[m.endpoint.name for m in self.masters],
         )
         client.tracer = self.tracer
         client.registry = self.registry
@@ -565,6 +693,7 @@ class PropellerService:
         return {
             "health": self.health.summary(),
             "slo": self.slos.summary(),
+            "master": self.master_status(),
             "stats": self.stats(),
             "journal": self.journal.digest(),
             "events": [e.to_dict() for e in self.journal.tail(events_tail)],

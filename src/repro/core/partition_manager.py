@@ -9,7 +9,6 @@ Master Node, periodically checkpointed to shared storage.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -34,7 +33,7 @@ class PartitionManager:
     """file → partition mapping plus per-partition metadata."""
 
     def __init__(self) -> None:
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._partitions: Dict[int, Partition] = {}
         self._file_to_partition: Dict[int, int] = {}
         # Routing epoch: bumped on every event that changes *where*
@@ -48,6 +47,12 @@ class PartitionManager:
     def epoch(self) -> int:
         """The current routing epoch (monotonically increasing)."""
         return self._epoch
+
+    @property
+    def next_id(self) -> int:
+        """The id the next partition will get (never reused, so a
+        restored manager must carry it forward — see ``from_records``)."""
+        return self._next_id
 
     def bump_epoch(self) -> int:
         """Advance the routing epoch; returns the new value."""
@@ -88,7 +93,8 @@ class PartitionManager:
 
     def new_partition(self, files: Iterable[int] = (), node: Optional[str] = None) -> Partition:
         """Create a partition, optionally pre-filled and placed."""
-        partition = Partition(partition_id=next(self._ids), node=node)
+        partition = Partition(partition_id=self._next_id, node=node)
+        self._next_id += 1
         self._partitions[partition.partition_id] = partition
         for file_id in files:
             self.add_file(partition.partition_id, file_id)
@@ -146,9 +152,16 @@ class PartitionManager:
                 for p in self._partitions.values()]
 
     @classmethod
-    def from_records(cls, records: Iterable[Tuple[int, Optional[str], Tuple[int, ...]]]
-                     ) -> "PartitionManager":
-        """Rebuild a manager from :meth:`to_records` output."""
+    def from_records(cls, records: Iterable[Tuple[int, Optional[str], Tuple[int, ...]]],
+                     epoch: Optional[int] = None,
+                     next_id: Optional[int] = None) -> "PartitionManager":
+        """Rebuild a manager from :meth:`to_records` output.
+
+        ``epoch`` and ``next_id`` restore the routing epoch and the id
+        counter when the caller (meta-WAL replay) knows them; otherwise
+        the epoch restarts at 1 and the counter resumes past the highest
+        surviving id, which is only safe when no partition was ever
+        dropped and no routes were ever cached."""
         manager = cls()
         max_id = 0
         for partition_id, node, files in records:
@@ -158,5 +171,7 @@ class PartitionManager:
                 partition.files.add(file_id)
                 manager._file_to_partition[file_id] = partition_id
             max_id = max(max_id, partition_id)
-        manager._ids = itertools.count(max_id + 1)
+        manager._next_id = next_id if next_id is not None else max_id + 1
+        if epoch is not None:
+            manager._epoch = epoch
         return manager

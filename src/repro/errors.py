@@ -99,6 +99,38 @@ class StaleReplEpoch(ClusterError):
     """
 
 
+class StaleMasterTerm(ClusterError):
+    """A master-originated mutating RPC carried an older master term than
+    the receiver has already seen.
+
+    This is the control plane's fence: a deposed-but-alive Master
+    (partitioned away while the standby promoted) must never mutate
+    cluster state.  Not transient — the correct reaction on the sender is
+    to stop acting as Master, not to resend.  ``term`` carries the
+    receiver's newest known term so the stale sender can tell how far
+    behind it is.
+    """
+
+    def __init__(self, message: str, term: int = 0) -> None:
+        super().__init__(message)
+        self.term = term
+
+
+class NotActingMaster(ClusterError):
+    """A client called a Master endpoint that is not (or no longer) the
+    acting Master.
+
+    Not transient for the RPC retry loop — resending to the same
+    endpoint cannot help; the caller must re-home to the acting Master.
+    ``acting`` optionally names the endpoint the receiver believes is
+    acting (its promotion peer), as a re-homing hint.
+    """
+
+    def __init__(self, message: str, acting: str = "") -> None:
+        super().__init__(message)
+        self.acting = acting
+
+
 class RpcTimeout(ClusterError):
     """An RPC request or response was lost and the caller's timer fired.
 

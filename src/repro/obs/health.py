@@ -110,6 +110,13 @@ class HealthMonitor:
                           self.route_staleness_s)
         registry.gauge_fn("cluster.health.catchup_eta_s",
                           lambda: self._catchup_eta_s)
+        # 1 while no acting Master is up (crash before the standby's
+        # lease expires, or no standby at all); the master-availability
+        # SLO burns its budget against this gauge.  ``self.master`` is
+        # re-pointed by the deployment on standby promotion, so the
+        # gauge follows the acting role, not one process.
+        registry.gauge_fn("cluster.health.master_unavailable",
+                          self.master_unavailable)
 
     # -- gauges ---------------------------------------------------------------
 
@@ -151,6 +158,11 @@ class HealthMonitor:
             if live < needed:
                 out.append(partition.partition_id)
         return sorted(out)
+
+    def master_unavailable(self) -> int:
+        """1 when the deployment has no up-and-acting Master."""
+        return 0 if (self.master.endpoint.up
+                     and getattr(self.master, "acting", True)) else 1
 
     def route_staleness_s(self) -> float:
         """Virtual seconds since the routing epoch last moved (as this
@@ -205,6 +217,9 @@ class HealthMonitor:
         unplaced = [p.partition_id
                     for p in self.master.partitions.partitions()
                     if p.node is None and p.files]
+        if self.master_unavailable():
+            worst = CRITICAL
+            causes.append("master_unavailable")
         if stranded:
             worst = CRITICAL
             causes.append("partitions_stranded:" +
@@ -267,6 +282,7 @@ class HealthMonitor:
                               if not n.endpoint.up),
             "route_staleness_s": round(self.route_staleness_s(), 6),
             "catchup_eta_s": round(self._catchup_eta_s, 6),
+            "master_unavailable": self.master_unavailable(),
         }
         return out
 

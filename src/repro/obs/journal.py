@@ -24,6 +24,11 @@ Event taxonomy (the ``type`` field, dotted and prefix-queryable):
   (membership change, log-generation restart, or promotion fence);
 * ``repl.fence`` — a node rejected a stale-epoch stream or install;
 * ``repl.depose`` — a fenced primary stopped replicating a partition;
+* ``master.promote`` / ``master.depose`` / ``master.fence`` /
+  ``master.restart`` — control-plane failover: a warm standby took over
+  with a term bump, a deposed Master self-fenced after an Index Node
+  rejected its term, a node rejected a stale-term Master RPC, or a
+  crashed Master replayed its meta-WAL back into service;
 * ``node.crash`` / ``node.restart`` / ``node.rejoin`` — Index Node
   lifecycle;
 * ``search.degraded`` / ``search.partial`` — a client answer that

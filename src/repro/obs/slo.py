@@ -99,6 +99,13 @@ def default_specs() -> Tuple[SloSpec, ...]:
         SloSpec("replication_lag", "cluster.health.repl_lag_max",
                 target=64.0, budget=0.10, unit="records",
                 description="worst follower applied-watermark lag"),
+        # The budget is deliberately generous: one standby promotion
+        # (well under the lease timeout) must never breach a short run,
+        # while a Master staying dark — no standby, or promotion wedged —
+        # burns through it and alerts.
+        SloSpec("master_availability", "cluster.health.master_unavailable",
+                target=0.0, budget=0.25, unit="bool",
+                description="an acting Master is up and answering"),
     )
 
 

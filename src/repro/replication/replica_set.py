@@ -142,6 +142,23 @@ class ReplicaSetManager:
         return sorted(((f, st.applied.get(f, 0)) for f in st.followers),
                       key=lambda pair: (-pair[1], pair[0]))
 
+    def restore(self, acg_id: int, repl_epoch: int,
+                followers: Tuple[str, ...]) -> None:
+        """Reinstall one partition's epoch and membership after a Master
+        restart or standby promotion (meta-WAL replay).
+
+        Unlike :meth:`set_followers` this never bumps: the epoch being
+        installed *is* the durable record of the last bump.  Watermarks
+        are soft state and start at zero — the next heartbeat round
+        re-teaches them, and :meth:`_enter_epoch` keeps cross-generation
+        sequences from qualifying stale candidates in the meantime."""
+        st = self.state(acg_id)
+        st.followers = tuple(followers)
+        st.repl_epoch = repl_epoch
+        st.primary_seq = 0
+        st.applied = {f: 0 for f in st.followers}
+        st.acked = {f: 0 for f in st.followers}
+
     def bump_epoch(self, acg_id: int) -> int:
         """Force a repl-epoch bump (promotion fences the old primary).
 

@@ -33,7 +33,7 @@ class TestFaultInjector:
     def test_immune_target_never_faulted_but_consumes_draw(self):
         """Immunity must not desynchronize the RNG stream: an immune
         message burns the same single draw a faultable one would."""
-        a = FaultInjector(seed=9, immune={"master"})
+        a = FaultInjector(seed=9, immune_targets={"master"})
         b = FaultInjector(seed=9)
         a.set_message_faults(drop=1.0)
         b.set_message_faults(drop=1.0)

@@ -79,6 +79,50 @@ def test_failover_without_checkpoint_leaves_partition_unplaced():
     assert hosted == 30
 
 
+def test_master_restart_replays_inflight_failover():
+    """The Master restarts right after failing a node over, with the
+    victim still down: meta-WAL replay rebuilds the re-homed placements
+    and membership at the same term, and the cluster keeps serving."""
+    service, client = build()
+    chain_files(service, client, 30)
+    service.commit_all()
+    service._checkpoint_all()
+    master = service.master
+    victim = max(service.index_nodes,
+                 key=lambda n: sum(r.file_count
+                                   for r in service.index_nodes[n].replicas.values()))
+    service.fail_node(victim)
+    moved = service.failover(victim)
+    assert moved >= 1
+    assert all(p.node != victim for p in master.partitions.partitions())
+    before = master._build_meta_state().snapshot()
+    term_before = master.term
+    epoch_before = master.partitions.epoch
+
+    # Failover evicted the victim from membership; that eviction is a
+    # durable record too.
+    assert victim not in master.index_nodes
+
+    # Crash-restart the Master while the victim is still dead.  Replay
+    # must reproduce the failover's outcome exactly: same placements,
+    # same routing epoch, same term, victim still evicted.
+    service.crash_master()
+    service.restart_master()
+    assert master.acting and master.term == term_before
+    assert master._build_meta_state().snapshot() == before
+    assert master.partitions.epoch == epoch_before
+    assert victim not in master.index_nodes
+    assert all(p.node != victim for p in master.partitions.partitions())
+    assert len(client.search("size>0")) == 30
+
+    # The victim's eventual return does not resurrect stale ownership:
+    # heartbeat rounds keep the re-homed placements.
+    service.index_nodes[victim].endpoint.recover()
+    master.poll_heartbeats()
+    assert all(p.node != victim for p in master.partitions.partitions())
+    assert len(client.search("size>0")) == 30
+
+
 def test_background_timer_survives_node_failure():
     """The periodic heartbeat/split/checkpoint timers must keep firing
     with a dead node in the cluster."""

@@ -455,8 +455,11 @@ class TestEndToEnd:
     def test_status_snapshot_sections(self):
         service, _ = build_cluster()
         status = service.status(events_tail=5)
-        assert set(status) == {"health", "slo", "stats", "journal",
-                               "events"}
+        assert set(status) == {"health", "slo", "master", "stats",
+                               "journal", "events"}
+        assert status["master"]["acting"] == "master"
+        assert status["master"]["term"] == 1
+        assert status["master"]["standby_lag"] is None
         assert len(status["events"]) <= 5
         assert status["journal"]["total"] >= len(status["events"])
         json.dumps(status, sort_keys=True)  # JSON-clean end to end

@@ -323,3 +323,50 @@ def test_migration_racing_source_crash():
     for path in paths:
         assert hosts_of(service, service.vfs.stat(path).ino) == [target]
     assert sorted(client.search("size>0")) == sorted(paths)
+
+
+def test_master_restart_racing_migration_finish():
+    """The *Master* crashes after the route flip but before the deferred
+    finish resolves: meta-WAL replay rebuilds both the flipped route and
+    the finish intent, and the restarted Master's heartbeat round
+    completes the protocol it left mid-flight."""
+    service, client = build()
+    paths = index_files(service, client, 10, pid=4)
+    service.commit_all()
+    master = service.master
+    partition = next(p for p in master.partitions.partitions()
+                     if p.node and service.index_nodes[p.node]
+                     .replicas.get(p.partition_id)
+                     and service.index_nodes[p.node]
+                     .replicas[p.partition_id].file_count > 0)
+    source, acg_id = partition.node, partition.partition_id
+    target = next(n for n in master.index_nodes if n != source)
+
+    injector = FaultInjector(seed=0)
+    injector.arm_method_fault(source, "finish_migration")
+    service.rpc.faults = injector
+    master.migrate_partition(acg_id, target)
+    assert master.migration_log[-1].outcome == "finish_deferred"
+    assert (source, acg_id) in master._pending_finishes
+    epoch_flip = master.partitions.epoch
+    before = master._build_meta_state().snapshot()
+
+    # The Master process dies with the finish still pending.  Replay
+    # rebuilds byte-identical durable state at the same epoch — the
+    # intent is durable, so the restart cannot strand dual ownership.
+    service.crash_master()
+    service.restart_master()
+    assert master.acting
+    assert master._build_meta_state().snapshot() == before
+    assert master.partitions.epoch == epoch_flip
+    assert (source, acg_id) in master._pending_finishes
+
+    # The restarted Master's debris retry drives the finish home.
+    master.poll_heartbeats()
+    assert (source, acg_id) not in master._pending_finishes
+    src_node = service.index_nodes[source]
+    assert acg_id not in src_node.handoff_intents
+    assert acg_id not in src_node.replicas
+    for path in paths:
+        assert hosts_of(service, service.vfs.stat(path).ino) == [target]
+    assert sorted(client.search("size>0")) == sorted(paths)
