@@ -70,12 +70,14 @@ class ChaosRunner:
     def __init__(self, seed: int, steps: int = 50, nodes: int = 3,
                  settle_every: int = 10,
                  retry_policy: Optional[RetryPolicy] = None,
-                 rf: int = 1, master_faults: bool = False) -> None:
+                 rf: int = 1, master_faults: bool = False,
+                 batching: bool = True) -> None:
         self.seed = seed
         self.steps = steps
         self.nodes = nodes
         self.rf = rf
         self.master_faults = master_faults
+        self.batching = batching
         self.settle_every = max(1, settle_every)
         self.schedule: List[ChaosStep] = build_schedule(
             seed, steps, nodes, master_faults=master_faults)
@@ -113,6 +115,9 @@ class ChaosRunner:
             node.machine.disk.faults = self.faults
         self.service.enable_freshness()
         self.service.enable_timeline(interval_s=5.0)
+        # ``batching=False`` pins the legacy per-op hot path — the
+        # byte-identical baseline the batched stack is audited against.
+        self.service.set_batching(batching)
         self.client = self.service.make_client(batch_size=128)
         self.ledger = AckLedger()
         self.checker = InvariantChecker(self.service, self.client, self.ledger)

@@ -121,6 +121,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(render_registry(service.registry, prefix="cluster.client",
                           title="client metrics"))
+    batching = _render_batching(service.registry)
+    if batching:
+        print()
+        print(batching)
     tail = _render_tail_latency(service.registry)
     if tail:
         print()
@@ -131,6 +135,37 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(f"trace: {dropped} root span(s) dropped (ring full — "
               "raise Tracer max_roots to retain them)")
     return 0
+
+
+def _render_batching(registry) -> str:
+    """The group-commit readout: how large update envelopes actually
+    ran (``update.batch_size``) and how much each node's WAL got out of
+    every simulated fsync — the two numbers that say whether the
+    batched hot path is earning its keep."""
+    from repro.obs.metrics import Histogram
+
+    rows = []
+    for name, instrument in registry.items("update.batch_size"):
+        if not isinstance(instrument, Histogram) or not instrument.count:
+            continue
+        rows.append(["update.batch_size", int(instrument.count),
+                     f"{instrument.mean:.1f}", f"{instrument.p50:.0f}",
+                     f"{instrument.maximum:.0f}", ""])
+    for name, instrument in registry.items("cluster."):
+        if not name.endswith(".wal.fsyncs"):
+            continue
+        node = name[len("cluster."):-len(".wal.fsyncs")]
+        fsyncs = instrument.value
+        if not fsyncs:
+            continue
+        per = registry.value(f"cluster.{node}.wal.bytes_per_fsync")
+        rows.append([f"{node}.wal", int(fsyncs), "", "", "",
+                     f"{per:.0f} B/fsync"])
+    if not rows:
+        return ""
+    return render_table(
+        ["batching", "n", "mean", "p50", "max", "amortization"], rows,
+        title="group commit")
 
 
 def _render_tail_latency(registry) -> str:
@@ -150,6 +185,8 @@ def _render_tail_latency(registry) -> str:
     for name, instrument in registry.items(""):
         if not isinstance(instrument, Histogram) or not instrument.count:
             continue
+        if instrument.unit != "s":
+            continue  # sizes/counts (e.g. update.batch_size) are not latency
         fmt = lambda v: _format_observation(v, instrument.unit)
         hedges = rescues = ""
         if name == "cluster.client.search_latency_s":

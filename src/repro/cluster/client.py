@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.messages import (IndexUpdate, RouteEntry, RouteTable,
-                                    SearchResult, UpdateOp)
+                                    SearchResult, UpdateBatch, UpdateOp)
 from repro.errors import (ClusterError, NodeDown, NotActingMaster,
                           RpcTimeout, StaleMasterTerm, StaleRoute)
 from repro.fs.interceptor import FileAccessManager
@@ -34,6 +34,12 @@ from repro.replication.hedging import HedgedReply, HedgePolicy
 from repro.sim.rpc import CallOutcome, HedgedOutcome, RpcNetwork
 
 DEFAULT_BATCH_SIZE = 128
+
+# Oldest-entry age (virtual seconds) past which an enqueue flushes the
+# update queue even when it is not full.  Matches the Index Node cache's
+# commit window: holding updates longer than the server-side batching
+# horizon buys no further amortization, it only delays visibility.
+DEFAULT_BATCH_AGE_S = 5.0
 
 _INODE_ATTRS = ("size", "mtime", "ctime", "uid")
 
@@ -96,6 +102,16 @@ class PropellerClient:
             tuple(masters) if masters else (master,))
         self.master_rehomes = 0
         self.batch_size = batch_size
+        # Update coalescing (the group-commit feed): with batching on,
+        # queued updates for one file fold into the newest (upserts
+        # carry complete attribute snapshots, so folding is lossless)
+        # and per-ACG groups travel as one UpdateBatch envelope; the
+        # queue flushes on size *or* age so a trickle never sits
+        # unsent past the server's commit window.  False reproduces
+        # the legacy per-append path byte-for-byte.
+        self.batching = True
+        self.batch_age_s = DEFAULT_BATCH_AGE_S
+        self._pending_since: Optional[float] = None
         self.local = local
         # Tail-tolerant search (RF > 1): a policy object makes each
         # search leg race a follower replica after a p95-derived timer.
@@ -558,10 +574,8 @@ class PropellerClient:
                                      for name in _INODE_ATTRS}
             attrs.update(inode.attributes)
             self.freshness.stamp(inode.ino, self.vfs.clock.now())
-            self._pending.append((-1, IndexUpdate.upsert(inode.ino, attrs,
-                                                         path=new_path)))
-            if len(self._pending) >= self.batch_size:
-                self.flush_updates()
+            self._enqueue(-1, IndexUpdate.upsert(inode.ino, attrs,
+                                                 path=new_path))
 
     def _is_indexed(self, file_id: int) -> bool:
         """Is this file indexed?  The route cache answers for files this
@@ -579,25 +593,67 @@ class PropellerClient:
         hint = self.access_manager.last_file(pid, exclude=inode.ino)
         return IndexUpdate.upsert(inode.ino, attrs, path=path), hint
 
+    def _enqueue(self, hint: int, update: IndexUpdate) -> None:
+        """Queue one update, coalescing per file when batching is on.
+
+        The newest update for a file wins and keeps the earlier entry's
+        queue position (and its placement hint, unless the new arrival
+        brings one) — a rewrite-then-rewrite burst costs one slot and
+        one server-side apply, and an upsert queued behind a delete can
+        never resurrect out of order.  The queue flushes when it
+        reaches ``batch_size`` or its oldest entry has waited past
+        ``batch_age_s``.  With batching off this is exactly the legacy
+        append-and-flush-on-size path."""
+        if not self.batching:
+            self._pending.append((hint, update))
+            if len(self._pending) >= self.batch_size:
+                self.flush_updates()
+            return
+        now = self.vfs.clock.now()
+        for i, (old_hint, old) in enumerate(self._pending):
+            if old.file_id == update.file_id:
+                self._pending[i] = (hint if hint != -1 else old_hint, update)
+                break
+        else:
+            if not self._pending:
+                self._pending_since = now
+            self._pending.append((hint, update))
+        if (len(self._pending) >= self.batch_size
+                or (self._pending_since is not None
+                    and now - self._pending_since >= self.batch_age_s)):
+            self.flush_updates()
+
     def index_path(self, path: str, pid: int = 0) -> None:
         """Queue one file for (re)indexing; sent when the batch fills."""
         update, hint = self._update_for(path, pid=pid)
         self.freshness.stamp(update.file_id, self.vfs.clock.now())
-        self._pending.append((hint if hint is not None else -1, update))
-        if len(self._pending) >= self.batch_size:
-            self.flush_updates()
+        self._enqueue(hint if hint is not None else -1, update)
 
     def index_paths(self, paths: Sequence[str], pid: int = 0) -> None:
         """Queue several files for (re)indexing."""
         for path in paths:
             self.index_path(path, pid=pid)
 
+    def index_dirty(self, pid: int = 0) -> int:
+        """(Re)index every file the File Access Management module saw a
+        close-after-write for since the last drain — already coalesced
+        per inode, so a rewrite burst costs one queued update.  Returns
+        the number of distinct dirty files queued."""
+        from repro.errors import FileNotFound
+
+        dirty = self.access_manager.drain_dirty()
+        for _, path in dirty:
+            try:
+                self.index_path(path, pid=pid)
+            except FileNotFound:
+                # Unlinked after the drain snapshot: nothing to index.
+                continue
+        return len(dirty)
+
     def delete_path_index(self, file_id: int) -> None:
         """Queue removal of one file id from the indices."""
         self.freshness.stamp(file_id, self.vfs.clock.now())
-        self._pending.append((-1, IndexUpdate.delete(file_id)))
-        if len(self._pending) >= self.batch_size:
-            self.flush_updates()
+        self._enqueue(-1, IndexUpdate.delete(file_id))
 
     def flush_updates(self) -> int:
         """Send the queued batch, routing through the client's cached
@@ -618,6 +674,7 @@ class PropellerClient:
             return 0
         flush_t0 = self.vfs.clock.now()
         pending, self._pending = self._pending, []
+        self._pending_since = None
         hint_of: Dict[int, int] = {}
         for h, u in pending:
             hint_of.setdefault(u.file_id, h)
@@ -715,6 +772,16 @@ class PropellerClient:
                 self._forget_file(update.file_id)
         return len(updates)
 
+    def _wire_payload(self, acg_id: int, updates: Sequence[IndexUpdate]):
+        """What one (node, ACG) group costs on the wire: a single
+        :class:`UpdateBatch` envelope when batching (shared framing
+        makes the group cheaper than the sum of its members), or the
+        bare list with per-update accounting on the legacy path."""
+        if self.batching and len(updates) > 1:
+            batch = UpdateBatch(acg_id, tuple(updates))
+            return batch, batch.wire_bytes()
+        return updates, sum(u.wire_bytes() for u in updates)
+
     def _send_stamped(self, stamped: Dict[Tuple[str, int], List[IndexUpdate]],
                       hint_of: Dict[int, int]) -> int:
         """Deliver cache-routed groups with the epoch stamp; handle NACKs
@@ -723,10 +790,11 @@ class PropellerClient:
         nacked: List[Tuple[str, int, List[IndexUpdate]]] = []
         unreachable: List[Tuple[str, int, List[IndexUpdate]]] = []
         for (node, acg_id), updates in stamped.items():
+            payload, nbytes = self._wire_payload(acg_id, updates)
             try:
-                ack = self.rpc.call(node, "index_update", acg_id, updates,
+                ack = self.rpc.call(node, "index_update", acg_id, payload,
                                     local=self.local,
-                                    request_bytes=sum(u.wire_bytes() for u in updates),
+                                    request_bytes=nbytes,
                                     epoch=self._route_epoch)
             except StaleRoute:
                 self._note_nacks(len(updates))
@@ -749,11 +817,11 @@ class PropellerClient:
             if refreshed and new_node and new_node != old_node:
                 # The route genuinely moved (migration or failover):
                 # resend under the fresh epoch.
+                payload, nbytes = self._wire_payload(acg_id, updates)
                 try:
                     ack = self.rpc.call(new_node, "index_update", acg_id,
-                                        updates, local=self.local,
-                                        request_bytes=sum(u.wire_bytes()
-                                                          for u in updates),
+                                        payload, local=self.local,
+                                        request_bytes=nbytes,
                                         epoch=self._route_epoch)
                 except StaleRoute:
                     self._note_nacks(len(updates))
@@ -771,11 +839,11 @@ class PropellerClient:
         for old_node, acg_id, updates in unreachable:
             new_node = self._route_nodes.get(acg_id)
             if refreshed and new_node and new_node != old_node:
+                payload, nbytes = self._wire_payload(acg_id, updates)
                 try:
                     ack = self.rpc.call(new_node, "index_update", acg_id,
-                                        updates, local=self.local,
-                                        request_bytes=sum(u.wire_bytes()
-                                                          for u in updates),
+                                        payload, local=self.local,
+                                        request_bytes=nbytes,
                                         epoch=self._route_epoch)
                 except (StaleRoute,) + DEGRADABLE_ERRORS:
                     self._requeue(updates, hint_of)
@@ -825,11 +893,11 @@ class PropellerClient:
             self._requeue(unrouted, hint_of)
         delivered = 0
         for (node, acg_id), target_updates in by_target.items():
+            payload, nbytes = self._wire_payload(acg_id, target_updates)
             try:
                 ack = self.rpc.call(node, "index_update", acg_id,
-                                    target_updates, local=self.local,
-                                    request_bytes=sum(u.wire_bytes()
-                                                      for u in target_updates))
+                                    payload, local=self.local,
+                                    request_bytes=nbytes)
             except StaleRoute:
                 self._note_nacks(len(target_updates))
                 self._requeue(target_updates, hint_of)

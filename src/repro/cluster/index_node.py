@@ -50,6 +50,15 @@ _CACHE_ADD_OPS = 2_000          # hash insert into the in-memory cache
 _COMMIT_UPDATE_OPS = 8_000      # apply one update to one index
 _EXAMINE_OPS = 500              # residual-filter one candidate
 _REBUILD_OPS_PER_FILE = 100     # re-observe one file during summary rebuild
+# Group-commit amortization.  A batch envelope pays the full per-update
+# price once (parse, route, cache-bucket lookup) and a marginal price
+# for each further update that rides the same envelope / sorted run:
+_CACHE_ADD_BATCHED_OPS = 500    # marginal cache insert within an envelope
+_COMMIT_BATCH_BASE_OPS = 4_000  # per-batch setup of one bulk apply
+_COMMIT_BATCHED_UPDATE_OPS = 2_000  # marginal bulk-apply cost per update
+# Bitmap posting lists materialize results word-at-a-time instead of
+# doc-at-a-time; one examine charge covers this many matches.
+_VECTOR_WIDTH = 8
 
 # Per-node result cache entries (each is one ACG's answer to one
 # canonical predicate at one commit watermark).
@@ -178,6 +187,72 @@ class AcgReplica:
             key = self._index_key(spec, attrs)
             if key is not None:
                 index.insert(key, update.file_id)
+
+    def apply_batch(self, updates: Sequence[IndexUpdate]) -> None:
+        """Apply one group commit: amortized charge, bulk index insert.
+
+        Final index/store/summary state is identical to calling
+        :meth:`apply` per update in order (upserts carry complete
+        attribute snapshots, so last-write-wins composes), but the work
+        is batched: store mutations run in order, index insertions for
+        upserted files are deferred, grouped per index, and merged in one
+        sorted pass (``bulk_insert``), and the summary widens once per
+        batch over the surviving files.  The CPU charge amortizes
+        accordingly: full setup once, a marginal cost per update.
+        """
+        if not updates:
+            return
+        nspecs = max(1, len(self.specs))
+        self.machine.compute(_COMMIT_BATCH_BASE_OPS * nspecs
+                             + _COMMIT_BATCHED_UPDATE_OPS * nspecs * len(updates))
+        # Files upserted in this batch whose index entries are deferred
+        # (dict preserves first-upsert order for deterministic inserts).
+        pending: Dict[int, None] = {}
+        for update in updates:
+            self.applied += 1
+            file_id = update.file_id
+            if update.op is UpdateOp.DELETE:
+                pending.pop(file_id, None)
+                self._deindex(file_id)
+                self.store.drop(file_id)
+                self.graph.remove_file(file_id)
+                self.summary.note_delete()
+                if self.summary.needs_rebuild(len(self.store)):
+                    self.machine.compute(
+                        _REBUILD_OPS_PER_FILE * max(1, len(self.store)))
+                    self.summary.rebuild(self.store)
+                continue
+            if file_id not in pending:
+                # First touch this batch: clear the file's live index
+                # entries once; re-upserts below only refresh the store.
+                self._deindex(file_id)
+                pending[file_id] = None
+            self.store.put(update.file_id, update.attr_dict, path=update.path)
+        entries: List[Tuple[Dict[str, Any], Sequence[str]]] = []
+        by_index: Dict[str, List[Tuple[Any, int]]] = {}
+        for file_id in pending:
+            if file_id not in self.store:
+                continue
+            attrs = self.store.attrs(file_id)
+            keywords = self.store.keywords(file_id)
+            entries.append((attrs, keywords))
+            for name, spec in self.specs.items():
+                if spec.attrs[0] == KEYWORD_ATTR and spec.kind is IndexKind.HASH:
+                    by_index.setdefault(name, []).extend(
+                        (token, file_id) for token in keywords)
+                    continue
+                key = self._index_key(spec, attrs)
+                if key is not None:
+                    by_index.setdefault(name, []).append((key, file_id))
+        self.summary.observe_batch(entries)
+        for name, pairs in by_index.items():
+            index = self.indexes[name]
+            bulk = getattr(index, "bulk_insert", None)
+            if bulk is not None:
+                bulk(pairs)
+            else:
+                for key, file_id in pairs:
+                    index.insert(key, file_id)
 
     @property
     def file_count(self) -> int:
@@ -315,6 +390,19 @@ class IndexNode:
         # Attached by the service: lets this node forward updates during
         # a migration's dual-ownership window.
         self.rpc = None
+        # Hot-path batching knobs (service-wide; see PropellerService
+        # ``batching``).  ``group_commit`` turns an update envelope into
+        # one WAL batch record + one fsync and commits it with one bulk
+        # index apply; ``vectorized_postings`` runs searches through the
+        # roaring-style posting-list path.  Both False reproduce the
+        # legacy per-op path byte-for-byte (the chaos bit-determinism
+        # baseline).
+        self.group_commit = True
+        self.vectorized_postings = True
+        # Metrics registry (attached by the service; None when the node
+        # runs bare in tests).  Observations are bookkeeping only — they
+        # charge no simulated time.
+        self.registry = None
         # Replication (RF > 1).  ``repl`` holds per-partition primary
         # state (log + follower ack map) for partitions this node owns;
         # ``followers`` holds the in-memory follower replicas it keeps
@@ -538,11 +626,26 @@ class IndexNode:
                              epoch=self.route_epoch_seen)
         replica = self.replica(acg_id, create=True)
         now = self.machine.clock.now()
-        for update in updates:
-            self.wal.append((acg_id, update.file_id, update.op.value,
-                             update.path, update.attrs))
-            self.machine.compute(_CACHE_ADD_OPS)
-            self.cache.add(acg_id, update, now)
+        if self.registry is not None and updates:
+            self.registry.histogram("update.batch_size", unit="updates")\
+                .observe(len(updates))
+        if self.group_commit and updates:
+            # Group commit: the whole envelope becomes one WAL batch
+            # record — one frame, one simulated fsync — and the cache
+            # insert pays full price once plus a marginal cost per rider.
+            self.wal.append_batch(acg_id, tuple(
+                (acg_id, u.file_id, u.op.value, u.path, u.attrs)
+                for u in updates))
+            self.machine.compute(
+                _CACHE_ADD_OPS + _CACHE_ADD_BATCHED_OPS * (len(updates) - 1))
+            for update in updates:
+                self.cache.add(acg_id, update, now)
+        else:
+            for update in updates:
+                self.wal.append((acg_id, update.file_id, update.op.value,
+                                 update.path, update.attrs))
+                self.machine.compute(_CACHE_ADD_OPS)
+                self.cache.add(acg_id, update, now)
         state = self.repl.get(acg_id)
         if state is None:
             return len(updates)
@@ -551,8 +654,14 @@ class IndexNode:
         # that cannot be reached just falls behind (its ack watermark
         # stays put); the periodic catch-up re-sends the suffix — the
         # client's ack never hinges on follower liveness.
-        for update in updates:
-            state.log.append(update)
+        if self.group_commit and updates:
+            # One log record per batch: primaries, followers, and hedged
+            # reads advance their watermarks at identical batch
+            # boundaries, so a partially-visible envelope is impossible.
+            state.log.append(tuple(updates))
+        else:
+            for update in updates:
+                state.log.append(update)
         self._stream_to_followers(acg_id, state)
         return UpdateAck(len(updates), acg_id=acg_id, seq=state.log.last_seq,
                          repl_epoch=state.repl_epoch)
@@ -575,8 +684,11 @@ class IndexNode:
             # absorb the fault — the store is authoritative; residency is
             # a cost-model event, retried on the next touch.
             pass
-        for update in updates:
-            replica.apply(update)
+        if self.group_commit:
+            replica.apply_batch(updates)
+        else:
+            for update in updates:
+                replica.apply(update)
         # Commit is the moment an update becomes search-visible: resolve
         # any freshness stamps now (bookkeeping only, zero simulated cost).
         now = self.machine.clock.now()
@@ -626,6 +738,18 @@ class IndexNode:
                 return acg_id
         return None
 
+    def _materialize_units(self, matches: int) -> int:
+        """Examine charges to materialize ``matches`` result docs.
+
+        The legacy set path touches one doc per charge; the bitmap
+        posting path extracts matches word-at-a-time, so one charge
+        covers ``_VECTOR_WIDTH`` of them (ceil — a partial word still
+        costs a word).
+        """
+        if not self.vectorized_postings:
+            return matches
+        return (matches + _VECTOR_WIDTH - 1) // _VECTOR_WIDTH
+
     def _purge_result_cache(self, acg_id: int) -> None:
         for key in [k for k in self._result_cache if k[0] == acg_id]:
             del self._result_cache[key]
@@ -665,8 +789,10 @@ class IndexNode:
         with self.tracer.span("index_scan", node=self.name, acg=acg_id) as span:
             self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
             file_ids = execute_plans(plans, predicate, replica.indexes,
-                                     replica.store, now)
-            self.machine.compute(_EXAMINE_OPS * len(file_ids))
+                                     replica.store, now,
+                                     use_postings=self.vectorized_postings)
+            self.machine.compute(
+                _EXAMINE_OPS * self._materialize_units(len(file_ids)))
             span.set_attribute("matches", len(file_ids))
         paths = tuple(sorted(
             p for p in (replica.store.attrs(f).get("path") for f in file_ids)
@@ -1129,8 +1255,13 @@ class IndexNode:
             replica.ensure_index(spec)
         for spec in self._global_specs.values():
             replica.ensure_index(spec)
-        for file_id, attrs, path in files:
-            replica.apply(IndexUpdate.upsert(file_id, dict(attrs), path=path))
+        if self.group_commit:
+            replica.apply_batch([
+                IndexUpdate.upsert(file_id, dict(attrs), path=path)
+                for file_id, attrs, path in files])
+        else:
+            for file_id, attrs, path in files:
+                replica.apply(IndexUpdate.upsert(file_id, dict(attrs), path=path))
         self.followers[acg_id] = FollowerState(
             primary=primary, repl_epoch=repl_epoch, replica=replica,
             applied_seq=seq)
@@ -1157,12 +1288,19 @@ class IndexNode:
                 f"{self.name}: stale repl epoch {repl_epoch} < {st.repl_epoch} "
                 f"for ACG {acg_id}")
         st.repl_epoch = repl_epoch
-        for seq, update in records:
+        for seq, payload in records:
             if seq <= st.applied_seq:
                 continue
             if seq != st.applied_seq + 1:
                 break
-            st.replica.apply(update)
+            # A group-commit primary logs one record per batch (a tuple
+            # of updates); the legacy path logs single updates.  Either
+            # way the record applies atomically before the watermark
+            # advances, so hedged reads never see half an envelope.
+            if isinstance(payload, IndexUpdate):
+                st.replica.apply(payload)
+            else:
+                st.replica.apply_batch(list(payload))
             st.applied_seq = seq
             st.last_apply_t = self.machine.clock.now()
         return st.applied_seq
@@ -1259,8 +1397,10 @@ class IndexNode:
         plans = plan_query_set(predicate, specs, now)
         self.machine.compute(_EXAMINE_OPS * max(1, replica.file_count // 64))
         file_ids = execute_plans(plans, predicate, replica.indexes,
-                                 replica.store, now)
-        self.machine.compute(_EXAMINE_OPS * len(file_ids))
+                                 replica.store, now,
+                                 use_postings=self.vectorized_postings)
+        self.machine.compute(
+            _EXAMINE_OPS * self._materialize_units(len(file_ids)))
         paths = tuple(sorted(
             p for p in (replica.store.attrs(f).get("path") for f in file_ids)
             if p is not None))
@@ -1396,6 +1536,11 @@ class IndexNode:
         # records later in the same log.
         committed_before = dict(self._wal_commit_counts)
         seen: Dict[int, int] = {}
+        batch_tag = WriteAheadLog.BATCH_TAG
+        # Skip accounting is in *updates*, not records: a skipped batch
+        # record hides its whole envelope, and the metric feeds the
+        # "every acknowledgement is accounted for" audit.
+        skipped_updates = 0
 
         def keep(record) -> bool:
             # Skip records for ACGs this node migrated away (dropped) or
@@ -1404,21 +1549,44 @@ class IndexNode:
             # ACG's already-committed prefix: those effects are durable
             # in the store, and re-applying them over a torn tail could
             # resurrect a committed-then-torn delete.  The skips are
-            # counted, not silent.
-            acg_id = record[0]
+            # counted, not silent.  Watermarks count *updates*, so a
+            # batch record advances ``seen`` by its batch length; a batch
+            # straddling the watermark is kept and sliced in the loop.
+            nonlocal skipped_updates
+            if record[0] == batch_tag:
+                acg_id, length = record[1], len(record[2])
+            else:
+                acg_id, length = record[0], 1
             if acg_id in self.migrated_away or acg_id in self.handoff_intents:
+                skipped_updates += length
                 return False
-            seen[acg_id] = seen.get(acg_id, 0) + 1
-            return seen[acg_id] > committed_before.get(acg_id, 0)
+            seen[acg_id] = seen.get(acg_id, 0) + length
+            if seen[acg_id] <= committed_before.get(acg_id, 0):
+                skipped_updates += length
+                return False
+            return True
 
         for record in self.wal.replay(keep):
-            acg_id, file_id, op_value, path, attrs = record
-            update = IndexUpdate(file_id=file_id, op=UpdateOp(op_value),
-                                 attrs=tuple(attrs), path=path)
-            self._commit_updates(acg_id, [update])
-            recovered += 1
+            if record[0] == batch_tag:
+                acg_id, raw = record[1], record[2]
+            else:
+                acg_id, raw = record[0], (record,)
+            # ``seen`` is exact through this record (replay is lazy), so
+            # the committed prefix of a straddling batch is the first
+            # ``already`` updates — replaying those would not be
+            # idempotent against a torn tail.
+            already = max(0, committed_before.get(acg_id, 0)
+                          - (seen[acg_id] - len(raw)))
+            skipped_updates += already
+            updates = [IndexUpdate(file_id=r[1], op=UpdateOp(r[2]),
+                                   attrs=tuple(r[4]), path=r[3])
+                       for r in raw[already:]]
+            if not updates:
+                continue
+            self._commit_updates(acg_id, updates)
+            recovered += len(updates)
         self.wal_replay_dropped_total += self.wal.replay_dropped
-        self.wal_replay_skipped_total += self.wal.replay_skipped
+        self.wal_replay_skipped_total += skipped_updates
         self._truncate_wal()
         return recovered
 

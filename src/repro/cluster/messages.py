@@ -48,6 +48,42 @@ class IndexUpdate:
         return 24 + 16 * len(self.attrs) + (len(self.path) if self.path else 0)
 
 
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A per-ACG batch envelope: many updates, one RPC, one group commit.
+
+    The client coalesces per-file updates (flushing on size/age
+    thresholds) and ships one envelope per (node, partition) pair.  The
+    envelope is sequence-shaped so the Index Node handler — and every
+    forwarding path between client and primary — can treat it exactly
+    like the legacy ``List[IndexUpdate]`` argument.
+
+    ``wire_bytes`` amortizes the per-request framing that the legacy
+    path paid once per update: one 24-byte header for the envelope plus
+    the per-update payloads minus their now-shared routing preamble.
+    """
+
+    acg_id: int
+    updates: Tuple[IndexUpdate, ...]
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self):
+        return iter(self.updates)
+
+    def __getitem__(self, i):
+        return self.updates[i]
+
+    def wire_bytes(self) -> int:
+        """Amortized serialized size: shared envelope header, packed updates."""
+        per_update = sum(u.wire_bytes() for u in self.updates)
+        # Each coalesced update sheds 16 bytes of per-request routing
+        # preamble (acg id, epoch, auth) that now rides on the envelope.
+        saved = 16 * max(0, len(self.updates) - 1)
+        return 24 + per_update - saved
+
+
 class UpdateAck(int):
     """An Index Node's ack for one ``index_update`` batch.
 

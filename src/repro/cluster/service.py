@@ -113,6 +113,10 @@ class PropellerService:
             self.masters.append(standby)
         for m in self.masters:
             m._on_promote = self._master_promoted
+        # Hot-path batching (group-commit WAL, bulk apply, vectorized
+        # postings, client-side coalescing).  Flipped service-wide by
+        # :meth:`set_batching`; False restores the legacy per-op path.
+        self.batching = True
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -120,6 +124,7 @@ class PropellerService:
             # forwards stamped updates to the new owner over RPC.
             node.rpc = self.rpc
             node.journal = self.journal
+            node.registry = self.registry
             self.rpc.add_endpoint(node.endpoint)
             self.master.register_index_node(name)
             self.index_nodes[name] = node
@@ -213,6 +218,12 @@ class PropellerService:
         reg.gauge_fn(f"{prefix}.cache.search_commits",
                      lambda n=node: n.cache.stats.search_commits)
         reg.gauge_fn(f"{prefix}.wal.bytes", lambda n=node: len(n.wal))
+        # Group-commit leverage: how many simulated fsyncs the log paid
+        # and how many bytes each one carried (per-update logging sits
+        # near the frame size; batching drives bytes/fsync up).
+        reg.gauge_fn(f"{prefix}.wal.fsyncs", lambda n=node: n.wal.fsyncs)
+        reg.gauge_fn(f"{prefix}.wal.bytes_per_fsync",
+                     lambda n=node: n.wal.bytes_written / max(1, n.wal.fsyncs))
         reg.gauge_fn(f"{prefix}.wal.replay_dropped",
                      lambda n=node: n.wal_replay_dropped_total)
         reg.gauge_fn(f"{prefix}.wal.replay_skipped",
@@ -591,9 +602,23 @@ class PropellerService:
         client.tracer = self.tracer
         client.registry = self.registry
         client.journal = self.journal
+        client.batching = self.batching
         client.set_freshness(self.freshness)
         self._clients.append(client)
         return client
+
+    def set_batching(self, enabled: bool) -> None:
+        """Flip the hot-path batching stack service-wide: group-commit
+        WAL + bulk apply on every Index Node, vectorized posting-list
+        intersection on the query side, and client-side update
+        coalescing.  ``False`` restores the legacy per-op path
+        byte-for-byte — the chaos bit-determinism baseline."""
+        self.batching = enabled
+        for node in self.index_nodes.values():
+            node.group_commit = enabled
+            node.vectorized_postings = enabled
+        for client in self._clients:
+            client.batching = enabled
 
     # -- convenience -----------------------------------------------------------------
 

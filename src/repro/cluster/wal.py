@@ -29,10 +29,21 @@ _HEADER = struct.Struct("<II")  # length, crc32
 class WriteAheadLog:
     """Append-only CRC-framed log, optionally charging a simulated disk."""
 
+    #: First element of a group-commit record: distinguishes a batch
+    #: frame ``(BATCH_TAG, acg_id, (update, ...))`` from the legacy
+    #: one-update-per-frame records whose first element is an int.
+    BATCH_TAG = "batch"
+
     def __init__(self, disk: Optional[DiskDevice] = None) -> None:
         self._buffer = bytearray()
         self._disk = disk
         self.records_appended = 0
+        # Group-commit accounting: every frame written is one simulated
+        # fsync (the legacy path pays one per record; append_batch pays
+        # one per *batch*).  bytes_written / fsyncs gives the amortized
+        # fsync payload surfaced as ``wal.bytes_per_fsync``.
+        self.fsyncs = 0
+        self.bytes_written = 0
         # What the most recent replay() had to drop at a torn or corrupt
         # tail (a replay over a healthy log resets both to zero).
         # Recovery paths accumulate these into longer-lived counters.
@@ -52,6 +63,27 @@ class WriteAheadLog:
         frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
         self._buffer.extend(frame)
         self.records_appended += 1
+        self.fsyncs += 1
+        self.bytes_written += len(frame)
+        if self._disk is not None:
+            self._disk.append(len(frame))
+
+    def append_batch(self, acg_id: int, records: Tuple[Tuple[Any, ...], ...]) -> None:
+        """Group-commit append: one frame, one simulated fsync, N records.
+
+        The whole batch lives inside a single CRC frame, so the torn-tail
+        rule in :meth:`replay` applies to the batch as a unit: a crash
+        mid-write drops the entire torn batch record and nothing before
+        it — exactly the atomicity group commit promises.  Replay yields
+        the batch as ``(BATCH_TAG, acg_id, records)``; recovery expands
+        it against the per-ACG commit watermark.
+        """
+        body = dump_value((self.BATCH_TAG, acg_id, tuple(records)))
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        self._buffer.extend(frame)
+        self.records_appended += len(records)
+        self.fsyncs += 1
+        self.bytes_written += len(frame)
         if self._disk is not None:
             self._disk.append(len(frame))
 

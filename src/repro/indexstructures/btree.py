@@ -148,7 +148,7 @@ class BPlusTree(Index):
 
     def insert(self, key: Any, value: Any) -> None:
         """Add one (key, value) pair; duplicate pairs are idempotent."""
-        split = self._insert(self._root, key, value)
+        split = self._insert(self._root, key, value, rightmost=True)
         if split is not None:
             sep, right = split
             new_root = _Internal(next(self._ids))
@@ -158,12 +158,14 @@ class BPlusTree(Index):
             self._height += 1
             self._touch(new_root, write=True)
 
-    def _insert(self, node: _Node, key: Any, value: Any) -> Optional[Tuple[Any, _Node]]:
+    def _insert(self, node: _Node, key: Any, value: Any,
+                rightmost: bool = False) -> Optional[Tuple[Any, _Node]]:
         if isinstance(node, _Leaf):
-            return self._insert_leaf(node, key, value)
+            return self._insert_leaf(node, key, value, rightmost)
         self._touch(node)
         idx = bisect.bisect_right(node.keys, key)
-        split = self._insert(node.children[idx], key, value)
+        split = self._insert(node.children[idx], key, value,
+                             rightmost and idx == len(node.children) - 1)
         if split is None:
             return None
         sep, right = split
@@ -172,9 +174,11 @@ class BPlusTree(Index):
         self._touch(node, write=True)
         if len(node.keys) <= self.order:
             return None
-        return self._split_internal(node)
+        return self._split_internal(
+            node, biased=rightmost and idx == len(node.keys) - 1)
 
-    def _insert_leaf(self, leaf: _Leaf, key: Any, value: Any) -> Optional[Tuple[Any, _Node]]:
+    def _insert_leaf(self, leaf: _Leaf, key: Any, value: Any,
+                     rightmost: bool = False) -> Optional[Tuple[Any, _Node]]:
         idx = bisect.bisect_left(leaf.keys, key)
         if idx < len(leaf.keys) and leaf.keys[idx] == key:
             if value not in leaf.values[idx]:
@@ -188,10 +192,16 @@ class BPlusTree(Index):
         self._touch(leaf, write=True)
         if len(leaf.keys) <= self.order:
             return None
-        return self._split_leaf(leaf)
+        return self._split_leaf(
+            leaf, biased=rightmost and idx == len(leaf.keys) - 1)
 
-    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Node]:
-        mid = len(leaf.keys) // 2
+    def _split_leaf(self, leaf: _Leaf, biased: bool = False) -> Tuple[Any, _Node]:
+        # A mid split of an append-frontier leaf (rightmost leaf, key
+        # landing at the end) freezes every leaf at 50% occupancy under
+        # monotonically increasing keys.  Bias the split instead: the
+        # left leaf stays full, the new rightmost leaf starts nearly
+        # empty and fills up as the append run continues.
+        mid = len(leaf.keys) - 1 if biased else len(leaf.keys) // 2
         right = _Leaf(next(self._ids))
         right.keys = leaf.keys[mid:]
         right.values = leaf.values[mid:]
@@ -202,8 +212,10 @@ class BPlusTree(Index):
         self._touch(right, write=True)
         return right.keys[0], right
 
-    def _split_internal(self, node: _Internal) -> Tuple[Any, _Node]:
-        mid = len(node.keys) // 2
+    def _split_internal(self, node: _Internal, biased: bool = False) -> Tuple[Any, _Node]:
+        # Same append-frontier bias one level up: keep the left node
+        # full, start the new rightmost internal with a single child.
+        mid = len(node.keys) - 1 if biased else len(node.keys) // 2
         sep = node.keys[mid]
         right = _Internal(next(self._ids))
         right.keys = node.keys[mid + 1:]
@@ -409,29 +421,209 @@ class BPlusTree(Index):
             node = node.children[0]
         return node.keys[0]
 
+    # -- bulk insert (group commit) ----------------------------------------
+
+    def bulk_insert(self, pairs) -> int:
+        """Merge a sorted run of (key, value) pairs into the live tree.
+
+        The group-commit counterpart of :meth:`bulk_load`: instead of one
+        tree descent per pair, the input is sorted once, partitioned down
+        the tree, and merged leaf-at-a-time; overflowing nodes split
+        multi-way into ~2/3-full chunks (same fill/runt policy as
+        ``bulk_load``).  Returns the number of pairs actually added
+        (duplicates are idempotent, as with :meth:`insert`).
+        """
+        grouped: dict = {}
+        for key, value in pairs:
+            bucket = grouped.setdefault(key, [])
+            if value not in bucket:
+                bucket.append(value)
+        if not grouped:
+            return 0
+        items = sorted(grouped.items())
+        added_before = self._size
+        nodes = self._bulk_merge(self._root, items)
+        fill = max(2, (self.order * 2) // 3)
+        min_children = self._min_keys() + 1
+        while len(nodes) > 1:
+            parents: List[_Internal] = []
+            for i in range(0, len(nodes), fill + 1):
+                parent = _Internal(next(self._ids))
+                parent.children = nodes[i:i + fill + 1]
+                parent.keys = [self._leftmost_key_of(c) for c in parent.children[1:]]
+                self._touch(parent, write=True)
+                parents.append(parent)
+            if len(parents) > 1 and len(parents[-1].children) < min_children:
+                prev, last = parents[-2], parents[-1]
+                merged = prev.children + last.children
+                if len(merged) <= self.order + 1:
+                    prev.children = merged
+                    prev.keys = [self._leftmost_key_of(c) for c in merged[1:]]
+                    parents.pop()
+                else:
+                    half = len(merged) // 2
+                    prev.children, last.children = merged[:half], merged[half:]
+                    prev.keys = [self._leftmost_key_of(c) for c in prev.children[1:]]
+                    last.keys = [self._leftmost_key_of(c) for c in last.children[1:]]
+            nodes = list(parents)
+            self._height += 1
+        self._root = nodes[0]
+        return self._size - added_before
+
+    def _bulk_merge(self, node: _Node, items: List[Tuple[Any, List[Any]]]) -> List[_Node]:
+        """Merge sorted ``(key, bucket)`` items into ``node``'s subtree.
+
+        Returns the node(s) replacing ``node`` at its level — the first
+        entry is always ``node`` itself (so an untouched parent pointer
+        stays valid); extras are freshly split right siblings, each at
+        least min-full thanks to the runt fixup.
+        """
+        if isinstance(node, _Leaf):
+            return self._bulk_merge_leaf(node, items)
+        self._touch(node)
+        out_children: List[_Node] = []
+        i = 0
+        for ci, child in enumerate(node.children):
+            hi = node.keys[ci] if ci < len(node.keys) else None
+            j = i
+            while hi is not None and j < len(items) and items[j][0] < hi:
+                j += 1
+            if hi is None:
+                j = len(items)
+            if j > i:
+                out_children.extend(self._bulk_merge(child, items[i:j]))
+            else:
+                out_children.append(child)
+            i = j
+        node.children = out_children
+        node.keys = [self._leftmost_key_of(c) for c in out_children[1:]]
+        self._touch(node, write=True)
+        if len(node.children) <= self.order + 1:
+            return [node]
+        # Multi-way internal split, ~2/3-full chunks with runt fixup.
+        fill = max(2, (self.order * 2) // 3)
+        min_children = self._min_keys() + 1
+        chunks = [node.children[i:i + fill + 1]
+                  for i in range(0, len(node.children), fill + 1)]
+        if len(chunks) > 1 and len(chunks[-1]) < min_children:
+            merged = chunks[-2] + chunks[-1]
+            if len(merged) <= self.order + 1:
+                chunks[-2:] = [merged]
+            else:
+                half = len(merged) // 2
+                chunks[-2:] = [merged[:half], merged[half:]]
+        node.children = chunks[0]
+        node.keys = [self._leftmost_key_of(c) for c in node.children[1:]]
+        out: List[_Node] = [node]
+        for chunk in chunks[1:]:
+            sibling = _Internal(next(self._ids))
+            sibling.children = chunk
+            sibling.keys = [self._leftmost_key_of(c) for c in chunk[1:]]
+            self._touch(sibling, write=True)
+            out.append(sibling)
+        return out
+
+    def _bulk_merge_leaf(self, leaf: _Leaf, items: List[Tuple[Any, List[Any]]]) -> List[_Node]:
+        merged_keys: List[Any] = []
+        merged_values: List[List[Any]] = []
+        i = j = 0
+        keys, values = leaf.keys, leaf.values
+        while i < len(keys) and j < len(items):
+            if keys[i] < items[j][0]:
+                merged_keys.append(keys[i])
+                merged_values.append(values[i])
+                i += 1
+            elif items[j][0] < keys[i]:
+                merged_keys.append(items[j][0])
+                merged_values.append(list(items[j][1]))
+                self._size += len(items[j][1])
+                j += 1
+            else:
+                bucket = values[i]
+                for v in items[j][1]:
+                    if v not in bucket:
+                        bucket.append(v)
+                        self._size += 1
+                merged_keys.append(keys[i])
+                merged_values.append(bucket)
+                i += 1
+                j += 1
+        merged_keys.extend(keys[i:])
+        merged_values.extend(values[i:])
+        for k, bucket in items[j:]:
+            merged_keys.append(k)
+            merged_values.append(list(bucket))
+            self._size += len(bucket)
+        if len(merged_keys) <= self.order:
+            leaf.keys, leaf.values = merged_keys, merged_values
+            self._touch(leaf, write=True)
+            return [leaf]
+        # Multi-way leaf split, same fill/runt policy as bulk_load.
+        fill = max(2, (self.order * 2) // 3)
+        min_keys = self._min_keys()
+        chunks = [(merged_keys[i:i + fill], merged_values[i:i + fill])
+                  for i in range(0, len(merged_keys), fill)]
+        if len(chunks) > 1 and len(chunks[-1][0]) < min_keys:
+            ck = chunks[-2][0] + chunks[-1][0]
+            cv = chunks[-2][1] + chunks[-1][1]
+            if len(ck) <= self.order:
+                chunks[-2:] = [(ck, cv)]
+            else:
+                half = len(ck) // 2
+                chunks[-2:] = [(ck[:half], cv[:half]), (ck[half:], cv[half:])]
+        old_next = leaf.next
+        leaf.keys, leaf.values = chunks[0]
+        self._touch(leaf, write=True)
+        out: List[_Node] = [leaf]
+        prev = leaf
+        for ck, cv in chunks[1:]:
+            sibling = _Leaf(next(self._ids))
+            sibling.keys, sibling.values = ck, cv
+            prev.next = sibling
+            prev = sibling
+            self._touch(sibling, write=True)
+            out.append(sibling)
+        prev.next = old_next
+        return out
+
     # -- validation (used by tests) ---------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert structural invariants; raises AssertionError on violation."""
-        self._check_node(self._root, depth=1, is_root=True)
+        """Assert structural invariants; raises AssertionError on violation.
+
+        Nodes on the rightmost spine are append frontiers — biased splits
+        leave them under-full on purpose, so the min-fill bound applies
+        to every *other* node.
+        """
+        self._check_node(self._root, depth=1, is_root=True, rightmost=True)
         # Leaf chain must be sorted and cover all keys.
         keys = [k for k, _ in self.items()]
         assert keys == sorted(keys), "leaf chain out of order"
 
-    def _check_node(self, node: _Node, depth: int, is_root: bool) -> int:
+    def _check_node(self, node: _Node, depth: int, is_root: bool,
+                    rightmost: bool = False) -> int:
         assert node.keys == sorted(node.keys), "node keys out of order"
         if isinstance(node, _Leaf):
             assert depth == self._height, "leaf at wrong depth"
             if not is_root:
-                assert len(node.keys) >= self._min_keys(), "leaf underflow"
+                if rightmost:
+                    assert len(node.keys) >= 1, "empty frontier leaf"
+                else:
+                    assert len(node.keys) >= self._min_keys(), "leaf underflow"
             assert len(node.keys) == len(node.values)
             return depth
         assert isinstance(node, _Internal)
         assert len(node.children) == len(node.keys) + 1
         if not is_root:
-            assert len(node.children) >= self._min_keys() + 1, "internal underflow"
+            if rightmost:
+                assert len(node.children) >= 1, "empty frontier internal"
+            else:
+                assert len(node.children) >= self._min_keys() + 1, "internal underflow"
         else:
             assert len(node.children) >= 2, "root internal with one child"
-        depths = {self._check_node(c, depth + 1, False) for c in node.children}
+        last = len(node.children) - 1
+        depths = {self._check_node(c, depth + 1, False,
+                                   rightmost and i == last)
+                  for i, c in enumerate(node.children)}
         assert len(depths) == 1, "uneven leaf depth"
         return depths.pop()

@@ -136,6 +136,32 @@ class ExtendibleHashIndex(Index):
             self._split(bucket)
         raise RuntimeError("extendible hash split did not converge")
 
+    def bulk_insert(self, pairs: Iterator[Tuple[Any, Any]]) -> int:
+        """Insert many (key, value) pairs, grouped by key.
+
+        The group-commit path for keyword postings: pairs sharing a key
+        (one keyword, many files) resolve the bucket once instead of
+        re-walking the directory per pair.  Returns pairs added.
+        """
+        grouped: dict = {}
+        for key, value in pairs:
+            bucket = grouped.setdefault(key, [])
+            if value not in bucket:
+                bucket.append(value)
+        added = 0
+        for key, new_values in grouped.items():
+            first = new_values[0]
+            before = self._size
+            self.insert(key, first)  # may split; re-resolves the bucket
+            bucket = self._bucket_for(key)
+            values = bucket.entries[key]
+            for value in new_values[1:]:
+                if value not in values:
+                    values.append(value)
+                    self._size += 1
+            added += self._size - before
+        return added
+
     def remove(self, key: Any, value: Any = None) -> int:
         """Remove one value under ``key`` (or all); returns pairs removed."""
         bucket = self._bucket_for(key)

@@ -24,7 +24,8 @@ from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator, List,
 
 from repro.errors import DiskIOError, NodeDown, QueryError, RpcTimeout, UnknownIndexName
 from repro.indexstructures.base import Index
-from repro.query.ast import Predicate, matches
+from repro.indexstructures.postings import PostingList, intersect_all
+from repro.query.ast import And, Keyword, Predicate, conjuncts, matches
 from repro.query.planner import Plan
 
 # Failures that degrade a search leg instead of failing the whole query.
@@ -119,11 +120,43 @@ def _candidates(plan: Plan, indexes: Mapping[str, Index],
     raise QueryError(f"unknown access path: {plan.access!r}")
 
 
+def _keyword_posting_candidates(plan: Plan, predicate: Predicate,
+                                indexes: Mapping[str, Index]
+                                ) -> Optional[PostingList]:
+    """AND the posting lists of every top-level keyword conjunct.
+
+    The legacy keyword path probes one term and leaves the rest to the
+    per-doc residual filter — each candidate pays a membership test per
+    remaining keyword.  Here every keyword that is a mandatory conjunct
+    (``conjuncts`` only flattens top-level ANDs, so each is required)
+    narrows the candidate set up front with a vectorized bitmap AND.
+    Returns None when the predicate has no top-level keyword conjuncts
+    (e.g. a disjunctive branch plan) — the caller falls back to the
+    legacy probe.  Exactness is untouched either way: candidates still
+    run through the full residual filter.
+    """
+    terms = [c.term for c in conjuncts(predicate) if isinstance(c, Keyword)]
+    if not terms:
+        return None
+    index = indexes[plan.index_name]
+    return intersect_all(
+        PostingList.from_iterable(index.get(term)) for term in terms)
+
+
 def execute(plan: Plan, predicate: Predicate, indexes: Mapping[str, Index],
-            store: AttributeStore, now: float) -> Set[int]:
+            store: AttributeStore, now: float,
+            use_postings: bool = False) -> Set[int]:
     """Run one plan; return the exact set of matching file ids."""
+    candidates: Iterable[int]
+    if (use_postings and plan.access == "keyword"
+            and plan.index_name is not None and plan.index_name in indexes):
+        postings = _keyword_posting_candidates(plan, predicate, indexes)
+        candidates = postings if postings is not None \
+            else _candidates(plan, indexes, store)
+    else:
+        candidates = _candidates(plan, indexes, store)
     result: Set[int] = set()
-    for file_id in _candidates(plan, indexes, store):
+    for file_id in candidates:
         if file_id in result or file_id not in store:
             continue
         if matches(predicate, store.attrs(file_id), store.keywords(file_id), now):
@@ -133,12 +166,13 @@ def execute(plan: Plan, predicate: Predicate, indexes: Mapping[str, Index],
 
 def execute_plans(plans: Iterable[Plan], predicate: Predicate,
                   indexes: Mapping[str, Index], store: AttributeStore,
-                  now: float) -> Set[int]:
+                  now: float, use_postings: bool = False) -> Set[int]:
     """Union of several plans (disjunctive queries), still exact: every
     candidate is re-checked against the full predicate."""
     result: Set[int] = set()
     for plan in plans:
-        result |= execute(plan, predicate, indexes, store, now)
+        result |= execute(plan, predicate, indexes, store, now,
+                          use_postings=use_postings)
     return result
 
 

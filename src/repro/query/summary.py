@@ -83,6 +83,17 @@ class PartitionSummary:
                         zone[1] = value
         self.bloom.add_all(keywords)
 
+    def observe_batch(self, entries: Iterable[Tuple[Mapping[str, Any],
+                                                    Iterable[str]]]) -> None:
+        """One widening pass for a whole group commit.
+
+        Equivalent to calling :meth:`observe` per entry (widening is
+        commutative and monotone), but the group-commit path pays the
+        bookkeeping once per batch instead of once per update.
+        """
+        for attrs, keywords in entries:
+            self.observe(attrs, keywords)
+
     def note_delete(self) -> None:
         self.deletes_since_rebuild += 1
 

@@ -201,3 +201,91 @@ def test_property_range_equals_filter(keys, a, b):
     got = [k for k, _ in tree.range(low, high)]
     want = sorted(k for k in set(keys) if low <= k <= high)
     assert got == want
+
+
+# -- append-frontier occupancy (the monotonic-key degenerate-split fix) --------
+
+
+def _leaf_sizes(tree):
+    leaf = tree._leftmost_leaf()
+    sizes = []
+    while leaf is not None:
+        sizes.append(len(leaf.keys))
+        leaf = leaf.next
+    return sizes
+
+
+def test_monotonic_inserts_keep_settled_leaves_full():
+    """An append-only key stream (mtimes, sequential ids) used to
+    mid-split every frontier leaf, pinning the whole tree at ~50%
+    occupancy.  The biased frontier split leaves every settled
+    (non-rightmost) leaf completely full — never below order/2."""
+    order = 8
+    tree = BPlusTree(order=order)
+    for k in range(500):
+        tree.insert(k, k)
+    tree.check_invariants()
+    sizes = _leaf_sizes(tree)
+    assert all(s >= order // 2 for s in sizes[:-1])
+    assert all(s == order for s in sizes[:-1])  # the bias packs them
+    assert [k for k, _ in tree.items()] == list(range(500))
+
+
+def test_descending_inserts_keep_min_occupancy():
+    """The bias only triggers on the rightmost spine: a descending
+    stream takes the classic mid-split and keeps the B+tree invariant."""
+    order = 8
+    tree = BPlusTree(order=order)
+    for k in range(400, 0, -1):
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert all(s >= order // 2 for s in _leaf_sizes(tree)[:-1])
+
+
+def test_monotonic_then_deletes_stay_consistent():
+    """Full settled leaves must not break delete rebalancing."""
+    order = 6
+    tree = BPlusTree(order=order)
+    for k in range(300):
+        tree.insert(k, k)
+    for k in range(0, 300, 3):
+        assert tree.remove(k) == 1
+    tree.check_invariants()
+    assert sorted(k for k, _ in tree.items()) == [
+        k for k in range(300) if k % 3 != 0]
+
+
+# -- bulk_insert (the group-commit apply path) ---------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(-500, 500), st.integers(0, 5)), max_size=200),
+       st.lists(st.tuples(st.integers(-500, 500), st.integers(0, 5)), max_size=200),
+       st.integers(3, 16))
+def test_property_bulk_insert_matches_sequential(existing, batch, order):
+    sequential = BPlusTree(order=order)
+    bulk = BPlusTree(order=order)
+    for key, value in existing:
+        sequential.insert(key, value)
+        bulk.insert(key, value)
+    for key, value in batch:
+        sequential.insert(key, value)
+    added = bulk.bulk_insert(batch)
+    bulk.check_invariants()
+    assert added == len(bulk) - sum(
+        1 for _ in {(k, v) for k, v in existing})
+    assert len(bulk) == len(sequential)
+    assert list(bulk.items()) == list(sequential.items())
+
+
+def test_bulk_insert_into_empty_and_again():
+    tree = BPlusTree(order=4)
+    assert tree.bulk_insert([(i, i) for i in range(100)]) == 100
+    tree.check_invariants()
+    assert tree.bulk_insert([(i, i + 1) for i in range(50, 150)]) == 100
+    tree.check_invariants()
+    assert len(tree) == 200
+    assert tree.get(75) == [75, 76]
+    got = [k for k, _ in tree.range(90, 110)]
+    assert got == sorted(k for k in range(90, 111) for _ in
+                         ([0, 1] if 50 <= k < 100 else [0]))

@@ -52,6 +52,8 @@ def test_index_node_crash_then_wal_recovery():
 
 def test_torn_wal_tail_loses_only_last_record():
     service, client = build(nodes=1)
+    # Legacy per-update records: one torn frame loses exactly one update.
+    service.index_nodes["in1"].group_commit = False
     populate(service, client, n=10)
     node = service.index_nodes["in1"]
     node.wal.simulate_torn_tail(5)
@@ -59,6 +61,23 @@ def test_torn_wal_tail_loses_only_last_record():
     replacement.handle_create_index(IndexSpec("by_size", IndexKind.BTREE, ("size",)))
     replacement.wal._buffer = bytearray(node.wal._buffer)
     assert replacement.recover_from_wal() == 9
+
+
+def test_torn_wal_tail_drops_whole_batch_record():
+    """Group commit makes the WAL unit the batch: a torn tail can only
+    drop whole batch records, never leave a partially-applied envelope."""
+    service, client = build(nodes=1)
+    populate(service, client, n=10)  # one flush -> one batch record
+    node = service.index_nodes["in1"]
+    assert node.wal.fsyncs == 1
+    node.wal.simulate_torn_tail(5)
+    replacement = IndexNode("r", Machine(SimClock()))
+    replacement.handle_create_index(IndexSpec("by_size", IndexKind.BTREE, ("size",)))
+    replacement.wal._buffer = bytearray(node.wal._buffer)
+    # The torn frame was the whole 10-update envelope: recovery sees
+    # none of it (atomic loss), rather than 9 of 10 (partial apply).
+    assert replacement.recover_from_wal() == 0
+    assert replacement.wal.replay_dropped == 1
 
 
 def test_search_degrades_when_node_down():
