@@ -298,7 +298,49 @@ class InvariantChecker:
                     f"{self._last_route_epoch}")
         else:
             self._last_route_epoch = epoch
+
+        # 10. Frozen partitions still answer (tiering only): a frozen
+        # ACG's segment-path search must return exactly what its live
+        # backing replica would — cold-tier faults may only degrade a
+        # leg to the replica fallback, never to a wrong answer.  Object
+        # faults are cleared at settle, so hydration itself must also
+        # succeed here.
+        if getattr(self.service, "tiering", False):
+            self._check_frozen_answers(violate)
         return violations
+
+    def _check_frozen_answers(self, violate) -> None:
+        """Frozen-vs-live oracle: every frozen partition's search answer
+        equals an exact scan of its retained backing replica."""
+        from repro.query import parse_query
+        from repro.query.ast import matches
+
+        predicate = parse_query("chaos>=0")
+        now = self.service.clock.now()
+        for name in sorted(self.service.index_nodes):
+            node = self.service.index_nodes[name]
+            if not node.endpoint.up:
+                continue
+            for acg_id in sorted(node.frozen):
+                if acg_id in node.handoff_intents:
+                    continue  # mid-migration: the target answers now
+                replica = node.replicas.get(acg_id)
+                if replica is None:
+                    violate("frozen_without_replica",
+                            f"{name} lists partition {acg_id} frozen but "
+                            f"holds no backing replica")
+                    continue
+                result = node._search_one(acg_id, predicate, None)
+                oracle = {fid for fid in replica.store.file_ids()
+                          if matches(predicate, replica.store.attrs(fid),
+                                     replica.store.keywords(fid), now)}
+                if set(result.file_ids) != oracle:
+                    extra = sorted(set(result.file_ids) - oracle)[:5]
+                    missing = sorted(oracle - set(result.file_ids))[:5]
+                    violate("frozen_answer_divergence",
+                            f"{name} partition {acg_id}: frozen search "
+                            f"differs from the backing replica "
+                            f"(extra={extra}, missing={missing})")
 
     def _check_replica_convergence(self, known, violate) -> None:
         """Every live follower matches its live primary's log watermark

@@ -25,6 +25,8 @@ _DROPPED = "chaos.messages_dropped"
 _DELAYED = "chaos.messages_delayed"
 _DUPLICATED = "chaos.messages_duplicated"
 _DISK_ERRORS = "chaos.disk_errors"
+_OBJECT_ERRORS = "chaos.object_errors"
+_SLOW_HYDRATIONS = "chaos.slow_hydrations"
 
 
 class FaultInjector:
@@ -58,6 +60,13 @@ class FaultInjector:
         self.delay_rate = 0.0
         self.delay_s = 0.05
         self.disk_error_rate = 0.0
+        # Cold-tier (object store) faults: GET error probability and
+        # slow-hydration stretch (probability + extra seconds).  All
+        # default off, and the decision points consult no RNG while off,
+        # so non-tiered schedules keep their byte-identical streams.
+        self.object_error_rate = 0.0
+        self.hydration_delay_rate = 0.0
+        self.hydration_extra_s = 0.0
         self.slow_nodes: Dict[str, float] = {}
         # Per-node probability the straggler tax applies to one message
         # (absent = always).  Intermittent stragglers are the tail-latency
@@ -78,6 +87,8 @@ class FaultInjector:
         self.delayed = 0
         self.duplicated = 0
         self.disk_errors = 0
+        self.object_errors = 0
+        self.slow_hydrations = 0
 
     # -- configuration (schedule steps call these) ---------------------------
 
@@ -133,6 +144,30 @@ class FaultInjector:
             self.journal.emit("chaos.fault_injected", fault="disk_errors",
                               rate=rate)
 
+    def set_object_error_rate(self, rate: float) -> None:
+        """Probability an attached object store's GET fails."""
+        self.object_error_rate = rate
+        if rate:
+            self.journal.emit("chaos.fault_injected", fault="object_errors",
+                              rate=rate)
+
+    def set_hydration_delay(self, extra_s: float, probability: float = 1.0) -> None:
+        """Stretch object-store GETs by ``extra_s`` with ``probability``.
+
+        The slow-hydration fault: a congested cold tier serving segment
+        reads at tail latency rather than failing them outright."""
+        self.hydration_extra_s = extra_s
+        self.hydration_delay_rate = probability if extra_s > 0.0 else 0.0
+        if extra_s > 0.0:
+            self.journal.emit("chaos.fault_injected", fault="slow_hydration",
+                              extra_s=extra_s, probability=probability)
+
+    def clear_object_faults(self) -> None:
+        """Back to a healthy cold tier."""
+        self.object_error_rate = 0.0
+        self.hydration_delay_rate = 0.0
+        self.hydration_extra_s = 0.0
+
     def arm_method_fault(self, target: str, method: str, count: int = 1) -> None:
         """Drop the next ``count`` messages of one (target, method) pair.
 
@@ -162,6 +197,8 @@ class FaultInjector:
         """True when no fault of any kind is currently armed."""
         return (self.drop_rate == 0.0 and self.duplicate_rate == 0.0
                 and self.delay_rate == 0.0 and self.disk_error_rate == 0.0
+                and self.object_error_rate == 0.0
+                and self.hydration_delay_rate == 0.0
                 and not self.slow_nodes and not self.armed
                 and not self.isolated)
 
@@ -232,6 +269,30 @@ class FaultInjector:
             return True
         return False
 
+    def object_read_fails(self) -> bool:
+        """Whether the next object-store GET fails (no draw when off)."""
+        if self.object_error_rate <= 0.0:
+            return False
+        if self.rng.random() < self.object_error_rate:
+            self.object_errors += 1
+            self._count(_OBJECT_ERRORS)
+            return True
+        return False
+
+    def hydration_delay_s(self) -> float:
+        """Extra seconds the next object-store GET pays (0 when healthy).
+
+        Consults the RNG only for intermittent delays (probability < 1),
+        mirroring :meth:`extra_latency_s`."""
+        if self.hydration_delay_rate <= 0.0 or self.hydration_extra_s <= 0.0:
+            return 0.0
+        if (self.hydration_delay_rate < 1.0
+                and self.rng.random() >= self.hydration_delay_rate):
+            return 0.0
+        self.slow_hydrations += 1
+        self._count(_SLOW_HYDRATIONS)
+        return self.hydration_extra_s
+
     def summary(self) -> Dict[str, int]:
         """JSON-ready injection totals."""
         return {
@@ -239,4 +300,6 @@ class FaultInjector:
             "delayed": self.delayed,
             "duplicated": self.duplicated,
             "disk_errors": self.disk_errors,
+            "object_errors": self.object_errors,
+            "slow_hydrations": self.slow_hydrations,
         }

@@ -71,16 +71,18 @@ class ChaosRunner:
                  settle_every: int = 10,
                  retry_policy: Optional[RetryPolicy] = None,
                  rf: int = 1, master_faults: bool = False,
-                 batching: bool = True) -> None:
+                 batching: bool = True, tiering: bool = False) -> None:
         self.seed = seed
         self.steps = steps
         self.nodes = nodes
         self.rf = rf
         self.master_faults = master_faults
         self.batching = batching
+        self.tiering = tiering
         self.settle_every = max(1, settle_every)
         self.schedule: List[ChaosStep] = build_schedule(
-            seed, steps, nodes, master_faults=master_faults)
+            seed, steps, nodes, master_faults=master_faults,
+            tiering=tiering)
         # Splits are disabled (huge threshold): the interplay of mid-split
         # faults with metadata mutation is out of the fault model's scope,
         # and a surprise split would make missing-file excuses ambiguous.
@@ -118,6 +120,16 @@ class ChaosRunner:
         # ``batching=False`` pins the legacy per-op hot path — the
         # byte-identical baseline the batched stack is audited against.
         self.service.set_batching(batching)
+        # Cold-tier faults go through the same injector; attaching the
+        # hook is free when tiering is off (the decision methods draw no
+        # randomness while their rates are zero).
+        self.service.object_store.faults = self.faults
+        if tiering:
+            # A 4s freeze age sits under the 6s settle advance, so every
+            # settle window gives cold partitions a chance to freeze and
+            # the frozen-answer invariant real segments to audit; the
+            # size floor drops to 256 B because chaos partitions are tiny.
+            self.service.set_tiering(True, freeze_age_s=4.0, min_bytes=256)
         self.client = self.service.make_client(batch_size=128)
         self.ledger = AckLedger()
         self.checker = InvariantChecker(self.service, self.client, self.ledger)
@@ -420,6 +432,7 @@ class ChaosRunner:
         elif step.op == "clear_faults":
             self.faults.clear_message_faults()
             self.faults.set_disk_error_rate(0.0)
+            self.faults.clear_object_faults()
         elif step.op == "slow_node":
             self.faults.slow_node(self._node_name(p["node"]), p["extra_s"])
         elif step.op == "disk_errors":
@@ -430,6 +443,16 @@ class ChaosRunner:
             self._do_master_crash(p["down_s"])
         elif step.op == "master_isolation":
             self._do_master_isolation(p["duration_s"])
+        elif step.op == "object_store_errors":
+            self.faults.set_object_error_rate(p["rate"])
+        elif step.op == "slow_hydration":
+            self.faults.set_hydration_delay(p["extra_s"],
+                                            probability=p["probability"])
+        elif step.op == "cache_pressure":
+            for name in sorted(self.service.index_nodes):
+                node = self.service.index_nodes[name]
+                if node.endpoint.up:
+                    node.drop_caches()
         elif step.op == "flush":
             self.client.flush_updates()
         else:  # pragma: no cover - schedule and runner move in lockstep
@@ -441,6 +464,7 @@ class ChaosRunner:
         """Give every promise a chance to land, then audit."""
         self.faults.clear_message_faults()
         self.faults.set_disk_error_rate(0.0)
+        self.faults.clear_object_faults()
         # Two delivery rounds: the first may still route to a crashed
         # node the Master has not yet failed over; advancing time runs
         # heartbeat polls (auto-failover) between them.
@@ -477,6 +501,28 @@ class ChaosRunner:
         registry = self.service.registry
         return registry.value(name) if name in registry else 0
 
+    def _tier_report(self) -> Dict[str, Any]:
+        """Cold-tier digest: summed node counters plus the store's view."""
+        nodes = self.service.index_nodes.values()
+        store = self.service.object_store
+        return {
+            "enabled": self.tiering,
+            "freezes": sum(n.tier_freezes for n in nodes),
+            "thaws": sum(n.tier_thaws for n in nodes),
+            "hydrations": sum(n.tier_hydrations for n in nodes),
+            "fallbacks": sum(n.tier_fallbacks for n in nodes),
+            "summary_prunes": sum(n.tier_summary_prunes for n in nodes),
+            "repairs": sum(n.tier_repairs for n in nodes),
+            "frozen_now": sum(len(n.frozen) for n in nodes),
+            "object_store": {
+                "objects": len(store.keys()),
+                "bytes": store.stored_bytes(),
+                "gets": store.stats.gets,
+                "puts": store.stats.puts,
+                "errors": store.stats.errors,
+            },
+        }
+
     def report(self) -> Dict[str, Any]:
         """Canonical, deterministic digest of the run."""
         ledger = self.ledger
@@ -490,6 +536,7 @@ class ChaosRunner:
             "nodes": self.nodes,
             "rf": self.rf,
             "master_faults": self.master_faults,
+            "tiering": self._tier_report(),
             "master": {
                 "term": status["term"],
                 "acting": status["acting"],
@@ -529,9 +576,10 @@ class ChaosRunner:
 
 def run_chaos(seed: int, steps: int = 50, nodes: int = 3,
               settle_every: int = 10, rf: int = 1,
-              master_faults: bool = False) -> Dict[str, Any]:
+              master_faults: bool = False,
+              tiering: bool = False) -> Dict[str, Any]:
     """Convenience: one fresh runner, one full run, one report."""
     runner = ChaosRunner(seed, steps=steps, nodes=nodes,
                          settle_every=settle_every, rf=rf,
-                         master_faults=master_faults)
+                         master_faults=master_faults, tiering=tiering)
     return runner.run()

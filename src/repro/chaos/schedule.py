@@ -43,6 +43,20 @@ _MASTER_FAULT_OPS = [
     ("master_isolation", 3),
 ]
 
+# Extra ops mixed in only when a schedule opts into tiered storage
+# (``build_schedule(..., tiering=True)``).  Same opt-in rule as the
+# master-fault pool: the baseline op list keeps drawing the
+# byte-identical program it always did.
+_TIERING_OPS = [
+    ("object_store_errors", 4),
+    ("slow_hydration", 3),
+    # Memory pressure evicts the node-local result and segment caches,
+    # so the next frozen-partition search must revisit the cold tier —
+    # without it, settle-point hydrations would leave every segment
+    # cached and the two fault ops above would never fire mid-schedule.
+    ("cache_pressure", 4),
+]
+
 
 @dataclass(frozen=True)
 class ChaosStep:
@@ -58,22 +72,27 @@ class ChaosStep:
 
 
 def build_schedule(seed: int, steps: int, nodes: int,
-                   master_faults: bool = False) -> List[ChaosStep]:
+                   master_faults: bool = False,
+                   tiering: bool = False) -> List[ChaosStep]:
     """Generate a deterministic ``steps``-long fault program.
 
     ``nodes`` is the Index Node count; node-targeted steps carry a node
     *ordinal* (the runner maps it onto the node list) so the same program
     is meaningful for any cluster of that size.  ``master_faults`` mixes
     control-plane faults (crash the acting Master, isolate it off the
-    network) into the op pool; off (the default), the generated program
-    is byte-identical to what this function always produced.
+    network) into the op pool; ``tiering`` mixes in cold-tier faults
+    (object-store read errors, slow hydration).  With both off (the
+    default), the generated program is byte-identical to what this
+    function always produced.
     """
     if steps < 1:
         raise ValueError(f"steps must be positive: {steps}")
     if nodes < 1:
         raise ValueError(f"nodes must be positive: {nodes}")
     rng = random.Random(seed)
-    weighted = _WEIGHTED_OPS + (_MASTER_FAULT_OPS if master_faults else [])
+    weighted = (_WEIGHTED_OPS
+                + (_MASTER_FAULT_OPS if master_faults else [])
+                + (_TIERING_OPS if tiering else []))
     ops = [op for op, weight in weighted for _ in range(weight)]
     program: List[ChaosStep] = []
     for i in range(steps):
@@ -116,5 +135,10 @@ def build_schedule(seed: int, steps: int, nodes: int,
             params["down_s"] = round(6.0 + 20.0 * rng.random(), 3)
         elif op == "master_isolation":
             params["duration_s"] = round(6.0 + 14.0 * rng.random(), 3)
+        elif op == "object_store_errors":
+            params["rate"] = round(rng.choice([0.05, 0.1, 0.25]), 3)
+        elif op == "slow_hydration":
+            params["extra_s"] = round(0.05 + 0.45 * rng.random(), 4)
+            params["probability"] = round(rng.choice([0.25, 0.5, 1.0]), 3)
         program.append(ChaosStep(i, op, params))
     return program

@@ -125,6 +125,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if batching:
         print()
         print(batching)
+    tiers = _render_memory_tiers(service)
+    if tiers:
+        print()
+        print(tiers)
     tail = _render_tail_latency(service.registry)
     if tail:
         print()
@@ -202,6 +206,23 @@ def _render_tail_latency(registry) -> str:
     return render_table(
         ["histogram", "n", "p50", "p95", "p99", "hedges", "rescues"], rows,
         title="tail latency")
+
+
+def _render_memory_tiers(service) -> str:
+    """Per-node byte accounting across storage tiers: live resident
+    replicas, hydrated segment cache and uncommitted index cache (RAM),
+    the WAL (local disk), and frozen segments (cold object store)."""
+    rows = []
+    for row in service.memory_tiers():
+        frozen = (f"{row['frozen']} ({row['frozen_acgs']} acgs)"
+                  if row["frozen_acgs"] else "0")
+        rows.append([row["node"], row["resident"], row["segment_cache"],
+                     row["index_cache"], row["wal"], frozen])
+    if not rows:
+        return ""
+    return render_table(
+        ["node", "resident B", "seg cache B", "idx cache B", "wal B",
+         "frozen B"], rows, title="memory tiers")
 
 
 def cmd_partition(args: argparse.Namespace) -> int:
@@ -399,7 +420,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     for attempt in range(2):
         runner = ChaosRunner(args.seed, steps=args.steps, nodes=args.nodes,
                              settle_every=args.settle_every, rf=args.rf,
-                             master_faults=args.master_faults)
+                             master_faults=args.master_faults,
+                             tiering=args.tiering)
         runner.run()
         reports.append(runner.report_json())
     report = json.loads(reports[0])
@@ -409,7 +431,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         counters = report["counters"]
         print(f"chaos seed={report['seed']} steps={report['steps']} "
               f"nodes={report['nodes']} rf={report.get('rf', 1)}"
-              + (" master-faults" if report.get("master_faults") else ""))
+              + (" master-faults" if report.get("master_faults") else "")
+              + (" tiering" if report.get("tiering", {}).get("enabled")
+                 else ""))
         print(f"  virtual time      {report['virtual_time_s']:.1f}s")
         print(f"  files             {report['files_created']} created, "
               f"{report['files_deleted']} deleted, "
@@ -438,6 +462,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   f"{master.get('deposed', 0):.0f} deposed, "
                   f"{master.get('restarts', 0):.0f} restarts, "
                   f"{master.get('fences', 0)} fences")
+        tiers = report.get("tiering", {})
+        if tiers.get("enabled"):
+            objstore = tiers.get("object_store", {})
+            print(f"  tiering           {tiers['freezes']} freezes, "
+                  f"{tiers['thaws']} thaws, {tiers['hydrations']} hydrations, "
+                  f"{tiers['fallbacks']} fallbacks, "
+                  f"{tiers['repairs']} repairs "
+                  f"({tiers['frozen_now']} frozen now)")
+            print(f"  object store      {objstore.get('objects', 0)} objects / "
+                  f"{objstore.get('bytes', 0)} B, "
+                  f"{objstore.get('gets', 0)} gets, "
+                  f"{objstore.get('puts', 0)} puts, "
+                  f"{objstore.get('errors', 0)} errors "
+                  f"(injected {report['injected'].get('object_errors', 0)} "
+                  f"errors, {report['injected'].get('slow_hydrations', 0)} "
+                  f"slow hydrations)")
         print(f"  degraded queries  {report['queries_degraded']}")
         print(f"  wal replay drops  {report['wal_replay_dropped']}")
         print(f"  violations        {len(report['violations'])}")
@@ -521,6 +561,10 @@ def cmd_status(args: argparse.Namespace) -> int:
             for name, n in sorted(health["nodes"].items())]
     print(render_table(["node", "verdict", "causes"], rows, title="nodes"))
     print()
+    tiers = _render_memory_tiers(service)
+    if tiers:
+        print(tiers)
+        print()
     gauges = health["gauges"]
     print(render_table(["gauge", "value"],
                        [[name, gauges[name]] for name in sorted(gauges)],
@@ -682,6 +726,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deploy a warm standby Master and mix "
                             "master_crash / master_isolation ops into the "
                             "schedule (control-plane failover chaos)")
+    chaos.add_argument("--tiering", action="store_true",
+                       help="enable tiered storage (cold partitions freeze "
+                            "to the simulated object store) and mix "
+                            "object_store_errors / slow_hydration ops into "
+                            "the schedule")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chaos.set_defaults(func=cmd_chaos)

@@ -32,6 +32,7 @@ class CacheStats:
     updates_cached: int = 0
     timeout_commits: int = 0
     search_commits: int = 0
+    flush_commits: int = 0
     updates_committed: int = 0
 
 
@@ -82,6 +83,8 @@ class IndexCache:
         self.stats.updates_committed += len(updates)
         if reason == "timeout":
             self.stats.timeout_commits += 1
+        elif reason == "flush":
+            self.stats.flush_commits += 1
         else:
             self.stats.search_commits += 1
         return len(updates)
@@ -103,8 +106,24 @@ class IndexCache:
         return committed
 
     def commit_all(self) -> int:
-        """Flush everything (shutdown / checkpoint)."""
-        return sum(self._commit(acg, "timeout") for acg in list(self._pending))
+        """Flush everything (shutdown / checkpoint).
+
+        A flush is its own commit reason: counting these as "timeout"
+        commits (the old behaviour) skewed the timeout-vs-search batching
+        ratio every checkpoint, which is exactly the figure-10 signal the
+        stats exist to explain.
+        """
+        return sum(self._commit(acg, "flush") for acg in list(self._pending))
+
+    def estimated_bytes(self) -> int:
+        """Approximate RAM held by parked updates (per-tier accounting).
+
+        Per update: the serialized payload (``wire_bytes``) plus ~48
+        bytes of list/object overhead — the same order the WAL charges,
+        so the hot tier's gauge is comparable to the log's.
+        """
+        return sum(48 + u.wire_bytes()
+                   for bucket in self._pending.values() for u in bucket)
 
     def next_deadline(self) -> Optional[float]:
         """When the earliest bucket times out (None if empty)."""

@@ -20,11 +20,15 @@ from repro.cluster.cache import DEFAULT_TIMEOUT_S, IndexCache
 from repro.cluster.messages import (Heartbeat, IndexUpdate, ReplicaSearchReply,
                                     SearchReply, SearchResult, UpdateAck,
                                     UpdateOp)
+from repro.cluster.segments import (FrozenPartition, SegmentCache, TierPolicy,
+                                    dump_segment, load_segment,
+                                    load_segment_payload, segment_key)
 from repro.cluster.wal import WriteAheadLog
 from repro.core.acg import AccessCausalityGraph
 from repro.core.partitioner import PartitioningPolicy, split_partition
-from repro.errors import (ClusterError, StaleMasterTerm, StaleReplEpoch,
-                          StaleRoute, UnknownAcg)
+from repro.errors import (ClusterError, ObjectStoreError, SegmentCorruption,
+                          StaleMasterTerm, StaleReplEpoch, StaleRoute,
+                          UnknownAcg)
 from repro.indexstructures.base import Index, IndexKind, make_index
 from repro.obs.freshness import NULL_FRESHNESS
 from repro.obs.journal import NULL_JOURNAL
@@ -34,7 +38,8 @@ from repro.query.canonical import canonicalize, is_time_dependent
 from repro.query.executor import (DEGRADABLE_ERRORS, AttributeStore, execute,
                                   execute_plans, tokenize_path)
 from repro.replication.log import ReplicationLog
-from repro.query.summary import PartitionSummary, SummarySnapshot
+from repro.query.summary import (PartitionSummary, SummarySnapshot,
+                                 summary_may_match)
 from repro.query.planner import (
     KEYWORD_ATTR,
     IndexSpec,
@@ -59,6 +64,10 @@ _COMMIT_BATCHED_UPDATE_OPS = 2_000  # marginal bulk-apply cost per update
 # Bitmap posting lists materialize results word-at-a-time instead of
 # doc-at-a-time; one examine charge covers this many matches.
 _VECTOR_WIDTH = 8
+# Tiered storage: CPU to serialize one file into a frozen segment and
+# to parse it back out during hydration (zlib + framing per file).
+_FREEZE_OPS_PER_FILE = 200
+_HYDRATE_OPS_PER_FILE = 150
 
 # Per-node result cache entries (each is one ACG's answer to one
 # canonical predicate at one commit watermark).
@@ -399,6 +408,30 @@ class IndexNode:
         # baseline).
         self.group_commit = True
         self.vectorized_postings = True
+        # Tiered storage (service-wide knob; see PropellerService
+        # ``set_tiering``).  Off by default: the freeze driver, the
+        # frozen search path, and every cold-tier charge are gated on
+        # ``tiering``, so the default path is byte-identical to the
+        # non-tiered node.  ``object_store`` is attached by the service;
+        # ``frozen`` maps ACG id → the RAM-resident record of its cold
+        # segment (summary sidecar + sizes); the live replica stays in
+        # ``replicas`` as the durable backing (analogous to the disk
+        # copy in the residency model) but leaves the ``_resident``
+        # budget, which is what flattens the paging knee.
+        self.tiering = False
+        self.object_store = None
+        self.tier_policy = TierPolicy()
+        self.segment_cache = SegmentCache(machine.spec.ram_bytes)
+        self.frozen: Dict[int, FrozenPartition] = {}
+        # Per-ACG last search/update time — the heat stat the freeze
+        # policy reads.  Pure bookkeeping: no simulated cost.
+        self._acg_last_access: Dict[int, float] = {}
+        self.tier_freezes = 0
+        self.tier_thaws = 0
+        self.tier_hydrations = 0
+        self.tier_fallbacks = 0
+        self.tier_summary_prunes = 0
+        self.tier_repairs = 0
         # Metrics registry (attached by the service; None when the node
         # runs bare in tests).  Observations are bookkeeping only — they
         # charge no simulated time.
@@ -531,9 +564,23 @@ class IndexNode:
         return acg_id in self._resident
 
     def drop_resident(self) -> None:
-        """Cold-start: forget every loaded ACG (cf. dropping page caches)."""
+        """Cold-start: forget every loaded ACG (cf. dropping page caches).
+
+        Hydrated segment views are part of the same cold-start surface,
+        so the segment cache empties too (a no-op with tiering off)."""
         self._resident.clear()
         self._resident_bytes = 0
+        self.segment_cache.clear()
+
+    def drop_caches(self) -> None:
+        """Memory-pressure eviction of the node-local volatile caches:
+        the search result cache and the hydrated segment views.  The
+        next search against a frozen partition must go back to the cold
+        tier — the path the chaos harness's cache-pressure op exists to
+        exercise.  Resident index bodies stay loaded (that cold-start
+        surface belongs to :meth:`drop_resident`)."""
+        self._result_cache.clear()
+        self.segment_cache.clear()
 
     def handle_create_index(self, spec: IndexSpec) -> None:
         """Register a user-defined index; existing replicas backfill."""
@@ -624,8 +671,13 @@ class IndexNode:
             self.stale_route_nacks += len(updates)
             raise StaleRoute(f"{self.name} does not own ACG {acg_id}",
                              epoch=self.route_epoch_seen)
+        if acg_id in self.frozen:
+            # Writes thaw: the partition returns to the live B+tree/hash
+            # path before the update takes the ordinary WAL→cache route.
+            self._thaw(acg_id, reason="write")
         replica = self.replica(acg_id, create=True)
         now = self.machine.clock.now()
+        self._acg_last_access[acg_id] = now
         if self.registry is not None and updates:
             self.registry.histogram("update.batch_size", unit="updates")\
                 .observe(len(updates))
@@ -696,10 +748,17 @@ class IndexNode:
             self.freshness.visible(self.name, update.file_id, now)
 
     def tick(self) -> int:
-        """Commit timed-out cache buckets (called by the event loop)."""
+        """Commit timed-out cache buckets (called by the event loop).
+
+        With tiering on, also runs the freeze policy: partitions cold
+        past the policy's age threshold are serialized to the object
+        store.  The driver is fully gated on ``tiering`` so the default
+        path charges nothing extra."""
         committed = self.cache.commit_due(self.machine.clock.now())
         if committed and not len(self.cache):
             self._truncate_wal()
+        if self.tiering and self.object_store is not None:
+            self._freeze_cold(self.machine.clock.now())
         for acg_id in sorted(self.repl):
             state = self.repl[acg_id]
             if any(state.acked.get(f, -1) < state.log.last_seq
@@ -712,6 +771,118 @@ class IndexNode:
         commit watermarks restart with the empty log."""
         self.wal.truncate()
         self._wal_commit_counts.clear()
+
+    # -- tiered storage: freeze / thaw / hydrate ----------------------------------------
+
+    def _freeze_cold(self, now: float) -> None:
+        """Freeze every owned partition the tier policy calls cold.
+
+        Eligibility: owned (no handoff intent), not already frozen,
+        nothing pending in the index cache (freezing under pending
+        updates would immediately thaw), and cold/big enough per
+        :class:`~repro.cluster.segments.TierPolicy`.
+        """
+        for acg_id in sorted(self.replicas):
+            if acg_id in self.frozen or not self.owns(acg_id):
+                continue
+            if self.cache.pending_ops(acg_id):
+                continue
+            replica = self.replicas[acg_id]
+            last = self._acg_last_access.get(acg_id, 0.0)
+            if not self.tier_policy.should_freeze(
+                    now, last, replica.store.estimated_bytes()):
+                continue
+            self._freeze_one(acg_id, replica, now)
+
+    def _freeze_one(self, acg_id: int, replica: AcgReplica, now: float) -> None:
+        """Serialize one partition to the cold tier and mark it frozen.
+
+        The live replica stays in ``replicas`` (ownership, watermarks,
+        heartbeat sizes, locate probes and the replication stream all
+        keep working) but leaves the RAM residency budget — only the
+        small summary sidecar stays resident.
+        """
+        self.machine.compute(_FREEZE_OPS_PER_FILE * max(1, replica.file_count))
+        data = dump_segment(replica, self.name)
+        key = segment_key(self.name, acg_id)
+        self.object_store.put(key, data)
+        watermark = self.watermark(acg_id)
+        snapshot = replica.summary.snapshot(
+            acg_id, watermark, dirty=False, file_count=replica.file_count)
+        self.frozen[acg_id] = FrozenPartition(
+            acg_id=acg_id, key=key, serialized_bytes=len(data),
+            hydrated_bytes=256 + replica.store.estimated_bytes(),
+            snapshot=snapshot, frozen_at=now, watermark=watermark)
+        if acg_id in self._resident:
+            self._resident_bytes -= self._resident.pop(acg_id)
+        self.tier_freezes += 1
+        self.journal.emit("tier.freeze", node=self.name, acg_id=acg_id,
+                          segment_bytes=len(data))
+
+    def _thaw(self, acg_id: int, reason: str) -> None:
+        """Return a frozen partition to the live path (first write, or
+        an operation that must mutate the replica)."""
+        frozen = self.frozen.pop(acg_id, None)
+        if frozen is None:
+            return
+        self.segment_cache.invalidate(frozen.key)
+        if self.object_store is not None:
+            self.object_store.delete(frozen.key)
+        self.tier_thaws += 1
+        self.journal.emit("tier.thaw", node=self.name, acg_id=acg_id,
+                          reason=reason)
+
+    def _hydrate(self, acg_id: int, frozen: FrozenPartition):
+        """Fetch + parse one segment from the cold tier (cache miss path).
+
+        Returns the hydrated view, or None when the cold tier cannot
+        serve it — one retry for a transient object-store error, a
+        repair (re-dump from the live backing replica) for a corrupt
+        segment; either way the caller falls back to the replica.
+        """
+        t0 = self.machine.clock.now()
+        with self.tracer.span("hydrate", node=self.name, acg=acg_id) as span:
+            try:
+                try:
+                    data = self.object_store.get(frozen.key)
+                except ObjectStoreError:
+                    # One retry: cold-tier reads are cheap to re-issue
+                    # and transient errors are the common injected case.
+                    data = self.object_store.get(frozen.key)
+                view = load_segment(data)
+            except SegmentCorruption:
+                # Torn/corrupt segment: hydrate-from-replica.  The live
+                # backing replica is authoritative — re-dump it so the
+                # next hydration reads a good copy, and serve this query
+                # from the replica.
+                self._repair_segment(acg_id, frozen)
+                return None
+            except ObjectStoreError:
+                return None
+            self.machine.compute(
+                _HYDRATE_OPS_PER_FILE * max(1, view.file_count()))
+            span.set_attribute("segment_bytes", frozen.serialized_bytes)
+        self.tier_hydrations += 1
+        if self.registry is not None:
+            self.registry.histogram("tier.hydration_s", unit="s")\
+                .observe(self.machine.clock.now() - t0)
+        self.segment_cache.put(frozen.key, view)
+        return view
+
+    def _repair_segment(self, acg_id: int, frozen: FrozenPartition) -> None:
+        """Overwrite a corrupt segment with a fresh dump of the live
+        backing replica (the hydrate-from-replica self-heal)."""
+        replica = self.replicas.get(acg_id)
+        if replica is None or self.object_store is None:
+            return
+        self.machine.compute(_FREEZE_OPS_PER_FILE * max(1, replica.file_count))
+        self.object_store.put(frozen.key, dump_segment(replica, self.name))
+        self.tier_repairs += 1
+        self.journal.emit("tier.repair", node=self.name, acg_id=acg_id)
+
+    def frozen_bytes(self) -> int:
+        """Serialized bytes this node keeps on the cold tier."""
+        return sum(f.serialized_bytes for f in self.frozen.values())
 
     # -- search path ------------------------------------------------------------------
 
@@ -757,11 +928,15 @@ class IndexNode:
     def _search_one(self, acg_id: int, predicate: Predicate,
                     index_names: Optional[Sequence[str]]) -> SearchResult:
         now = self.machine.clock.now()
+        self._acg_last_access[acg_id] = now
         self.cache.commit_for_search(acg_id)
         # Result cache: checked *after* the forced commit, so any pending
         # updates have already advanced the watermark and a stale entry
         # cannot hit.  Time-dependent predicates (symbolic RelativeAge
         # bounds) are excluded — their answer can change with no commit.
+        # Sound for frozen partitions too: freezing requires an empty
+        # cache and writes thaw first, so the (incarnation, applied) tail
+        # cannot move while frozen.
         cache_key = None
         if self.result_caching and not is_time_dependent(predicate):
             replica = self.replicas[acg_id]
@@ -776,6 +951,23 @@ class IndexNode:
                     self.machine.compute(_EXAMINE_OPS)  # lookup, no scan
                     return cached
             self.result_cache_misses += 1
+        if acg_id in self.frozen:
+            result = self._search_frozen(acg_id, predicate, index_names, now)
+        else:
+            result = self._search_live_body(acg_id, predicate, index_names, now)
+        if cache_key is not None:
+            replica = self.replicas[acg_id]
+            self._result_cache[cache_key] = (
+                (replica.incarnation, replica.applied), result)
+            self._result_cache.move_to_end(cache_key)
+            while len(self._result_cache) > _RESULT_CACHE_CAP:
+                self._result_cache.popitem(last=False)
+        return result
+
+    def _search_live_body(self, acg_id: int, predicate: Predicate,
+                          index_names: Optional[Sequence[str]],
+                          now: float) -> SearchResult:
+        """The live (B+tree/hash) execution body of one search leg."""
         with self.tracer.span("page_faults", node=self.name, acg=acg_id) as span:
             span.set_attribute("resident", self.is_resident(acg_id))
             self._ensure_resident(acg_id)
@@ -797,15 +989,50 @@ class IndexNode:
         paths = tuple(sorted(
             p for p in (replica.store.attrs(f).get("path") for f in file_ids)
             if p is not None))
-        result = SearchResult(node=self.name, acg_id=acg_id,
-                              file_ids=frozenset(file_ids), paths=paths)
-        if cache_key is not None:
-            self._result_cache[cache_key] = (
-                (replica.incarnation, replica.applied), result)
-            self._result_cache.move_to_end(cache_key)
-            while len(self._result_cache) > _RESULT_CACHE_CAP:
-                self._result_cache.popitem(last=False)
-        return result
+        return SearchResult(node=self.name, acg_id=acg_id,
+                            file_ids=frozenset(file_ids), paths=paths)
+
+    def _search_frozen(self, acg_id: int, predicate: Predicate,
+                       index_names: Optional[Sequence[str]],
+                       now: float) -> SearchResult:
+        """Execute one search leg against a frozen partition.
+
+        Order of consultation: (1) the resident summary sidecar — a
+        provably-empty answer never touches the cold tier; (2) the
+        node-local segment cache; (3) hydrate from the object store on a
+        miss.  If the cold tier cannot serve the segment (persistent
+        read errors, corruption) the leg falls back to the live backing
+        replica — answers degrade to slower, never to wrong.
+        """
+        frozen = self.frozen[acg_id]
+        self.machine.compute(_EXAMINE_OPS)
+        if not summary_may_match(frozen.snapshot, predicate, now):
+            # Zone maps / bloom say no possible match: byte-identical to
+            # the empty answer a full scan would produce (fail-open
+            # summaries only ever return False when provably empty).
+            self.tier_summary_prunes += 1
+            return SearchResult(node=self.name, acg_id=acg_id,
+                                file_ids=frozenset(), paths=())
+        view = self.segment_cache.get(frozen.key)
+        if view is None:
+            view = self._hydrate(acg_id, frozen)
+        if view is None:
+            # Cold tier unavailable: serve from the live backing replica
+            # (still frozen — the next leg tries the cold tier again).
+            self.tier_fallbacks += 1
+            return self._search_live_body(acg_id, predicate, index_names, now)
+        with self.tracer.span("segment_scan", node=self.name, acg=acg_id) as span:
+            self.machine.compute(_EXAMINE_OPS * max(1, view.file_count() // 64))
+            file_ids = view.search(predicate, now,
+                                   use_postings=self.vectorized_postings)
+            self.machine.compute(
+                _EXAMINE_OPS * self._materialize_units(len(file_ids)))
+            span.set_attribute("matches", len(file_ids))
+        paths = tuple(sorted(
+            p for p in (view.store.attrs(f).get("path") for f in file_ids)
+            if p is not None))
+        return SearchResult(node=self.name, acg_id=acg_id,
+                            file_ids=frozenset(file_ids), paths=paths)
 
     def handle_search(self, acg_ids: Sequence[int], predicate: Predicate,
                       index_names: Optional[Sequence[str]] = None,
@@ -911,6 +1138,9 @@ class IndexNode:
         ``file_ids=None`` means *everything this node hosts* for the ACG
         — the Master uses that for merges, where its own file map may
         under-count client-placed files."""
+        # Extraction deletes moved files from the replica — a mutation,
+        # so a frozen partition thaws first.
+        self._thaw(acg_id, reason="extract")
         self.cache.commit_for_search(acg_id)
         replica = self.replica(acg_id)
         moving = (set(replica.store.file_ids()) if file_ids is None
@@ -932,8 +1162,16 @@ class IndexNode:
         return payload
 
     def handle_install_partition(self, acg_id: int, payload: Dict[str, Any]) -> int:
-        """Install a migrated partition as a replica on this node."""
+        """Install a migrated partition as a replica on this node.
+
+        Accepts the legacy ``{"acg_records", "files"}`` payload and the
+        tiered transfer format ``{"segment": bytes}`` — a frozen segment
+        dumped by the source, which unpacks to the same shape."""
         self._clear_stale_handoff(acg_id)
+        if "segment" in payload:
+            unpacked = load_segment_payload(payload["segment"])
+            payload = {"acg_records": unpacked["acg_records"],
+                       "files": unpacked["files"]}
         replica = self.replica(acg_id, create=True)
         replica.graph.merge(AccessCausalityGraph.from_records(payload["acg_records"]))
         for file_id, attrs, path in payload["files"]:
@@ -947,6 +1185,12 @@ class IndexNode:
 
     def handle_drop_partition(self, acg_id: int) -> None:
         """Forget a migrated-away ACG entirely."""
+        frozen = self.frozen.pop(acg_id, None)
+        if frozen is not None:
+            self.segment_cache.invalidate(frozen.key)
+            if self.object_store is not None:
+                self.object_store.delete(frozen.key)
+        self._acg_last_access.pop(acg_id, None)
         self.replicas.pop(acg_id, None)
         self.repl.pop(acg_id, None)
         self._purge_result_cache(acg_id)
@@ -958,8 +1202,22 @@ class IndexNode:
     def _checkpoint_one(self, replica: AcgReplica) -> None:
         if self.shared_vfs is None:
             return
-        from repro.cluster.persistence import checkpoint_replica
+        from repro.cluster.persistence import (PROPELLER_ROOT,
+                                               checkpoint_replica,
+                                               replica_path)
 
+        if replica.acg_id in self.frozen:
+            # A frozen partition checkpoints as its segment bytes — the
+            # tiered transfer format ``read_checkpoint`` also accepts.
+            # Re-dumped from the live backing replica (deterministic, no
+            # cold-tier round trip, immune to injected object faults).
+            data = dump_segment(replica, self.name)
+            self.shared_vfs.mkdir(f"{PROPELLER_ROOT}/{self.name}", parents=True)
+            self.shared_vfs.write_bytes(replica_path(self.name, replica.acg_id),
+                                        data)
+            self._shared_device.reset_head()
+            self._shared_device.append(len(data))
+            return
         checkpoint_replica(self.shared_vfs, self.name, replica)
         self._shared_device.reset_head()
         self._shared_device.append(replica.resident_bytes())
@@ -977,13 +1235,18 @@ class IndexNode:
         # A fresh shared checkpoint means a source crash before the flip
         # still fails over with all acknowledged data.
         self._checkpoint_one(replica)
-        payload = {
-            "acg_records": list(replica.graph.to_records()),
-            "files": [
-                (f, dict(replica.store.attrs(f)), replica.store.attrs(f).get("path"))
-                for f in sorted(replica.store.file_ids())
-            ],
-        }
+        if self.tiering:
+            # Tiered transfer format: ship the compressed segment instead
+            # of the expanded file list (same payload on the far side).
+            payload: Dict[str, Any] = {"segment": dump_segment(replica, self.name)}
+        else:
+            payload = {
+                "acg_records": list(replica.graph.to_records()),
+                "files": [
+                    (f, dict(replica.store.attrs(f)), replica.store.attrs(f).get("path"))
+                    for f in sorted(replica.store.file_ids())
+                ],
+            }
         self.handoff_intents[acg_id] = target
         # The intent is durable (one small log write): a restart after a
         # crash must keep forwarding and keep WAL replay away from this
@@ -1458,6 +1721,7 @@ class IndexNode:
             free_bytes=self.machine.spec.ram_bytes,
             summaries=tuple(sorted(summaries, key=lambda s: s.acg_id)),
             replication=tuple(replication),
+            frozen_acgs=tuple(sorted(self.frozen)),
         )
 
     # -- shared-storage persistence ----------------------------------------------------------
@@ -1470,8 +1734,6 @@ class IndexNode:
         """
         if self.shared_vfs is None:
             return 0
-        from repro.cluster.persistence import checkpoint_replica
-
         self.cache.commit_all()
         count = 0
         for replica in self.replicas.values():
@@ -1479,11 +1741,10 @@ class IndexNode:
                 # Handed off: the target owns durability now, and this
                 # node's checkpoint is already scheduled for removal.
                 continue
-            checkpoint_replica(self.shared_vfs, self.name, replica)
             # The serialized write costs one sequential transfer on the
-            # shared-storage device (not the local index disk).
-            self._shared_device.reset_head()
-            self._shared_device.append(replica.resident_bytes())
+            # shared-storage device (not the local index disk); frozen
+            # partitions checkpoint in segment format.
+            self._checkpoint_one(replica)
             count += 1
         # Failover restores this snapshot: anything acknowledged after
         # this instant lives only in the local WAL and dies with the node.
@@ -1615,6 +1876,11 @@ class IndexNode:
         # promotion can only use a *live* follower's copy.
         self.repl.clear()
         self.followers.clear()
+        # Tier state is volatile too: the frozen map and its summary
+        # sidecars die with the process (segments on the cold tier are
+        # orphan-tolerant — a re-freeze overwrites the same key).
+        self.frozen.clear()
+        self._acg_last_access.clear()
         self.drop_resident()
         if torn_tail_bytes > 0:
             self.wal.simulate_torn_tail(torn_tail_bytes)
@@ -1654,4 +1920,6 @@ class IndexNode:
         self.migrated_away.clear()
         self.repl.clear()
         self.followers.clear()
+        self.frozen.clear()
+        self._acg_last_access.clear()
         self.drop_resident()

@@ -218,6 +218,9 @@ class MasterNode:
         # so clients can poll cheaply (fresh marker, no payload).
         self._summaries: Dict[int, Any] = {}
         self._summary_version = 0
+        # Tier residency, fed by heartbeat piggybacks: node → the ACG ids
+        # it currently keeps frozen on the cold tier.
+        self._tier_residency: Dict[str, Tuple[int, ...]] = {}
         self.checkpoints_written = 0
         self.endpoint = RpcEndpoint(endpoint_name)
         for method, handler in [
@@ -431,6 +434,7 @@ class MasterNode:
         self._reported_sizes = {}
         self._summaries = {}
         self._summary_version = 0
+        self._tier_residency = {}
         self._route_log = []
 
     def crash_restart(self) -> None:
@@ -927,6 +931,11 @@ class MasterNode:
 
     # -- heartbeats and background maintenance ---------------------------------------------
 
+    def tier_residency(self) -> Dict[str, Tuple[int, ...]]:
+        """Heartbeat-reported cold-tier residency: node → frozen ACG ids
+        (empty map/tuples when tiering is off)."""
+        return dict(self._tier_residency)
+
     def report_heartbeat(self, heartbeat: Heartbeat) -> None:
         """Record one Index Node's heartbeat (and its per-ACG counts —
         the Master's only view of client-placed files)."""
@@ -936,6 +945,11 @@ class MasterNode:
             partition = by_id.get(acg_id)
             if partition is not None and partition.node == heartbeat.node:
                 self._reported_sizes[acg_id] = size
+        # Tier-residency piggyback: which partitions the node keeps
+        # frozen on the cold tier (placement/status reads this; empty —
+        # and free — when tiering is off).
+        self._tier_residency[heartbeat.node] = tuple(
+            getattr(heartbeat, "frozen_acgs", ()))
         # Partition-summary piggyback: accept a snapshot only from the
         # partition's *current* owner (a stale ex-owner's summary could
         # otherwise mask the live replica) and bump the version only on

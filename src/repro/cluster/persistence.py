@@ -104,8 +104,17 @@ def checkpoint_replica(vfs: VirtualFileSystem, node_name: str,
 
 
 def read_checkpoint(vfs: VirtualFileSystem, path: str) -> Dict[str, Any]:
-    """Load and validate a checkpoint file from the shared VFS."""
-    return load_replica_payload(vfs.read_bytes(path))
+    """Load and validate a checkpoint file from the shared VFS.
+
+    Accepts both frames: the legacy ``PACG`` checkpoint and a frozen
+    ``PSEG`` segment (a frozen partition checkpoints as its segment
+    bytes — same payload, tiered transfer format)."""
+    data = vfs.read_bytes(path)
+    from repro.cluster import segments
+
+    if segments.is_segment(data):
+        return segments.load_segment_payload(data)
+    return load_replica_payload(data)
 
 
 def remove_checkpoint(vfs: VirtualFileSystem, node_name: str, acg_id: int) -> bool:

@@ -29,6 +29,7 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, PeriodicTask
 from repro.sim.machine import Cluster, MachineSpec
+from repro.sim.objectstore import SimObjectStore
 from repro.sim.rpc import RetryPolicy, RpcNetwork
 
 HEARTBEAT_PERIOD_S = 5.0
@@ -117,6 +118,12 @@ class PropellerService:
         # postings, client-side coalescing).  Flipped service-wide by
         # :meth:`set_batching`; False restores the legacy per-op path.
         self.batching = True
+        # Tiered storage (frozen cold partitions on a simulated object
+        # store).  One shared store for the deployment — keys are
+        # namespaced per node — flipped service-wide by
+        # :meth:`set_tiering`; off by default, like batching's inverse.
+        self.tiering = False
+        self.object_store = SimObjectStore(self.clock)
         self.index_nodes: Dict[str, IndexNode] = {}
         for name in index_node_names:
             node = IndexNode(name, self.cluster[name], cache_timeout_s=cache_timeout_s)
@@ -125,6 +132,7 @@ class PropellerService:
             node.rpc = self.rpc
             node.journal = self.journal
             node.registry = self.registry
+            node.object_store = self.object_store
             self.rpc.add_endpoint(node.endpoint)
             self.master.register_index_node(name)
             self.index_nodes[name] = node
@@ -201,6 +209,20 @@ class PropellerService:
                      lambda: network.stats.messages)
         reg.gauge_fn("cluster.network.bytes_sent",
                      lambda: network.stats.bytes_sent)
+        # Tiered storage: cold-tier occupancy/traffic and the simulated
+        # dollar cost of the object store (all zero with tiering off).
+        store = self.object_store
+        reg.gauge_fn("tier.object_store.bytes", store.stored_bytes)
+        reg.gauge_fn("tier.object_store.objects", lambda: len(store.keys()))
+        reg.gauge_fn("tier.object_store.gets", lambda: store.stats.gets)
+        reg.gauge_fn("tier.object_store.puts", lambda: store.stats.puts)
+        reg.gauge_fn("tier.object_store.errors", lambda: store.stats.errors)
+        reg.gauge_fn("tier.object_store.cost_usd", store.simulated_cost_usd)
+        reg.gauge_fn("tier.frozen_partitions",
+                     lambda: sum(len(n.frozen)
+                                 for n in self.index_nodes.values()))
+        reg.gauge_fn("tier.segment_cache.hit_rate",
+                     self._segment_cache_hit_rate)
         for name, node in self.index_nodes.items():
             self._register_node_metrics(name, node)
 
@@ -256,6 +278,28 @@ class PropellerService:
                      lambda n=node: n.repl_streamed)
         reg.gauge_fn(f"{prefix}.repl.catchups",
                      lambda n=node: n.repl_catchups)
+        # Per-tier byte accounting (the memory-tier table `repro profile`
+        # and `repro status` render) plus tiering health counters.
+        reg.gauge_fn(f"{prefix}.cache.pending_bytes",
+                     lambda n=node: n.cache.estimated_bytes())
+        reg.gauge_fn(f"{prefix}.cache.flush_commits",
+                     lambda n=node: n.cache.stats.flush_commits)
+        reg.gauge_fn(f"{prefix}.tier.frozen", lambda n=node: len(n.frozen))
+        reg.gauge_fn(f"{prefix}.tier.frozen_bytes",
+                     lambda n=node: n.frozen_bytes())
+        reg.gauge_fn(f"{prefix}.tier.segment_cache_bytes",
+                     lambda n=node: n.segment_cache.estimated_bytes())
+        reg.gauge_fn(f"{prefix}.tier.segment_cache_hit_rate",
+                     lambda n=node: n.segment_cache.stats.hit_rate())
+        reg.gauge_fn(f"{prefix}.tier.freezes", lambda n=node: n.tier_freezes)
+        reg.gauge_fn(f"{prefix}.tier.thaws", lambda n=node: n.tier_thaws)
+        reg.gauge_fn(f"{prefix}.tier.hydrations",
+                     lambda n=node: n.tier_hydrations)
+        reg.gauge_fn(f"{prefix}.tier.fallbacks",
+                     lambda n=node: n.tier_fallbacks)
+        reg.gauge_fn(f"{prefix}.tier.summary_prunes",
+                     lambda n=node: n.tier_summary_prunes)
+        reg.gauge_fn(f"{prefix}.tier.repairs", lambda n=node: n.tier_repairs)
 
     def _wire_tracer(self, tracer) -> None:
         self.tracer = tracer
@@ -382,6 +426,37 @@ class PropellerService:
         hits = sum(n.result_cache_hits for n in self.index_nodes.values())
         misses = sum(n.result_cache_misses for n in self.index_nodes.values())
         return hits / (hits + misses) if hits + misses else 0.0
+
+    def _segment_cache_hit_rate(self) -> float:
+        """Aggregate segment-cache hit rate across nodes (tiering on)."""
+        hits = sum(n.segment_cache.stats.hits
+                   for n in self.index_nodes.values())
+        misses = sum(n.segment_cache.stats.misses
+                     for n in self.index_nodes.values())
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def memory_tiers(self) -> List[Dict[str, object]]:
+        """Per-node byte accounting across the storage tiers — the table
+        ``repro profile`` and ``repro status`` render.
+
+        Tiers per node: live resident replicas (RAM), the hydrated
+        segment cache (RAM), the uncommitted index-cache buffer (RAM),
+        the WAL (local disk), and frozen segments (cold object store).
+        """
+        rows: List[Dict[str, object]] = []
+        for name in sorted(self.index_nodes):
+            node = self.index_nodes[name]
+            rows.append({
+                "node": name,
+                "ram_budget": node.machine.spec.ram_bytes,
+                "resident": node._resident_bytes,
+                "segment_cache": node.segment_cache.estimated_bytes(),
+                "index_cache": node.cache.estimated_bytes(),
+                "wal": len(node.wal),
+                "frozen": node.frozen_bytes(),
+                "frozen_acgs": len(node.frozen),
+            })
+        return rows
 
     def _route_epoch_age(self) -> int:
         """How many epochs behind the most-stale client cache runs."""
@@ -620,6 +695,38 @@ class PropellerService:
         for client in self._clients:
             client.batching = enabled
 
+    def set_tiering(self, enabled: bool, freeze_age_s: Optional[float] = None,
+                    cache_budget_bytes: Optional[int] = None,
+                    min_bytes: Optional[int] = None) -> None:
+        """Flip tiered index storage service-wide.
+
+        Enabled: every Index Node's background tick freezes cold
+        partitions into compressed segments on the shared simulated
+        object store, searches against them go summary → segment cache →
+        hydrate, and writes thaw them back to the live path.
+        ``freeze_age_s`` tunes the idle age the tier policy requires
+        before freezing; ``cache_budget_bytes`` resizes each node's
+        segment cache; ``min_bytes`` lowers the size floor below which
+        freezing is not worth the request cost (small deployments and
+        the chaos harness want tiny partitions to qualify).  ``False``
+        (the default state) thaws everything
+        and restores the legacy path byte-for-byte — the chaos
+        bit-determinism baseline.
+        """
+        self.tiering = enabled
+        for name in sorted(self.index_nodes):
+            node = self.index_nodes[name]
+            node.tiering = enabled
+            if freeze_age_s is not None:
+                node.tier_policy.freeze_age_s = freeze_age_s
+            if min_bytes is not None:
+                node.tier_policy.min_bytes = min_bytes
+            if cache_budget_bytes is not None:
+                node.segment_cache.resize(cache_budget_bytes)
+            if not enabled:
+                for acg_id in sorted(node.frozen):
+                    node._thaw(acg_id, reason="tiering_off")
+
     # -- convenience -----------------------------------------------------------------
 
     def total_indexed_files(self) -> int:
@@ -720,6 +827,7 @@ class PropellerService:
             "slo": self.slos.summary(),
             "master": self.master_status(),
             "stats": self.stats(),
+            "tiers": self.memory_tiers(),
             "journal": self.journal.digest(),
             "events": [e.to_dict() for e in self.journal.tail(events_tail)],
         }

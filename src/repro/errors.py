@@ -146,5 +146,15 @@ class WalCorruption(ClusterError):
     """The write-ahead log failed checksum validation during replay."""
 
 
+class ObjectStoreError(DiskIOError):
+    """A simulated object-store request failed (injected fault or
+    missing key).  Subclasses :class:`DiskIOError` so a search leg that
+    trips on a cold-tier read degrades instead of failing the query."""
+
+
+class SegmentCorruption(ClusterError):
+    """A frozen index segment failed magic/CRC validation on read."""
+
+
 class SimulationError(ReproError):
     """Misuse of the discrete-event simulation substrate."""

@@ -217,6 +217,52 @@ class PostingList:
     def __sub__(self, other: "PostingList") -> "PostingList":
         return self.difference(other)
 
+    # -- serialization ------------------------------------------------------
+
+    # Chunk payload tags for dump_chunks/from_chunks.
+    _ARRAY_TAG = 0
+    _BITMAP_TAG = 1
+
+    def dump_chunks(self) -> tuple:
+        """Chunk-structured dump: ``((base, kind, payload), ...)``.
+
+        Sparse chunks serialize as 2-byte little-endian low values
+        (``kind == 0``), dense chunks as the raw 8 KiB bitmap
+        (``kind == 1``) — the on-disk shape frozen segments store, an
+        order of magnitude smaller than one int per document.  The dump
+        is canonical (chunks sorted by base), so equal sets dump to
+        equal bytes.
+        """
+        out = []
+        for base in sorted(self._chunks):
+            chunk = self._chunks[base]
+            if isinstance(chunk, int):
+                payload = chunk.to_bytes((1 << CHUNK_SHIFT) // 8, "little")
+                out.append((base, self._BITMAP_TAG, payload))
+            else:
+                payload = b"".join(low.to_bytes(2, "little") for low in chunk)
+                out.append((base, self._ARRAY_TAG, payload))
+        return tuple(out)
+
+    @classmethod
+    def from_chunks(cls, chunks: Iterable[tuple]) -> "PostingList":
+        """Rebuild a posting list from :meth:`dump_chunks` output."""
+        pl = cls()
+        for base, kind, payload in chunks:
+            if kind == cls._BITMAP_TAG:
+                bits = int.from_bytes(payload, "little")
+                pl._chunks[base] = bits
+                pl._len += _bit_count(bits)
+            elif kind == cls._ARRAY_TAG:
+                arr = [int.from_bytes(payload[i:i + 2], "little")
+                       for i in range(0, len(payload), 2)]
+                if arr:
+                    pl._chunks[base] = arr
+                    pl._len += len(arr)
+            else:
+                raise ValueError(f"unknown posting-chunk kind: {kind!r}")
+        return pl
+
     # -- introspection ------------------------------------------------------
 
     def chunk_kinds(self) -> Dict[str, int]:

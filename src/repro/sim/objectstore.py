@@ -1,0 +1,179 @@
+"""A simulated cloud object store (the cold tier under tiered indexing).
+
+Models an S3-class service: every request pays a fixed first-byte
+latency (dominated by the HTTPS round trip, not the medium) plus a
+bandwidth-proportional transfer, and every request and stored byte
+accrues *simulated dollars* — the quantity the tiered-storage benchmark
+trades off against hydration latency.  All time lands on the shared
+:class:`~repro.sim.clock.SimClock` and no wall clock or RNG is touched,
+so runs stay bit-deterministic.
+
+Chaos hooks mirror :class:`~repro.sim.disk.DiskDevice`: an attached
+:class:`~repro.chaos.faults.FaultInjector` may fail a GET after the cost
+is paid (:class:`~repro.errors.ObjectStoreError`, a ``DiskIOError``
+subclass so search legs degrade instead of dying) or stretch it with
+extra hydration latency.  With no injector attached — or all rates at
+zero — no RNG is consulted, keeping fault-free schedules byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObjectStoreError
+from repro.sim.clock import SimClock
+
+_GB = 1024 ** 3
+_MONTH_S = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class ObjectStoreModel:
+    """Cost constants for an S3-class object store.
+
+    Latency defaults approximate a same-region store: ~30 ms to first
+    byte on GET (TLS + request routing), slightly worse on PUT, and
+    ~100 MB/s of per-stream bandwidth.  Prices follow the classic
+    standard-tier shape: PUTs an order of magnitude dearer than GETs,
+    plus a $/GB-month storage rate.
+    """
+
+    get_first_byte_s: float = 0.030
+    put_first_byte_s: float = 0.045
+    bandwidth_bytes_per_s: float = 100e6
+    put_cost_usd: float = 5e-6
+    get_cost_usd: float = 4e-7
+    storage_usd_per_gb_month: float = 0.023
+
+    def get_cost_s(self, nbytes: int) -> float:
+        """Seconds for one GET of ``nbytes``."""
+        return self.get_first_byte_s + nbytes / self.bandwidth_bytes_per_s
+
+    def put_cost_s(self, nbytes: int) -> float:
+        """Seconds for one PUT of ``nbytes``."""
+        return self.put_first_byte_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class ObjectStoreStats:
+    """Counters accumulated by a :class:`SimObjectStore`."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    errors: int = 0
+    busy_seconds: float = 0.0
+
+
+class SimObjectStore:
+    """An in-memory object store that charges S3-shaped costs.
+
+    Storage dollars are accrued by integrating resident bytes over
+    virtual time: every mutation first settles ``bytes * dt`` into
+    ``_byte_seconds`` at the old occupancy, so :meth:`simulated_cost_usd`
+    is exact at any settle point and fully deterministic.
+    """
+
+    def __init__(self, clock: SimClock, model: ObjectStoreModel | None = None) -> None:
+        self.clock = clock
+        self.model = model if model is not None else ObjectStoreModel()
+        self.stats = ObjectStoreStats()
+        # Fault injection (chaos): when attached, GETs may raise
+        # ObjectStoreError after paying the request cost, or pay extra
+        # "slow hydration" latency.  None means the store is healthy.
+        self.faults = None
+        self._objects: dict[str, bytes] = {}
+        self._stored_bytes = 0
+        self._byte_seconds = 0.0
+        self._last_settle_t = clock.now()
+
+    # -- occupancy accounting ----------------------------------------------------
+
+    def _settle_storage(self) -> None:
+        now = self.clock.now()
+        self._byte_seconds += self._stored_bytes * (now - self._last_settle_t)
+        self._last_settle_t = now
+
+    def _charge(self, cost_s: float) -> None:
+        self.stats.busy_seconds += cost_s
+        self.clock.charge(cost_s)
+
+    # -- requests ----------------------------------------------------------------
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store an object (replacing any previous version)."""
+        self._charge(self.model.put_cost_s(len(data)))
+        self._settle_storage()
+        previous = self._objects.get(key)
+        if previous is not None:
+            self._stored_bytes -= len(previous)
+        self._objects[key] = bytes(data)
+        self._stored_bytes += len(data)
+        self.stats.puts += 1
+        self.stats.bytes_in += len(data)
+
+    def get(self, key: str) -> bytes:
+        """Fetch an object's bytes.
+
+        Pays first-byte + transfer cost before any failure is reported
+        (the request went out and timed out / came back bad), then —
+        with a fault injector attached — may pay extra slow-hydration
+        latency or raise :class:`~repro.errors.ObjectStoreError`.
+        """
+        data = self._objects.get(key)
+        self._charge(self.model.get_cost_s(len(data) if data is not None else 0))
+        if self.faults is not None:
+            extra = self.faults.hydration_delay_s()
+            if extra > 0.0:
+                self._charge(extra)
+            if self.faults.object_read_fails():
+                self.stats.errors += 1
+                raise ObjectStoreError(f"injected object-store error on {key!r}")
+        if data is None:
+            self.stats.errors += 1
+            raise ObjectStoreError(f"no such object: {key!r}")
+        self.stats.gets += 1
+        self.stats.bytes_out += len(data)
+        return data
+
+    def delete(self, key: str) -> bool:
+        """Remove an object; returns whether it existed.  DELETEs are
+        free of request charges in the classic pricing model, but still
+        settle storage occupancy."""
+        self._settle_storage()
+        data = self._objects.pop(key, None)
+        if data is None:
+            return False
+        self._stored_bytes -= len(data)
+        self.stats.deletes += 1
+        return True
+
+    # -- introspection -----------------------------------------------------------
+
+    def exists(self, key: str) -> bool:
+        """Whether an object is stored under ``key`` (no request charge)."""
+        return key in self._objects
+
+    def size(self, key: str) -> int:
+        """Stored size of one object (0 if absent; no request charge)."""
+        data = self._objects.get(key)
+        return len(data) if data is not None else 0
+
+    def keys(self) -> list[str]:
+        """Sorted keys of every stored object."""
+        return sorted(self._objects)
+
+    def stored_bytes(self) -> int:
+        """Total bytes currently resident in the store."""
+        return self._stored_bytes
+
+    def simulated_cost_usd(self) -> float:
+        """Accrued simulated dollars: requests + GB-months of storage."""
+        self._settle_storage()
+        storage = (self._byte_seconds / _GB) / _MONTH_S \
+            * self.model.storage_usd_per_gb_month
+        return (self.stats.puts * self.model.put_cost_usd
+                + self.stats.gets * self.model.get_cost_usd
+                + storage)

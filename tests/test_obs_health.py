@@ -456,7 +456,7 @@ class TestEndToEnd:
         service, _ = build_cluster()
         status = service.status(events_tail=5)
         assert set(status) == {"health", "slo", "master", "stats",
-                               "journal", "events"}
+                               "journal", "events", "tiers"}
         assert status["master"]["acting"] == "master"
         assert status["master"]["term"] == 1
         assert status["master"]["standby_lag"] is None
